@@ -1,0 +1,127 @@
+//! Ablation benchmarks for the design choices called out in DESIGN.md §6.
+//!
+//! Criterion measures host wall time; each ablation also prints the
+//! *virtual* communication times once at start-up, since those are the
+//! quantity the design choices actually trade off.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cubemm_core::{Algorithm, MachineConfig};
+use cubemm_dense::gemm::Kernel;
+use cubemm_dense::Matrix;
+use cubemm_simnet::{CostParams, PortModel};
+
+fn virtual_time(algo: Algorithm, n: usize, p: usize, port: PortModel) -> f64 {
+    let a = Matrix::random(n, n, 1);
+    let b = Matrix::random(n, n, 2);
+    let cfg = MachineConfig::new(port, CostParams::PAPER);
+    algo.multiply(&a, &b, p, &cfg).unwrap().stats.elapsed
+}
+
+/// Ablation 1: one-port vs multi-port for the same algorithm.
+fn ablation_port_model(c: &mut Criterion) {
+    let (n, p) = (64usize, 64usize);
+    for algo in [Algorithm::Cannon, Algorithm::Diag3d, Algorithm::All3d] {
+        let one = virtual_time(algo, n, p, PortModel::OnePort);
+        let multi = virtual_time(algo, n, p, PortModel::MultiPort);
+        println!(
+            "[ablation:port] {} n={n} p={p}: one-port {one:.0} vs multi-port {multi:.0} \
+             (gain {:.2}x)",
+            algo.name(),
+            one / multi
+        );
+    }
+
+    let mut group = c.benchmark_group("ablation_port_model");
+    group.sample_size(10);
+    let a = Matrix::random(n, n, 1);
+    let b = Matrix::random(n, n, 2);
+    for port in [PortModel::OnePort, PortModel::MultiPort] {
+        let cfg = MachineConfig::new(port, CostParams::PAPER);
+        group.bench_with_input(BenchmarkId::new("3d-all", port), &cfg, |bench, cfg| {
+            bench.iter(|| Algorithm::All3d.multiply(&a, &b, p, cfg).unwrap())
+        });
+    }
+    group.finish();
+}
+
+/// Ablation 2: skew-based (Cannon) vs broadcast-based (3D All) data
+/// movement at a fixed machine shape.
+fn ablation_skew_vs_broadcast(c: &mut Criterion) {
+    let (n, p) = (64usize, 64usize);
+    for port in [PortModel::OnePort, PortModel::MultiPort] {
+        let cannon = virtual_time(Algorithm::Cannon, n, p, port);
+        let all3d = virtual_time(Algorithm::All3d, n, p, port);
+        println!(
+            "[ablation:movement] {port} n={n} p={p}: cannon {cannon:.0} vs 3d-all {all3d:.0}"
+        );
+    }
+
+    let mut group = c.benchmark_group("ablation_skew_vs_broadcast");
+    group.sample_size(10);
+    let a = Matrix::random(n, n, 1);
+    let b = Matrix::random(n, n, 2);
+    let cfg = MachineConfig::new(PortModel::OnePort, CostParams::PAPER);
+    for algo in [Algorithm::Cannon, Algorithm::All3d] {
+        group.bench_with_input(BenchmarkId::new(algo.name(), n), &cfg, |bench, cfg| {
+            bench.iter(|| algo.multiply(&a, &b, p, cfg).unwrap())
+        });
+    }
+    group.finish();
+}
+
+/// Ablation 3: the 3-D All first phase (AAPC) vs the 3-D All_Trans first
+/// phase (gather + bigger broadcast) — the delta §4.2.2 highlights.
+fn ablation_all_vs_all_trans(c: &mut Criterion) {
+    let (n, p) = (64usize, 64usize);
+    for port in [PortModel::OnePort, PortModel::MultiPort] {
+        let trans = virtual_time(Algorithm::AllTrans3d, n, p, port);
+        let all = virtual_time(Algorithm::All3d, n, p, port);
+        println!(
+            "[ablation:first-phase] {port} n={n} p={p}: all-trans {trans:.0} vs 3d-all {all:.0}"
+        );
+    }
+
+    let mut group = c.benchmark_group("ablation_first_phase");
+    group.sample_size(10);
+    let a = Matrix::random(n, n, 1);
+    let b = Matrix::random(n, n, 2);
+    let cfg = MachineConfig::new(PortModel::OnePort, CostParams::PAPER);
+    for algo in [Algorithm::AllTrans3d, Algorithm::All3d] {
+        group.bench_with_input(BenchmarkId::new(algo.name(), n), &cfg, |bench, cfg| {
+            bench.iter(|| algo.multiply(&a, &b, p, cfg).unwrap())
+        });
+    }
+    group.finish();
+}
+
+/// Ablation 4: local kernel choice inside a fixed distributed run.
+fn ablation_kernel_choice(c: &mut Criterion) {
+    let (n, p) = (128usize, 64usize);
+    let a = Matrix::random(n, n, 1);
+    let b = Matrix::random(n, n, 2);
+    let mut group = c.benchmark_group("ablation_kernel");
+    group.sample_size(10);
+    for (name, kernel) in [
+        ("naive", Kernel::Naive),
+        ("ikj", Kernel::Ikj),
+        ("blocked32", Kernel::Blocked(32)),
+    ] {
+        let cfg = MachineConfig {
+            kernel,
+            ..MachineConfig::default()
+        };
+        group.bench_with_input(BenchmarkId::new(name, n), &cfg, |bench, cfg| {
+            bench.iter(|| Algorithm::All3d.multiply(&a, &b, p, cfg).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    ablation_port_model,
+    ablation_skew_vs_broadcast,
+    ablation_all_vs_all_trans,
+    ablation_kernel_choice
+);
+criterion_main!(benches);

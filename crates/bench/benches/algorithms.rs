@@ -1,0 +1,33 @@
+//! End-to-end algorithm benchmarks: host wall time of full simulated
+//! multiplications (distribution, SPMD run on p threads, reassembly).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cubemm_core::{Algorithm, MachineConfig};
+use cubemm_dense::Matrix;
+use cubemm_simnet::{CostParams, PortModel};
+
+fn bench_algorithms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("algorithms_sim");
+    group.sample_size(10);
+    let n = 64usize;
+    let p = 64usize;
+    let a = Matrix::random(n, n, 1);
+    let b = Matrix::random(n, n, 2);
+    for algo in Algorithm::ALL {
+        for port in [PortModel::OnePort, PortModel::MultiPort] {
+            if algo.check(n, p).is_err() {
+                continue;
+            }
+            let cfg = MachineConfig::new(port, CostParams::PAPER);
+            group.bench_with_input(
+                BenchmarkId::new(algo.name(), port),
+                &cfg,
+                |bench, cfg| bench.iter(|| algo.multiply(&a, &b, p, cfg).unwrap()),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_algorithms);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Collective-schedule benchmarks: host wall time of executing each
+//! Table 1 collective on the simulated machine, one-port vs multi-port.
+//! (The *virtual* costs are validated exactly in the test suites; these
+//! benches track the simulator's own overhead.)
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cubemm_collectives as coll;
+use cubemm_simnet::{run_machine, CostParams, Payload, PortModel};
+use cubemm_topology::Subcube;
+
+const COST: CostParams = CostParams { ts: 1.0, tw: 1.0 };
+
+fn payload(rank: usize, m: usize) -> Payload {
+    (0..m).map(|x| (rank + x) as f64).collect()
+}
+
+fn bench_collectives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("collectives_sim");
+    group.sample_size(20);
+    let p = 16usize;
+    let m = 256usize;
+    for port in [PortModel::OnePort, PortModel::MultiPort] {
+        group.bench_with_input(BenchmarkId::new("bcast", port), &port, |bench, &port| {
+            bench.iter(|| {
+                run_machine(p, port, COST, vec![(); p], |proc, ()| {
+                    let sc = Subcube::whole(proc.dim());
+                    let data = (sc.rank_of(proc.id()) == 0).then(|| payload(0, m));
+                    coll::bcast(proc, &sc, 0, 0, data, m)
+                })
+            })
+        });
+        group.bench_with_input(
+            BenchmarkId::new("allgather", port),
+            &port,
+            |bench, &port| {
+                bench.iter(|| {
+                    run_machine(p, port, COST, vec![(); p], |proc, ()| {
+                        let sc = Subcube::whole(proc.dim());
+                        let v = sc.rank_of(proc.id());
+                        coll::allgather(proc, &sc, 0, payload(v, m))
+                    })
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("alltoall", port),
+            &port,
+            |bench, &port| {
+                bench.iter(|| {
+                    run_machine(p, port, COST, vec![(); p], |proc, ()| {
+                        let sc = Subcube::whole(proc.dim());
+                        let v = sc.rank_of(proc.id());
+                        let parts: Vec<Payload> =
+                            (0..sc.size()).map(|r| payload(v + r, m)).collect();
+                        coll::alltoall_personalized(proc, &sc, 0, parts)
+                    })
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("reduce_scatter", port),
+            &port,
+            |bench, &port| {
+                bench.iter(|| {
+                    run_machine(p, port, COST, vec![(); p], |proc, ()| {
+                        let sc = Subcube::whole(proc.dim());
+                        let v = sc.rank_of(proc.id());
+                        let parts: Vec<Payload> =
+                            (0..sc.size()).map(|r| payload(v + r, m)).collect();
+                        coll::reduce_scatter(proc, &sc, 0, parts)
+                    })
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_collectives);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Local GEMM kernel microbenchmarks (ablation: DESIGN.md §6 — the
+//! kernel choice is orthogonal to the communication comparison; these
+//! host-time numbers back that claim by showing all kernels are within a
+//! small constant factor at block sizes the algorithms actually use).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use cubemm_dense::gemm::{gemm_acc, Kernel};
+use cubemm_dense::Matrix;
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("local_gemm");
+    for n in [32usize, 64, 128] {
+        let a = Matrix::random(n, n, 1);
+        let b = Matrix::random(n, n, 2);
+        for (name, kernel) in [
+            ("naive", Kernel::Naive),
+            ("ikj", Kernel::Ikj),
+            ("blocked32", Kernel::Blocked(32)),
+        ] {
+            group.bench_with_input(BenchmarkId::new(name, n), &n, |bench, _| {
+                bench.iter(|| {
+                    let mut out = Matrix::zeros(n, n);
+                    gemm_acc(&mut out, black_box(&a), black_box(&b), kernel);
+                    out
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

@@ -1,0 +1,123 @@
+//! Regenerates **Table 1**: optimal broadcasting and personalized
+//! communication costs on an N-processor hypercube, comparing the
+//! paper's closed forms against costs *measured* from the executable
+//! collective schedules on the simulated machine.
+//!
+//! Usage: `cargo run -p cubemm-bench --bin table1 [-- --max-dim D]`
+
+use cubemm_bench::{fmt, write_result, Table};
+use cubemm_collectives as coll;
+use cubemm_simnet::{run_machine, CostParams, Payload, PortModel};
+use cubemm_topology::Subcube;
+
+const COST: CostParams = CostParams { ts: 1.0, tw: 1.0 };
+
+fn payload(rank: usize, m: usize) -> Payload {
+    (0..m).map(|x| (rank * 100 + x) as f64).collect()
+}
+
+/// Runs one collective on an N = 2^d cube with M-word messages and
+/// returns the measured elapsed virtual time.
+fn measure(kind: &str, d: u32, m: usize, port: PortModel) -> f64 {
+    let p = 1usize << d;
+    let kind = kind.to_string();
+    let out = run_machine(p, port, COST, vec![(); p], move |proc, ()| {
+        let sc = Subcube::whole(proc.dim());
+        let v = sc.rank_of(proc.id());
+        match kind.as_str() {
+            "one-to-all broadcast" => {
+                let data = (v == 0).then(|| payload(0, m));
+                let _ = coll::bcast(proc, &sc, 0, 0, data, m);
+            }
+            "one-to-all personalized" => {
+                let parts =
+                    (v == 0).then(|| (0..sc.size()).map(|r| payload(r, m)).collect::<Vec<_>>());
+                let _ = coll::scatter(proc, &sc, 0, 0, parts, m);
+            }
+            "all-to-all broadcast" => {
+                let _ = coll::allgather(proc, &sc, 0, payload(v, m));
+            }
+            "all-to-all personalized" => {
+                let parts: Vec<Payload> = (0..sc.size()).map(|r| payload(r, m)).collect();
+                let _ = coll::alltoall_personalized(proc, &sc, 0, parts);
+            }
+            other => unreachable!("unknown collective {other}"),
+        }
+    });
+    out.stats.elapsed
+}
+
+/// The paper's Table 1 prediction (t_s = t_w = 1).
+fn predicted(kind: &str, d: u32, m: usize, port: PortModel) -> f64 {
+    let n = (1usize << d) as f64;
+    let mf = m as f64;
+    let df = f64::from(d);
+    let tw = match (kind, port) {
+        ("one-to-all broadcast", PortModel::OnePort) => mf * df,
+        ("one-to-all broadcast", PortModel::MultiPort) => mf,
+        ("one-to-all personalized", PortModel::OnePort) => (n - 1.0) * mf,
+        ("one-to-all personalized", PortModel::MultiPort) => (n - 1.0) * mf / df,
+        ("all-to-all broadcast", PortModel::OnePort) => (n - 1.0) * mf,
+        ("all-to-all broadcast", PortModel::MultiPort) => (n - 1.0) * mf / df,
+        ("all-to-all personalized", PortModel::OnePort) => n * mf * df / 2.0,
+        ("all-to-all personalized", PortModel::MultiPort) => n * mf / 2.0,
+        _ => unreachable!(),
+    };
+    df + tw // t_s term is log N for every row
+}
+
+fn main() {
+    let max_dim: u32 = std::env::args()
+        .skip_while(|a| a != "--max-dim")
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(5);
+
+    println!("=== Table 1: collective communication costs (measured vs paper) ===");
+    println!("message cost model: t_s = 1, t_w = 1; M words per message\n");
+
+    let kinds = [
+        "one-to-all broadcast",
+        "one-to-all personalized",
+        "all-to-all broadcast",
+        "all-to-all personalized",
+    ];
+    let mut table = Table::new(&[
+        "collective",
+        "port",
+        "N",
+        "M",
+        "measured",
+        "paper",
+        "ratio",
+    ]);
+    let mut worst: f64 = 1.0;
+    for kind in kinds {
+        for port in [PortModel::OnePort, PortModel::MultiPort] {
+            for d in [2u32, 3, max_dim.max(4)] {
+                // M chosen ≥ log N so multi-port slicing has full effect
+                // (the Table 1 condition M ≥ log N).
+                for m in [16usize, 60] {
+                    let measured = measure(kind, d, m, port);
+                    let paper = predicted(kind, d, m, port);
+                    let ratio = measured / paper;
+                    worst = worst.max(ratio.max(1.0 / ratio));
+                    table.row(vec![
+                        kind.to_string(),
+                        port.to_string(),
+                        (1usize << d).to_string(),
+                        m.to_string(),
+                        fmt(measured),
+                        fmt(paper),
+                        format!("{ratio:.3}"),
+                    ]);
+                }
+            }
+        }
+    }
+    println!("{}", table.render());
+    println!("worst measured/paper ratio: {worst:.3}");
+    if let Ok(path) = write_result("table1.csv", &table.to_csv()) {
+        println!("csv written to {}", path.display());
+    }
+}

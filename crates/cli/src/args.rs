@@ -1,0 +1,109 @@
+//! Minimal `--flag value` argument parsing (no external dependencies —
+//! the workspace's dependency policy is documented in DESIGN.md).
+
+use std::collections::HashMap;
+
+/// Parsed `--key value` flags plus positional arguments.
+pub struct Args {
+    flags: HashMap<String, String>,
+    positional: Vec<String>,
+}
+
+impl Args {
+    /// Parses `argv`; every token starting with `--` consumes the next
+    /// token as its value.
+    pub fn parse(argv: &[String]) -> Result<Args, String> {
+        let mut flags = HashMap::new();
+        let mut positional = Vec::new();
+        let mut it = argv.iter();
+        while let Some(tok) = it.next() {
+            if let Some(key) = tok.strip_prefix("--") {
+                let val = it
+                    .next()
+                    .ok_or_else(|| format!("flag --{key} needs a value"))?;
+                flags.insert(key.to_string(), val.clone());
+            } else {
+                positional.push(tok.clone());
+            }
+        }
+        Ok(Args { flags, positional })
+    }
+
+    /// Positional argument `idx`, parsed.
+    pub fn positional<T: std::str::FromStr>(&self, idx: usize) -> Option<T> {
+        self.positional.get(idx).and_then(|s| s.parse().ok())
+    }
+
+    /// Flag value, parsed, or `default`.
+    pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.flags.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("invalid value {v:?} for --{key}")),
+        }
+    }
+
+    /// Required flag value, parsed.
+    pub fn require<T: std::str::FromStr>(&self, key: &str) -> Result<T, String> {
+        let v = self
+            .flags
+            .get(key)
+            .ok_or_else(|| format!("missing required flag --{key}"))?;
+        v.parse()
+            .map_err(|_| format!("invalid value {v:?} for --{key}"))
+    }
+
+    /// The raw string value of a flag, if present.
+    pub fn raw(&self, key: &str) -> Option<&str> {
+        self.flags.get(key).map(String::as_str)
+    }
+}
+
+/// Parses `one`/`multi` (with a few aliases) into a port model.
+pub fn parse_port(s: Option<&str>) -> Result<cubemm_simnet::PortModel, String> {
+    match s.unwrap_or("one") {
+        "one" | "one-port" | "1" => Ok(cubemm_simnet::PortModel::OnePort),
+        "multi" | "multi-port" | "all" => Ok(cubemm_simnet::PortModel::MultiPort),
+        other => Err(format!("unknown port model {other:?} (use one|multi)")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn parses_flags_and_positionals() {
+        let a = Args::parse(&argv("64 --n 32 --port multi rest")).unwrap();
+        assert_eq!(a.positional::<usize>(0), Some(64));
+        assert_eq!(a.get_or::<usize>("n", 0).unwrap(), 32);
+        assert_eq!(a.raw("port"), Some("multi"));
+        assert_eq!(a.positional::<String>(1), Some("rest".to_string()));
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        assert!(Args::parse(&argv("--n")).is_err());
+    }
+
+    #[test]
+    fn require_and_defaults() {
+        let a = Args::parse(&argv("--n 8")).unwrap();
+        assert_eq!(a.require::<usize>("n").unwrap(), 8);
+        assert!(a.require::<usize>("p").is_err());
+        assert_eq!(a.get_or::<f64>("ts", 150.0).unwrap(), 150.0);
+    }
+
+    #[test]
+    fn port_parsing() {
+        assert!(parse_port(Some("one")).is_ok());
+        assert!(parse_port(Some("multi")).is_ok());
+        assert!(parse_port(None).is_ok());
+        assert!(parse_port(Some("dual")).is_err());
+    }
+}

@@ -1,0 +1,229 @@
+//! The `cubemm` subcommands.
+
+use cubemm_core::{Algorithm, MachineConfig};
+use cubemm_dense::{gemm, Matrix};
+use cubemm_model::{render_ascii, RegionMap, Sweep};
+use cubemm_simnet::CostParams;
+
+use crate::args::{parse_port, Args};
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+cubemm — communication-efficient matrix multiplication on simulated hypercubes
+(reproduction of Gupta & Sadayappan, SPAA 1994)
+
+USAGE:
+  cubemm list [n] [p]            show every algorithm and its applicability
+  cubemm run --algo A --n N --p P [--port one|multi] [--ts T] [--tw W]
+             [--charge sender|symmetric]
+                                 one verified simulated multiplication
+  cubemm sweep --n N [--p 4,16,64,512] [--port one|multi] [--ts T] [--tw W]
+                                 compare all applicable algorithms
+  cubemm regions [--port one|multi] [--ts T] [--tw W]
+                                 Figure 13/14-style best-algorithm map
+  cubemm help                    this text
+
+Defaults: n=64, p=64, port=one, ts=150, tw=3, charge=sender (the paper's
+parameters and accounting).
+Algorithms: simple cannon hje berntsen dns diag2d 3dd 3d-all-trans 3d-all
+            dns-cannon 3d-all-cannon 3d-all-flat cannon-torus fox
+";
+
+fn fail(msg: &str) -> i32 {
+    eprintln!("error: {msg}");
+    2
+}
+
+/// `cubemm list [n] [p]`.
+pub fn list(argv: &[String]) -> i32 {
+    let args = match Args::parse(argv) {
+        Ok(a) => a,
+        Err(e) => return fail(&e),
+    };
+    let n: usize = args.positional(0).unwrap_or(64);
+    let p: usize = args.positional(1).unwrap_or(64);
+    println!("applicability at n = {n}, p = {p}:");
+    for algo in Algorithm::ALL.into_iter().chain(Algorithm::EXTENSIONS) {
+        match algo.check(n, p) {
+            Ok(()) => println!("  {:<14} ok", algo.name()),
+            Err(e) => println!("  {:<14} -- {e}", algo.name()),
+        }
+    }
+    0
+}
+
+fn machine_from(args: &Args) -> Result<(MachineConfig, f64, f64), String> {
+    let ts: f64 = args.get_or("ts", 150.0)?;
+    let tw: f64 = args.get_or("tw", 3.0)?;
+    let port = parse_port(args.raw("port"))?;
+    let mut cfg = MachineConfig::new(port, CostParams { ts, tw });
+    match args.raw("charge") {
+        None | Some("sender") => {}
+        Some("symmetric") => cfg = cfg.with_symmetric_charging(),
+        Some(other) => return Err(format!("unknown charge policy {other:?} (sender|symmetric)")),
+    }
+    Ok((cfg, ts, tw))
+}
+
+/// `cubemm run --algo A --n N --p P ...`.
+pub fn run(argv: &[String]) -> i32 {
+    let args = match Args::parse(argv) {
+        Ok(a) => a,
+        Err(e) => return fail(&e),
+    };
+    let algo: Algorithm = match args.require::<String>("algo").and_then(|s| {
+        s.parse::<Algorithm>()
+            .map_err(|e| format!("{e} (see `cubemm help` for the list)"))
+    }) {
+        Ok(a) => a,
+        Err(e) => return fail(&e),
+    };
+    let n: usize = match args.get_or("n", 64) {
+        Ok(v) => v,
+        Err(e) => return fail(&e),
+    };
+    let p: usize = match args.get_or("p", 64) {
+        Ok(v) => v,
+        Err(e) => return fail(&e),
+    };
+    let seed: u64 = match args.get_or("seed", 1) {
+        Ok(v) => v,
+        Err(e) => return fail(&e),
+    };
+    let (cfg, ts, tw) = match machine_from(&args) {
+        Ok(v) => v,
+        Err(e) => return fail(&e),
+    };
+
+    if let Err(e) = algo.check(n, p) {
+        return fail(&format!("{algo} cannot run n={n} on p={p}: {e}"));
+    }
+    let a = Matrix::random(n, n, seed);
+    let b = Matrix::random(n, n, seed + 1);
+    let res = match algo.multiply(&a, &b, p, &cfg) {
+        Ok(r) => r,
+        Err(e) => return fail(&e.to_string()),
+    };
+    let err = res.c.max_abs_diff(&gemm::reference(&a, &b));
+    println!("{algo}: n = {n}, p = {p}, {} nodes, ts = {ts}, tw = {tw}", cfg.port);
+    println!("  verified:              max |Δ| = {err:.2e}");
+    println!("  simulated comm time:   {:.1}", res.stats.elapsed);
+    println!("  messages injected:     {}", res.stats.total_messages());
+    println!("  word·hops moved:       {}", res.stats.total_word_hops());
+    println!("  peak words (total):    {}", res.stats.total_peak_words());
+    if err > 1e-9 * n as f64 {
+        return fail("verification FAILED");
+    }
+    0
+}
+
+/// `cubemm sweep --n N [--p list] ...`.
+pub fn sweep(argv: &[String]) -> i32 {
+    let args = match Args::parse(argv) {
+        Ok(a) => a,
+        Err(e) => return fail(&e),
+    };
+    let n: usize = match args.get_or("n", 64) {
+        Ok(v) => v,
+        Err(e) => return fail(&e),
+    };
+    let (cfg, ts, tw) = match machine_from(&args) {
+        Ok(v) => v,
+        Err(e) => return fail(&e),
+    };
+    let ps: Vec<usize> = match args.raw("p") {
+        None => vec![4, 8, 16, 64, 512],
+        Some(list) => match list.split(',').map(|t| t.trim().parse()).collect() {
+            Ok(v) => v,
+            Err(_) => return fail(&format!("invalid --p list {list:?}")),
+        },
+    };
+
+    let a = Matrix::random(n, n, 1);
+    let b = Matrix::random(n, n, 2);
+    let reference = gemm::reference(&a, &b);
+
+    println!("sweep: n = {n}, {}, ts = {ts}, tw = {tw}", cfg.port);
+    print!("{:<14}", "p =");
+    for p in &ps {
+        print!("{p:>10}");
+    }
+    println!();
+    for algo in Algorithm::ALL.into_iter().chain(Algorithm::EXTENSIONS) {
+        print!("{:<14}", algo.name());
+        for &p in &ps {
+            match algo.check(n, p) {
+                Ok(()) => match algo.multiply(&a, &b, p, &cfg) {
+                    Ok(res) => {
+                        if res.c.max_abs_diff(&reference) > 1e-9 * n as f64 {
+                            return fail(&format!("{algo} produced a wrong product at p={p}"));
+                        }
+                        print!("{:>10.0}", res.stats.elapsed);
+                    }
+                    Err(e) => return fail(&e.to_string()),
+                },
+                Err(_) => print!("{:>10}", "-"),
+            }
+        }
+        println!();
+    }
+    println!("all runs verified; '-' marks inapplicable shapes");
+    0
+}
+
+/// `cubemm regions ...`.
+pub fn regions(argv: &[String]) -> i32 {
+    let args = match Args::parse(argv) {
+        Ok(a) => a,
+        Err(e) => return fail(&e),
+    };
+    let ts: f64 = match args.get_or("ts", 150.0) {
+        Ok(v) => v,
+        Err(e) => return fail(&e),
+    };
+    let tw: f64 = match args.get_or("tw", 3.0) {
+        Ok(v) => v,
+        Err(e) => return fail(&e),
+    };
+    let port = match parse_port(args.raw("port")) {
+        Ok(v) => v,
+        Err(e) => return fail(&e),
+    };
+    let map = RegionMap::generate(Sweep::default(), port, ts, tw);
+    print!("{}", render_ascii(&map));
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn list_runs_clean() {
+        assert_eq!(list(&argv("64 64")), 0);
+        assert_eq!(list(&argv("")), 0);
+    }
+
+    #[test]
+    fn run_small_configuration() {
+        assert_eq!(run(&argv("--algo 3d-all --n 16 --p 8")), 0);
+        assert_eq!(run(&argv("--algo cannon --n 16 --p 16 --port multi")), 0);
+    }
+
+    #[test]
+    fn run_rejects_bad_input() {
+        assert_ne!(run(&argv("--algo nope --n 16 --p 8")), 0);
+        assert_ne!(run(&argv("--algo 3d-all --n 15 --p 8")), 0);
+        assert_ne!(run(&argv("--n 16")), 0);
+    }
+
+    #[test]
+    fn sweep_and_regions_run_clean() {
+        assert_eq!(sweep(&argv("--n 16 --p 4,8,16")), 0);
+        assert_eq!(regions(&argv("--port multi --ts 5 --tw 3")), 0);
+    }
+}

@@ -1,0 +1,32 @@
+//! `cubemm` — command-line front end for the simulated-hypercube matrix
+//! multiplication workspace.
+//!
+//! ```text
+//! cubemm list  [n] [p]                     applicability of every algorithm
+//! cubemm run   --algo A --n N --p P [...]  one verified simulated run
+//! cubemm sweep --n N [--p P1,P2,...]       all algorithms across machines
+//! cubemm regions [--port one|multi] [--ts X] [--tw Y]
+//!                                          Figure 13/14-style region map
+//! ```
+
+mod args;
+mod commands;
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let code = match argv.first().map(String::as_str) {
+        Some("list") => commands::list(&argv[1..]),
+        Some("run") => commands::run(&argv[1..]),
+        Some("sweep") => commands::sweep(&argv[1..]),
+        Some("regions") => commands::regions(&argv[1..]),
+        Some("help") | Some("--help") | Some("-h") | None => {
+            print!("{}", commands::USAGE);
+            0
+        }
+        Some(other) => {
+            eprintln!("unknown command {other:?}\n\n{}", commands::USAGE);
+            2
+        }
+    };
+    std::process::exit(code);
+}

@@ -1,0 +1,309 @@
+//! All-to-all broadcast (all-gather) and its communication inverse,
+//! all-to-all reduction (reduce-scatter).
+
+use cubemm_simnet::{Payload, PortModel, Proc};
+use cubemm_topology::Subcube;
+
+use crate::plan::{execute, CollectiveRun, PacketStore, Plan, RecvMode, Xfer};
+use crate::{chunk, chunk_bounds, round_tag, unchunk};
+
+fn ncopies_for(port: PortModel, d: usize) -> usize {
+    match port {
+        PortModel::OnePort => 1,
+        PortModel::MultiPort => d.max(1),
+    }
+}
+
+fn slice_lens(part_len: usize, ncopies: usize, n: usize) -> Vec<usize> {
+    let mut lens = Vec::with_capacity(ncopies * n);
+    for c in 0..ncopies {
+        let (lo, hi) = chunk_bounds(part_len, ncopies, c);
+        lens.extend(std::iter::repeat_n(hi - lo, n));
+    }
+    lens
+}
+
+/// A planned all-gather, ready to execute (possibly fused with others).
+#[derive(Debug)]
+pub struct AllgatherRun {
+    inner: CollectiveRun,
+    ncopies: usize,
+    n: usize,
+    part_len: usize,
+}
+
+impl AllgatherRun {
+    /// The underlying run, for [`crate::plan::execute_fused`].
+    pub fn run_mut(&mut self) -> &mut CollectiveRun {
+        &mut self.inner
+    }
+
+    /// Extracts all contributions, indexed by rank, after execution.
+    pub fn finish(mut self) -> Vec<Payload> {
+        (0..self.n)
+            .map(|r| {
+                let parts: Vec<Payload> = (0..self.ncopies)
+                    .map(|c| {
+                        self.inner
+                            .store
+                            .take(c * self.n + r)
+                            .expect("all-gather slice delivered")
+                    })
+                    .collect();
+                unchunk(self.part_len, &parts)
+            })
+            .collect()
+    }
+}
+
+/// Compiles the recursive-doubling all-gather for this node. Packet
+/// `(c, r)` is slice `c` of the contribution of rank `r`.
+pub fn allgather_plan(
+    port: PortModel,
+    sc: &Subcube,
+    me: usize,
+    base: u64,
+    mine: Payload,
+) -> AllgatherRun {
+    let d = sc.dim() as usize;
+    let n = sc.size();
+    let v = sc.rank_of(me);
+    let part_len = mine.len();
+
+    let ncopies = ncopies_for(port, d);
+    let mut store = PacketStore::new(slice_lens(part_len, ncopies, n));
+    for c in 0..ncopies {
+        store.put(c * n + v, chunk(&mine, ncopies, c));
+    }
+
+    let mut plan = Plan::with_rounds(d);
+    for s in 0..d {
+        for c in 0..ncopies {
+            let o_s = (c + s) % d;
+            let processed: usize = (0..s).map(|i| 1usize << ((c + i) % d)).sum();
+            let peer_rank = v ^ (1 << o_s);
+            let tag = round_tag(base, s as u32, c as u32);
+            let held: Vec<usize> = (0..n).filter(|r| r & !processed == v & !processed).collect();
+            let incoming: Vec<usize> = (0..n)
+                .filter(|r| r & !processed == peer_rank & !processed)
+                .collect();
+            plan.push(
+                s,
+                Xfer {
+                    peer: sc.member(peer_rank),
+                    tag,
+                    send: held.iter().map(|&r| c * n + r).collect(),
+                    consume_sends: false,
+                    recv: incoming.iter().map(|&r| c * n + r).collect(),
+                    recv_mode: RecvMode::Fill,
+                },
+            );
+        }
+    }
+
+    AllgatherRun {
+        inner: CollectiveRun::new(plan, store),
+        ncopies,
+        n,
+        part_len,
+    }
+}
+
+/// All-to-all broadcast: every member contributes `mine` (all equal
+/// length) and receives every member's contribution, indexed by rank.
+///
+/// Cost (measured, equals Table 1): one-port `t_s·log N + t_w·(N−1)·M`;
+/// multi-port `t_s·log N + t_w·(N−1)·M/log N`.
+pub fn allgather(proc: &mut Proc, sc: &Subcube, base: u64, mine: Payload) -> Vec<Payload> {
+    let mut run = allgather_plan(proc.port_model(), sc, proc.id(), base, mine);
+    execute(proc, run.run_mut());
+    run.finish()
+}
+
+/// A planned reduce-scatter, ready to execute (possibly fused).
+#[derive(Debug)]
+pub struct ReduceScatterRun {
+    inner: CollectiveRun,
+    ncopies: usize,
+    n: usize,
+    v: usize,
+    part_len: usize,
+}
+
+impl ReduceScatterRun {
+    /// The underlying run, for [`crate::plan::execute_fused`].
+    pub fn run_mut(&mut self) -> &mut CollectiveRun {
+        &mut self.inner
+    }
+
+    /// Extracts this node's summed part after execution.
+    pub fn finish(mut self) -> Payload {
+        let parts: Vec<Payload> = (0..self.ncopies)
+            .map(|c| {
+                self.inner
+                    .store
+                    .take(c * self.n + self.v)
+                    .expect("reduced part delivered")
+            })
+            .collect();
+        unchunk(self.part_len, &parts)
+    }
+}
+
+/// Compiles the recursive-halving reduce-scatter for this node. Packet
+/// `(c, r)` is slice `c` of the (partially summed) part destined for
+/// rank `r`.
+pub fn reduce_scatter_plan(
+    port: PortModel,
+    sc: &Subcube,
+    me: usize,
+    base: u64,
+    parts: Vec<Payload>,
+) -> ReduceScatterRun {
+    let d = sc.dim() as usize;
+    let n = sc.size();
+    let v = sc.rank_of(me);
+    assert_eq!(parts.len(), n, "reduce_scatter needs one part per member");
+    let part_len = parts[0].len();
+    for p in &parts {
+        assert_eq!(p.len(), part_len, "reduce_scatter parts must have equal length");
+    }
+
+    let ncopies = ncopies_for(port, d);
+    let mut store = PacketStore::new(slice_lens(part_len, ncopies, n));
+    for (r, part) in parts.iter().enumerate() {
+        for c in 0..ncopies {
+            store.put(c * n + r, chunk(part, ncopies, c));
+        }
+    }
+
+    let mut plan = Plan::with_rounds(d);
+    for step in 0..d {
+        for c in 0..ncopies {
+            // Halving in rotated reverse order: copy c uses dimension
+            // (c + d - 1 - step) mod d at round `step`.
+            let o = (c + d - 1 - step) % d;
+            let processed: usize = (0..step).map(|i| 1usize << ((c + d - 1 - i) % d)).sum();
+            let peer_rank = v ^ (1 << o);
+            let tag = round_tag(base, step as u32, c as u32);
+            let alive = |r: usize| r & processed == v & processed;
+            let send_set: Vec<usize> = (0..n)
+                .filter(|&r| alive(r) && (r >> o) & 1 == (peer_rank >> o) & 1)
+                .collect();
+            let keep_set: Vec<usize> = (0..n)
+                .filter(|&r| alive(r) && (r >> o) & 1 == (v >> o) & 1)
+                .collect();
+            plan.push(
+                step,
+                Xfer {
+                    peer: sc.member(peer_rank),
+                    tag,
+                    send: send_set.iter().map(|&r| c * n + r).collect(),
+                    consume_sends: true,
+                    recv: keep_set.iter().map(|&r| c * n + r).collect(),
+                    recv_mode: RecvMode::Accumulate,
+                },
+            );
+        }
+    }
+
+    ReduceScatterRun {
+        inner: CollectiveRun::new(plan, store),
+        ncopies,
+        n,
+        v,
+        part_len,
+    }
+}
+
+/// All-to-all reduction (reduce-scatter): every member contributes one
+/// part per destination rank (all equal length); member `r` receives the
+/// element-wise sum of everyone's part `r`.
+///
+/// This is the inverse of [`allgather`] with respect to communication
+/// (paper §2); its measured cost equals the all-gather entry of Table 1.
+pub fn reduce_scatter(proc: &mut Proc, sc: &Subcube, base: u64, parts: Vec<Payload>) -> Payload {
+    let mut run = reduce_scatter_plan(proc.port_model(), sc, proc.id(), base, parts);
+    execute(proc, run.run_mut());
+    run.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cubemm_simnet::{run_machine, CostParams, PortModel};
+    use cubemm_topology::Subcube;
+
+    const COST: CostParams = CostParams { ts: 10.0, tw: 2.0 };
+
+    fn contribution(rank: usize, m: usize) -> Payload {
+        (0..m).map(|x| (rank * 1000 + x) as f64).collect()
+    }
+
+    fn check_allgather(p: usize, port: PortModel, m: usize) -> f64 {
+        let out = run_machine(p, port, COST, vec![(); p], move |proc, ()| {
+            let sc = Subcube::whole(proc.dim());
+            let v = sc.rank_of(proc.id());
+            let all = allgather(proc, &sc, 0, contribution(v, m));
+            for (r, part) in all.iter().enumerate() {
+                assert_eq!(&part[..], &contribution(r, m)[..], "node {} part {r}", proc.id());
+            }
+            proc.clock()
+        });
+        out.stats.elapsed
+    }
+
+    #[test]
+    fn allgather_one_port_matches_table1() {
+        // ts log N + tw (N-1) M with N=8, M=12: 30 + 2*7*12 = 198.
+        assert_eq!(check_allgather(8, PortModel::OnePort, 12), 198.0);
+    }
+
+    #[test]
+    fn allgather_multi_port_matches_table1() {
+        // 30 + 2*7*12/3 = 86.
+        assert_eq!(check_allgather(8, PortModel::MultiPort, 12), 86.0);
+    }
+
+    #[test]
+    fn allgather_small_messages() {
+        let _ = check_allgather(16, PortModel::MultiPort, 2);
+        let _ = check_allgather(2, PortModel::OnePort, 1);
+    }
+
+    fn check_reduce_scatter(p: usize, port: PortModel, m: usize) -> f64 {
+        let out = run_machine(p, port, COST, vec![(); p], move |proc, ()| {
+            let sc = Subcube::whole(proc.dim());
+            let v = sc.rank_of(proc.id());
+            let parts: Vec<Payload> = (0..sc.size())
+                .map(|r| (0..m).map(|x| (v + r * 10 + x) as f64).collect())
+                .collect();
+            let got = reduce_scatter(proc, &sc, 0, parts);
+            let n = sc.size();
+            let sumv: f64 = (0..n).map(|u| u as f64).sum();
+            for (x, val) in got.iter().enumerate() {
+                let expect = sumv + (n * (v * 10 + x)) as f64;
+                assert_eq!(*val, expect, "node {} x {x}", proc.id());
+            }
+            proc.clock()
+        });
+        out.stats.elapsed
+    }
+
+    #[test]
+    fn reduce_scatter_one_port_matches_table1_inverse() {
+        assert_eq!(check_reduce_scatter(8, PortModel::OnePort, 12), 198.0);
+    }
+
+    #[test]
+    fn reduce_scatter_multi_port_matches_table1_inverse() {
+        assert_eq!(check_reduce_scatter(8, PortModel::MultiPort, 12), 86.0);
+    }
+
+    #[test]
+    fn reduce_scatter_varied_shapes() {
+        let _ = check_reduce_scatter(4, PortModel::OnePort, 5);
+        let _ = check_reduce_scatter(4, PortModel::MultiPort, 5);
+        let _ = check_reduce_scatter(2, PortModel::MultiPort, 3);
+    }
+}

@@ -1,0 +1,218 @@
+//! All-to-all personalized communication (AAPC).
+//!
+//! Every member holds one distinct part per destination; after the
+//! collective, every member holds one part per *origin*. Implemented as
+//! the classic `log N`-round dimension-exchange algorithm: at round `i`
+//! each node forwards, across dimension `o_i`, every packet whose
+//! destination differs from the node in bit `o_i`. Packets are identified
+//! purely positionally — at round `i` a packet `(dest, origin)` resides
+//! at the node whose processed-dimension bits come from `dest` and
+//! remaining bits from `origin` — so bundles need no headers and the
+//! measured word counts are exactly the paper's.
+
+use cubemm_simnet::{Payload, PortModel, Proc};
+use cubemm_topology::Subcube;
+
+use crate::plan::{execute, CollectiveRun, PacketStore, Plan, RecvMode, Xfer};
+use crate::{chunk, chunk_bounds, round_tag, unchunk};
+
+/// A planned all-to-all personalized exchange.
+#[derive(Debug)]
+pub struct AlltoallRun {
+    inner: CollectiveRun,
+    ncopies: usize,
+    n: usize,
+    v: usize,
+    part_len: usize,
+}
+
+impl AlltoallRun {
+    /// The underlying run, for [`crate::plan::execute_fused`].
+    pub fn run_mut(&mut self) -> &mut CollectiveRun {
+        &mut self.inner
+    }
+
+    /// Extracts the received messages, indexed by origin rank.
+    pub fn finish(mut self) -> Vec<Payload> {
+        let n = self.n;
+        (0..n)
+            .map(|origin| {
+                let parts: Vec<Payload> = (0..self.ncopies)
+                    .map(|c| {
+                        self.inner
+                            .store
+                            .take(c * n * n + self.v * n + origin)
+                            .expect("packet for me delivered")
+                    })
+                    .collect();
+                unchunk(self.part_len, &parts)
+            })
+            .collect()
+    }
+}
+
+/// Compiles the dimension-exchange AAPC for this node. Packet
+/// `(c, dest, origin)` is slice `c` of the message from `origin` to
+/// `dest`; copy `c` routes with dimension order `o_i = (c + i) mod d`.
+pub fn alltoall_plan(
+    port: PortModel,
+    sc: &Subcube,
+    me: usize,
+    base: u64,
+    parts: Vec<Payload>,
+) -> AlltoallRun {
+    let d = sc.dim() as usize;
+    let n = sc.size();
+    let v = sc.rank_of(me);
+    assert_eq!(parts.len(), n, "alltoall needs one part per member");
+    let part_len = parts[0].len();
+    for p in &parts {
+        assert_eq!(p.len(), part_len, "alltoall parts must have equal length");
+    }
+
+    let ncopies = match port {
+        PortModel::OnePort => 1,
+        PortModel::MultiPort => d.max(1),
+    };
+    let mut lens = Vec::with_capacity(ncopies * n * n);
+    for c in 0..ncopies {
+        let (lo, hi) = chunk_bounds(part_len, ncopies, c);
+        lens.extend(std::iter::repeat_n(hi - lo, n * n));
+    }
+    let mut store = PacketStore::new(lens);
+    for (dest, part) in parts.iter().enumerate() {
+        for c in 0..ncopies {
+            store.put(c * n * n + dest * n + v, chunk(part, ncopies, c));
+        }
+    }
+
+    let mut plan = Plan::with_rounds(d);
+    for i in 0..d {
+        for c in 0..ncopies {
+            let o_i = (c + i) % d;
+            let processed: usize = (0..i).map(|t| 1usize << ((c + t) % d)).sum();
+            let peer_rank = v ^ (1 << o_i);
+            let tag = round_tag(base, i as u32, c as u32);
+            // A packet (dest, origin) resides at the node whose processed
+            // bits come from dest and whose other bits come from origin.
+            let at = |node: usize, dest: usize, origin: usize| {
+                dest & processed == node & processed && origin & !processed == node & !processed
+            };
+            let mut send_ids = Vec::new();
+            let mut recv_ids = Vec::new();
+            for dest in 0..n {
+                for origin in 0..n {
+                    if at(v, dest, origin) && (dest >> o_i) & 1 != (v >> o_i) & 1 {
+                        send_ids.push(c * n * n + dest * n + origin);
+                    }
+                    if at(peer_rank, dest, origin) && (dest >> o_i) & 1 == (v >> o_i) & 1 {
+                        recv_ids.push(c * n * n + dest * n + origin);
+                    }
+                }
+            }
+            plan.push(
+                i,
+                Xfer {
+                    peer: sc.member(peer_rank),
+                    tag,
+                    send: send_ids,
+                    consume_sends: true,
+                    recv: recv_ids,
+                    recv_mode: RecvMode::Fill,
+                },
+            );
+        }
+    }
+
+    AlltoallRun {
+        inner: CollectiveRun::new(plan, store),
+        ncopies,
+        n,
+        v,
+        part_len,
+    }
+}
+
+/// All-to-all personalized broadcast. `parts[r]` is this node's message
+/// for the member with rank `r` (all equal length). Returns the received
+/// messages indexed by origin rank.
+///
+/// Cost (measured, equals Table 1): one-port
+/// `t_s·log N + t_w·N·M·log N / 2`; multi-port `t_s·log N + t_w·N·M/2`.
+pub fn alltoall_personalized(
+    proc: &mut Proc,
+    sc: &Subcube,
+    base: u64,
+    parts: Vec<Payload>,
+) -> Vec<Payload> {
+    let mut run = alltoall_plan(proc.port_model(), sc, proc.id(), base, parts);
+    execute(proc, run.run_mut());
+    run.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cubemm_simnet::{run_machine, CostParams, PortModel};
+    use cubemm_topology::Subcube;
+
+    const COST: CostParams = CostParams { ts: 10.0, tw: 2.0 };
+
+    fn msg(from: usize, to: usize, m: usize) -> Payload {
+        (0..m).map(|x| (from * 10_000 + to * 100 + x) as f64).collect()
+    }
+
+    fn check(p: usize, port: PortModel, m: usize) -> f64 {
+        let out = run_machine(p, port, COST, vec![(); p], move |proc, ()| {
+            let sc = Subcube::whole(proc.dim());
+            let v = sc.rank_of(proc.id());
+            let parts: Vec<Payload> = (0..sc.size()).map(|r| msg(v, r, m)).collect();
+            let got = alltoall_personalized(proc, &sc, 0, parts);
+            for (origin, payload) in got.iter().enumerate() {
+                assert_eq!(
+                    &payload[..],
+                    &msg(origin, v, m)[..],
+                    "node {} origin {origin}",
+                    proc.id()
+                );
+            }
+            proc.clock()
+        });
+        out.stats.elapsed
+    }
+
+    #[test]
+    fn one_port_matches_table1() {
+        // ts log N + tw N M log N / 2 = 30 + 2*8*12*3/2 = 318.
+        assert_eq!(check(8, PortModel::OnePort, 12), 318.0);
+    }
+
+    #[test]
+    fn multi_port_matches_table1() {
+        // ts log N + tw N M / 2 = 30 + 2*8*12/2 = 126.
+        assert_eq!(check(8, PortModel::MultiPort, 12), 126.0);
+    }
+
+    #[test]
+    fn assorted_shapes() {
+        let _ = check(2, PortModel::OnePort, 3);
+        let _ = check(4, PortModel::MultiPort, 5);
+        let _ = check(16, PortModel::OnePort, 1);
+    }
+
+    #[test]
+    fn works_on_proper_subcube_lines() {
+        // Four disjoint 4-node "columns" (high dims) of a 16-cube.
+        let out = run_machine(16, PortModel::OnePort, COST, vec![(); 16], |proc, ()| {
+            let sc = Subcube::new(proc.id(), vec![2, 3]);
+            let v = sc.rank_of(proc.id());
+            let parts: Vec<Payload> = (0..4).map(|r| msg(v, r, 4)).collect();
+            let got = alltoall_personalized(proc, &sc, 0, parts);
+            for (origin, payload) in got.iter().enumerate() {
+                assert_eq!(&payload[..], &msg(origin, v, 4)[..]);
+            }
+        });
+        // ts*2 + tw*4*4*2/2 = 20 + 32 = 52.
+        assert_eq!(out.stats.elapsed, 52.0);
+    }
+}

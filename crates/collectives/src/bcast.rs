@@ -1,0 +1,253 @@
+//! One-to-all broadcast.
+
+use cubemm_simnet::{Payload, PortModel, Proc};
+use cubemm_topology::Subcube;
+
+use crate::plan::{execute, CollectiveRun, PacketStore, Plan, RecvMode, Xfer};
+use crate::{chunk, chunk_bounds, round_tag, unchunk};
+
+/// A planned broadcast, ready to execute (possibly fused with others).
+#[derive(Debug)]
+pub struct BcastRun {
+    inner: CollectiveRun,
+    ncopies: usize,
+    len: usize,
+}
+
+impl BcastRun {
+    /// The underlying run, for [`crate::plan::execute_fused`].
+    pub fn run_mut(&mut self) -> &mut CollectiveRun {
+        &mut self.inner
+    }
+
+    /// Extracts the broadcast payload after execution.
+    pub fn finish(mut self) -> Payload {
+        let parts: Vec<Payload> = (0..self.ncopies)
+            .map(|c| {
+                self.inner
+                    .store
+                    .take(c)
+                    .expect("broadcast slice delivered")
+            })
+            .collect();
+        unchunk(self.len, &parts)
+    }
+}
+
+/// Compiles the spanning-binomial-tree broadcast for this node.
+///
+/// One-port nodes use a single SBT (`log N` serial rounds of the full
+/// message); multi-port nodes split the message into `log N` slices sent
+/// down `log N` rotated, link-disjoint SBTs (`t_w` term `M` instead of
+/// `M·log N`, the Table 1 bound).
+pub fn bcast_plan(
+    port: PortModel,
+    sc: &Subcube,
+    me: usize,
+    root: usize,
+    base: u64,
+    data: Option<Payload>,
+    len: usize,
+) -> BcastRun {
+    let d = sc.dim() as usize;
+    let my_rank = sc.rank_of(me);
+    let v = my_rank ^ root;
+    if my_rank == root {
+        let data = data.as_ref().expect("broadcast root must supply data");
+        assert_eq!(data.len(), len, "root data length disagrees with len");
+    } else {
+        assert!(data.is_none(), "non-root nodes must not supply data");
+    }
+
+    let ncopies = match port {
+        PortModel::OnePort => 1,
+        PortModel::MultiPort => d.max(1),
+    };
+    let lens: Vec<usize> = (0..ncopies)
+        .map(|c| {
+            let (lo, hi) = chunk_bounds(len, ncopies, c);
+            hi - lo
+        })
+        .collect();
+    let mut store = PacketStore::new(lens);
+    if let Some(full) = &data {
+        for c in 0..ncopies {
+            store.put(c, chunk(full, ncopies, c));
+        }
+    }
+
+    let mut plan = Plan::with_rounds(d);
+    for r in 0..d {
+        for c in 0..ncopies {
+            // Copy c peels dimensions in rotated order o_i = (c+i) mod d.
+            let o_r = (c + r) % d;
+            let processed: usize = (0..r).map(|i| 1usize << ((c + i) % d)).sum();
+            let tag = round_tag(base, r as u32, c as u32);
+            if v & !processed == 0 {
+                // Holder: forward slice c along o_r.
+                plan.push(
+                    r,
+                    Xfer {
+                        peer: sc.member((v | (1 << o_r)) ^ root),
+                        tag,
+                        send: vec![c],
+                        consume_sends: false,
+                        recv: vec![],
+                        recv_mode: RecvMode::Fill,
+                    },
+                );
+            } else if v & !(processed | (1 << o_r)) == 0 && (v >> o_r) & 1 == 1 {
+                plan.push(
+                    r,
+                    Xfer {
+                        peer: sc.member((v ^ (1 << o_r)) ^ root),
+                        tag,
+                        send: vec![],
+                        consume_sends: false,
+                        recv: vec![c],
+                        recv_mode: RecvMode::Fill,
+                    },
+                );
+            }
+        }
+    }
+
+    BcastRun {
+        inner: CollectiveRun::new(plan, store),
+        ncopies,
+        len,
+    }
+}
+
+/// One-to-all broadcast of `data` from the member of `sc` with rank
+/// `root` to every member. The root passes `Some(data)`; everyone else
+/// passes `None` and the (a-priori known) message length in `len`.
+///
+/// Cost (measured, equals Table 1): one-port `log N·(t_s + t_w·M)`;
+/// multi-port `t_s·log N + t_w·M`.
+pub fn bcast(
+    proc: &mut Proc,
+    sc: &Subcube,
+    root: usize,
+    base: u64,
+    data: Option<Payload>,
+    len: usize,
+) -> Payload {
+    let mut run = bcast_plan(proc.port_model(), sc, proc.id(), root, base, data, len);
+    execute(proc, run.run_mut());
+    run.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::execute_fused;
+    use cubemm_simnet::{run_machine, CostParams, PortModel};
+    use cubemm_topology::Subcube;
+
+    const COST: CostParams = CostParams { ts: 10.0, tw: 2.0 };
+
+    fn payload(n: usize) -> Payload {
+        (0..n).map(|x| x as f64 + 0.5).collect()
+    }
+
+    fn check_bcast(p: usize, port: PortModel, root: usize, m: usize) -> f64 {
+        let out = run_machine(p, port, COST, vec![(); p], move |proc, ()| {
+            let sc = Subcube::whole(proc.dim());
+            let data = (sc.rank_of(proc.id()) == root).then(|| payload(m));
+            let got = bcast(proc, &sc, root, 0, data, m);
+            assert_eq!(&got[..], &payload(m)[..], "node {}", proc.id());
+            proc.clock()
+        });
+        out.stats.elapsed
+    }
+
+    #[test]
+    fn one_port_matches_table1() {
+        // log N (ts + tw M) with N=8, M=12: 3 * (10 + 24) = 102.
+        assert_eq!(check_bcast(8, PortModel::OnePort, 0, 12), 102.0);
+    }
+
+    #[test]
+    fn one_port_nonzero_root() {
+        assert_eq!(check_bcast(8, PortModel::OnePort, 5, 12), 102.0);
+    }
+
+    #[test]
+    fn multi_port_matches_table1() {
+        // ts log N + tw M with N=8, M=12: 30 + 24 = 54.
+        assert_eq!(check_bcast(8, PortModel::MultiPort, 0, 12), 54.0);
+    }
+
+    #[test]
+    fn multi_port_various_roots_and_sizes() {
+        for root in 0..4 {
+            for m in [4, 7, 16] {
+                let _ = check_bcast(4, PortModel::MultiPort, root, m);
+            }
+        }
+        // Message smaller than log N still works.
+        let _ = check_bcast(16, PortModel::MultiPort, 3, 2);
+    }
+
+    #[test]
+    fn broadcast_on_proper_subcube() {
+        let out = run_machine(16, PortModel::OnePort, COST, vec![(); 16], |proc, ()| {
+            let sc = Subcube::new(proc.id(), vec![0, 1]);
+            let data = (sc.rank_of(proc.id()) == 1).then(|| payload(6));
+            let got = bcast(proc, &sc, 1, 0, data, 6);
+            assert_eq!(got.len(), 6);
+            proc.clock()
+        });
+        // Each row independently: 2 * (10 + 12) = 44.
+        assert_eq!(out.stats.elapsed, 44.0);
+    }
+
+    #[test]
+    fn singleton_subcube_is_a_noop() {
+        let out = run_machine(2, PortModel::OnePort, COST, vec![(); 2], |proc, ()| {
+            let sc = Subcube::new(proc.id(), vec![]);
+            let got = bcast(proc, &sc, 0, 0, Some(payload(3)), 3);
+            assert_eq!(got.len(), 3);
+            proc.clock()
+        });
+        assert_eq!(out.stats.elapsed, 0.0);
+    }
+
+    #[test]
+    fn two_fused_broadcasts_overlap_on_multi_port() {
+        // A 4-cube seen as a 4x4 grid: broadcast along the row and the
+        // column dimensions simultaneously — the paper's "the two
+        // broadcasts can occur in parallel".
+        let m = 12;
+        let run = |port: PortModel| {
+            let out = run_machine(16, port, COST, vec![(); 16], move |proc, ()| {
+                let row = Subcube::new(proc.id(), vec![0, 1]);
+                let col = Subcube::new(proc.id(), vec![2, 3]);
+                let row_data = (row.rank_of(proc.id()) == 0).then(|| payload(m));
+                let col_data = (col.rank_of(proc.id()) == 0).then(|| payload(m));
+                let mut b1 =
+                    bcast_plan(proc.port_model(), &row, proc.id(), 0, 0, row_data, m);
+                let mut b2 = bcast_plan(
+                    proc.port_model(),
+                    &col,
+                    proc.id(),
+                    0,
+                    crate::TAG_SPACE,
+                    col_data,
+                    m,
+                );
+                execute_fused(proc, &mut [b1.run_mut(), b2.run_mut()]);
+                assert_eq!(&b1.finish()[..], &payload(m)[..]);
+                assert_eq!(&b2.finish()[..], &payload(m)[..]);
+                proc.clock()
+            });
+            out.stats.elapsed
+        };
+        // One-port: the two broadcasts serialize: 2 * 2 * (10 + 24) = 136.
+        assert_eq!(run(PortModel::OnePort), 136.0);
+        // Multi-port: they overlap fully (disjoint links):
+        // ts log N + tw M = 20 + 24 = 44.
+        assert_eq!(run(PortModel::MultiPort), 44.0);
+    }
+}

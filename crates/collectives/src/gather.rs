@@ -1,0 +1,211 @@
+//! All-to-one personalized communication (gather): the communication
+//! inverse of the scatter. Used by the 3-D All_Trans algorithm's first
+//! phase, where each row of B is collected at one node of its x line.
+
+use cubemm_simnet::{Payload, PortModel, Proc};
+use cubemm_topology::Subcube;
+
+use crate::plan::{execute, CollectiveRun, PacketStore, Plan, RecvMode, Xfer};
+use crate::scatter::subtree;
+use crate::{chunk, chunk_bounds, round_tag, unchunk};
+
+/// A planned gather, ready to execute (possibly fused with others).
+#[derive(Debug)]
+pub struct GatherRun {
+    inner: CollectiveRun,
+    ncopies: usize,
+    n: usize,
+    is_root: bool,
+    root: usize,
+    part_len: usize,
+}
+
+impl GatherRun {
+    /// The underlying run, for [`crate::plan::execute_fused`].
+    pub fn run_mut(&mut self) -> &mut CollectiveRun {
+        &mut self.inner
+    }
+
+    /// Extracts the gathered parts (indexed by *actual* rank) at the
+    /// root; `None` elsewhere.
+    pub fn finish(mut self) -> Option<Vec<Payload>> {
+        if !self.is_root {
+            return None;
+        }
+        let n = self.n;
+        Some(
+            (0..n)
+                .map(|rank| {
+                    let u = rank ^ self.root; // relative rank
+                    let parts: Vec<Payload> = (0..self.ncopies)
+                        .map(|c| {
+                            self.inner
+                                .store
+                                .take(c * n + u)
+                                .expect("gathered part delivered")
+                        })
+                        .collect();
+                    unchunk(self.part_len, &parts)
+                })
+                .collect(),
+        )
+    }
+}
+
+/// Compiles the inverse-SBT gather for this node. Packet `(c, u)` is
+/// slice `c` of the contribution of *relative* rank `u`.
+pub fn gather_plan(
+    port: PortModel,
+    sc: &Subcube,
+    me: usize,
+    root: usize,
+    base: u64,
+    mine: Payload,
+) -> GatherRun {
+    let d = sc.dim() as usize;
+    let n = sc.size();
+    let my_rank = sc.rank_of(me);
+    let v = my_rank ^ root;
+    let part_len = mine.len();
+
+    let ncopies = match port {
+        PortModel::OnePort => 1,
+        PortModel::MultiPort => d.max(1),
+    };
+    let mut lens = Vec::with_capacity(ncopies * n);
+    for c in 0..ncopies {
+        let (lo, hi) = chunk_bounds(part_len, ncopies, c);
+        lens.extend(std::iter::repeat_n(hi - lo, n));
+    }
+    let mut store = PacketStore::new(lens);
+    for c in 0..ncopies {
+        store.put(c * n + v, chunk(&mine, ncopies, c));
+    }
+
+    let mut plan = Plan::with_rounds(d);
+    for step in 0..d {
+        for c in 0..ncopies {
+            // Merge along the reverse of the scatter tree of copy c
+            // (dimension order o_i = (c + i) mod d, traversed backwards).
+            let u_dim = (c + d - 1 - step) % d;
+            let remaining: usize = ((step + 1)..d).map(|i| 1usize << ((c + d - 1 - i) % d)).sum();
+            let tag = round_tag(base, step as u32, c as u32);
+            if v & !(remaining | (1 << u_dim)) == 0 && (v >> u_dim) & 1 == 1 {
+                // Leaf of the remaining tree: ship my whole gathered
+                // subtree to the parent.
+                let members = subtree(v, remaining | (1 << u_dim), d);
+                plan.push(
+                    step,
+                    Xfer {
+                        peer: sc.member((v ^ (1 << u_dim)) ^ root),
+                        tag,
+                        send: members.iter().map(|&u| c * n + u).collect(),
+                        consume_sends: true,
+                        recv: vec![],
+                        recv_mode: RecvMode::Fill,
+                    },
+                );
+            } else if v & !remaining == 0 {
+                let child = v | (1 << u_dim);
+                let members = subtree(child, remaining | (1 << u_dim), d);
+                plan.push(
+                    step,
+                    Xfer {
+                        peer: sc.member(child ^ root),
+                        tag,
+                        send: vec![],
+                        consume_sends: false,
+                        recv: members.iter().map(|&u| c * n + u).collect(),
+                        recv_mode: RecvMode::Fill,
+                    },
+                );
+            }
+        }
+    }
+
+    GatherRun {
+        inner: CollectiveRun::new(plan, store),
+        ncopies,
+        n,
+        is_root: v == 0,
+        root,
+        part_len,
+    }
+}
+
+/// Gather: every member contributes `mine` (equal lengths); the member
+/// with rank `root` receives all contributions indexed by rank, others
+/// get `None`.
+///
+/// Cost (measured): the inverse of the scatter row of Table 1 — one-port
+/// `t_s·log N + t_w·(N−1)·M`; multi-port `t_s·log N + t_w·(N−1)·M/log N`.
+pub fn gather(
+    proc: &mut Proc,
+    sc: &Subcube,
+    root: usize,
+    base: u64,
+    mine: Payload,
+) -> Option<Vec<Payload>> {
+    let mut run = gather_plan(proc.port_model(), sc, proc.id(), root, base, mine);
+    execute(proc, run.run_mut());
+    run.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cubemm_simnet::{run_machine, CostParams, PortModel};
+    use cubemm_topology::Subcube;
+
+    const COST: CostParams = CostParams { ts: 10.0, tw: 2.0 };
+
+    fn contribution(rank: usize, m: usize) -> Payload {
+        (0..m).map(|x| (rank * 1000 + x) as f64).collect()
+    }
+
+    fn check(p: usize, port: PortModel, root: usize, m: usize) -> f64 {
+        let out = run_machine(p, port, COST, vec![(); p], move |proc, ()| {
+            let sc = Subcube::whole(proc.dim());
+            let v = sc.rank_of(proc.id());
+            let got = gather(proc, &sc, root, 0, contribution(v, m));
+            if v == root {
+                let got = got.expect("root gathers");
+                for (r, part) in got.iter().enumerate() {
+                    assert_eq!(&part[..], &contribution(r, m)[..], "rank {r}");
+                }
+            } else {
+                assert!(got.is_none());
+            }
+            proc.clock()
+        });
+        out.stats.elapsed
+    }
+
+    #[test]
+    fn one_port_is_inverse_scatter_cost() {
+        // ts log N + tw (N-1) M with N=8, M=12: 30 + 2*7*12 = 198.
+        assert_eq!(check(8, PortModel::OnePort, 0, 12), 198.0);
+    }
+
+    #[test]
+    fn multi_port_is_inverse_scatter_cost() {
+        // 30 + 2*7*12/3 = 86.
+        assert_eq!(check(8, PortModel::MultiPort, 0, 12), 86.0);
+    }
+
+    #[test]
+    fn nonzero_roots() {
+        assert_eq!(check(8, PortModel::OnePort, 5, 12), 198.0);
+        assert_eq!(check(8, PortModel::MultiPort, 3, 12), 86.0);
+    }
+
+    #[test]
+    fn singleton_gather() {
+        let out = run_machine(2, PortModel::OnePort, COST, vec![(); 2], |proc, ()| {
+            let sc = Subcube::new(proc.id(), vec![]);
+            let got = gather(proc, &sc, 0, 0, contribution(0, 4)).expect("root");
+            assert_eq!(got.len(), 1);
+        });
+        assert_eq!(out.stats.elapsed, 0.0);
+    }
+}

@@ -1,0 +1,230 @@
+//! The schedule engine behind every collective.
+//!
+//! Each collective is compiled (per participating node) into a static
+//! [`Plan`]: a list of rounds, each holding transfers whose payloads are
+//! packets in a [`PacketStore`]. Running a plan is then mechanical — and,
+//! crucially, *several plans can execute fused*: their rounds are merged
+//! into shared [`Proc::multi`] batches, which is how the paper overlaps
+//! independent collectives on multi-port nodes (e.g. the two one-to-all
+//! broadcasts in the second phase of DNS and 3-D Diagonal, or Cannon's
+//! simultaneous A and B shifts). On one-port nodes the same fused
+//! execution serializes automatically through the port semantics of
+//! [`Proc::multi`].
+
+use cubemm_simnet::{Op, Payload, Proc};
+
+/// Packet storage for one in-flight collective. Packet lengths are known
+/// at plan time (every caller knows its block shapes), so received
+/// bundles can be split without headers.
+#[derive(Debug)]
+pub struct PacketStore {
+    lens: Vec<usize>,
+    slots: Vec<Option<Payload>>,
+}
+
+impl PacketStore {
+    /// Creates a store for packets of the given lengths, all empty.
+    pub fn new(lens: Vec<usize>) -> Self {
+        let slots = vec![None; lens.len()];
+        PacketStore { lens, slots }
+    }
+
+    /// Number of packet slots.
+    pub fn len(&self) -> usize {
+        self.lens.len()
+    }
+
+    /// Whether the store has no slots.
+    pub fn is_empty(&self) -> bool {
+        self.lens.is_empty()
+    }
+
+    /// The expected length of packet `id`.
+    pub fn expected_len(&self, id: usize) -> usize {
+        self.lens[id]
+    }
+
+    /// Fills slot `id` with an initial payload.
+    ///
+    /// # Panics
+    /// Panics if the payload length disagrees with the declared length or
+    /// the slot is already filled.
+    pub fn put(&mut self, id: usize, payload: Payload) {
+        assert_eq!(payload.len(), self.lens[id], "packet {id} length mismatch");
+        assert!(self.slots[id].is_none(), "packet {id} already present");
+        self.slots[id] = Some(payload);
+    }
+
+    /// Removes and returns packet `id`.
+    pub fn take(&mut self, id: usize) -> Option<Payload> {
+        self.slots[id].take()
+    }
+
+    /// Returns a clone of packet `id` if present.
+    pub fn get(&self, id: usize) -> Option<Payload> {
+        self.slots[id].clone()
+    }
+}
+
+/// What a transfer's receive does with each incoming packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvMode {
+    /// Store the packet into its (empty) slot.
+    Fill,
+    /// Element-wise add the packet into the existing slot (reductions).
+    Accumulate,
+}
+
+/// One transfer (a send, a receive, or a paired exchange) within a round.
+#[derive(Debug, Clone)]
+pub struct Xfer {
+    /// Neighbor node label on the other end.
+    pub peer: usize,
+    /// Message tag.
+    pub tag: u64,
+    /// Packet ids concatenated (in order) into the outgoing bundle;
+    /// empty for a pure receive.
+    pub send: Vec<usize>,
+    /// Whether sent packets leave the store (`true` for scatter-like
+    /// ownership transfer) or remain (`false` for broadcast forwarding).
+    pub consume_sends: bool,
+    /// Packet ids the incoming bundle is split into (in order); empty
+    /// for a pure send.
+    pub recv: Vec<usize>,
+    /// How received packets are merged into the store.
+    pub recv_mode: RecvMode,
+}
+
+/// A compiled collective for one node: transfers grouped into rounds.
+/// Transfers within a round are logically concurrent (they use distinct
+/// links by construction of the rotated schedules).
+#[derive(Debug, Default)]
+pub struct Plan {
+    /// `rounds[r]` lists this node's transfers in round `r`.
+    pub rounds: Vec<Vec<Xfer>>,
+}
+
+impl Plan {
+    /// A plan with `rounds` empty rounds.
+    pub fn with_rounds(rounds: usize) -> Self {
+        Plan {
+            rounds: (0..rounds).map(|_| Vec::new()).collect(),
+        }
+    }
+
+    /// Adds a transfer to round `r`.
+    pub fn push(&mut self, r: usize, xfer: Xfer) {
+        self.rounds[r].push(xfer);
+    }
+}
+
+/// An in-flight collective: its plan plus packet state.
+#[derive(Debug)]
+pub struct CollectiveRun {
+    pub(crate) plan: Plan,
+    pub(crate) store: PacketStore,
+}
+
+impl CollectiveRun {
+    /// Pairs a compiled plan with its packet store.
+    pub fn new(plan: Plan, store: PacketStore) -> Self {
+        CollectiveRun { plan, store }
+    }
+
+    /// Consumes the run, returning the packet store for result
+    /// extraction.
+    pub fn into_store(self) -> PacketStore {
+        self.store
+    }
+
+    /// Read access to the store (for finishers that clone).
+    pub fn store(&self) -> &PacketStore {
+        &self.store
+    }
+}
+
+/// Executes one or more collectives *fused*: round `r` of every run is
+/// issued in a single [`Proc::multi`] batch. All participating nodes
+/// must fuse the same set of collectives in the same order.
+pub fn execute_fused(proc: &mut Proc, runs: &mut [&mut CollectiveRun]) {
+    let max_rounds = runs.iter().map(|r| r.plan.rounds.len()).max().unwrap_or(0);
+    for r in 0..max_rounds {
+        // Build the batch: all sends (across runs), then all receives.
+        let mut ops: Vec<Op> = Vec::new();
+        // (run index, xfer index) for each receive, in op order.
+        let mut recv_order: Vec<(usize, usize)> = Vec::new();
+
+        for (ri, run) in runs.iter_mut().enumerate() {
+            if r >= run.plan.rounds.len() {
+                continue;
+            }
+            for (xi, xfer) in run.plan.rounds[r].iter().enumerate() {
+                if !xfer.send.is_empty() {
+                    let mut bundle: Vec<f64> = Vec::new();
+                    for &id in &xfer.send {
+                        let pkt = if xfer.consume_sends {
+                            run.store.take(id)
+                        } else {
+                            run.store.get(id)
+                        };
+                        let pkt = pkt.unwrap_or_else(|| {
+                            panic!("round {r}: packet {id} not present for send")
+                        });
+                        bundle.extend_from_slice(&pkt);
+                    }
+                    ops.push(Op::Send {
+                        to: xfer.peer,
+                        tag: xfer.tag,
+                        data: Payload::from(bundle.into_boxed_slice()),
+                    });
+                }
+                if !xfer.recv.is_empty() {
+                    recv_order.push((ri, xi));
+                }
+            }
+        }
+        for &(ri, xi) in &recv_order {
+            let xfer = &runs[ri].plan.rounds[r][xi];
+            ops.push(Op::Recv {
+                from: xfer.peer,
+                tag: xfer.tag,
+            });
+        }
+
+        let results = proc.multi(ops);
+        let mut received = results.into_iter().flatten();
+        for (ri, xi) in recv_order {
+            let bundle = received.next().expect("engine recv result");
+            let run = &mut *runs[ri];
+            let xfer = run.plan.rounds[r][xi].clone();
+            let expected: usize = xfer.recv.iter().map(|&id| run.store.expected_len(id)).sum();
+            assert_eq!(
+                bundle.len(),
+                expected,
+                "round {r}: bundle length mismatch from node {}",
+                xfer.peer
+            );
+            let mut offset = 0;
+            for &id in &xfer.recv {
+                let len = run.store.expected_len(id);
+                let piece = Payload::from(&bundle[offset..offset + len]);
+                offset += len;
+                match xfer.recv_mode {
+                    RecvMode::Fill => run.store.put(id, piece),
+                    RecvMode::Accumulate => {
+                        let cur = run
+                            .store
+                            .take(id)
+                            .unwrap_or_else(|| panic!("accumulate target {id} missing"));
+                        run.store.put(id, crate::add_payloads(&cur, &piece));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Executes a single collective (the common case).
+pub fn execute(proc: &mut Proc, run: &mut CollectiveRun) {
+    execute_fused(proc, &mut [run]);
+}

@@ -1,0 +1,193 @@
+//! All-to-one reduction (by addition): the communication inverse of the
+//! one-to-all broadcast.
+
+use cubemm_simnet::{Payload, PortModel, Proc};
+use cubemm_topology::Subcube;
+
+use crate::plan::{execute, CollectiveRun, PacketStore, Plan, RecvMode, Xfer};
+use crate::{chunk, chunk_bounds, round_tag, unchunk};
+
+/// A planned reduction, ready to execute (possibly fused with others).
+#[derive(Debug)]
+pub struct ReduceRun {
+    inner: CollectiveRun,
+    ncopies: usize,
+    len: usize,
+    is_root: bool,
+}
+
+impl ReduceRun {
+    /// The underlying run, for [`crate::plan::execute_fused`].
+    pub fn run_mut(&mut self) -> &mut CollectiveRun {
+        &mut self.inner
+    }
+
+    /// Extracts the sum at the root (`None` elsewhere) after execution.
+    pub fn finish(mut self) -> Option<Payload> {
+        if !self.is_root {
+            return None;
+        }
+        let parts: Vec<Payload> = (0..self.ncopies)
+            .map(|c| self.inner.store.take(c).expect("root retains all slices"))
+            .collect();
+        Some(unchunk(self.len, &parts))
+    }
+}
+
+/// Compiles the inverse-SBT reduction for this node. Packet `c` is this
+/// node's running partial sum of slice `c`.
+pub fn reduce_plan(
+    port: PortModel,
+    sc: &Subcube,
+    me: usize,
+    root: usize,
+    base: u64,
+    mine: Payload,
+) -> ReduceRun {
+    let d = sc.dim() as usize;
+    let my_rank = sc.rank_of(me);
+    let v = my_rank ^ root;
+    let len = mine.len();
+
+    let ncopies = match port {
+        PortModel::OnePort => 1,
+        PortModel::MultiPort => d.max(1),
+    };
+    let lens: Vec<usize> = (0..ncopies)
+        .map(|c| {
+            let (lo, hi) = chunk_bounds(len, ncopies, c);
+            hi - lo
+        })
+        .collect();
+    let mut store = PacketStore::new(lens);
+    for c in 0..ncopies {
+        store.put(c, chunk(&mine, ncopies, c));
+    }
+
+    let mut plan = Plan::with_rounds(d);
+    for step in 0..d {
+        for c in 0..ncopies {
+            // Merge along the reverse of the broadcast tree: copy c uses
+            // dimension u = (c + d - 1 - step) mod d at round `step`.
+            let u = (c + d - 1 - step) % d;
+            let remaining: usize = ((step + 1)..d).map(|i| 1usize << ((c + d - 1 - i) % d)).sum();
+            let tag = round_tag(base, step as u32, c as u32);
+            if v & !(remaining | (1 << u)) == 0 && (v >> u) & 1 == 1 {
+                plan.push(
+                    step,
+                    Xfer {
+                        peer: sc.member((v ^ (1 << u)) ^ root),
+                        tag,
+                        send: vec![c],
+                        consume_sends: true,
+                        recv: vec![],
+                        recv_mode: RecvMode::Fill,
+                    },
+                );
+            } else if v & !remaining == 0 {
+                plan.push(
+                    step,
+                    Xfer {
+                        peer: sc.member((v | (1 << u)) ^ root),
+                        tag,
+                        send: vec![],
+                        consume_sends: false,
+                        recv: vec![c],
+                        recv_mode: RecvMode::Accumulate,
+                    },
+                );
+            }
+        }
+    }
+
+    ReduceRun {
+        inner: CollectiveRun::new(plan, store),
+        ncopies,
+        len,
+        is_root: v == 0,
+    }
+}
+
+/// Reduces every member's equal-length `mine` by element-wise addition to
+/// the member with rank `root`. Returns `Some(sum)` at the root, `None`
+/// elsewhere.
+///
+/// Cost (measured): one-port `log N·(t_s + t_w·M)`; multi-port
+/// `t_s·log N + t_w·M` — the inverses of the broadcast rows of Table 1.
+pub fn reduce_sum(
+    proc: &mut Proc,
+    sc: &Subcube,
+    root: usize,
+    base: u64,
+    mine: Payload,
+) -> Option<Payload> {
+    let mut run = reduce_plan(proc.port_model(), sc, proc.id(), root, base, mine);
+    execute(proc, run.run_mut());
+    run.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cubemm_simnet::{run_machine, CostParams, PortModel};
+    use cubemm_topology::Subcube;
+
+    const COST: CostParams = CostParams { ts: 10.0, tw: 2.0 };
+
+    fn check(p: usize, port: PortModel, root: usize, m: usize) -> f64 {
+        let out = run_machine(p, port, COST, vec![(); p], move |proc, ()| {
+            let sc = Subcube::whole(proc.dim());
+            let v = sc.rank_of(proc.id());
+            let mine: Payload = (0..m).map(|x| (v * 100 + x) as f64).collect();
+            let got = reduce_sum(proc, &sc, root, 0, mine);
+            if v == root {
+                let got = got.expect("root gets the sum");
+                let n = sc.size();
+                let sumv: f64 = (0..n).map(|u| (u * 100) as f64).sum();
+                for (x, val) in got.iter().enumerate() {
+                    assert_eq!(*val, sumv + (n * x) as f64);
+                }
+            } else {
+                assert!(got.is_none());
+            }
+            proc.clock()
+        });
+        out.stats.elapsed
+    }
+
+    #[test]
+    fn one_port_is_inverse_broadcast_cost() {
+        // log N (ts + tw M): 3 * (10 + 24) = 102.
+        assert_eq!(check(8, PortModel::OnePort, 0, 12), 102.0);
+    }
+
+    #[test]
+    fn one_port_nonzero_root() {
+        assert_eq!(check(8, PortModel::OnePort, 2, 12), 102.0);
+    }
+
+    #[test]
+    fn multi_port_is_inverse_broadcast_cost() {
+        // ts log N + tw M: 30 + 24 = 54.
+        assert_eq!(check(8, PortModel::MultiPort, 0, 12), 54.0);
+    }
+
+    #[test]
+    fn multi_port_assorted() {
+        for root in [0, 1, 3] {
+            let _ = check(4, PortModel::MultiPort, root, 7);
+        }
+        let _ = check(16, PortModel::MultiPort, 9, 3);
+    }
+
+    #[test]
+    fn singleton_reduce() {
+        let out = run_machine(2, PortModel::OnePort, COST, vec![(); 2], |proc, ()| {
+            let sc = Subcube::new(proc.id(), vec![]);
+            let mine: Payload = vec![1.0, 2.0].into();
+            let got = reduce_sum(proc, &sc, 0, 0, mine).expect("singleton root");
+            assert_eq!(&got[..], &[1.0, 2.0]);
+        });
+        assert_eq!(out.stats.elapsed, 0.0);
+    }
+}

@@ -1,0 +1,227 @@
+//! One-to-all personalized broadcast (scatter).
+
+use cubemm_simnet::{Payload, PortModel, Proc};
+use cubemm_topology::Subcube;
+
+use crate::plan::{execute, CollectiveRun, PacketStore, Plan, RecvMode, Xfer};
+use crate::{chunk, chunk_bounds, round_tag, unchunk};
+
+/// A planned scatter, ready to execute (possibly fused with others).
+#[derive(Debug)]
+pub struct ScatterRun {
+    inner: CollectiveRun,
+    ncopies: usize,
+    n: usize,
+    v: usize,
+    part_len: usize,
+}
+
+impl ScatterRun {
+    /// The underlying run, for [`crate::plan::execute_fused`].
+    pub fn run_mut(&mut self) -> &mut CollectiveRun {
+        &mut self.inner
+    }
+
+    /// Extracts this node's part after execution.
+    pub fn finish(mut self) -> Payload {
+        let parts: Vec<Payload> = (0..self.ncopies)
+            .map(|c| {
+                self.inner
+                    .store
+                    .take(c * self.n + self.v)
+                    .expect("own scatter part delivered")
+            })
+            .collect();
+        unchunk(self.part_len, &parts)
+    }
+}
+
+/// Relative ranks in the subtree reached through `child` once the
+/// dimensions in `fixed` are decided — ascending order.
+pub(crate) fn subtree(child: usize, fixed: usize, d: usize) -> Vec<usize> {
+    let mut members = vec![child];
+    for b in 0..d {
+        if fixed & (1 << b) == 0 {
+            let grown: Vec<usize> = members.iter().map(|&m| m | (1 << b)).collect();
+            members.extend(grown);
+        }
+    }
+    members.sort_unstable();
+    members
+}
+
+/// Compiles the SBT scatter for this node. Packet `(c, u)` is slice `c`
+/// of the part for *relative* rank `u`.
+pub fn scatter_plan(
+    port: PortModel,
+    sc: &Subcube,
+    me: usize,
+    root: usize,
+    base: u64,
+    parts: Option<Vec<Payload>>,
+    part_len: usize,
+) -> ScatterRun {
+    let d = sc.dim() as usize;
+    let n = sc.size();
+    let my_rank = sc.rank_of(me);
+    let v = my_rank ^ root;
+
+    let ncopies = match port {
+        PortModel::OnePort => 1,
+        PortModel::MultiPort => d.max(1),
+    };
+    let mut lens = Vec::with_capacity(ncopies * n);
+    for c in 0..ncopies {
+        let (lo, hi) = chunk_bounds(part_len, ncopies, c);
+        lens.extend(std::iter::repeat_n(hi - lo, n));
+    }
+    let mut store = PacketStore::new(lens);
+    if my_rank == root {
+        let parts = parts.expect("scatter root must supply parts");
+        assert_eq!(parts.len(), n, "scatter needs one part per member");
+        for part in &parts {
+            assert_eq!(part.len(), part_len, "scatter parts must have equal length");
+        }
+        for u in 0..n {
+            // Relative rank u corresponds to actual rank u ^ root.
+            for c in 0..ncopies {
+                store.put(c * n + u, chunk(&parts[u ^ root], ncopies, c));
+            }
+        }
+    } else {
+        assert!(parts.is_none(), "non-root nodes must not supply parts");
+    }
+
+    let mut plan = Plan::with_rounds(d);
+    for r in 0..d {
+        for c in 0..ncopies {
+            let o_r = (c + r) % d;
+            let processed: usize = (0..r).map(|i| 1usize << ((c + i) % d)).sum();
+            let tag = round_tag(base, r as u32, c as u32);
+            if v & !processed == 0 {
+                // Holder: hand the subtree through o_r to the child.
+                let child = v | (1 << o_r);
+                let dests = subtree(child, processed | (1 << o_r), d);
+                plan.push(
+                    r,
+                    Xfer {
+                        peer: sc.member(child ^ root),
+                        tag,
+                        send: dests.iter().map(|&u| c * n + u).collect(),
+                        consume_sends: true,
+                        recv: vec![],
+                        recv_mode: RecvMode::Fill,
+                    },
+                );
+            } else if v & !(processed | (1 << o_r)) == 0 && (v >> o_r) & 1 == 1 {
+                let dests = subtree(v, processed | (1 << o_r), d);
+                plan.push(
+                    r,
+                    Xfer {
+                        peer: sc.member((v ^ (1 << o_r)) ^ root),
+                        tag,
+                        send: vec![],
+                        consume_sends: false,
+                        recv: dests.iter().map(|&u| c * n + u).collect(),
+                        recv_mode: RecvMode::Fill,
+                    },
+                );
+            }
+        }
+    }
+
+    ScatterRun {
+        inner: CollectiveRun::new(plan, store),
+        ncopies,
+        n,
+        v,
+        part_len,
+    }
+}
+
+/// Scatter: the root holds one equal-length part per member (indexed by
+/// actual subcube rank) and delivers part `r` to the member with rank
+/// `r`. Non-roots pass `None` and the per-part length in `part_len`.
+///
+/// Cost (measured, equals Table 1): one-port `t_s·log N + t_w·(N−1)·M`;
+/// multi-port `t_s·log N + t_w·(N−1)·M/log N`.
+pub fn scatter(
+    proc: &mut Proc,
+    sc: &Subcube,
+    root: usize,
+    base: u64,
+    parts: Option<Vec<Payload>>,
+    part_len: usize,
+) -> Payload {
+    let mut run = scatter_plan(proc.port_model(), sc, proc.id(), root, base, parts, part_len);
+    execute(proc, run.run_mut());
+    run.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cubemm_simnet::{run_machine, CostParams, PortModel};
+    use cubemm_topology::Subcube;
+
+    const COST: CostParams = CostParams { ts: 10.0, tw: 2.0 };
+
+    fn part_for(rank: usize, m: usize) -> Payload {
+        (0..m).map(|x| (rank * 100 + x) as f64).collect()
+    }
+
+    fn check(p: usize, port: PortModel, root: usize, m: usize) -> f64 {
+        let out = run_machine(p, port, COST, vec![(); p], move |proc, ()| {
+            let sc = Subcube::whole(proc.dim());
+            let my_rank = sc.rank_of(proc.id());
+            let parts =
+                (my_rank == root).then(|| (0..sc.size()).map(|r| part_for(r, m)).collect());
+            let got = scatter(proc, &sc, root, 0, parts, m);
+            assert_eq!(&got[..], &part_for(my_rank, m)[..], "node {}", proc.id());
+            proc.clock()
+        });
+        out.stats.elapsed
+    }
+
+    #[test]
+    fn one_port_matches_table1() {
+        // ts log N + tw (N-1) M with N=8, M=12: 30 + 2*7*12 = 198.
+        assert_eq!(check(8, PortModel::OnePort, 0, 12), 198.0);
+    }
+
+    #[test]
+    fn one_port_nonzero_root() {
+        assert_eq!(check(8, PortModel::OnePort, 6, 12), 198.0);
+    }
+
+    #[test]
+    fn multi_port_matches_table1() {
+        // ts log N + tw (N-1) M / log N: 30 + 2*7*12/3 = 86.
+        assert_eq!(check(8, PortModel::MultiPort, 0, 12), 86.0);
+    }
+
+    #[test]
+    fn multi_port_assorted() {
+        for root in [0, 3] {
+            for m in [4, 9] {
+                let _ = check(4, PortModel::MultiPort, root, m);
+            }
+        }
+    }
+
+    #[test]
+    fn singleton_scatter() {
+        let out = run_machine(2, PortModel::OnePort, COST, vec![(); 2], |proc, ()| {
+            let sc = Subcube::new(proc.id(), vec![]);
+            let got = scatter(proc, &sc, 0, 0, Some(vec![part_for(0, 4)]), 4);
+            assert_eq!(&got[..], &part_for(0, 4)[..]);
+        });
+        assert_eq!(out.stats.elapsed, 0.0);
+    }
+
+    #[test]
+    fn subtree_enumeration() {
+        // d=3, child=0b010, fixed={1}: free dims {0,2}.
+        assert_eq!(subtree(0b010, 0b010, 3), vec![0b010, 0b011, 0b110, 0b111]);
+    }
+}

@@ -1,0 +1,87 @@
+//! Run configuration and results shared by all algorithms.
+
+use cubemm_dense::gemm::Kernel;
+use cubemm_dense::Matrix;
+use cubemm_simnet::{ChargePolicy, CostParams, LinkTopology, PortModel, RunStats};
+
+/// Configuration of the simulated machine a multiplication runs on.
+#[derive(Debug, Clone, Copy)]
+pub struct MachineConfig {
+    /// One-port or multi-port nodes (paper §2).
+    pub port: PortModel,
+    /// Message cost parameters `t_s`, `t_w`.
+    pub cost: CostParams,
+    /// Local GEMM kernel (orthogonal to the communication comparison).
+    pub kernel: Kernel,
+    /// Record a per-message event trace (see `RunResult::traces`).
+    pub traced: bool,
+    /// Port-charging policy (the paper's sender-only accounting by
+    /// default; `Symmetric` is the model-sensitivity ablation).
+    pub charge: ChargePolicy,
+    /// Physical link topology (full hypercube by default; `Torus2d`
+    /// proves an algorithm uses mesh links only).
+    pub links: LinkTopology,
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        MachineConfig {
+            port: PortModel::OnePort,
+            cost: CostParams::PAPER,
+            kernel: Kernel::default(),
+            traced: false,
+            charge: ChargePolicy::SenderOnly,
+            links: LinkTopology::Hypercube,
+        }
+    }
+}
+
+impl MachineConfig {
+    /// Convenience constructor.
+    pub fn new(port: PortModel, cost: CostParams) -> Self {
+        MachineConfig {
+            port,
+            cost,
+            kernel: Kernel::default(),
+            traced: false,
+            charge: ChargePolicy::SenderOnly,
+            links: LinkTopology::Hypercube,
+        }
+    }
+
+    /// Restricts the machine to the links of a `q × q` Gray-ring torus.
+    pub fn on_torus(mut self, axis_bits: u32) -> Self {
+        self.links = LinkTopology::Torus2d { axis_bits };
+        self
+    }
+
+    /// Switches to the symmetric port-charging ablation.
+    pub fn with_symmetric_charging(mut self) -> Self {
+        self.charge = ChargePolicy::Symmetric;
+        self
+    }
+
+    /// Enables per-message event tracing for runs under this config.
+    pub fn with_trace(mut self) -> Self {
+        self.traced = true;
+        self
+    }
+}
+
+/// Outcome of a distributed multiplication run.
+#[derive(Debug)]
+pub struct RunResult {
+    /// The assembled product matrix `C = A·B`.
+    pub c: Matrix,
+    /// Virtual-time and traffic statistics of the run.
+    pub stats: RunStats,
+    /// Per-node event traces (empty unless `MachineConfig::traced`).
+    pub traces: Vec<Vec<cubemm_simnet::TraceEvent>>,
+}
+
+impl RunResult {
+    /// Elapsed virtual communication time of the run.
+    pub fn elapsed(&self) -> f64 {
+        self.stats.elapsed
+    }
+}

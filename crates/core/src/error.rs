@@ -1,0 +1,64 @@
+//! Typed errors for inapplicable problem shapes.
+
+use cubemm_topology::TopologyError;
+
+/// Why an algorithm cannot run on the requested `(n, p)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AlgoError {
+    /// Input matrices are not both `n × n` with matching `n`.
+    BadShapes {
+        /// `(rows, cols)` of A.
+        a: (usize, usize),
+        /// `(rows, cols)` of B.
+        b: (usize, usize),
+    },
+    /// The processor count cannot form the required virtual grid.
+    Topology(TopologyError),
+    /// The matrix order is not divisible as the algorithm's block layout
+    /// requires.
+    Indivisible {
+        /// Matrix order `n`.
+        n: usize,
+        /// Required divisor of `n`.
+        divisor: usize,
+        /// Which layout imposed it.
+        what: &'static str,
+    },
+    /// The Ho–Johnsson–Edelman condition `n/√p ≥ log √p` fails: local
+    /// blocks are too small to split across all row/column links.
+    BlockTooSmall {
+        /// Words per local block row/column, `n/√p`.
+        have: usize,
+        /// Links per grid dimension, `log √p`.
+        need: usize,
+    },
+}
+
+impl From<TopologyError> for AlgoError {
+    fn from(e: TopologyError) -> Self {
+        AlgoError::Topology(e)
+    }
+}
+
+impl std::fmt::Display for AlgoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AlgoError::BadShapes { a, b } => write!(
+                f,
+                "inputs must be square matrices of equal order, got {}x{} and {}x{}",
+                a.0, a.1, b.0, b.1
+            ),
+            AlgoError::Topology(e) => write!(f, "{e}"),
+            AlgoError::Indivisible { n, divisor, what } => {
+                write!(f, "matrix order {n} is not divisible by {divisor} ({what})")
+            }
+            AlgoError::BlockTooSmall { have, need } => write!(
+                f,
+                "local block side {have} is smaller than the {need} links per \
+                 grid dimension (Ho-Johnsson-Edelman requires n/sqrt(p) >= log sqrt(p))"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AlgoError {}

@@ -1,0 +1,202 @@
+//! Uniform dispatch over all implemented algorithms.
+
+use cubemm_dense::Matrix;
+
+use crate::{AlgoError, MachineConfig, RunResult};
+
+/// Every implemented distributed multiplication algorithm: the paper's
+/// nine ([`Algorithm::ALL`]) plus the extension and baseline set
+/// ([`Algorithm::EXTENSIONS`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Algorithm {
+    /// Row/column all-to-all broadcast (§3.1).
+    Simple,
+    /// Cannon's algorithm in hypercube XOR/Gray form (§3.2).
+    Cannon,
+    /// Ho–Johnsson–Edelman full-bandwidth Cannon (§3.3).
+    Hje,
+    /// Berntsen's subcube outer products (§3.4).
+    Berntsen,
+    /// Dekel–Nassimi–Sahni 3-D algorithm (§3.5).
+    Dns,
+    /// 2-D Diagonal stepping stone (§4.1.1).
+    Diag2d,
+    /// 3-D Diagonal — new in the paper (§4.1.2).
+    Diag3d,
+    /// 3-D All_Trans stepping stone (§4.2.1).
+    AllTrans3d,
+    /// 3-D All — the paper's headline algorithm (§4.2.2).
+    All3d,
+    /// Extension: DNS + Cannon supernode combination (§3.5 remark).
+    DnsCannon,
+    /// Extension: flat-grid `p^{1/4}×p^{1/4}×√p` 3-D All (§4.2.2 remark).
+    All3dFlat,
+    /// Baseline: Cannon's original 2-D torus form on the Gray-ring
+    /// embedding (unit-shift alignment instead of XOR skew).
+    CannonTorus,
+    /// Baseline: Fox–Otto–Hey broadcast-multiply-roll (reference \[4\]).
+    Fox,
+    /// Extension: 3-D All + Cannon supernode combination (the §3.5
+    /// closing claim, measured against DNS + Cannon).
+    All3dCannon,
+}
+
+impl Algorithm {
+    /// Every algorithm, in paper order.
+    pub const ALL: [Algorithm; 9] = [
+        Algorithm::Simple,
+        Algorithm::Cannon,
+        Algorithm::Hje,
+        Algorithm::Berntsen,
+        Algorithm::Dns,
+        Algorithm::Diag2d,
+        Algorithm::Diag3d,
+        Algorithm::AllTrans3d,
+        Algorithm::All3d,
+    ];
+
+    /// The paper-suggested extension algorithms implemented beyond the
+    /// tabulated eight (see DESIGN.md E8).
+    pub const EXTENSIONS: [Algorithm; 5] = [
+        Algorithm::DnsCannon,
+        Algorithm::All3dCannon,
+        Algorithm::All3dFlat,
+        Algorithm::CannonTorus,
+        Algorithm::Fox,
+    ];
+
+    /// The algorithms compared in the paper's §5 analysis (Figures 13/14).
+    pub const COMPARED: [Algorithm; 5] = [
+        Algorithm::Cannon,
+        Algorithm::Hje,
+        Algorithm::Berntsen,
+        Algorithm::Diag3d,
+        Algorithm::All3d,
+    ];
+
+    /// Short stable name (used in reports and CSV output).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Algorithm::Simple => "simple",
+            Algorithm::Cannon => "cannon",
+            Algorithm::Hje => "hje",
+            Algorithm::Berntsen => "berntsen",
+            Algorithm::Dns => "dns",
+            Algorithm::Diag2d => "diag2d",
+            Algorithm::Diag3d => "3dd",
+            Algorithm::AllTrans3d => "3d-all-trans",
+            Algorithm::All3d => "3d-all",
+            Algorithm::DnsCannon => "dns-cannon",
+            Algorithm::All3dFlat => "3d-all-flat",
+            Algorithm::CannonTorus => "cannon-torus",
+            Algorithm::Fox => "fox",
+            Algorithm::All3dCannon => "3d-all-cannon",
+        }
+    }
+
+    /// Whether the algorithm can run `n × n` matrices on `p` processors
+    /// (grid shape and divisibility requirements).
+    pub fn check(&self, n: usize, p: usize) -> Result<(), AlgoError> {
+        match self {
+            Algorithm::Simple => crate::simple::check(n, p),
+            Algorithm::Cannon => crate::cannon::check(n, p),
+            Algorithm::Hje => crate::hje::check(n, p),
+            Algorithm::Berntsen => crate::berntsen::check(n, p),
+            Algorithm::Dns => crate::dns::check(n, p),
+            Algorithm::Diag2d => crate::diag2d::check(n, p),
+            Algorithm::Diag3d => crate::diag3d::check(n, p),
+            Algorithm::AllTrans3d => crate::all_trans3d::check(n, p),
+            Algorithm::All3d => crate::all3d::check(n, p),
+            Algorithm::DnsCannon => crate::dns_cannon::default_mesh_bits(n, p)
+                .map(|_| ())
+                .ok_or(AlgoError::Topology(
+                    cubemm_topology::TopologyError::IndivisibleDimension {
+                        dim: p.trailing_zeros(),
+                        divisor: 3,
+                    },
+                )),
+            Algorithm::All3dFlat => crate::all3d_flat::check(n, p),
+            Algorithm::CannonTorus => crate::cannon_torus::check(n, p),
+            Algorithm::Fox => crate::fox::check(n, p),
+            Algorithm::All3dCannon => crate::all3d_cannon::default_mesh_bits(n, p)
+                .map(|_| ())
+                .ok_or(AlgoError::Topology(
+                    cubemm_topology::TopologyError::IndivisibleDimension {
+                        dim: p.trailing_zeros(),
+                        divisor: 3,
+                    },
+                )),
+        }
+    }
+
+    /// Runs the multiplication on the simulated machine.
+    pub fn multiply(
+        &self,
+        a: &Matrix,
+        b: &Matrix,
+        p: usize,
+        cfg: &MachineConfig,
+    ) -> Result<RunResult, AlgoError> {
+        match self {
+            Algorithm::Simple => crate::simple::multiply(a, b, p, cfg),
+            Algorithm::Cannon => crate::cannon::multiply(a, b, p, cfg),
+            Algorithm::Hje => crate::hje::multiply(a, b, p, cfg),
+            Algorithm::Berntsen => crate::berntsen::multiply(a, b, p, cfg),
+            Algorithm::Dns => crate::dns::multiply(a, b, p, cfg),
+            Algorithm::Diag2d => crate::diag2d::multiply(a, b, p, cfg),
+            Algorithm::Diag3d => crate::diag3d::multiply(a, b, p, cfg),
+            Algorithm::AllTrans3d => crate::all_trans3d::multiply(a, b, p, cfg),
+            Algorithm::All3d => crate::all3d::multiply(a, b, p, cfg),
+            Algorithm::DnsCannon => crate::dns_cannon::multiply(a, b, p, cfg),
+            Algorithm::All3dFlat => crate::all3d_flat::multiply(a, b, p, cfg),
+            Algorithm::CannonTorus => crate::cannon_torus::multiply(a, b, p, cfg),
+            Algorithm::Fox => crate::fox::multiply(a, b, p, cfg),
+            Algorithm::All3dCannon => crate::all3d_cannon::multiply(a, b, p, cfg),
+        }
+    }
+}
+
+impl std::fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for Algorithm {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Algorithm::ALL
+            .into_iter()
+            .chain(Algorithm::EXTENSIONS)
+            .find(|a| a.name() == s)
+            .ok_or_else(|| format!("unknown algorithm {s:?}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_unique_and_roundtrip() {
+        for a in Algorithm::ALL.into_iter().chain(Algorithm::EXTENSIONS) {
+            let parsed: Algorithm = a.name().parse().unwrap();
+            assert_eq!(parsed, a);
+        }
+        assert!("nope".parse::<Algorithm>().is_err());
+    }
+
+    #[test]
+    fn applicability_matrix() {
+        // p = 64 is both a square and a cube of powers of two.
+        for a in Algorithm::ALL {
+            assert!(a.check(64, 64).is_ok(), "{a} should accept n=64 p=64");
+        }
+        // p = 16 is a square but not a cube.
+        assert!(Algorithm::Cannon.check(16, 16).is_ok());
+        assert!(Algorithm::Diag3d.check(16, 16).is_err());
+        // p = 8 is a cube but not a square.
+        assert!(Algorithm::Diag3d.check(16, 8).is_ok());
+        assert!(Algorithm::Cannon.check(16, 8).is_err());
+    }
+}

@@ -1,0 +1,61 @@
+//! Shared helpers for the algorithm drivers.
+
+use cubemm_dense::Matrix;
+use cubemm_simnet::{run_machine_with, MachineOptions, Proc, RunOutcome};
+
+use crate::{AlgoError, MachineConfig};
+
+/// Tag base for phase `i` of an algorithm (phases must not reuse tags).
+#[inline]
+pub fn phase_tag(i: u64) -> u64 {
+    i * cubemm_collectives::TAG_SPACE
+}
+
+/// Validates that `a` and `b` are square matrices of the same order and
+/// returns that order.
+pub fn square_order(a: &Matrix, b: &Matrix) -> Result<usize, AlgoError> {
+    let n = a.rows();
+    if a.cols() != n || b.rows() != n || b.cols() != n {
+        return Err(AlgoError::BadShapes {
+            a: (a.rows(), a.cols()),
+            b: (b.rows(), b.cols()),
+        });
+    }
+    Ok(n)
+}
+
+/// Checks `divisor | n`, attributing the requirement to `what`.
+pub fn require_divides(n: usize, divisor: usize, what: &'static str) -> Result<(), AlgoError> {
+    if divisor == 0 || n % divisor != 0 {
+        return Err(AlgoError::Indivisible { n, divisor, what });
+    }
+    Ok(())
+}
+
+/// Reconstructs a matrix block from a payload of known shape.
+#[inline]
+pub fn to_matrix(rows: usize, cols: usize, p: &[f64]) -> Matrix {
+    Matrix::from_payload(rows, cols, p)
+}
+
+/// Runs an SPMD program on the machine described by `cfg`, honoring the
+/// tracing flag.
+pub fn run_spmd<I, O, F>(cfg: &MachineConfig, p: usize, inits: Vec<I>, f: F) -> RunOutcome<O>
+where
+    I: Send,
+    O: Send,
+    F: Fn(&mut Proc, I) -> O + Sync,
+{
+    run_machine_with(
+        p,
+        MachineOptions {
+            port: cfg.port,
+            cost: cfg.cost,
+            charge: cfg.charge,
+            links: cfg.links,
+            traced: cfg.traced,
+        },
+        inits,
+        f,
+    )
+}

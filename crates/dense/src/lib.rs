@@ -1,0 +1,19 @@
+//! Dense matrices, blocked partitioning, and local GEMM kernels.
+//!
+//! Every distributed algorithm in the paper decomposes the global
+//! `n × n` matrices into sub-blocks, row groups, or column groups, ships
+//! those around a hypercube, and multiplies the local pieces. This crate
+//! supplies:
+//!
+//! * [`Matrix`] — an owned row-major `f64` matrix,
+//! * [`gemm`] — local multiplication kernels (naive `ijk`, cache-friendly
+//!   `ikj`, and tiled), all with accumulate (`C += A·B`) forms,
+//! * [`partition`] — the exact block/group layouts the paper's algorithms
+//!   assume initially (Figures 1, 8, 9) and their inverses for
+//!   reassembling distributed results.
+
+pub mod gemm;
+pub mod matrix;
+pub mod partition;
+
+pub use matrix::Matrix;

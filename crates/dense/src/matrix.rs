@@ -1,0 +1,292 @@
+//! An owned, row-major dense matrix of `f64`.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+use std::sync::Arc;
+
+use rand::distributions::{Distribution, Uniform};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Owned row-major dense matrix.
+///
+/// ```
+/// use cubemm_dense::Matrix;
+/// let m = Matrix::from_fn(2, 3, |r, c| (r * 3 + c) as f64);
+/// assert_eq!(m[(1, 2)], 5.0);
+/// assert_eq!(m.block(0, 1, 2, 2).as_slice(), &[1.0, 2.0, 4.0, 5.0]);
+/// assert_eq!(m.transpose().rows(), 3);
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// A `rows × cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Builds a matrix from a generator over `(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Wraps an existing row-major buffer.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "buffer size mismatch");
+        Matrix { rows, cols, data }
+    }
+
+    /// The `n × n` identity.
+    pub fn identity(n: usize) -> Self {
+        Matrix::from_fn(n, n, |r, c| if r == c { 1.0 } else { 0.0 })
+    }
+
+    /// A reproducible pseudo-random matrix with entries in `[-1, 1)`.
+    pub fn random(rows: usize, cols: usize, seed: u64) -> Self {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let dist = Uniform::new(-1.0, 1.0);
+        let data = (0..rows * cols).map(|_| dist.sample(&mut rng)).collect();
+        Matrix { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total number of stored words.
+    #[inline]
+    pub fn words(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Row-major backing slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable row-major backing slice.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Row `r` as a slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Copies the rectangular block with top-left corner `(r0, c0)` and
+    /// shape `br × bc` into a new matrix.
+    pub fn block(&self, r0: usize, c0: usize, br: usize, bc: usize) -> Matrix {
+        assert!(r0 + br <= self.rows && c0 + bc <= self.cols, "block out of range");
+        let mut data = Vec::with_capacity(br * bc);
+        for r in r0..r0 + br {
+            data.extend_from_slice(&self.data[r * self.cols + c0..r * self.cols + c0 + bc]);
+        }
+        Matrix {
+            rows: br,
+            cols: bc,
+            data,
+        }
+    }
+
+    /// Writes `src` into this matrix with top-left corner `(r0, c0)`.
+    pub fn paste(&mut self, r0: usize, c0: usize, src: &Matrix) {
+        assert!(
+            r0 + src.rows <= self.rows && c0 + src.cols <= self.cols,
+            "paste out of range"
+        );
+        for r in 0..src.rows {
+            let dst = (r0 + r) * self.cols + c0;
+            self.data[dst..dst + src.cols].copy_from_slice(src.row(r));
+        }
+    }
+
+    /// Adds `src` element-wise into the block with top-left `(r0, c0)`.
+    pub fn add_into(&mut self, r0: usize, c0: usize, src: &Matrix) {
+        assert!(
+            r0 + src.rows <= self.rows && c0 + src.cols <= self.cols,
+            "add_into out of range"
+        );
+        for r in 0..src.rows {
+            let dst = (r0 + r) * self.cols + c0;
+            for (d, s) in self.data[dst..dst + src.cols].iter_mut().zip(src.row(r)) {
+                *d += s;
+            }
+        }
+    }
+
+    /// Element-wise sum with another matrix of the same shape.
+    pub fn add_assign(&mut self, other: &Matrix) {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        for (d, s) in self.data.iter_mut().zip(&other.data) {
+            *d += s;
+        }
+    }
+
+    /// The transpose.
+    pub fn transpose(&self) -> Matrix {
+        Matrix::from_fn(self.cols, self.rows, |r, c| self[(c, r)])
+    }
+
+    /// Maximum absolute element-wise difference; the correctness metric
+    /// used by every end-to-end test.
+    pub fn max_abs_diff(&self, other: &Matrix) -> f64 {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Copies the contents into a shared payload for the simulator.
+    pub fn to_payload(&self) -> Arc<[f64]> {
+        Arc::from(self.data.as_slice())
+    }
+
+    /// Moves the contents into a shared payload without copying.
+    pub fn into_payload(self) -> Arc<[f64]> {
+        Arc::from(self.data.into_boxed_slice())
+    }
+
+    /// Reconstructs a matrix from a payload (copies).
+    ///
+    /// # Panics
+    /// Panics if the payload length is not `rows * cols`.
+    pub fn from_payload(rows: usize, cols: usize, payload: &[f64]) -> Matrix {
+        assert_eq!(payload.len(), rows * cols, "payload shape mismatch");
+        Matrix {
+            rows,
+            cols,
+            data: payload.to_vec(),
+        }
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        let show = self.rows.min(8);
+        for r in 0..show {
+            write!(f, "  ")?;
+            for c in 0..self.cols.min(8) {
+                write!(f, "{:9.4} ", self[(r, c)])?;
+            }
+            writeln!(f, "{}", if self.cols > 8 { "…" } else { "" })?;
+        }
+        if self.rows > 8 {
+            writeln!(f, "  …")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_indexing() {
+        let m = Matrix::from_fn(3, 4, |r, c| (r * 10 + c) as f64);
+        assert_eq!(m.rows(), 3);
+        assert_eq!(m.cols(), 4);
+        assert_eq!(m[(2, 3)], 23.0);
+        assert_eq!(m.row(1), &[10.0, 11.0, 12.0, 13.0]);
+    }
+
+    #[test]
+    fn block_and_paste_roundtrip() {
+        let m = Matrix::from_fn(6, 6, |r, c| (r * 6 + c) as f64);
+        let b = m.block(2, 3, 2, 3);
+        assert_eq!(b[(0, 0)], 15.0);
+        assert_eq!(b[(1, 2)], 23.0);
+        let mut z = Matrix::zeros(6, 6);
+        z.paste(2, 3, &b);
+        assert_eq!(z[(3, 5)], 23.0);
+        assert_eq!(z[(0, 0)], 0.0);
+    }
+
+    #[test]
+    fn add_into_accumulates() {
+        let mut m = Matrix::zeros(4, 4);
+        let one = Matrix::from_fn(2, 2, |_, _| 1.0);
+        m.add_into(1, 1, &one);
+        m.add_into(1, 1, &one);
+        assert_eq!(m[(1, 1)], 2.0);
+        assert_eq!(m[(2, 2)], 2.0);
+        assert_eq!(m[(0, 0)], 0.0);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = Matrix::random(5, 7, 42);
+        assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn payload_roundtrip() {
+        let m = Matrix::random(4, 3, 7);
+        let p = m.to_payload();
+        let back = Matrix::from_payload(4, 3, &p);
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn random_is_reproducible() {
+        assert_eq!(Matrix::random(8, 8, 1), Matrix::random(8, 8, 1));
+        assert_ne!(Matrix::random(8, 8, 1), Matrix::random(8, 8, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "block out of range")]
+    fn block_bounds_checked() {
+        let m = Matrix::zeros(3, 3);
+        let _ = m.block(2, 2, 2, 2);
+    }
+}

@@ -1,0 +1,120 @@
+//! Property-based tests for matrices, partitions, and kernels.
+
+use cubemm_dense::gemm::{gemm_acc, matmul, Kernel};
+use cubemm_dense::{partition, Matrix};
+use proptest::prelude::*;
+
+fn kernel_strategy() -> impl Strategy<Value = Kernel> {
+    prop_oneof![
+        Just(Kernel::Naive),
+        Just(Kernel::Ikj),
+        (1usize..16).prop_map(Kernel::Blocked),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn kernels_agree_with_naive(
+        m in 1usize..12,
+        k in 1usize..12,
+        n in 1usize..12,
+        seed in 0u64..1000,
+        kernel in kernel_strategy(),
+    ) {
+        let a = Matrix::random(m, k, seed);
+        let b = Matrix::random(k, n, seed + 1);
+        let mut want = Matrix::zeros(m, n);
+        gemm_acc(&mut want, &a, &b, Kernel::Naive);
+        let mut got = Matrix::zeros(m, n);
+        gemm_acc(&mut got, &a, &b, kernel);
+        prop_assert!(got.max_abs_diff(&want) < 1e-10);
+    }
+
+    #[test]
+    fn matmul_distributes_over_addition(
+        n in 1usize..10,
+        seed in 0u64..1000,
+    ) {
+        let a = Matrix::random(n, n, seed);
+        let b = Matrix::random(n, n, seed + 1);
+        let c = Matrix::random(n, n, seed + 2);
+        let mut b_plus_c = b.clone();
+        b_plus_c.add_assign(&c);
+        let lhs = matmul(&a, &b_plus_c);
+        let mut rhs = matmul(&a, &b);
+        rhs.add_assign(&matmul(&a, &c));
+        prop_assert!(lhs.max_abs_diff(&rhs) < 1e-10);
+    }
+
+    #[test]
+    fn transpose_reverses_products(
+        n in 1usize..10,
+        seed in 0u64..1000,
+    ) {
+        // (A·B)^T = B^T·A^T
+        let a = Matrix::random(n, n, seed);
+        let b = Matrix::random(n, n, seed + 1);
+        let lhs = matmul(&a, &b).transpose();
+        let rhs = matmul(&b.transpose(), &a.transpose());
+        prop_assert!(lhs.max_abs_diff(&rhs) < 1e-10);
+    }
+
+    #[test]
+    fn square_partition_tiles_exactly(
+        q_exp in 0u32..3,
+        scale in 1usize..5,
+        seed in 0u64..1000,
+    ) {
+        let q = 1usize << q_exp;
+        let n = q * scale;
+        let m = Matrix::random(n, n, seed);
+        let back = partition::assemble_square(n, q, |i, j| partition::square(&m, q, i, j));
+        prop_assert_eq!(back, m);
+    }
+
+    #[test]
+    fn row_col_groups_partition_exactly(
+        groups in 1usize..6,
+        scale in 1usize..5,
+        seed in 0u64..1000,
+    ) {
+        let n = groups * scale;
+        let m = Matrix::random(n, n, seed);
+        let rows: Vec<Matrix> = (0..groups).map(|i| partition::row_group(&m, groups, i)).collect();
+        prop_assert_eq!(partition::stack_rows(&rows), m.clone());
+        let cols: Vec<Matrix> = (0..groups).map(|j| partition::col_group(&m, groups, j)).collect();
+        prop_assert_eq!(partition::concat_cols(&cols), m);
+    }
+
+    #[test]
+    fn wide_and_tall_layouts_are_transposes(
+        q_exp in 0u32..2,
+        scale in 1usize..4,
+        seed in 0u64..1000,
+    ) {
+        let q = 1usize << q_exp;
+        let n = q * q * scale;
+        let m = Matrix::random(n, n, seed);
+        let mt = m.transpose();
+        for k in 0..q {
+            for f in 0..q * q {
+                let w = partition::wide(&m, q, k, f);
+                let t = partition::tall(&mt, q, f, k);
+                prop_assert_eq!(w, t.transpose());
+            }
+        }
+    }
+
+    #[test]
+    fn payload_roundtrip_arbitrary(
+        r in 1usize..12,
+        c in 1usize..12,
+        seed in 0u64..1000,
+    ) {
+        let m = Matrix::random(r, c, seed);
+        let p = m.to_payload();
+        prop_assert_eq!(Matrix::from_payload(r, c, &p), m);
+    }
+}

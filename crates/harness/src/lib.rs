@@ -1,0 +1,4 @@
+//! Glue crate: hosts the workspace-level runnable examples
+//! (`examples/*.rs` at the repository root) and the cross-crate
+//! integration tests (`tests/*.rs` at the repository root). See those
+//! directories; this library itself is intentionally empty.

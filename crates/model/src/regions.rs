@@ -1,0 +1,291 @@
+//! Figures 13/14 — "best algorithm" region maps over `(n, p)`.
+//!
+//! For every cell of a logarithmic `(n, p)` sweep, the algorithm with the
+//! least Table 2 communication time among the §5 contenders is selected;
+//! the paper renders those regions as shaded areas, we render them as an
+//! ASCII raster (one glyph per cell) plus machine-readable rows.
+
+use cubemm_simnet::PortModel;
+
+use crate::costs::{time, ModelAlgo};
+
+/// A logarithmic sweep: `n = 2^i` for `i` in `n_exp`, `p = 2^j` for `j`
+/// in `p_exp`.
+#[derive(Debug, Clone)]
+pub struct Sweep {
+    /// Inclusive range of `log2 n`.
+    pub n_exp: (u32, u32),
+    /// Inclusive range of `log2 p`.
+    pub p_exp: (u32, u32),
+}
+
+impl Default for Sweep {
+    fn default() -> Self {
+        // Matches the scale of the paper's figures: n up to 16384,
+        // p up to 2^20.
+        Sweep {
+            n_exp: (4, 14),
+            p_exp: (1, 20),
+        }
+    }
+}
+
+/// One rasterized map: `cells[row][col]` is the winner for
+/// `p = 2^(p_exp.0 + row)`, `n = 2^(n_exp.0 + col)` (or `None` if no
+/// contender is applicable there).
+#[derive(Debug, Clone)]
+pub struct RegionMap {
+    /// The sweep that produced this map.
+    pub sweep: Sweep,
+    /// Machine model.
+    pub port: PortModel,
+    /// Cost parameters the map was evaluated at.
+    pub ts: f64,
+    /// Per-word cost.
+    pub tw: f64,
+    /// Winner per cell.
+    pub cells: Vec<Vec<Option<ModelAlgo>>>,
+}
+
+/// The algorithm with the least Table 2 time at `(n, p)`, among
+/// `contenders`, or `None` if none is applicable.
+pub fn best_algorithm(
+    contenders: &[ModelAlgo],
+    port: PortModel,
+    n: usize,
+    p: usize,
+    ts: f64,
+    tw: f64,
+) -> Option<(ModelAlgo, f64)> {
+    let mut best: Option<(ModelAlgo, f64)> = None;
+    for &algo in contenders {
+        if let Some(t) = time(algo, port, n, p, ts, tw) {
+            match best {
+                Some((_, bt)) if bt <= t => {}
+                _ => best = Some((algo, t)),
+            }
+        }
+    }
+    best
+}
+
+impl RegionMap {
+    /// Rasterizes the best-algorithm map for the given machine and cost
+    /// parameters over `sweep`, among the §5 contenders.
+    pub fn generate(sweep: Sweep, port: PortModel, ts: f64, tw: f64) -> RegionMap {
+        Self::generate_with(sweep, port, ts, tw, &ModelAlgo::COMPARED)
+    }
+
+    /// Rasterizes the map with an explicit contender list.
+    pub fn generate_with(
+        sweep: Sweep,
+        port: PortModel,
+        ts: f64,
+        tw: f64,
+        contenders: &[ModelAlgo],
+    ) -> RegionMap {
+        let mut cells = Vec::new();
+        for pe in sweep.p_exp.0..=sweep.p_exp.1 {
+            let mut row = Vec::new();
+            for ne in sweep.n_exp.0..=sweep.n_exp.1 {
+                let n = 1usize << ne;
+                let p = 1usize << pe;
+                row.push(best_algorithm(contenders, port, n, p, ts, tw).map(|(a, _)| a));
+            }
+            cells.push(row);
+        }
+        RegionMap {
+            sweep,
+            port,
+            ts,
+            tw,
+            cells,
+        }
+    }
+
+    /// Iterates `(n, p, winner)` over all applicable cells.
+    pub fn rows(&self) -> impl Iterator<Item = (usize, usize, ModelAlgo)> + '_ {
+        self.cells.iter().enumerate().flat_map(move |(ri, row)| {
+            row.iter().enumerate().filter_map(move |(ci, cell)| {
+                cell.map(|algo| {
+                    (
+                        1usize << (self.sweep.n_exp.0 + ci as u32),
+                        1usize << (self.sweep.p_exp.0 + ri as u32),
+                        algo,
+                    )
+                })
+            })
+        })
+    }
+}
+
+/// Renders a region map as ASCII art (p grows upward, n rightward), with
+/// a legend. `.` marks cells where no contender applies.
+pub fn render_ascii(map: &RegionMap) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "best algorithm, {} hypercube, ts={}, tw={}\n",
+        map.port, map.ts, map.tw
+    ));
+    let mut used: Vec<ModelAlgo> = Vec::new();
+    for (ri, row) in map.cells.iter().enumerate().rev() {
+        let pe = map.sweep.p_exp.0 + ri as u32;
+        out.push_str(&format!("p=2^{pe:<2} |"));
+        for cell in row {
+            match cell {
+                Some(algo) => {
+                    out.push(algo.glyph());
+                    if !used.contains(algo) {
+                        used.push(*algo);
+                    }
+                }
+                None => out.push('.'),
+            }
+        }
+        out.push('\n');
+    }
+    out.push_str("        ");
+    for ne in map.sweep.n_exp.0..=map.sweep.n_exp.1 {
+        out.push(if ne % 2 == 0 { '+' } else { '-' });
+    }
+    out.push_str(&format!(
+        "\n         n = 2^{}..2^{} (left to right)\n",
+        map.sweep.n_exp.0, map.sweep.n_exp.1
+    ));
+    out.push_str("legend: ");
+    for algo in used {
+        out.push_str(&format!("{}={} ", algo.glyph(), algo.name()));
+    }
+    out.push_str(". = none applicable\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PAPER_TS: f64 = 150.0;
+    const PAPER_TW: f64 = 3.0;
+
+    #[test]
+    fn one_port_3dall_wins_in_its_region() {
+        // §5.1: "The 3D All algorithm has the least communication
+        // overhead in the region n^{3/2} ≥ p" (for p ≥ 8).
+        for (n, p) in [(64usize, 64usize), (256, 512), (1024, 4096), (4096, 64)] {
+            assert!(p as f64 <= (n as f64).powf(1.5));
+            let (winner, _) = best_algorithm(
+                &ModelAlgo::COMPARED,
+                PortModel::OnePort,
+                n,
+                p,
+                PAPER_TS,
+                PAPER_TW,
+            )
+            .unwrap();
+            assert_eq!(winner, ModelAlgo::All3d, "n={n} p={p}");
+        }
+    }
+
+    #[test]
+    fn one_port_3dd_wins_between_n32_and_n2_at_paper_params() {
+        // §5.1: for t_s = 150, t_w = 3, 3DD performs best over the whole
+        // region n² ≥ p > n^{3/2}.
+        for (n, p) in [(64usize, 1024usize), (256, 1 << 14), (64, 4096)] {
+            let nf = n as f64;
+            assert!(p as f64 > nf.powf(1.5) && p as f64 <= nf * nf);
+            let (winner, _) = best_algorithm(
+                &ModelAlgo::COMPARED,
+                PortModel::OnePort,
+                n,
+                p,
+                PAPER_TS,
+                PAPER_TW,
+            )
+            .unwrap();
+            assert_eq!(winner, ModelAlgo::Diag3d, "n={n} p={p}");
+        }
+    }
+
+    #[test]
+    fn one_port_cannon_can_win_midregion_for_tiny_ts() {
+        // §5.1: "for very small values of t_s, Cannon's algorithm
+        // performs better over most of the region n² ≥ p > n^{3/2}".
+        let (winner, _) = best_algorithm(
+            &ModelAlgo::COMPARED,
+            PortModel::OnePort,
+            256,
+            1 << 14,
+            0.0,
+            3.0,
+        )
+        .unwrap();
+        assert_eq!(winner, ModelAlgo::Cannon);
+    }
+
+    #[test]
+    fn only_3dd_applies_beyond_n_squared() {
+        // §5.1: "3DD is the only algorithm applicable in the region
+        // n³ ≥ p > n²".
+        let n = 16usize;
+        let p = 1 << 10; // n² = 256 < p = 1024 ≤ n³ = 4096
+        let (winner, _) = best_algorithm(
+            &ModelAlgo::COMPARED,
+            PortModel::OnePort,
+            n,
+            p,
+            PAPER_TS,
+            PAPER_TW,
+        )
+        .unwrap();
+        assert_eq!(winner, ModelAlgo::Diag3d);
+    }
+
+    #[test]
+    fn multi_port_3dall_wins_where_applicable() {
+        // §5.2 / Figure 14: 3D All, wherever applicable, performs best.
+        for (n, p) in [(256usize, 512usize), (1024, 1 << 12), (4096, 8)] {
+            let (winner, _) = best_algorithm(
+                &ModelAlgo::COMPARED,
+                PortModel::MultiPort,
+                n,
+                p,
+                PAPER_TS,
+                PAPER_TW,
+            )
+            .unwrap();
+            assert_eq!(winner, ModelAlgo::All3d, "n={n} p={p}");
+        }
+    }
+
+    #[test]
+    fn region_map_renders_with_legend() {
+        let map = RegionMap::generate(Sweep::default(), PortModel::OnePort, PAPER_TS, PAPER_TW);
+        let art = render_ascii(&map);
+        assert!(art.contains("legend:"));
+        assert!(art.contains("A=3d-all"));
+        // There must be inapplicable cells in the top-left corner
+        // (huge p, tiny n).
+        assert!(art.contains('.'));
+    }
+
+    #[test]
+    fn region_map_rows_match_cells() {
+        let sweep = Sweep {
+            n_exp: (4, 6),
+            p_exp: (1, 4),
+        };
+        let map = RegionMap::generate(sweep, PortModel::OnePort, PAPER_TS, PAPER_TW);
+        for (n, p, algo) in map.rows() {
+            let (w, _) = best_algorithm(
+                &ModelAlgo::COMPARED,
+                PortModel::OnePort,
+                n,
+                p,
+                PAPER_TS,
+                PAPER_TW,
+            )
+            .unwrap();
+            assert_eq!(w, algo);
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! Scalability analysis in the style of Gupta & Kumar (the paper's
+//! reference \[5\], "Scalability of Parallel Algorithms for Matrix
+//! Multiplication"): parallel efficiency and isoefficiency curves built
+//! on the Table 2 communication overheads.
+//!
+//! With `t_c` the time per scalar multiply-add, the sequential time is
+//! `T_seq = 2·t_c·n³`; an algorithm's parallel time is
+//! `T_p = 2·t_c·n³/p + t_s·a(n,p) + t_w·b(n,p)` and its efficiency
+//! `E = T_seq / (p·T_p)`. The isoefficiency function reports how fast
+//! the problem must grow with the machine to hold `E` constant — the
+//! quantity that makes "communication efficient" a scalability
+//! statement.
+
+use cubemm_simnet::PortModel;
+
+use crate::costs::{overhead, ModelAlgo};
+
+/// Machine parameters for scalability analysis.
+#[derive(Debug, Clone, Copy)]
+pub struct ScaleParams {
+    /// Message start-up cost.
+    pub ts: f64,
+    /// Per-word transfer cost.
+    pub tw: f64,
+    /// Time per scalar multiply-add.
+    pub tc: f64,
+}
+
+impl ScaleParams {
+    /// The paper's communication parameters with a unit flop cost.
+    pub const PAPER: ScaleParams = ScaleParams {
+        ts: 150.0,
+        tw: 3.0,
+        tc: 1.0,
+    };
+}
+
+/// Parallel efficiency `E ∈ (0, 1]` of `algo` at `(n, p)`, or `None`
+/// where the algorithm is inapplicable.
+pub fn efficiency(
+    algo: ModelAlgo,
+    port: PortModel,
+    n: usize,
+    p: usize,
+    params: ScaleParams,
+) -> Option<f64> {
+    let o = overhead(algo, port, n, p)?;
+    let nf = n as f64;
+    let pf = p as f64;
+    let t_seq = 2.0 * params.tc * nf * nf * nf;
+    let t_par = t_seq / pf + o.time(params.ts, params.tw);
+    Some(t_seq / (pf * t_par))
+}
+
+/// The smallest matrix order at which `algo` reaches efficiency
+/// `e_target` on `p` processors (searched over powers of two up to
+/// `2^24`), or `None` if it never does within that range.
+pub fn isoefficiency_n(
+    algo: ModelAlgo,
+    port: PortModel,
+    p: usize,
+    params: ScaleParams,
+    e_target: f64,
+) -> Option<usize> {
+    debug_assert!((0.0..1.0).contains(&e_target));
+    (1..=24u32)
+        .map(|e| 1usize << e)
+        .find(|&n| efficiency(algo, port, n, p, params).is_some_and(|e| e >= e_target))
+}
+
+/// Isoefficiency curve: `(p, minimal n)` pairs over the given machine
+/// sizes. Entries where the target is unreachable are skipped.
+pub fn isoefficiency_curve(
+    algo: ModelAlgo,
+    port: PortModel,
+    params: ScaleParams,
+    e_target: f64,
+    machine_sizes: &[usize],
+) -> Vec<(usize, usize)> {
+    machine_sizes
+        .iter()
+        .filter_map(|&p| isoefficiency_n(algo, port, p, params, e_target).map(|n| (p, n)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ONE: PortModel = PortModel::OnePort;
+
+    #[test]
+    fn efficiency_is_in_unit_interval_and_monotone_in_n() {
+        for algo in ModelAlgo::ALL {
+            let (Some(small), Some(large)) = (
+                efficiency(algo, ONE, 256, 64, ScaleParams::PAPER),
+                efficiency(algo, ONE, 2048, 64, ScaleParams::PAPER),
+            ) else {
+                continue;
+            };
+            assert!(small > 0.0 && small <= 1.0, "{algo}: {small}");
+            assert!(large > small, "{algo}: efficiency must grow with n");
+        }
+    }
+
+    #[test]
+    fn efficiency_decreases_with_p_at_fixed_n() {
+        let e1 = efficiency(ModelAlgo::All3d, ONE, 512, 64, ScaleParams::PAPER).unwrap();
+        let e2 = efficiency(ModelAlgo::All3d, ONE, 512, 512, ScaleParams::PAPER).unwrap();
+        assert!(e2 < e1);
+    }
+
+    #[test]
+    fn all3d_has_the_flattest_isoefficiency_curve() {
+        // The paper's thesis as a scalability statement: for a fixed
+        // efficiency target, 3-D All needs the smallest problem growth
+        // among the one-port contenders (wherever it applies).
+        let ps = [64usize, 512, 4096];
+        let target = 0.5;
+        let all = isoefficiency_curve(ModelAlgo::All3d, ONE, ScaleParams::PAPER, target, &ps);
+        assert_eq!(all.len(), ps.len());
+        for other in [ModelAlgo::Cannon, ModelAlgo::Berntsen, ModelAlgo::Dns] {
+            let curve = isoefficiency_curve(other, ONE, ScaleParams::PAPER, target, &ps);
+            for ((p, n_all), (p2, n_other)) in all.iter().zip(&curve) {
+                assert_eq!(p, p2);
+                assert!(
+                    n_all <= n_other,
+                    "{other} at p={p}: 3d-all needs n={n_all}, {other} n={n_other}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn isoefficiency_grows_with_machine_size() {
+        let curve = isoefficiency_curve(
+            ModelAlgo::Diag3d,
+            ONE,
+            ScaleParams::PAPER,
+            0.5,
+            &[8, 64, 512, 4096],
+        );
+        assert!(curve.windows(2).all(|w| w[0].1 <= w[1].1));
+    }
+
+    #[test]
+    fn unreachable_targets_are_skipped() {
+        // With absurd communication costs no power-of-two n up to 2^24
+        // reaches 99.9% efficiency on a large machine.
+        let params = ScaleParams {
+            ts: 1e12,
+            tw: 1e9,
+            tc: 1.0,
+        };
+        assert_eq!(isoefficiency_n(ModelAlgo::Cannon, ONE, 4096, params, 0.999), None);
+    }
+}

@@ -1,0 +1,61 @@
+//! Table 3 — architecture-independent characteristics: overall space.
+
+use crate::costs::ModelAlgo;
+
+/// The "Overall Space used" column of Table 3, in matrix words.
+///
+/// Returns `None` where the algorithm is structurally inapplicable
+/// (`p` beyond its Table 3 condition).
+pub fn total_space(algo: ModelAlgo, n: usize, p: usize) -> Option<f64> {
+    if !crate::costs::structurally_applicable(algo, n, p) {
+        return None;
+    }
+    let n2 = (n * n) as f64;
+    let pf = p as f64;
+    Some(match algo {
+        ModelAlgo::Simple => 2.0 * n2 * pf.sqrt(),
+        ModelAlgo::Cannon | ModelAlgo::Hje => 3.0 * n2,
+        ModelAlgo::Berntsen => 2.0 * n2 + n2 * pf.cbrt(),
+        ModelAlgo::Dns | ModelAlgo::Diag3d | ModelAlgo::All3d => 2.0 * n2 * pf.cbrt(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_values_at_p64() {
+        let n = 64;
+        let n2 = 4096.0;
+        assert_eq!(total_space(ModelAlgo::Simple, n, 64), Some(2.0 * n2 * 8.0));
+        assert_eq!(total_space(ModelAlgo::Cannon, n, 64), Some(3.0 * n2));
+        assert_eq!(total_space(ModelAlgo::Hje, n, 64), Some(3.0 * n2));
+        assert_eq!(
+            total_space(ModelAlgo::Berntsen, n, 64),
+            Some(2.0 * n2 + 4.0 * n2)
+        );
+        assert_eq!(total_space(ModelAlgo::Dns, n, 64), Some(2.0 * n2 * 4.0));
+        assert_eq!(total_space(ModelAlgo::Diag3d, n, 64), Some(2.0 * n2 * 4.0));
+        assert_eq!(total_space(ModelAlgo::All3d, n, 64), Some(2.0 * n2 * 4.0));
+    }
+
+    #[test]
+    fn inapplicable_shapes_have_no_space() {
+        assert_eq!(total_space(ModelAlgo::All3d, 64, 1024), None); // p > n^1.5
+        assert_eq!(total_space(ModelAlgo::Cannon, 8, 128), None); // p > n²
+    }
+
+    #[test]
+    fn cannon_uses_least_space() {
+        for p in [8usize, 64, 512] {
+            let n = 4096;
+            let c = total_space(ModelAlgo::Cannon, n, p).unwrap();
+            for algo in ModelAlgo::ALL {
+                if let Some(s) = total_space(algo, n, p) {
+                    assert!(c <= s, "{algo}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,408 @@
+//! Spawning and joining a simulated machine run.
+
+use std::sync::Arc;
+
+use crossbeam_channel::unbounded;
+use cubemm_topology::log2_exact;
+
+use crate::proc::Envelope;
+use crate::stats::{NodeStats, RunStats};
+use crate::{ChargePolicy, CostParams, LinkTopology, PortModel, Proc};
+
+/// Full machine configuration for [`run_machine_with`].
+#[derive(Debug, Clone, Copy)]
+pub struct MachineOptions {
+    /// One-port or multi-port nodes.
+    pub port: PortModel,
+    /// Message cost parameters.
+    pub cost: CostParams,
+    /// Port-charging policy (the paper's sender-only model by default).
+    pub charge: ChargePolicy,
+    /// Which physical links exist (full hypercube by default).
+    pub links: LinkTopology,
+    /// Record per-message event traces.
+    pub traced: bool,
+}
+
+impl MachineOptions {
+    /// The paper's machine: given port model and costs, sender-charged,
+    /// full hypercube, untraced.
+    pub fn paper(port: PortModel, cost: CostParams) -> Self {
+        MachineOptions {
+            port,
+            cost,
+            charge: ChargePolicy::SenderOnly,
+            links: LinkTopology::Hypercube,
+            traced: false,
+        }
+    }
+}
+
+/// Result of a completed simulated run.
+#[derive(Debug)]
+pub struct RunOutcome<O> {
+    /// Per-node outputs of the SPMD program, indexed by node label.
+    pub outputs: Vec<O>,
+    /// Virtual-time and traffic statistics.
+    pub stats: RunStats,
+    /// Per-node event traces (empty unless the run was traced).
+    pub traces: Vec<Vec<crate::trace::TraceEvent>>,
+}
+
+/// Runs `program` as an SPMD job on a simulated `p`-node hypercube.
+///
+/// `inits[i]` is handed to node `i` as its initial local data — the
+/// paper's algorithms all start from an *assumed* initial distribution, so
+/// placing the blocks is free, exactly as in the paper's accounting. The
+/// per-node return values are collected in label order.
+///
+/// Every node runs on its own OS thread; a node blocking more than the
+/// deadlock timeout on a receive aborts the run with a panic identifying
+/// the blocked node.
+///
+/// # Example
+///
+/// ```
+/// use cubemm_simnet::{run_machine, CostParams, PortModel, Payload};
+///
+/// // Two nodes: node 0 sends 4 words to node 1.
+/// let cost = CostParams { ts: 10.0, tw: 2.0 };
+/// let out = run_machine(2, PortModel::OnePort, cost, vec![(), ()], |proc, ()| {
+///     if proc.id() == 0 {
+///         proc.send(1, 0, (0..4).map(f64::from).collect::<Payload>());
+///     } else {
+///         let data = proc.recv(0, 0);
+///         assert_eq!(data.len(), 4);
+///     }
+/// });
+/// assert_eq!(out.stats.elapsed, 10.0 + 2.0 * 4.0);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `p` is not a power of two, if `inits.len() != p`, or if the
+/// SPMD program itself panics on any node.
+pub fn run_machine<I, O, F>(
+    p: usize,
+    port: PortModel,
+    cost: CostParams,
+    inits: Vec<I>,
+    program: F,
+) -> RunOutcome<O>
+where
+    I: Send,
+    O: Send,
+    F: Fn(&mut Proc, I) -> O + Sync,
+{
+    run_machine_with(
+        p,
+        MachineOptions {
+            traced: false,
+            ..MachineOptions::paper(port, cost)
+        },
+        inits,
+        program,
+    )
+}
+
+/// Like [`run_machine`], but records a [`crate::trace::TraceEvent`] for
+/// every transfer (see `RunOutcome::traces`). Tracing costs host memory
+/// proportional to the message count; virtual times are unaffected.
+pub fn run_machine_traced<I, O, F>(
+    p: usize,
+    port: PortModel,
+    cost: CostParams,
+    inits: Vec<I>,
+    program: F,
+) -> RunOutcome<O>
+where
+    I: Send,
+    O: Send,
+    F: Fn(&mut Proc, I) -> O + Sync,
+{
+    run_machine_with(
+        p,
+        MachineOptions {
+            traced: true,
+            ..MachineOptions::paper(port, cost)
+        },
+        inits,
+        program,
+    )
+}
+
+/// Runs `program` with full control over the machine options, including
+/// the port-charging policy ablation.
+pub fn run_machine_with<I, O, F>(
+    p: usize,
+    options: MachineOptions,
+    inits: Vec<I>,
+    program: F,
+) -> RunOutcome<O>
+where
+    I: Send,
+    O: Send,
+    F: Fn(&mut Proc, I) -> O + Sync,
+{
+    let dim = log2_exact(p).unwrap_or_else(|| panic!("machine size {p} is not a power of two"));
+    assert_eq!(
+        inits.len(),
+        p,
+        "need exactly one initial-data entry per node"
+    );
+
+    let mut senders = Vec::with_capacity(p);
+    let mut receivers = Vec::with_capacity(p);
+    for _ in 0..p {
+        let (tx, rx) = unbounded::<Envelope>();
+        senders.push(tx);
+        receivers.push(rx);
+    }
+    let senders = Arc::new(senders);
+    let program = &program;
+
+    let mut results: Vec<Option<(O, NodeStats, Vec<crate::trace::TraceEvent>)>> =
+        Vec::with_capacity(p);
+    results.resize_with(p, || None);
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(p);
+        for (id, (init, rx)) in inits.into_iter().zip(receivers).enumerate() {
+            let senders = Arc::clone(&senders);
+            handles.push(scope.spawn(move || {
+                let mut proc = Proc::new(id, dim, options, senders, rx);
+                let out = program(&mut proc, init);
+                let (stats, trace) = proc.into_parts();
+                (out, stats, trace)
+            }));
+        }
+        for (id, handle) in handles.into_iter().enumerate() {
+            match handle.join() {
+                Ok(pair) => results[id] = Some(pair),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+
+    let mut outputs = Vec::with_capacity(p);
+    let mut nodes = Vec::with_capacity(p);
+    let mut traces = Vec::with_capacity(p);
+    for triple in results {
+        let (out, stats, trace) = triple.expect("every node joined");
+        outputs.push(out);
+        nodes.push(stats);
+        traces.push(trace);
+    }
+    let elapsed = nodes.iter().map(|n| n.clock).fold(0.0, f64::max);
+    RunOutcome {
+        outputs,
+        stats: RunStats { elapsed, nodes },
+        traces,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Op;
+    use std::sync::Arc;
+
+    fn words(n: usize) -> Arc<[f64]> {
+        (0..n).map(|x| x as f64).collect()
+    }
+
+    const COST: CostParams = CostParams { ts: 10.0, tw: 2.0 };
+
+    #[test]
+    fn neighbor_send_recv_costs_one_hop() {
+        // Node 0 sends 5 words to node 1; both clocks end at ts + 5 tw.
+        let out = run_machine(2, PortModel::OnePort, COST, vec![(), ()], |proc, ()| {
+            if proc.id() == 0 {
+                proc.send(1, 7, words(5));
+            } else {
+                let got = proc.recv(0, 7);
+                assert_eq!(got.len(), 5);
+            }
+            proc.clock()
+        });
+        let expect = 10.0 + 2.0 * 5.0;
+        assert_eq!(out.outputs, vec![expect, expect]);
+        assert_eq!(out.stats.elapsed, expect);
+        assert_eq!(out.stats.total_messages(), 1);
+        assert_eq!(out.stats.total_word_hops(), 5);
+    }
+
+    #[test]
+    fn receive_is_passive_for_busy_receiver() {
+        // Node 1 first performs its own send (port busy until 20), then
+        // receives a message that arrived at t=20; its clock stays 20.
+        let out = run_machine(2, PortModel::OnePort, COST, vec![(), ()], |proc, ()| {
+            match proc.id() {
+                0 => {
+                    proc.send(1, 1, words(5)); // arrives at 20
+                    let _ = proc.recv(1, 2);
+                }
+                _ => {
+                    proc.send(0, 2, words(5)); // port busy [0, 20]
+                    let _ = proc.recv(0, 1); // arrival 20 <= clock 20
+                }
+            }
+            proc.clock()
+        });
+        assert_eq!(out.outputs, vec![20.0, 20.0]);
+    }
+
+    #[test]
+    fn one_port_serializes_multi_sends() {
+        let out = run_machine(4, PortModel::OnePort, COST, vec![(); 4], |proc, ()| {
+            if proc.id() == 0 {
+                proc.multi(vec![
+                    Op::Send {
+                        to: 1,
+                        tag: 0,
+                        data: words(5),
+                    },
+                    Op::Send {
+                        to: 2,
+                        tag: 0,
+                        data: words(5),
+                    },
+                ]);
+            } else if proc.id() != 3 {
+                let _ = proc.recv(0, 0);
+            }
+            proc.clock()
+        });
+        // Two serialized 20-unit sends.
+        assert_eq!(out.outputs[0], 40.0);
+        assert_eq!(out.outputs[1], 20.0); // first arrival
+        assert_eq!(out.outputs[2], 40.0); // second arrival
+    }
+
+    #[test]
+    fn multi_port_overlaps_distinct_links() {
+        let out = run_machine(4, PortModel::MultiPort, COST, vec![(); 4], |proc, ()| {
+            if proc.id() == 0 {
+                proc.multi(vec![
+                    Op::Send {
+                        to: 1,
+                        tag: 0,
+                        data: words(5),
+                    },
+                    Op::Send {
+                        to: 2,
+                        tag: 0,
+                        data: words(5),
+                    },
+                ]);
+            } else if proc.id() != 3 {
+                let _ = proc.recv(0, 0);
+            }
+            proc.clock()
+        });
+        assert_eq!(out.outputs[0], 20.0);
+        assert_eq!(out.outputs[1], 20.0);
+        assert_eq!(out.outputs[2], 20.0);
+    }
+
+    #[test]
+    fn multi_port_serializes_same_link() {
+        let out = run_machine(2, PortModel::MultiPort, COST, vec![(); 2], |proc, ()| {
+            if proc.id() == 0 {
+                proc.multi(vec![
+                    Op::Send {
+                        to: 1,
+                        tag: 0,
+                        data: words(5),
+                    },
+                    Op::Send {
+                        to: 1,
+                        tag: 1,
+                        data: words(5),
+                    },
+                ]);
+            } else {
+                let _ = proc.recv(0, 0);
+                let _ = proc.recv(0, 1);
+            }
+            proc.clock()
+        });
+        assert_eq!(out.outputs[0], 40.0);
+        assert_eq!(out.outputs[1], 40.0);
+    }
+
+    #[test]
+    fn exchange_costs_one_unit_on_the_critical_path() {
+        // Recursive-doubling style pairwise exchange: both nodes send and
+        // receive; the paper charges t_s + t_w m per step.
+        let out = run_machine(2, PortModel::OnePort, COST, vec![(), ()], |proc, ()| {
+            let other = proc.id() ^ 1;
+            let got = proc.exchange(other, 9, words(5));
+            assert_eq!(got.len(), 5);
+            proc.clock()
+        });
+        assert_eq!(out.outputs, vec![20.0, 20.0]);
+    }
+
+    #[test]
+    fn routed_send_charges_hamming_distance() {
+        let out = run_machine(8, PortModel::OnePort, COST, vec![(); 8], |proc, ()| {
+            if proc.id() == 0 {
+                proc.send_routed(0b111, 3, words(5)); // distance 3
+            } else if proc.id() == 0b111 {
+                let _ = proc.recv(0, 3);
+            }
+            proc.clock()
+        });
+        assert_eq!(out.outputs[0], 60.0);
+        assert_eq!(out.outputs[0b111], 60.0);
+        assert_eq!(out.stats.total_messages(), 3);
+        assert_eq!(out.stats.total_word_hops(), 15);
+    }
+
+    #[test]
+    fn out_of_order_tags_are_buffered() {
+        let out = run_machine(2, PortModel::OnePort, COST, vec![(), ()], |proc, ()| {
+            if proc.id() == 0 {
+                proc.send(1, 1, words(1));
+                proc.send(1, 2, words(2));
+            } else {
+                // Receive in reverse tag order.
+                let b = proc.recv(0, 2);
+                let a = proc.recv(0, 1);
+                assert_eq!(b.len(), 2);
+                assert_eq!(a.len(), 1);
+            }
+            proc.clock()
+        });
+        // Node 0: two serialized sends: 12 + 14 = 26.
+        assert_eq!(out.outputs[0], 26.0);
+        assert_eq!(out.outputs[1], 26.0);
+    }
+
+    #[test]
+    fn peak_words_tracked() {
+        let out = run_machine(2, PortModel::OnePort, COST, vec![(), ()], |proc, ()| {
+            proc.track_peak_words(100);
+            proc.track_peak_words(40);
+        });
+        assert_eq!(out.stats.max_peak_words(), 100);
+        assert_eq!(out.stats.total_peak_words(), 200);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a power of two")]
+    fn non_power_of_two_rejected() {
+        let _ = run_machine(3, PortModel::OnePort, COST, vec![(), (), ()], |_, ()| ());
+    }
+
+    #[test]
+    #[should_panic(expected = "not a hypercube neighbor")]
+    fn non_neighbor_send_rejected() {
+        let _ = run_machine(4, PortModel::OnePort, COST, vec![(); 4], |proc, ()| {
+            if proc.id() == 0 {
+                proc.send(3, 0, words(1));
+            }
+        });
+    }
+}

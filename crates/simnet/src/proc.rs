@@ -1,0 +1,392 @@
+//! The per-processor handle: virtual clock, message primitives, counters.
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam_channel::{Receiver, Sender};
+use cubemm_topology::bits::hamming;
+
+use crate::machine::MachineOptions;
+use crate::stats::NodeStats;
+use crate::trace::{TraceEvent, TraceKind};
+use crate::{ChargePolicy, CostParams, LinkTopology, Payload, PortModel};
+
+/// How long a blocking receive may wait on the host machine before the
+/// simulator declares the SPMD program deadlocked. Overridable through
+/// the `CUBEMM_DEADLOCK_TIMEOUT_MS` environment variable (used by the
+/// failure-injection tests to exercise the watchdog quickly).
+fn deadlock_timeout() -> Duration {
+    std::env::var("CUBEMM_DEADLOCK_TIMEOUT_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .map(Duration::from_millis)
+        .unwrap_or(Duration::from_secs(60))
+}
+
+/// A message in flight.
+#[derive(Debug, Clone)]
+pub(crate) struct Envelope {
+    pub from: usize,
+    pub tag: u64,
+    /// Virtual time at which the message is available at the receiver.
+    pub arrive: f64,
+    pub data: Payload,
+}
+
+/// One element of a [`Proc::multi`] batch.
+#[derive(Debug, Clone)]
+pub enum Op {
+    /// Send `data` to neighbor `to` under tag `tag`.
+    Send {
+        /// Destination node label (must be a hypercube neighbor).
+        to: usize,
+        /// Message tag for matching.
+        tag: u64,
+        /// Message payload.
+        data: Payload,
+    },
+    /// Receive the message tagged `tag` from node `from`.
+    Recv {
+        /// Source node label.
+        from: usize,
+        /// Message tag for matching.
+        tag: u64,
+    },
+}
+
+/// Handle through which a virtual processor's SPMD program communicates.
+///
+/// See the crate-level documentation for the cost semantics.
+pub struct Proc {
+    id: usize,
+    dim: u32,
+    port: PortModel,
+    cost: CostParams,
+    charge: ChargePolicy,
+    links: LinkTopology,
+    clock: f64,
+    senders: Arc<Vec<Sender<Envelope>>>,
+    rx: Receiver<Envelope>,
+    pending: HashMap<(usize, u64), VecDeque<Envelope>>,
+    stats: NodeStats,
+    trace: Option<Vec<TraceEvent>>,
+}
+
+impl Proc {
+    pub(crate) fn new(
+        id: usize,
+        dim: u32,
+        options: MachineOptions,
+        senders: Arc<Vec<Sender<Envelope>>>,
+        rx: Receiver<Envelope>,
+    ) -> Self {
+        Proc {
+            id,
+            dim,
+            port: options.port,
+            cost: options.cost,
+            charge: options.charge,
+            links: options.links,
+            clock: 0.0,
+            senders,
+            rx,
+            pending: HashMap::new(),
+            stats: NodeStats::default(),
+            trace: options.traced.then(Vec::new),
+        }
+    }
+
+    fn record(&mut self, kind: TraceKind, tag: u64, words: usize, start: f64, end: f64) {
+        if let Some(trace) = &mut self.trace {
+            trace.push(TraceEvent {
+                node: self.id,
+                kind,
+                tag,
+                words,
+                start,
+                end,
+            });
+        }
+    }
+
+    /// This processor's hypercube label.
+    #[inline]
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Hypercube dimension (`log2 p`).
+    #[inline]
+    pub fn dim(&self) -> u32 {
+        self.dim
+    }
+
+    /// Total processor count.
+    #[inline]
+    pub fn p(&self) -> usize {
+        1usize << self.dim
+    }
+
+    /// The port model this machine runs under.
+    #[inline]
+    pub fn port_model(&self) -> PortModel {
+        self.port
+    }
+
+    /// The cost parameters of this machine.
+    #[inline]
+    pub fn cost(&self) -> CostParams {
+        self.cost
+    }
+
+    /// Current virtual time at this processor.
+    #[inline]
+    pub fn clock(&self) -> f64 {
+        self.clock
+    }
+
+    /// Charges local (non-communication) work to the virtual clock. The
+    /// paper compares communication overheads only — the flop count is
+    /// identical across algorithms — so the matmul drivers do not call
+    /// this; it exists for experiments that want total-time estimates.
+    #[inline]
+    pub fn advance_clock(&mut self, dt: f64) {
+        debug_assert!(dt >= 0.0);
+        self.clock += dt;
+    }
+
+    /// Records an instantaneous resident-data footprint in words; the peak
+    /// over the run feeds the Table 3 space measurements.
+    #[inline]
+    pub fn track_peak_words(&mut self, words: usize) {
+        self.stats.peak_words = self.stats.peak_words.max(words);
+    }
+
+    /// Sends `data` to a hypercube neighbor, charging the sender's port
+    /// for one hop.
+    pub fn send(&mut self, to: usize, tag: u64, data: impl Into<Payload>) {
+        let data = data.into();
+        assert_eq!(
+            hamming(self.id, to),
+            1,
+            "send: node {} -> {} is not a hypercube neighbor (use send_routed)",
+            self.id,
+            to
+        );
+        assert!(
+            self.links.allows(self.id, to),
+            "send: edge {} -> {} does not exist in {:?}",
+            self.id,
+            to,
+            self.links
+        );
+        let start = self.clock;
+        let end = start + self.cost.hop(data.len());
+        self.clock = end;
+        self.record(TraceKind::Send { to, hops: 1 }, tag, data.len(), start, end);
+        self.inject(to, tag, end, data, 1);
+    }
+
+    /// Point-to-point transfer to an arbitrary node via dimension-ordered
+    /// routing over `h` hops (`h` = Hamming distance), priced as the
+    /// paper prices its non-neighbor point-to-point phases:
+    ///
+    /// * one-port: store-and-forward, `h·(t_s + t_w·m)`;
+    /// * multi-port: the message is pipelined along the path in pieces,
+    ///   `h·t_s + t_w·m` (this is what makes the DNS and 3-D Diagonal
+    ///   multi-port rows of Table 2 carry a `t_w` term of `m`, not
+    ///   `m·log ∛p`).
+    pub fn send_routed(&mut self, to: usize, tag: u64, data: impl Into<Payload>) {
+        let data = data.into();
+        let h = hamming(self.id, to);
+        assert!(h > 0, "send_routed: node {} sending to itself", self.id);
+        let cost = match self.port {
+            PortModel::OnePort => f64::from(h) * self.cost.hop(data.len()),
+            PortModel::MultiPort => {
+                f64::from(h) * self.cost.ts + self.cost.tw * data.len() as f64
+            }
+        };
+        let start = self.clock;
+        let end = start + cost;
+        self.clock = end;
+        self.record(TraceKind::Send { to, hops: h }, tag, data.len(), start, end);
+        self.inject(to, tag, end, data, h as usize);
+    }
+
+    /// Receives the message tagged `tag` from `from`, advancing the clock
+    /// to its arrival time if it has not yet arrived. Receives are
+    /// passive: they do not occupy the port (crate docs).
+    pub fn recv(&mut self, from: usize, tag: u64) -> Payload {
+        let start = self.clock;
+        let env = self.take_matching(from, tag);
+        self.clock = match self.charge {
+            ChargePolicy::SenderOnly => self.clock.max(env.arrive),
+            // Symmetric: pulling the message occupies this port too.
+            ChargePolicy::Symmetric => {
+                self.clock.max(env.arrive) + self.cost.hop(env.data.len())
+            }
+        };
+        self.record(TraceKind::Recv { from }, tag, env.data.len(), start, self.clock);
+        env.data
+    }
+
+    /// Issues a batch of logically concurrent operations.
+    ///
+    /// All `Send`s are processed first, then all `Recv`s (so a batch may
+    /// safely exchange with partners issuing mirror-image batches). Under
+    /// one-port the sends serialize; under multi-port sends to distinct
+    /// neighbors overlap (sends sharing a link serialize on it). The
+    /// returned vector is aligned with `ops`: `Some(payload)` for each
+    /// `Recv`, `None` for each `Send`.
+    pub fn multi(&mut self, ops: Vec<Op>) -> Vec<Option<Payload>> {
+        let batch_start = self.clock;
+        let mut link_busy: HashMap<usize, f64> = HashMap::new();
+        let mut results: Vec<Option<Payload>> = Vec::with_capacity(ops.len());
+        let mut batch_end = batch_start;
+
+        // Phase 1: inject all sends.
+        for op in &ops {
+            if let Op::Send { to, tag, data } = op {
+                assert_eq!(
+                    hamming(self.id, *to),
+                    1,
+                    "multi: node {} -> {} is not a hypercube neighbor",
+                    self.id,
+                    to
+                );
+                assert!(
+                    self.links.allows(self.id, *to),
+                    "multi: edge {} -> {} does not exist in {:?}",
+                    self.id,
+                    to,
+                    self.links
+                );
+                let start = match self.port {
+                    // One-port: the single port serializes every send.
+                    PortModel::OnePort => batch_end.max(batch_start),
+                    // Multi-port: each link proceeds independently.
+                    PortModel::MultiPort => *link_busy.get(to).unwrap_or(&batch_start),
+                };
+                let end = start + self.cost.hop(data.len());
+                match self.port {
+                    PortModel::OnePort => batch_end = end,
+                    PortModel::MultiPort => {
+                        link_busy.insert(*to, end);
+                        batch_end = batch_end.max(end);
+                    }
+                }
+                self.record(
+                    TraceKind::Send { to: *to, hops: 1 },
+                    *tag,
+                    data.len(),
+                    start,
+                    end,
+                );
+                self.inject(*to, *tag, end, data.clone(), 1);
+            }
+        }
+
+        // Phase 2: satisfy all receives (passive).
+        for op in ops {
+            match op {
+                Op::Send { .. } => results.push(None),
+                Op::Recv { from, tag } => {
+                    let env = self.take_matching(from, tag);
+                    let end = match self.charge {
+                        ChargePolicy::SenderOnly => env.arrive,
+                        ChargePolicy::Symmetric => match self.port {
+                            // One-port: the pull serializes on the port.
+                            PortModel::OnePort => {
+                                batch_end.max(env.arrive) + self.cost.hop(env.data.len())
+                            }
+                            // Multi-port: the pull occupies its own link.
+                            PortModel::MultiPort => {
+                                let busy = link_busy.get(&from).copied().unwrap_or(batch_start);
+                                let end = busy.max(env.arrive) + self.cost.hop(env.data.len());
+                                link_busy.insert(from, end);
+                                end
+                            }
+                        },
+                    };
+                    batch_end = batch_end.max(end);
+                    self.record(
+                        TraceKind::Recv { from },
+                        tag,
+                        env.data.len(),
+                        batch_start,
+                        end.max(batch_start),
+                    );
+                    results.push(Some(env.data));
+                }
+            }
+        }
+
+        self.clock = self.clock.max(batch_end);
+        results
+    }
+
+    /// Convenience: simultaneous exchange with one partner — send `data`
+    /// and receive the partner's message with the same tag. On one-port
+    /// machines this is one charged send plus a passive receive, i.e. one
+    /// `t_s + t_w·m` on the critical path when both sides exchange — the
+    /// cost the paper assigns to a recursive-doubling step.
+    pub fn exchange(&mut self, partner: usize, tag: u64, data: impl Into<Payload>) -> Payload {
+        let out = self.multi(vec![
+            Op::Send {
+                to: partner,
+                tag,
+                data: data.into(),
+            },
+            Op::Recv { from: partner, tag },
+        ]);
+        out.into_iter().flatten().next().expect("exchange recv")
+    }
+
+    /// Consumes the processor handle, returning its final statistics and
+    /// (if tracing was enabled) the event trace.
+    pub(crate) fn into_parts(mut self) -> (NodeStats, Vec<TraceEvent>) {
+        self.stats.clock = self.clock;
+        (self.stats, self.trace.unwrap_or_default())
+    }
+
+    fn inject(&mut self, to: usize, tag: u64, arrive: f64, data: Payload, hops: usize) {
+        self.stats.messages += hops;
+        self.stats.word_hops += hops * data.len();
+        self.senders[to]
+            .send(Envelope {
+                from: self.id,
+                tag,
+                arrive,
+                data,
+            })
+            .expect("simnet channel closed prematurely");
+    }
+
+    fn take_matching(&mut self, from: usize, tag: u64) -> Envelope {
+        if let Some(queue) = self.pending.get_mut(&(from, tag)) {
+            if let Some(env) = queue.pop_front() {
+                return env;
+            }
+        }
+        let timeout = deadlock_timeout();
+        loop {
+            match self.rx.recv_timeout(timeout) {
+                Ok(env) => {
+                    if env.from == from && env.tag == tag {
+                        return env;
+                    }
+                    self.pending
+                        .entry((env.from, env.tag))
+                        .or_default()
+                        .push_back(env);
+                }
+                Err(_) => panic!(
+                    "simulated deadlock: node {} waited {:?} for (from={}, tag={:#x})",
+                    self.id, timeout, from, tag
+                ),
+            }
+        }
+    }
+}

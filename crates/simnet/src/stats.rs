@@ -1,0 +1,48 @@
+//! Per-node and per-run statistics gathered by the simulator.
+
+/// Counters for a single virtual processor.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct NodeStats {
+    /// Final virtual clock of the node.
+    pub clock: f64,
+    /// Messages injected by this node (each routed hop of a
+    /// `send_routed` counts once, matching the start-up accounting).
+    pub messages: usize,
+    /// Words injected by this node, multiplied by hops travelled.
+    pub word_hops: usize,
+    /// Peak words of matrix data held at any instrumented point
+    /// (see [`crate::Proc::track_peak_words`]).
+    pub peak_words: usize,
+}
+
+/// Aggregated result of one simulated run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunStats {
+    /// Elapsed virtual time: the maximum final clock over all nodes.
+    pub elapsed: f64,
+    /// Per-node counters, indexed by node label.
+    pub nodes: Vec<NodeStats>,
+}
+
+impl RunStats {
+    /// Total messages injected across all nodes.
+    pub fn total_messages(&self) -> usize {
+        self.nodes.iter().map(|n| n.messages).sum()
+    }
+
+    /// Total word·hops across all nodes.
+    pub fn total_word_hops(&self) -> usize {
+        self.nodes.iter().map(|n| n.word_hops).sum()
+    }
+
+    /// Maximum peak resident words over all nodes.
+    pub fn max_peak_words(&self) -> usize {
+        self.nodes.iter().map(|n| n.peak_words).max().unwrap_or(0)
+    }
+
+    /// Sum of per-node peak words: the paper's "overall space used"
+    /// (Table 3) counts total words across the machine.
+    pub fn total_peak_words(&self) -> usize {
+        self.nodes.iter().map(|n| n.peak_words).sum()
+    }
+}

@@ -1,0 +1,63 @@
+//! Optional per-message event tracing.
+//!
+//! When enabled (see [`crate::run_machine_traced`]), every transfer is
+//! recorded with its virtual start/end times, producing a timeline that
+//! can be rendered as a Gantt chart of the algorithm's phases (see the
+//! `phase_trace` example).
+
+/// What a traced event describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceKind {
+    /// An outgoing transfer charged to this node's port.
+    Send {
+        /// Destination node label.
+        to: usize,
+        /// Hops travelled (1 for neighbor sends).
+        hops: u32,
+    },
+    /// A completed receive (passive).
+    Recv {
+        /// Source node label.
+        from: usize,
+    },
+}
+
+/// One traced communication event at a node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// The node the event belongs to.
+    pub node: usize,
+    /// Send or receive.
+    pub kind: TraceKind,
+    /// Message tag.
+    pub tag: u64,
+    /// Payload length in words.
+    pub words: usize,
+    /// Virtual time the event began (port occupied / wait started).
+    pub start: f64,
+    /// Virtual time the event completed.
+    pub end: f64,
+}
+
+impl TraceEvent {
+    /// A short single-line rendering used by the trace example.
+    pub fn describe(&self) -> String {
+        match self.kind {
+            TraceKind::Send { to, hops } => format!(
+                "[{:>8.1} → {:>8.1}] node {:>3} SEND {:>5}w to   {:>3} (tag {:#x}, {} hop{})",
+                self.start,
+                self.end,
+                self.node,
+                self.words,
+                to,
+                self.tag,
+                hops,
+                if hops == 1 { "" } else { "s" }
+            ),
+            TraceKind::Recv { from } => format!(
+                "[{:>8.1} → {:>8.1}] node {:>3} RECV {:>5}w from {:>3} (tag {:#x})",
+                self.start, self.end, self.node, self.words, from, self.tag
+            ),
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! Tests for the optional event tracing.
+
+use cubemm_simnet::{run_machine, run_machine_traced, CostParams, Payload, PortModel, TraceKind};
+
+const COST: CostParams = CostParams { ts: 10.0, tw: 2.0 };
+
+fn words(n: usize) -> Payload {
+    (0..n).map(|x| x as f64).collect()
+}
+
+#[test]
+fn untraced_runs_have_empty_traces() {
+    let out = run_machine(2, PortModel::OnePort, COST, vec![(), ()], |proc, ()| {
+        if proc.id() == 0 {
+            proc.send(1, 1, words(4));
+        } else {
+            let _ = proc.recv(0, 1);
+        }
+    });
+    assert!(out.traces.iter().all(Vec::is_empty));
+}
+
+#[test]
+fn traced_run_records_send_and_recv_with_times() {
+    let out = run_machine_traced(2, PortModel::OnePort, COST, vec![(), ()], |proc, ()| {
+        if proc.id() == 0 {
+            proc.send(1, 7, words(5));
+        } else {
+            let _ = proc.recv(0, 7);
+        }
+    });
+    let send = &out.traces[0][0];
+    assert_eq!(send.node, 0);
+    assert_eq!(send.tag, 7);
+    assert_eq!(send.words, 5);
+    assert_eq!((send.start, send.end), (0.0, 20.0));
+    assert!(matches!(send.kind, TraceKind::Send { to: 1, hops: 1 }));
+
+    let recv = &out.traces[1][0];
+    assert_eq!(recv.node, 1);
+    assert_eq!(recv.end, 20.0);
+    assert!(matches!(recv.kind, TraceKind::Recv { from: 0 }));
+    assert!(recv.describe().contains("RECV"));
+}
+
+#[test]
+fn traced_routed_send_records_hops() {
+    let out = run_machine_traced(8, PortModel::OnePort, COST, vec![(); 8], |proc, ()| {
+        if proc.id() == 0 {
+            proc.send_routed(0b111, 3, words(2));
+        } else if proc.id() == 0b111 {
+            let _ = proc.recv(0, 3);
+        }
+    });
+    let send = &out.traces[0][0];
+    assert!(matches!(send.kind, TraceKind::Send { to: 7, hops: 3 }));
+    assert_eq!(send.end, 3.0 * (10.0 + 4.0));
+}
+
+#[test]
+fn tracing_does_not_change_virtual_time() {
+    let run = |traced: bool| {
+        let body = |proc: &mut cubemm_simnet::Proc, ()| {
+            let _ = proc.exchange(proc.id() ^ 1, 1, words(16));
+            let _ = proc.exchange(proc.id() ^ 2, 2, words(8));
+        };
+        if traced {
+            run_machine_traced(4, PortModel::OnePort, COST, vec![(); 4], body)
+                .stats
+                .elapsed
+        } else {
+            run_machine(4, PortModel::OnePort, COST, vec![(); 4], body)
+                .stats
+                .elapsed
+        }
+    };
+    assert_eq!(run(false), run(true));
+}

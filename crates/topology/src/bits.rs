@@ -1,0 +1,96 @@
+//! Small bit-manipulation helpers used throughout the workspace.
+
+/// Returns `true` iff `x` is a positive power of two.
+#[inline]
+pub fn is_pow2(x: usize) -> bool {
+    x != 0 && x & (x - 1) == 0
+}
+
+/// Returns `log2(x)` when `x` is an exact power of two, `None` otherwise.
+#[inline]
+pub fn log2_exact(x: usize) -> Option<u32> {
+    if is_pow2(x) {
+        Some(x.trailing_zeros())
+    } else {
+        None
+    }
+}
+
+/// Deposits the low bits of `value` into the bit positions listed in
+/// `dims` (lowest-order source bit goes to `dims[0]`, and so on).
+///
+/// This is the software equivalent of the PDEP instruction restricted to a
+/// list of bit positions; it converts a *rank within a subcube* into the
+/// subcube-relative part of a hypercube node label.
+#[inline]
+pub fn deposit_bits(value: usize, dims: &[u32]) -> usize {
+    let mut out = 0usize;
+    for (i, &d) in dims.iter().enumerate() {
+        if (value >> i) & 1 == 1 {
+            out |= 1usize << d;
+        }
+    }
+    out
+}
+
+/// Extracts the bits of `label` at the positions listed in `dims` and packs
+/// them into the low bits of the result (inverse of [`deposit_bits`]).
+#[inline]
+pub fn extract_bits(label: usize, dims: &[u32]) -> usize {
+    let mut out = 0usize;
+    for (i, &d) in dims.iter().enumerate() {
+        if (label >> d) & 1 == 1 {
+            out |= 1usize << i;
+        }
+    }
+    out
+}
+
+/// Hamming distance between two node labels: the number of hypercube hops
+/// on a shortest path between them.
+#[inline]
+pub fn hamming(a: usize, b: usize) -> u32 {
+    (a ^ b).count_ones()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pow2_detection() {
+        assert!(is_pow2(1));
+        assert!(is_pow2(2));
+        assert!(is_pow2(1024));
+        assert!(!is_pow2(0));
+        assert!(!is_pow2(3));
+        assert!(!is_pow2(1023));
+    }
+
+    #[test]
+    fn log2_exact_values() {
+        assert_eq!(log2_exact(1), Some(0));
+        assert_eq!(log2_exact(8), Some(3));
+        assert_eq!(log2_exact(12), None);
+        assert_eq!(log2_exact(0), None);
+    }
+
+    #[test]
+    fn deposit_extract_roundtrip() {
+        let dims = [1, 4, 5, 9];
+        for v in 0..16usize {
+            let lab = deposit_bits(v, &dims);
+            assert_eq!(extract_bits(lab, &dims), v);
+            // Only the listed positions may be set.
+            let mask: usize = dims.iter().map(|&d| 1usize << d).sum();
+            assert_eq!(lab & !mask, 0);
+        }
+    }
+
+    #[test]
+    fn hamming_examples() {
+        assert_eq!(hamming(0, 0), 0);
+        assert_eq!(hamming(0b1010, 0b0110), 2);
+        assert_eq!(hamming(0, usize::MAX), usize::BITS);
+    }
+}

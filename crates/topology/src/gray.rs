@@ -1,0 +1,108 @@
+//! Binary-reflected Gray codes (BRGC).
+//!
+//! The BRGC maps the integers `0..2^k` onto hypercube node labels so that
+//! consecutive integers (including the wrap-around `2^k - 1 → 0`) map to
+//! *adjacent* hypercube nodes. This is the classical Hamiltonian-cycle
+//! embedding of a ring into a hypercube, and is what lets Cannon-style
+//! "shift by one position along the row" steps cost a single hop on a
+//! hypercube (paper §3.2, §3.3).
+
+/// The binary-reflected Gray code of `i`.
+///
+/// ```
+/// use cubemm_topology::{gray, gray_inverse};
+/// assert_eq!(gray(5), 0b111);
+/// assert_eq!(gray_inverse(gray(5)), 5);
+/// // Consecutive codes differ in exactly one bit (ring embedding).
+/// assert_eq!((gray(6) ^ gray(7)).count_ones(), 1);
+/// ```
+#[inline]
+pub fn gray(i: usize) -> usize {
+    i ^ (i >> 1)
+}
+
+/// The inverse of [`gray`]: returns `i` such that `gray(i) == g`.
+#[inline]
+pub fn gray_inverse(g: usize) -> usize {
+    let mut i = g;
+    let mut shift = 1u32;
+    while shift < usize::BITS {
+        i ^= i >> shift;
+        shift <<= 1;
+    }
+    i
+}
+
+/// The bit position in which `gray(k)` and `gray(k + 1)` differ.
+///
+/// For the BRGC this is the ruler function `ctz(k + 1)`. The
+/// Ho–Johnsson–Edelman algorithm's schedule `g_{l,k}` (paper, Algorithm 1)
+/// is this value rotated by `l` within the subcube dimension count.
+#[inline]
+pub fn gray_delta_bit(k: usize) -> u32 {
+    (k + 1).trailing_zeros()
+}
+
+/// The schedule bit `g_{l,k}` of the Ho–Johnsson–Edelman algorithm: the
+/// position in which the `d`-bit Gray codes, rotated left by `l` bits, of
+/// `k` and `k + 1` differ (indices taken modulo `2^d`).
+#[inline]
+pub fn hje_schedule_bit(l: u32, k: usize, d: u32) -> u32 {
+    debug_assert!(d > 0);
+    let q = 1usize << d;
+    let k = k % q;
+    // On the wrap-around step the codes differ in the top bit.
+    let base = if k == q - 1 { d - 1 } else { gray_delta_bit(k) };
+    // Rotating the code left by `l` moves the differing bit up by `l`
+    // (mod d).
+    (base + l) % d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gray_small_values() {
+        let expected = [0b000, 0b001, 0b011, 0b010, 0b110, 0b111, 0b101, 0b100];
+        for (i, &g) in expected.iter().enumerate() {
+            assert_eq!(gray(i), g, "gray({i})");
+        }
+    }
+
+    #[test]
+    fn gray_inverse_roundtrip() {
+        for i in 0..4096usize {
+            assert_eq!(gray_inverse(gray(i)), i);
+            assert_eq!(gray(gray_inverse(i)), i);
+        }
+    }
+
+    #[test]
+    fn consecutive_codes_are_adjacent() {
+        let q = 64usize;
+        for i in 0..q {
+            let a = gray(i);
+            let b = gray((i + 1) % q);
+            assert_eq!((a ^ b).count_ones(), 1, "gray({i}) vs gray({})", (i + 1) % q);
+        }
+    }
+
+    #[test]
+    fn delta_bit_matches_codes() {
+        for k in 0..1000usize {
+            let d = gray_delta_bit(k);
+            assert_eq!(gray(k) ^ gray(k + 1), 1usize << d);
+        }
+    }
+
+    #[test]
+    fn hje_schedule_stays_in_range() {
+        let d = 3;
+        for l in 0..d {
+            for k in 0..(1usize << d) {
+                assert!(hje_schedule_bit(l, k, d) < d);
+            }
+        }
+    }
+}

@@ -1,0 +1,264 @@
+//! Virtual 2-D and 3-D grid embeddings into a hypercube.
+//!
+//! All the matrix-multiplication algorithms in the paper run on a virtual
+//! `√p × √p` or `∛p × ∛p × ∛p` grid of processors embedded in a
+//! `p`-processor hypercube (paper §2). We assign each grid axis a disjoint
+//! group of label bits, so that:
+//!
+//! * every grid line (row, column, fibre) is a subcube, hence the optimal
+//!   hypercube collectives apply along it, and
+//! * XOR-shifts of a single coordinate bit are single-hop neighbor sends,
+//!   which is how Cannon-style circular shifts are realised on hypercubes
+//!   (the XOR/Gray-sequence form, see `cubemm-core`).
+//!
+//! Coordinates map to label bits *in binary* (coordinate value = packed
+//! label bits). Grid coordinate order follows the paper: a processor
+//! `p_{i,j,k}` has `i` on the x axis, `j` on the y axis, `k` on the z axis.
+
+use crate::subcube::Subcube;
+use crate::TopologyError;
+
+/// A `q × q` virtual grid embedded in a `p = q²` node hypercube.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Grid2 {
+    bits: u32,
+}
+
+impl Grid2 {
+    /// Builds the embedding for a `p`-node hypercube (`p` must be an even
+    /// power of two).
+    pub fn new(p: usize) -> Result<Self, TopologyError> {
+        let dim = crate::bits::log2_exact(p).ok_or(TopologyError::NotPowerOfTwo(p))?;
+        if dim % 2 != 0 {
+            return Err(TopologyError::IndivisibleDimension { dim, divisor: 2 });
+        }
+        Ok(Grid2 { bits: dim / 2 })
+    }
+
+    /// Side length `q = √p`.
+    #[inline]
+    pub fn q(&self) -> usize {
+        1usize << self.bits
+    }
+
+    /// Total processors `p = q²`.
+    #[inline]
+    pub fn p(&self) -> usize {
+        1usize << (2 * self.bits)
+    }
+
+    /// Label bits per axis (`log q`).
+    #[inline]
+    pub fn axis_bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Node label of grid processor `p_{i,j}` (row `i`, column `j`).
+    ///
+    /// Row index `i` occupies the low bit group, column index `j` the high
+    /// group; the choice is arbitrary but fixed.
+    #[inline]
+    pub fn node(&self, i: usize, j: usize) -> usize {
+        debug_assert!(i < self.q() && j < self.q());
+        i | (j << self.bits)
+    }
+
+    /// Inverse of [`Grid2::node`].
+    #[inline]
+    pub fn coords(&self, node: usize) -> (usize, usize) {
+        let mask = self.q() - 1;
+        (node & mask, (node >> self.bits) & mask)
+    }
+
+    /// The subcube spanned by row `i` (all `p_{i,*}`, varying `j`).
+    pub fn row(&self, i: usize) -> Subcube {
+        Subcube::new(self.node(i, 0), (self.bits..2 * self.bits).collect())
+    }
+
+    /// The subcube spanned by column `j` (all `p_{*,j}`, varying `i`).
+    pub fn col(&self, j: usize) -> Subcube {
+        Subcube::new(self.node(0, j), (0..self.bits).collect())
+    }
+}
+
+/// A `q × q × q` virtual grid embedded in a `p = q³` node hypercube.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Grid3 {
+    bits: u32,
+}
+
+impl Grid3 {
+    /// Builds the embedding for a `p`-node hypercube (`p` must be a power
+    /// of two whose exponent is divisible by 3).
+    pub fn new(p: usize) -> Result<Self, TopologyError> {
+        let dim = crate::bits::log2_exact(p).ok_or(TopologyError::NotPowerOfTwo(p))?;
+        if dim % 3 != 0 {
+            return Err(TopologyError::IndivisibleDimension { dim, divisor: 3 });
+        }
+        Ok(Grid3 { bits: dim / 3 })
+    }
+
+    /// Side length `q = ∛p`.
+    #[inline]
+    pub fn q(&self) -> usize {
+        1usize << self.bits
+    }
+
+    /// Total processors `p = q³`.
+    #[inline]
+    pub fn p(&self) -> usize {
+        1usize << (3 * self.bits)
+    }
+
+    /// Label bits per axis (`log q`).
+    #[inline]
+    pub fn axis_bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Node label of grid processor `p_{i,j,k}` (x = `i`, y = `j`, z = `k`).
+    #[inline]
+    pub fn node(&self, i: usize, j: usize, k: usize) -> usize {
+        debug_assert!(i < self.q() && j < self.q() && k < self.q());
+        i | (j << self.bits) | (k << (2 * self.bits))
+    }
+
+    /// Inverse of [`Grid3::node`].
+    #[inline]
+    pub fn coords(&self, node: usize) -> (usize, usize, usize) {
+        let mask = self.q() - 1;
+        (
+            node & mask,
+            (node >> self.bits) & mask,
+            (node >> (2 * self.bits)) & mask,
+        )
+    }
+
+    /// Subcube of the x line through `p_{*,j,k}` (varying `i`).
+    pub fn x_line(&self, j: usize, k: usize) -> Subcube {
+        Subcube::new(self.node(0, j, k), (0..self.bits).collect())
+    }
+
+    /// Subcube of the y line through `p_{i,*,k}` (varying `j`).
+    pub fn y_line(&self, i: usize, k: usize) -> Subcube {
+        Subcube::new(self.node(i, 0, k), (self.bits..2 * self.bits).collect())
+    }
+
+    /// Subcube of the z line through `p_{i,j,*}` (varying `k`).
+    pub fn z_line(&self, i: usize, j: usize) -> Subcube {
+        Subcube::new(self.node(i, j, 0), (2 * self.bits..3 * self.bits).collect())
+    }
+
+    /// Subcube of the x–y plane at height `z = k` (used by Berntsen's
+    /// subcube decomposition and the DNS algorithm's base plane).
+    pub fn xy_plane(&self, k: usize) -> Subcube {
+        Subcube::new(self.node(0, 0, k), (0..2 * self.bits).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid2_shape_checks() {
+        assert!(Grid2::new(16).is_ok());
+        assert!(Grid2::new(64).is_ok());
+        assert_eq!(Grid2::new(8), Err(TopologyError::IndivisibleDimension { dim: 3, divisor: 2 }));
+        assert_eq!(Grid2::new(12), Err(TopologyError::NotPowerOfTwo(12)));
+    }
+
+    #[test]
+    fn grid2_node_coords_roundtrip() {
+        let g = Grid2::new(64).unwrap();
+        for i in 0..g.q() {
+            for j in 0..g.q() {
+                assert_eq!(g.coords(g.node(i, j)), (i, j));
+            }
+        }
+    }
+
+    #[test]
+    fn grid2_labels_are_a_bijection() {
+        let g = Grid2::new(16).unwrap();
+        let mut seen = vec![false; g.p()];
+        for i in 0..g.q() {
+            for j in 0..g.q() {
+                let n = g.node(i, j);
+                assert!(!seen[n]);
+                seen[n] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn grid2_lines_are_subcubes_with_rank_equal_to_coordinate() {
+        let g = Grid2::new(64).unwrap();
+        for i in 0..g.q() {
+            let row = g.row(i);
+            assert_eq!(row.size(), g.q());
+            for j in 0..g.q() {
+                assert_eq!(row.rank_of(g.node(i, j)), j);
+            }
+        }
+        for j in 0..g.q() {
+            let col = g.col(j);
+            for i in 0..g.q() {
+                assert_eq!(col.rank_of(g.node(i, j)), i);
+            }
+        }
+    }
+
+    #[test]
+    fn grid3_shape_checks() {
+        assert!(Grid3::new(8).is_ok());
+        assert!(Grid3::new(512).is_ok());
+        assert_eq!(Grid3::new(16), Err(TopologyError::IndivisibleDimension { dim: 4, divisor: 3 }));
+    }
+
+    #[test]
+    fn grid3_node_coords_roundtrip() {
+        let g = Grid3::new(64).unwrap();
+        for i in 0..g.q() {
+            for j in 0..g.q() {
+                for k in 0..g.q() {
+                    assert_eq!(g.coords(g.node(i, j, k)), (i, j, k));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn grid3_lines_rank_matches_varying_coordinate() {
+        let g = Grid3::new(512).unwrap();
+        let (i, j, k) = (3, 5, 6);
+        assert_eq!(g.x_line(j, k).rank_of(g.node(i, j, k)), i);
+        assert_eq!(g.y_line(i, k).rank_of(g.node(i, j, k)), j);
+        assert_eq!(g.z_line(i, j).rank_of(g.node(i, j, k)), k);
+    }
+
+    #[test]
+    fn grid3_xy_plane_contains_exactly_the_plane() {
+        let g = Grid3::new(64).unwrap();
+        let plane = g.xy_plane(2);
+        assert_eq!(plane.size(), g.q() * g.q());
+        for i in 0..g.q() {
+            for j in 0..g.q() {
+                assert!(plane.contains(g.node(i, j, 2)));
+                assert!(!plane.contains(g.node(i, j, 3)));
+            }
+        }
+    }
+
+    #[test]
+    fn single_bit_coordinate_xor_is_single_hop() {
+        let g = Grid3::new(512).unwrap();
+        let (i, j, k) = (5, 2, 7);
+        let n = g.node(i, j, k);
+        for b in 0..g.axis_bits() {
+            let m = g.node(i ^ (1 << b), j, k);
+            assert_eq!((n ^ m).count_ones(), 1);
+        }
+    }
+}

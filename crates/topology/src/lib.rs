@@ -1,0 +1,60 @@
+//! Hypercube topology mathematics for the cubemm workspace.
+//!
+//! A *d*-dimensional (binary) hypercube has `p = 2^d` nodes labelled
+//! `0..p`; two nodes are adjacent iff their labels differ in exactly one
+//! bit. This crate provides the pure, machine-independent math the rest of
+//! the workspace builds on:
+//!
+//! * bit utilities ([`bits`]),
+//! * binary-reflected Gray codes ([`gray()`]) — the Hamiltonian-cycle
+//!   embedding used for ring shifts (Cannon's algorithm),
+//! * subcube addressing ([`subcube`]) — every row/column/fibre of a virtual
+//!   grid embedded in a hypercube is itself a smaller hypercube (paper §2),
+//! * 2-D and 3-D virtual grid embeddings ([`grid`]).
+//!
+//! Nothing here knows about messages or matrices; it is shared by the
+//! simulator, the collectives library, and the algorithm crate.
+
+pub mod bits;
+pub mod gray;
+pub mod grid;
+pub mod grid_ext;
+pub mod subcube;
+
+pub use bits::{is_pow2, log2_exact};
+pub use gray::{gray, gray_inverse, gray_delta_bit};
+pub use grid::{Grid2, Grid3};
+pub use grid_ext::{FlatGrid3, SupernodeGrid};
+pub use subcube::Subcube;
+
+/// Errors produced when a requested topology shape is impossible.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopologyError {
+    /// The node count is not a power of two.
+    NotPowerOfTwo(usize),
+    /// The hypercube dimension is not divisible as required by the target
+    /// virtual grid (e.g. a square 2-D grid needs an even dimension).
+    IndivisibleDimension {
+        /// total hypercube dimension
+        dim: u32,
+        /// required divisor (2 for square grids, 3 for cubic grids)
+        divisor: u32,
+    },
+}
+
+impl std::fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TopologyError::NotPowerOfTwo(p) => {
+                write!(f, "node count {p} is not a power of two")
+            }
+            TopologyError::IndivisibleDimension { dim, divisor } => write!(
+                f,
+                "hypercube dimension {dim} is not divisible by {divisor} as \
+                 required by the virtual grid"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}

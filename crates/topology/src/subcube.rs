@@ -1,0 +1,170 @@
+//! Subcube addressing.
+//!
+//! A *subcube* of a hypercube is the set of nodes obtained by fixing some
+//! bits of the label and letting the others range freely. Every
+//! one-dimensional chain of a virtual grid embedded in a hypercube (a grid
+//! row, column, or fibre) is such a subcube, which is why the collective
+//! operations of Johnsson & Ho apply along grid lines (paper §2).
+
+use crate::bits::{deposit_bits, extract_bits};
+
+/// A subcube described by a fixed `base` label and an ordered list of free
+/// dimensions.
+///
+/// The *rank* of a member is the integer formed by its bits in the free
+/// dimensions (`dims[0]` is rank bit 0). Ranks run `0..size()`.
+///
+/// ```
+/// use cubemm_topology::Subcube;
+/// // The "row" {4, 5, 6, 7} of a 3-cube: dims {0, 1} free, bit 2 set.
+/// let sc = Subcube::new(0b100, vec![0, 1]);
+/// assert_eq!(sc.size(), 4);
+/// assert_eq!(sc.member(3), 0b111);
+/// assert_eq!(sc.rank_of(0b110), 2);
+/// assert!(!sc.contains(0b010));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Subcube {
+    base: usize,
+    dims: Vec<u32>,
+}
+
+impl Subcube {
+    /// Creates a subcube from a base label and free dimensions.
+    ///
+    /// Bits of `base` in free dimensions are cleared, so any member label
+    /// may serve as the base.
+    pub fn new(base: usize, dims: Vec<u32>) -> Self {
+        let mask: usize = dims.iter().map(|&d| 1usize << d).sum();
+        Subcube {
+            base: base & !mask,
+            dims,
+        }
+    }
+
+    /// The whole hypercube of dimension `d` as a subcube.
+    pub fn whole(d: u32) -> Self {
+        Subcube::new(0, (0..d).collect())
+    }
+
+    /// Number of free dimensions.
+    #[inline]
+    pub fn dim(&self) -> u32 {
+        self.dims.len() as u32
+    }
+
+    /// Number of member nodes (`2^dim`).
+    #[inline]
+    pub fn size(&self) -> usize {
+        1usize << self.dims.len()
+    }
+
+    /// The free dimensions, in rank-bit order.
+    #[inline]
+    pub fn dims(&self) -> &[u32] {
+        &self.dims
+    }
+
+    /// The fixed part of the label.
+    #[inline]
+    pub fn base(&self) -> usize {
+        self.base
+    }
+
+    /// The node label of the member with the given rank.
+    #[inline]
+    pub fn member(&self, rank: usize) -> usize {
+        debug_assert!(rank < self.size());
+        self.base | deposit_bits(rank, &self.dims)
+    }
+
+    /// The rank of a node within the subcube. The node must be a member.
+    #[inline]
+    pub fn rank_of(&self, node: usize) -> usize {
+        debug_assert!(self.contains(node), "node {node} not in subcube");
+        extract_bits(node, &self.dims)
+    }
+
+    /// Whether `node` belongs to this subcube.
+    #[inline]
+    pub fn contains(&self, node: usize) -> bool {
+        let mask: usize = self.dims.iter().map(|&d| 1usize << d).sum();
+        node & !mask == self.base
+    }
+
+    /// Iterates over member labels in rank order.
+    pub fn members(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.size()).map(move |r| self.member(r))
+    }
+
+    /// A subcube identical to this one but with the free-dimension order
+    /// rotated left by `r` (rank bit 0 becomes `dims[r]`). Used by the
+    /// rotated-spanning-tree multi-port schedules.
+    pub fn rotated(&self, r: u32) -> Self {
+        let n = self.dims.len();
+        let r = (r as usize) % n.max(1);
+        let mut dims = Vec::with_capacity(n);
+        dims.extend_from_slice(&self.dims[r..]);
+        dims.extend_from_slice(&self.dims[..r]);
+        Subcube {
+            base: self.base,
+            dims,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn whole_cube_members() {
+        let sc = Subcube::whole(3);
+        let got: Vec<usize> = sc.members().collect();
+        assert_eq!(got, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn member_rank_roundtrip() {
+        let sc = Subcube::new(0b100000, vec![1, 3, 4]);
+        assert_eq!(sc.size(), 8);
+        for r in 0..sc.size() {
+            let node = sc.member(r);
+            assert!(sc.contains(node));
+            assert_eq!(sc.rank_of(node), r);
+        }
+    }
+
+    #[test]
+    fn base_bits_in_free_dims_cleared() {
+        let sc = Subcube::new(0b1111, vec![0, 1]);
+        assert_eq!(sc.base(), 0b1100);
+        assert!(sc.contains(0b1101));
+        assert!(!sc.contains(0b0101));
+    }
+
+    #[test]
+    fn adjacent_ranks_are_hypercube_neighbors_via_gray() {
+        use crate::gray::gray;
+        let sc = Subcube::new(0, vec![2, 5, 7]);
+        let q = sc.size();
+        for r in 0..q {
+            let a = sc.member(gray(r));
+            let b = sc.member(gray((r + 1) % q));
+            assert_eq!((a ^ b).count_ones(), 1);
+        }
+    }
+
+    #[test]
+    fn rotation_preserves_membership() {
+        let sc = Subcube::new(0b1000, vec![0, 1, 2]);
+        for r in 0..3 {
+            let rot = sc.rotated(r);
+            let mut a: Vec<usize> = sc.members().collect();
+            let mut b: Vec<usize> = rot.members().collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b);
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! Property-based tests for the topology crate.
+
+use cubemm_topology::bits::{deposit_bits, extract_bits, hamming};
+use cubemm_topology::{gray, gray_inverse, Grid2, Grid3, Subcube};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn gray_is_a_bijection(i in 0usize..(1 << 20)) {
+        prop_assert_eq!(gray_inverse(gray(i)), i);
+    }
+
+    #[test]
+    fn gray_is_gf2_linear(a in 0usize..(1 << 16), b in 0usize..(1 << 16)) {
+        // Linearity over GF(2) is what makes XOR-shifts commute with the
+        // code; Cannon's hypercube form relies on it.
+        prop_assert_eq!(gray(a ^ b), gray(a) ^ gray(b));
+    }
+
+    #[test]
+    fn gray_neighbors_on_ring(bits in 1u32..12, idx in 0usize..(1 << 12)) {
+        let q = 1usize << bits;
+        let i = idx % q;
+        let j = (i + 1) % q;
+        prop_assert_eq!(hamming(gray(i) % q, gray(j) % q), 1);
+    }
+
+    #[test]
+    fn deposit_extract_inverse(v in 0usize..256, seed in 0u64..u64::MAX) {
+        // Pick 8 distinct dimensions pseudo-randomly from the seed.
+        let mut dims: Vec<u32> = (0..32).collect();
+        let mut s = seed;
+        for i in (1..dims.len()).rev() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let j = (s >> 33) as usize % (i + 1);
+            dims.swap(i, j);
+        }
+        dims.truncate(8);
+        let lab = deposit_bits(v, &dims);
+        prop_assert_eq!(extract_bits(lab, &dims), v);
+    }
+
+    #[test]
+    fn subcube_rank_member_roundtrip(dim in 1u32..10, base in 0usize..(1 << 10), r in 0usize..512) {
+        let sc = Subcube::new(base, (0..dim).collect());
+        let rank = r % sc.size();
+        prop_assert_eq!(sc.rank_of(sc.member(rank)), rank);
+    }
+
+    #[test]
+    fn grid2_row_col_intersect_in_one_node(bits in 1u32..6, seed in 0usize..4096) {
+        let g = Grid2::new(1usize << (2 * bits)).unwrap();
+        let i = seed % g.q();
+        let j = (seed / g.q()) % g.q();
+        let row = g.row(i);
+        let col = g.col(j);
+        let both: Vec<usize> = row.members().filter(|&n| col.contains(n)).collect();
+        prop_assert_eq!(both, vec![g.node(i, j)]);
+    }
+
+    #[test]
+    fn grid3_lines_are_orthogonal(bits in 1u32..4, seed in 0usize..4096) {
+        let g = Grid3::new(1usize << (3 * bits)).unwrap();
+        let q = g.q();
+        let (i, j, k) = (seed % q, (seed / q) % q, (seed / q / q) % q);
+        let x = g.x_line(j, k);
+        let y = g.y_line(i, k);
+        let z = g.z_line(i, j);
+        let node = g.node(i, j, k);
+        prop_assert!(x.contains(node) && y.contains(node) && z.contains(node));
+        // Pairwise intersections are exactly the node itself.
+        for other in x.members() {
+            if other != node {
+                prop_assert!(!y.contains(other) && !z.contains(other));
+            }
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! Head-to-head comparison of every applicable algorithm at one machine
+//! shape: simulated communication time under the paper's cost
+//! parameters, for one-port and multi-port nodes, with verification.
+//!
+//! Run with:
+//!   cargo run --release -p cubemm-harness --example algorithm_shootout
+//!   cargo run --release -p cubemm-harness --example algorithm_shootout -- 128 64 150 3
+
+use cubemm_core::{Algorithm, MachineConfig};
+use cubemm_dense::{gemm, Matrix};
+use cubemm_simnet::{CostParams, PortModel};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let n: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(64);
+    let p: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(64);
+    let ts: f64 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(150.0);
+    let tw: f64 = args.get(4).and_then(|s| s.parse().ok()).unwrap_or(3.0);
+    let cost = CostParams { ts, tw };
+
+    let a = Matrix::random(n, n, 1);
+    let b = Matrix::random(n, n, 2);
+    let reference = gemm::reference(&a, &b);
+
+    println!("algorithm shootout: n = {n}, p = {p}, t_s = {ts}, t_w = {tw}");
+    println!(
+        "{:<14} {:>14} {:>14} {:>10} {:>12}",
+        "algorithm", "one-port time", "multi-port", "messages", "peak words"
+    );
+    for algo in Algorithm::ALL.into_iter().chain(Algorithm::EXTENSIONS) {
+        if let Err(e) = algo.check(n, p) {
+            println!("{:<14} not applicable: {e}", algo.name());
+            continue;
+        }
+        let mut cells: Vec<String> = Vec::new();
+        let mut msg = 0usize;
+        let mut peak = 0usize;
+        for port in [PortModel::OnePort, PortModel::MultiPort] {
+            let cfg = MachineConfig::new(port, cost);
+            let res = algo.multiply(&a, &b, p, &cfg).expect("checked applicable");
+            let err = res.c.max_abs_diff(&reference);
+            assert!(err < 1e-9 * n as f64, "{algo} produced a wrong product");
+            cells.push(format!("{:.0}", res.stats.elapsed));
+            msg = res.stats.total_messages();
+            peak = res.stats.total_peak_words();
+        }
+        println!(
+            "{:<14} {:>14} {:>14} {:>10} {:>12}",
+            algo.name(),
+            cells[0],
+            cells[1],
+            msg,
+            peak
+        );
+    }
+    println!("\nall products verified against the sequential reference");
+}

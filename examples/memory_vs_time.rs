@@ -1,0 +1,63 @@
+//! The space–time trade-off behind Table 3: communication time versus
+//! total memory footprint for every algorithm at one machine shape —
+//! including the DNS+Cannon combination at several supernode splits,
+//! which interpolates between Cannon's `3n²` and the 3-D family's
+//! `3n²·∛p`.
+//!
+//! Run with:
+//!   cargo run --release -p cubemm-harness --example memory_vs_time
+//!   cargo run --release -p cubemm-harness --example memory_vs_time -- 64 64
+
+use cubemm_core::{dns_cannon, Algorithm, MachineConfig};
+use cubemm_dense::{gemm, Matrix};
+use cubemm_simnet::{CostParams, PortModel};
+use cubemm_topology::SupernodeGrid;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let n: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(64);
+    let p: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(64);
+
+    let a = Matrix::random(n, n, 1);
+    let b = Matrix::random(n, n, 2);
+    let reference = gemm::reference(&a, &b);
+    let cfg = MachineConfig::new(PortModel::OnePort, CostParams::PAPER);
+
+    println!("space-time trade-off: n = {n}, p = {p}, one-port, t_s=150, t_w=3");
+    println!(
+        "{:<22} {:>12} {:>14} {:>10}",
+        "algorithm", "time", "total words", "words/n^2"
+    );
+    let report = |name: String, res: cubemm_core::RunResult| {
+        assert!(res.c.max_abs_diff(&reference) < 1e-9 * n as f64);
+        println!(
+            "{:<22} {:>12.0} {:>14} {:>10.2}",
+            name,
+            res.stats.elapsed,
+            res.stats.total_peak_words(),
+            res.stats.total_peak_words() as f64 / (n * n) as f64
+        );
+    };
+
+    for algo in Algorithm::ALL.into_iter().chain(Algorithm::EXTENSIONS) {
+        if algo == Algorithm::DnsCannon {
+            continue; // expanded below per split
+        }
+        if algo.check(n, p).is_ok() {
+            report(
+                algo.name().to_string(),
+                algo.multiply(&a, &b, p, &cfg).unwrap(),
+            );
+        }
+    }
+    for mb in SupernodeGrid::splits(p) {
+        if dns_cannon::check(n, p, mb).is_ok() {
+            let grid = SupernodeGrid::new(p, mb).unwrap();
+            report(
+                format!("dns-cannon (r={}, s={})", grid.r(), grid.s()),
+                dns_cannon::multiply_with_mesh(&a, &b, p, mb, &cfg).unwrap(),
+            );
+        }
+    }
+    println!("\nall products verified; words/n² shows the Table 3 growth factor");
+}

@@ -1,0 +1,30 @@
+//! Prints the paper's Figure 13/14-style "best algorithm" region map for
+//! user-chosen cost parameters.
+//!
+//! Run with:
+//!   cargo run -p cubemm-harness --example region_map
+//!   cargo run -p cubemm-harness --example region_map -- multi 0.5 3
+
+use cubemm_model::{render_ascii, PortModel, RegionMap, Sweep};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let port = match args.get(1).map(String::as_str) {
+        Some("multi") | Some("multi-port") => PortModel::MultiPort,
+        _ => PortModel::OnePort,
+    };
+    let ts: f64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(150.0);
+    let tw: f64 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(3.0);
+
+    let map = RegionMap::generate(Sweep::default(), port, ts, tw);
+    print!("{}", render_ascii(&map));
+    println!(
+        "\n(the paper's Figure {} shows these regions for several t_s/t_w settings;\n\
+         try e.g. `-- one 0.5 3` for the small-start-up regime where Cannon\n\
+         claws back part of the middle region)",
+        match port {
+            PortModel::OnePort => 13,
+            PortModel::MultiPort => 14,
+        }
+    );
+}

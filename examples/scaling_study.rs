@@ -1,0 +1,54 @@
+//! Strong-scaling study: fix the matrix order and grow the simulated
+//! machine, watching each algorithm's communication time and the
+//! crossovers the paper's §5 analysis predicts.
+//!
+//! Run with:
+//!   cargo run --release -p cubemm-harness --example scaling_study
+//!   cargo run --release -p cubemm-harness --example scaling_study -- 128
+
+use cubemm_core::{Algorithm, MachineConfig};
+use cubemm_dense::{gemm, Matrix};
+use cubemm_simnet::{CostParams, PortModel};
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(64);
+    let a = Matrix::random(n, n, 1);
+    let b = Matrix::random(n, n, 2);
+    let reference = gemm::reference(&a, &b);
+
+    // p = 2^d for d = 0, 2, 3, 4, 6, 9, 12 — mixing square and cubic
+    // hypercube dimensions so both grid families appear.
+    let machine_sizes: Vec<usize> = [2u32, 3, 4, 6, 9, 12]
+        .into_iter()
+        .map(|d| 1usize << d)
+        .collect();
+
+    for port in [PortModel::OnePort, PortModel::MultiPort] {
+        println!("== strong scaling, n = {n}, {port}, t_s = 150, t_w = 3 ==");
+        print!("{:<14}", "p =");
+        for &p in &machine_sizes {
+            print!("{p:>10}");
+        }
+        println!();
+        for algo in Algorithm::ALL.into_iter().chain(Algorithm::EXTENSIONS) {
+            print!("{:<14}", algo.name());
+            for &p in &machine_sizes {
+                match algo.check(n, p) {
+                    Ok(()) => {
+                        let cfg = MachineConfig::new(port, CostParams::PAPER);
+                        let res = algo.multiply(&a, &b, p, &cfg).expect("applicable");
+                        assert!(res.c.max_abs_diff(&reference) < 1e-9 * n as f64);
+                        print!("{:>10.0}", res.stats.elapsed);
+                    }
+                    Err(_) => print!("{:>10}", "-"),
+                }
+            }
+            println!();
+        }
+        println!();
+    }
+    println!("all runs verified; '-' marks shapes an algorithm cannot decompose");
+}

@@ -1,0 +1,83 @@
+//! Model-sensitivity ablation: does the paper's accounting choice —
+//! transfers charge the sender's port only — affect its conclusions?
+//!
+//! Under [`ChargePolicy::Symmetric`] every message additionally occupies
+//! the receiver's port, a strictly more conservative model. The tests
+//! check (a) the expected cost inflation on known patterns and (b) that
+//! the paper's headline rankings survive the change.
+
+use cubemm_core::{Algorithm, MachineConfig};
+use cubemm_dense::{gemm, Matrix};
+use cubemm_simnet::{ChargePolicy, CostParams, PortModel};
+
+fn elapsed(algo: Algorithm, n: usize, p: usize, port: PortModel, charge: ChargePolicy) -> f64 {
+    let a = Matrix::random(n, n, 17);
+    let b = Matrix::random(n, n, 18);
+    let mut cfg = MachineConfig::new(port, CostParams::PAPER);
+    cfg.charge = charge;
+    let res = algo.multiply(&a, &b, p, &cfg).unwrap();
+    // Charging policy must never affect the numerics.
+    assert!(res.c.max_abs_diff(&gemm::reference(&a, &b)) < 1e-9 * n as f64);
+    res.stats.elapsed
+}
+
+#[test]
+fn symmetric_charging_inflates_cannon_by_at_most_2x() {
+    // Every Cannon transfer is paired with a receive of equal size, so
+    // symmetric charging at most doubles the time (less where waits
+    // already covered the receive).
+    for port in [PortModel::OnePort, PortModel::MultiPort] {
+        let base = elapsed(Algorithm::Cannon, 32, 16, port, ChargePolicy::SenderOnly);
+        let sym = elapsed(Algorithm::Cannon, 32, 16, port, ChargePolicy::Symmetric);
+        assert!(sym > base, "{port}: symmetric must cost more");
+        assert!(sym <= 2.0 * base + 1e-6, "{port}: {sym} > 2 x {base}");
+    }
+}
+
+#[test]
+fn rankings_survive_the_charging_ablation() {
+    // The paper's headline orderings at (n, p) = (64, 64), re-measured
+    // under symmetric charging: 3-D All still beats 3DD, Berntsen and
+    // Cannon; 3DD still beats DNS.
+    for port in [PortModel::OnePort, PortModel::MultiPort] {
+        let all3d = elapsed(Algorithm::All3d, 64, 64, port, ChargePolicy::Symmetric);
+        for other in [Algorithm::Diag3d, Algorithm::Berntsen, Algorithm::Cannon] {
+            let t = elapsed(other, 64, 64, port, ChargePolicy::Symmetric);
+            assert!(
+                all3d < t,
+                "{port}: 3d-all {all3d} should still beat {other} {t} under symmetric charging"
+            );
+        }
+        let dd = elapsed(Algorithm::Diag3d, 64, 64, port, ChargePolicy::Symmetric);
+        let dns = elapsed(Algorithm::Dns, 64, 64, port, ChargePolicy::Symmetric);
+        assert!(dd < dns, "{port}: 3dd {dd} vs dns {dns}");
+    }
+}
+
+#[test]
+fn symmetric_is_never_cheaper() {
+    for algo in [
+        Algorithm::Simple,
+        Algorithm::Cannon,
+        Algorithm::Diag3d,
+        Algorithm::All3d,
+        Algorithm::Dns,
+    ] {
+        for port in [PortModel::OnePort, PortModel::MultiPort] {
+            let base = elapsed(algo, 32, 64, port, ChargePolicy::SenderOnly);
+            let sym = elapsed(algo, 32, 64, port, ChargePolicy::Symmetric);
+            assert!(
+                sym >= base - 1e-9,
+                "{algo} {port}: symmetric {sym} < sender-only {base}"
+            );
+        }
+    }
+}
+
+#[test]
+fn default_config_uses_the_papers_model() {
+    let cfg = MachineConfig::default();
+    assert_eq!(cfg.charge, ChargePolicy::SenderOnly);
+    let sym = MachineConfig::default().with_symmetric_charging();
+    assert_eq!(sym.charge, ChargePolicy::Symmetric);
+}

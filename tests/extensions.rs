@@ -1,0 +1,137 @@
+//! E8 — extension algorithms: correctness and measured-vs-model checks
+//! for the DNS+Cannon combination (§3.5) and the flat-grid 3-D All
+//! variant (§4.2.2).
+
+use cubemm_core::{dns_cannon, Algorithm, MachineConfig};
+use cubemm_dense::{gemm, Matrix};
+use cubemm_model::{dns_cannon_overhead, flat_all3d_overhead};
+use cubemm_simnet::{CostParams, PortModel};
+
+fn measure_ab(algo: Algorithm, n: usize, p: usize, port: PortModel) -> (f64, f64) {
+    let a = Matrix::random(n, n, 13);
+    let b = Matrix::random(n, n, 14);
+    let ra = algo
+        .multiply(&a, &b, p, &MachineConfig::new(port, CostParams::STARTUPS_ONLY))
+        .unwrap();
+    let rb = algo
+        .multiply(&a, &b, p, &MachineConfig::new(port, CostParams::WORDS_ONLY))
+        .unwrap();
+    (ra.stats.elapsed, rb.stats.elapsed)
+}
+
+#[test]
+fn extensions_are_correct_via_registry() {
+    let cfg = MachineConfig::default();
+    for (algo, n, p) in [
+        (Algorithm::DnsCannon, 16usize, 32usize),
+        (Algorithm::DnsCannon, 32, 256),
+        (Algorithm::All3dFlat, 16, 16),
+        (Algorithm::All3dFlat, 32, 256),
+    ] {
+        let a = Matrix::random(n, n, 21);
+        let b = Matrix::random(n, n, 22);
+        let res = algo.multiply(&a, &b, p, &cfg).unwrap();
+        let want = gemm::reference(&a, &b);
+        assert!(
+            res.c.max_abs_diff(&want) < 1e-9 * n as f64,
+            "{algo} wrong at n={n} p={p}"
+        );
+    }
+}
+
+#[test]
+fn dns_cannon_measured_within_model_bound() {
+    // The closed form adds the DNS and Cannon phase costs; measured can
+    // only undercut it through cross-node phase overlap (as for 3DD).
+    for (n, p, mb) in [(16usize, 32usize, 1u32), (32, 256, 1)] {
+        for port in [PortModel::OnePort, PortModel::MultiPort] {
+            let a = Matrix::random(n, n, 1);
+            let b = Matrix::random(n, n, 2);
+            let (ra, rb) = {
+                let sa = dns_cannon::multiply_with_mesh(
+                    &a,
+                    &b,
+                    p,
+                    mb,
+                    &MachineConfig::new(port, CostParams::STARTUPS_ONLY),
+                )
+                .unwrap();
+                let sb = dns_cannon::multiply_with_mesh(
+                    &a,
+                    &b,
+                    p,
+                    mb,
+                    &MachineConfig::new(port, CostParams::WORDS_ONLY),
+                )
+                .unwrap();
+                (sa.stats.elapsed, sb.stats.elapsed)
+            };
+            let model = dns_cannon_overhead(n, p, mb, port).unwrap();
+            assert!(
+                ra <= model.a + 1e-9,
+                "{port} n={n} p={p}: a {ra} vs model {}",
+                model.a
+            );
+            assert!(
+                rb <= model.b + 1e-9,
+                "{port} n={n} p={p}: b {rb} vs model {}",
+                model.b
+            );
+            // The bound must be tight within the 3DD-style overlap
+            // slack: one log ∛s phase.
+            assert!(ra >= model.a * 0.7, "bound far too loose: {ra} vs {}", model.a);
+        }
+    }
+}
+
+#[test]
+fn dns_cannon_one_port_startups_exact() {
+    // s = 8, r = 4: a = 5·log∛s + log r + 2(√r−1) = 5 + 2 + 2 = 9
+    // (DNS sub-phases overlap less here because every mesh position
+    // repeats the pattern; measured value pinned by the core unit test).
+    let (a, _b) = measure_ab(Algorithm::DnsCannon, 16, 32, PortModel::OnePort);
+    assert_eq!(a, 9.0);
+}
+
+#[test]
+fn flat_all3d_measured_matches_model() {
+    for (n, p) in [(16usize, 16usize), (32, 256)] {
+        let (ma, mb) = measure_ab(Algorithm::All3dFlat, n, p, PortModel::OnePort);
+        let model = flat_all3d_overhead(n, p, PortModel::OnePort).unwrap();
+        assert!(ma <= model.a + 1e-9, "a {ma} vs model {}", model.a);
+        assert!(mb <= model.b + 1e-9, "b {mb} vs model {}", model.b);
+        assert!(ma >= model.a * 0.7 && mb >= model.b * 0.5,
+            "model far off: ({ma},{mb}) vs ({},{})", model.a, model.b);
+    }
+}
+
+#[test]
+fn flat_all3d_trades_startups_for_volume() {
+    // At p = 256 the flat variant uses fewer start-ups than 3DD (the
+    // only paper algorithm sharing that machine since 256 is neither a
+    // square-of-cube nor a cube) — compare against Cannon (p = 256 is
+    // square): fewer start-ups, more volume.
+    let (n, p) = (64usize, 256usize);
+    let (fa, fb) = measure_ab(Algorithm::All3dFlat, n, p, PortModel::OnePort);
+    let (ca, cb) = measure_ab(Algorithm::Cannon, n, p, PortModel::OnePort);
+    assert!(fa < ca, "flat a {fa} should beat cannon a {ca}");
+    assert!(fb > cb, "flat b {fb} expected above cannon b {cb}");
+}
+
+#[test]
+fn dns_cannon_saves_space_versus_plain_dns_at_scale() {
+    let n = 32;
+    let cfg = MachineConfig::default();
+    let a = Matrix::random(n, n, 5);
+    let b = Matrix::random(n, n, 6);
+    // Same machine size p = 64: plain DNS (s = p) vs combination with
+    // mesh r = 64 (s = 1, pure Cannon — minimal memory).
+    let dns = Algorithm::Dns.multiply(&a, &b, 64, &cfg).unwrap();
+    let combo = dns_cannon::multiply_with_mesh(&a, &b, 64, 3, &cfg).unwrap();
+    assert!(
+        combo.stats.total_peak_words() < dns.stats.total_peak_words(),
+        "combination {} should use less memory than DNS {}",
+        combo.stats.total_peak_words(),
+        dns.stats.total_peak_words()
+    );
+}
