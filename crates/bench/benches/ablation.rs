@@ -1,10 +1,11 @@
 //! Ablation benchmarks for the design choices called out in DESIGN.md §6.
 //!
-//! Criterion measures host wall time; each ablation also prints the
+//! The microbench harness measures host wall time; each ablation also prints the
 //! *virtual* communication times once at start-up, since those are the
 //! quantity the design choices actually trade off.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cubemm_bench::microbench::{BenchmarkId, Criterion};
+use cubemm_bench::{criterion_group, criterion_main};
 use cubemm_core::{Algorithm, MachineConfig};
 use cubemm_dense::gemm::Kernel;
 use cubemm_dense::Matrix;
@@ -51,9 +52,7 @@ fn ablation_skew_vs_broadcast(c: &mut Criterion) {
     for port in [PortModel::OnePort, PortModel::MultiPort] {
         let cannon = virtual_time(Algorithm::Cannon, n, p, port);
         let all3d = virtual_time(Algorithm::All3d, n, p, port);
-        println!(
-            "[ablation:movement] {port} n={n} p={p}: cannon {cannon:.0} vs 3d-all {all3d:.0}"
-        );
+        println!("[ablation:movement] {port} n={n} p={p}: cannon {cannon:.0} vs 3d-all {all3d:.0}");
     }
 
     let mut group = c.benchmark_group("ablation_skew_vs_broadcast");

@@ -1,7 +1,8 @@
 //! End-to-end algorithm benchmarks: host wall time of full simulated
 //! multiplications (distribution, SPMD run on p threads, reassembly).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cubemm_bench::microbench::{BenchmarkId, Criterion};
+use cubemm_bench::{criterion_group, criterion_main};
 use cubemm_core::{Algorithm, MachineConfig};
 use cubemm_dense::Matrix;
 use cubemm_simnet::{CostParams, PortModel};
@@ -19,11 +20,9 @@ fn bench_algorithms(c: &mut Criterion) {
                 continue;
             }
             let cfg = MachineConfig::new(port, CostParams::PAPER);
-            group.bench_with_input(
-                BenchmarkId::new(algo.name(), port),
-                &cfg,
-                |bench, cfg| bench.iter(|| algo.multiply(&a, &b, p, cfg).unwrap()),
-            );
+            group.bench_with_input(BenchmarkId::new(algo.name(), port), &cfg, |bench, cfg| {
+                bench.iter(|| algo.multiply(&a, &b, p, cfg).unwrap())
+            });
         }
     }
     group.finish();

@@ -3,7 +3,8 @@
 //! (The *virtual* costs are validated exactly in the test suites; these
 //! benches track the simulator's own overhead.)
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cubemm_bench::microbench::{BenchmarkId, Criterion};
+use cubemm_bench::{criterion_group, criterion_main};
 use cubemm_collectives as coll;
 use cubemm_simnet::{run_machine, CostParams, Payload, PortModel};
 use cubemm_topology::Subcube;
@@ -42,21 +43,16 @@ fn bench_collectives(c: &mut Criterion) {
                 })
             },
         );
-        group.bench_with_input(
-            BenchmarkId::new("alltoall", port),
-            &port,
-            |bench, &port| {
-                bench.iter(|| {
-                    run_machine(p, port, COST, vec![(); p], |proc, ()| {
-                        let sc = Subcube::whole(proc.dim());
-                        let v = sc.rank_of(proc.id());
-                        let parts: Vec<Payload> =
-                            (0..sc.size()).map(|r| payload(v + r, m)).collect();
-                        coll::alltoall_personalized(proc, &sc, 0, parts)
-                    })
+        group.bench_with_input(BenchmarkId::new("alltoall", port), &port, |bench, &port| {
+            bench.iter(|| {
+                run_machine(p, port, COST, vec![(); p], |proc, ()| {
+                    let sc = Subcube::whole(proc.dim());
+                    let v = sc.rank_of(proc.id());
+                    let parts: Vec<Payload> = (0..sc.size()).map(|r| payload(v + r, m)).collect();
+                    coll::alltoall_personalized(proc, &sc, 0, parts)
                 })
-            },
-        );
+            })
+        });
         group.bench_with_input(
             BenchmarkId::new("reduce_scatter", port),
             &port,

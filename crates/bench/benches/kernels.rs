@@ -3,7 +3,8 @@
 //! host-time numbers back that claim by showing all kernels are within a
 //! small constant factor at block sizes the algorithms actually use).
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use cubemm_bench::microbench::{black_box, BenchmarkId, Criterion};
+use cubemm_bench::{criterion_group, criterion_main};
 use cubemm_dense::gemm::{gemm_acc, Kernel};
 use cubemm_dense::Matrix;
 

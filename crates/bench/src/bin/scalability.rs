@@ -34,7 +34,15 @@ fn main() {
     println!("{}", eff.render());
 
     println!("=== isoefficiency: smallest power-of-two n reaching E = 0.5 ===\n");
-    let mut iso = Table::new(&["algorithm", "port", "p=64", "p=512", "p=4096", "p=2^15", "p=2^18"]);
+    let mut iso = Table::new(&[
+        "algorithm",
+        "port",
+        "p=64",
+        "p=512",
+        "p=4096",
+        "p=2^15",
+        "p=2^18",
+    ]);
     for algo in ModelAlgo::ALL {
         for port in [PortModel::OnePort, PortModel::MultiPort] {
             let cells: Vec<String> = machines

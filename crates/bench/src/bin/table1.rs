@@ -82,15 +82,7 @@ fn main() {
         "all-to-all broadcast",
         "all-to-all personalized",
     ];
-    let mut table = Table::new(&[
-        "collective",
-        "port",
-        "N",
-        "M",
-        "measured",
-        "paper",
-        "ratio",
-    ]);
+    let mut table = Table::new(&["collective", "port", "N", "M", "measured", "paper", "ratio"]);
     let mut worst: f64 = 1.0;
     for kind in kinds {
         for port in [PortModel::OnePort, PortModel::MultiPort] {

@@ -60,9 +60,7 @@ fn main() {
                     continue;
                 };
                 let paper = model_of(algo).and_then(|m| costs::overhead(m, port, n, p));
-                let (pa, pb) = paper.map_or(("-".into(), "-".into()), |o| {
-                    (fmt(o.a), fmt(o.b))
-                });
+                let (pa, pb) = paper.map_or(("-".into(), "-".into()), |o| (fmt(o.a), fmt(o.b)));
                 table.row(vec![
                     algo.name().to_string(),
                     port.to_string(),

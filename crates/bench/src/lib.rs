@@ -5,6 +5,8 @@
 //! `results/` relative to the working directory), writes the same rows
 //! as CSV for diffing against the paper.
 
+pub mod microbench;
+
 use std::fs;
 use std::io::Write;
 use std::path::PathBuf;

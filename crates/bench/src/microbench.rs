@@ -1,0 +1,156 @@
+//! A minimal, dependency-free micro-benchmark harness.
+//!
+//! The workspace is deliberately free of external crates (DESIGN.md), so
+//! the `[[bench]]` targets use this drop-in subset of the Criterion API
+//! instead of Criterion itself: groups, `BenchmarkId`, `bench_with_input`,
+//! `iter`, and `black_box`. Each benchmark runs a short warm-up followed
+//! by `sample_size` timed samples and prints the per-iteration mean and
+//! minimum — enough to track the simulator's host-time overhead without a
+//! statistics stack.
+
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under Criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Top-level handle passed to every benchmark function.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: 10,
+        }
+    }
+}
+
+/// A named benchmark within a group: `function/parameter`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds the `function/parameter` identifier.
+    pub fn new(function: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name and sample size.
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    /// Sets how many timed samples each benchmark takes.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark, threading `input` through to the closure.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+            sample_size: self.sample_size,
+        };
+        f(&mut bencher, input);
+        bencher.report(&self.name, &id.id);
+        self
+    }
+
+    /// Runs one benchmark with no extra input.
+    pub fn bench_function<F>(&mut self, id: BenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.bench_with_input(id, &(), |b, ()| f(b))
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Collects timed samples of one closure.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `f` over the group's sample count (plus one warm-up call).
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        black_box(f()); // warm-up
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(f());
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    fn report(&self, group: &str, id: &str) {
+        if self.samples.is_empty() {
+            println!("bench {group}/{id}: no samples");
+            return;
+        }
+        let total: Duration = self.samples.iter().sum();
+        let mean = total / self.samples.len() as u32;
+        let min = self.samples.iter().min().copied().unwrap_or_default();
+        println!(
+            "bench {group}/{id}: mean {mean:?}, min {min:?} over {} samples",
+            self.samples.len()
+        );
+    }
+}
+
+/// Collects benchmark functions into one runner, mirroring Criterion's
+/// `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::microbench::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Entry point mirroring Criterion's `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_counts_samples() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("t");
+        group.sample_size(3);
+        let mut calls = 0usize;
+        group.bench_with_input(BenchmarkId::new("f", 1), &2usize, |b, &two| {
+            b.iter(|| calls += two)
+        });
+        group.finish();
+        // One warm-up + three samples, each adding 2.
+        assert_eq!(calls, 8);
+    }
+}

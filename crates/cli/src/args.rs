@@ -3,9 +3,11 @@
 
 use std::collections::HashMap;
 
-/// Parsed `--key value` flags plus positional arguments.
+/// Parsed `--key value` flags plus positional arguments. Repeating a
+/// flag accumulates every value (used by the `--fault-*` family); the
+/// scalar accessors read the last occurrence.
 pub struct Args {
-    flags: HashMap<String, String>,
+    flags: HashMap<String, Vec<String>>,
     positional: Vec<String>,
 }
 
@@ -13,7 +15,7 @@ impl Args {
     /// Parses `argv`; every token starting with `--` consumes the next
     /// token as its value.
     pub fn parse(argv: &[String]) -> Result<Args, String> {
-        let mut flags = HashMap::new();
+        let mut flags: HashMap<String, Vec<String>> = HashMap::new();
         let mut positional = Vec::new();
         let mut it = argv.iter();
         while let Some(tok) = it.next() {
@@ -21,7 +23,7 @@ impl Args {
                 let val = it
                     .next()
                     .ok_or_else(|| format!("flag --{key} needs a value"))?;
-                flags.insert(key.to_string(), val.clone());
+                flags.entry(key.to_string()).or_default().push(val.clone());
             } else {
                 positional.push(tok.clone());
             }
@@ -36,7 +38,7 @@ impl Args {
 
     /// Flag value, parsed, or `default`.
     pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
-        match self.flags.get(key) {
+        match self.raw(key) {
             None => Ok(default),
             Some(v) => v
                 .parse()
@@ -47,16 +49,23 @@ impl Args {
     /// Required flag value, parsed.
     pub fn require<T: std::str::FromStr>(&self, key: &str) -> Result<T, String> {
         let v = self
-            .flags
-            .get(key)
+            .raw(key)
             .ok_or_else(|| format!("missing required flag --{key}"))?;
         v.parse()
             .map_err(|_| format!("invalid value {v:?} for --{key}"))
     }
 
-    /// The raw string value of a flag, if present.
+    /// The raw string value of a flag's last occurrence, if present.
     pub fn raw(&self, key: &str) -> Option<&str> {
-        self.flags.get(key).map(String::as_str)
+        self.flags
+            .get(key)
+            .and_then(|vs| vs.last())
+            .map(String::as_str)
+    }
+
+    /// Every raw value of a repeatable flag, in order of appearance.
+    pub fn raw_all(&self, key: &str) -> &[String] {
+        self.flags.get(key).map_or(&[], Vec::as_slice)
     }
 }
 
@@ -97,6 +106,17 @@ mod tests {
         assert_eq!(a.require::<usize>("n").unwrap(), 8);
         assert!(a.require::<usize>("p").is_err());
         assert_eq!(a.get_or::<f64>("ts", 150.0).unwrap(), 150.0);
+    }
+
+    #[test]
+    fn repeated_flags_accumulate() {
+        let a = Args::parse(&argv("--fault-link 0:1 --fault-link 2:3 --n 4 --n 8")).unwrap();
+        assert_eq!(
+            a.raw_all("fault-link"),
+            ["0:1".to_string(), "2:3".to_string()]
+        );
+        assert_eq!(a.get_or::<usize>("n", 0).unwrap(), 8); // last wins
+        assert!(a.raw_all("fault-drop").is_empty());
     }
 
     #[test]

@@ -3,7 +3,7 @@
 use cubemm_core::{Algorithm, MachineConfig};
 use cubemm_dense::{gemm, Matrix};
 use cubemm_model::{render_ascii, RegionMap, Sweep};
-use cubemm_simnet::CostParams;
+use cubemm_simnet::{CostParams, FaultPlan};
 
 use crate::args::{parse_port, Args};
 
@@ -16,7 +16,14 @@ USAGE:
   cubemm list [n] [p]            show every algorithm and its applicability
   cubemm run --algo A --n N --p P [--port one|multi] [--ts T] [--tw W]
              [--charge sender|symmetric]
-                                 one verified simulated multiplication
+             [--fault-link A:B] [--fault-degrade A:B:TSF:TWF]
+             [--fault-straggler NODE:FACTOR] [--fault-drop FROM:TO:K]
+             [--fault-strict true|false]
+                                 one verified simulated multiplication;
+                                 --fault-* flags repeat, and a faulty run
+                                 reports retries/detours/drops and the
+                                 extra virtual time against a healthy
+                                 baseline re-run
   cubemm sweep --n N [--p 4,16,64,512] [--port one|multi] [--ts T] [--tw W]
                                  compare all applicable algorithms
   cubemm regions [--port one|multi] [--ts T] [--tw W]
@@ -25,6 +32,9 @@ USAGE:
 
 Defaults: n=64, p=64, port=one, ts=150, tw=3, charge=sender (the paper's
 parameters and accounting).
+A run that cannot progress (e.g. --fault-drop on an algorithm without
+retries) is reported as a structured deadlock naming every blocked node;
+set CUBEMM_DEADLOCK_TIMEOUT_MS to shorten the default 60s watchdog.
 Algorithms: simple cannon hje berntsen dns diag2d 3dd 3d-all-trans 3d-all
             dns-cannon 3d-all-cannon 3d-all-flat cannon-torus fox
 ";
@@ -60,9 +70,104 @@ fn machine_from(args: &Args) -> Result<(MachineConfig, f64, f64), String> {
     match args.raw("charge") {
         None | Some("sender") => {}
         Some("symmetric") => cfg = cfg.with_symmetric_charging(),
-        Some(other) => return Err(format!("unknown charge policy {other:?} (sender|symmetric)")),
+        Some(other) => {
+            return Err(format!(
+                "unknown charge policy {other:?} (sender|symmetric)"
+            ))
+        }
     }
+    cfg = cfg.with_faults(faults_from(args)?);
     Ok((cfg, ts, tw))
+}
+
+/// Splits a `--fault-*` spec into exactly `n` colon-separated fields.
+fn fields<'a>(flag: &str, spec: &'a str, n: usize) -> Result<Vec<&'a str>, String> {
+    let parts: Vec<&str> = spec.split(':').collect();
+    if parts.len() != n {
+        return Err(format!(
+            "--{flag} {spec:?}: expected {n} colon-separated fields"
+        ));
+    }
+    Ok(parts)
+}
+
+fn num<T: std::str::FromStr>(flag: &str, spec: &str, field: &str) -> Result<T, String> {
+    field
+        .parse()
+        .map_err(|_| format!("--{flag} {spec:?}: invalid number {field:?}"))
+}
+
+/// Requires `a <-> b` to be a hypercube edge before handing it to the
+/// (panicking) `FaultPlan` builders.
+fn require_edge(flag: &str, spec: &str, a: usize, b: usize) -> Result<(), String> {
+    if (a ^ b).count_ones() != 1 {
+        return Err(format!(
+            "--{flag} {spec:?}: nodes {a} and {b} are not hypercube neighbors"
+        ));
+    }
+    Ok(())
+}
+
+/// Builds the deterministic fault plan from the repeatable `--fault-*`
+/// flags (see `USAGE`).
+fn faults_from(args: &Args) -> Result<FaultPlan, String> {
+    let mut plan = FaultPlan::new();
+    for spec in args.raw_all("fault-link") {
+        let f = fields("fault-link", spec, 2)?;
+        let (a, b) = (
+            num("fault-link", spec, f[0])?,
+            num("fault-link", spec, f[1])?,
+        );
+        require_edge("fault-link", spec, a, b)?;
+        plan = plan.with_dead_link(a, b);
+    }
+    for spec in args.raw_all("fault-degrade") {
+        let f = fields("fault-degrade", spec, 4)?;
+        let (a, b) = (
+            num("fault-degrade", spec, f[0])?,
+            num("fault-degrade", spec, f[1])?,
+        );
+        let (tsf, twf): (f64, f64) = (
+            num("fault-degrade", spec, f[2])?,
+            num("fault-degrade", spec, f[3])?,
+        );
+        require_edge("fault-degrade", spec, a, b)?;
+        if !(tsf.is_finite() && tsf > 0.0 && twf.is_finite() && twf > 0.0) {
+            return Err(format!(
+                "--fault-degrade {spec:?}: factors must be positive and finite"
+            ));
+        }
+        plan = plan.with_degraded_link(a, b, tsf, twf);
+    }
+    for spec in args.raw_all("fault-straggler") {
+        let f = fields("fault-straggler", spec, 2)?;
+        let node = num("fault-straggler", spec, f[0])?;
+        let slow: f64 = num("fault-straggler", spec, f[1])?;
+        if !(slow.is_finite() && slow >= 1.0) {
+            return Err(format!(
+                "--fault-straggler {spec:?}: slowdown must be finite and >= 1"
+            ));
+        }
+        plan = plan.with_straggler(node, slow);
+    }
+    for spec in args.raw_all("fault-drop") {
+        let f = fields("fault-drop", spec, 3)?;
+        plan = plan.with_drop(
+            num("fault-drop", spec, f[0])?,
+            num("fault-drop", spec, f[1])?,
+            num("fault-drop", spec, f[2])?,
+        );
+    }
+    match args.raw("fault-strict") {
+        None | Some("false") => {}
+        Some("true") => plan = plan.strict(),
+        Some(other) => {
+            return Err(format!(
+                "unknown --fault-strict value {other:?} (true|false)"
+            ))
+        }
+    }
+    Ok(plan)
 }
 
 /// `cubemm run --algo A --n N --p P ...`.
@@ -105,12 +210,43 @@ pub fn run(argv: &[String]) -> i32 {
         Err(e) => return fail(&e.to_string()),
     };
     let err = res.c.max_abs_diff(&gemm::reference(&a, &b));
-    println!("{algo}: n = {n}, p = {p}, {} nodes, ts = {ts}, tw = {tw}", cfg.port);
+    println!(
+        "{algo}: n = {n}, p = {p}, {} nodes, ts = {ts}, tw = {tw}",
+        cfg.port
+    );
     println!("  verified:              max |Δ| = {err:.2e}");
     println!("  simulated comm time:   {:.1}", res.stats.elapsed);
     println!("  messages injected:     {}", res.stats.total_messages());
     println!("  word·hops moved:       {}", res.stats.total_word_hops());
     println!("  peak words (total):    {}", res.stats.total_peak_words());
+    if !cfg.faults.is_empty() {
+        // Re-run the same multiplication on a healthy machine so the
+        // report can price the injected faults.
+        let mut healthy = cfg.clone();
+        healthy.faults = FaultPlan::new();
+        let baseline = match algo.multiply(&a, &b, p, &healthy) {
+            Ok(r) => r.stats.elapsed,
+            Err(e) => return fail(&format!("healthy baseline run failed: {e}")),
+        };
+        let fp = &cfg.faults;
+        println!("  faults:");
+        println!(
+            "    injected:            {} dead, {} degraded, {} stragglers, {} drops ({})",
+            fp.dead_links().count(),
+            fp.degraded_links().count(),
+            fp.stragglers().count(),
+            fp.scheduled_drops().count(),
+            if fp.is_strict() { "strict" } else { "lenient" },
+        );
+        println!("    retries:             {}", res.stats.total_retries());
+        println!("    detour hops:         {}", res.stats.total_detour_hops());
+        println!("    messages dropped:    {}", res.stats.total_dropped());
+        println!(
+            "    vs healthy run:      {baseline:.1} -> {:.1} ({:+.1})",
+            res.stats.elapsed,
+            res.stats.elapsed - baseline,
+        );
+    }
     if err > 1e-9 * n as f64 {
         return fail("verification FAILED");
     }
@@ -219,6 +355,53 @@ mod tests {
         assert_ne!(run(&argv("--algo nope --n 16 --p 8")), 0);
         assert_ne!(run(&argv("--algo 3d-all --n 15 --p 8")), 0);
         assert_ne!(run(&argv("--n 16")), 0);
+    }
+
+    #[test]
+    fn run_with_injected_faults_still_verifies() {
+        // Lenient dead link: the simulator detours, the product is still
+        // checked against the reference, and the faults section prints.
+        assert_eq!(
+            run(&argv("--algo cannon --n 16 --p 16 --fault-link 0:1")),
+            0
+        );
+        // Degraded link + straggler, multi-port.
+        assert_eq!(
+            run(&argv(
+                "--algo 3d-all --n 16 --p 8 --port multi \
+                 --fault-degrade 0:1:2.0:4.0 --fault-straggler 3:2.5"
+            )),
+            0
+        );
+    }
+
+    #[test]
+    fn run_rejects_malformed_fault_specs() {
+        assert_ne!(
+            run(&argv("--algo cannon --n 16 --p 16 --fault-link 0:3")),
+            0
+        );
+        assert_ne!(run(&argv("--algo cannon --n 16 --p 16 --fault-link 0")), 0);
+        assert_ne!(
+            run(&argv("--algo cannon --n 16 --p 16 --fault-straggler 2:0.5")),
+            0
+        );
+        assert_ne!(
+            run(&argv("--algo cannon --n 16 --p 16 --fault-drop 0:1")),
+            0
+        );
+        assert_ne!(
+            run(&argv("--algo cannon --n 16 --p 16 --fault-strict maybe")),
+            0
+        );
+        // A fault plan referencing a node outside the machine surfaces
+        // the simulator's config error rather than panicking.
+        assert_ne!(
+            run(&argv(
+                "--algo cannon --n 16 --p 16 --fault-straggler 99:2.0"
+            )),
+            0
+        );
     }
 
     #[test]

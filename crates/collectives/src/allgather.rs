@@ -83,7 +83,9 @@ pub fn allgather_plan(
             let processed: usize = (0..s).map(|i| 1usize << ((c + i) % d)).sum();
             let peer_rank = v ^ (1 << o_s);
             let tag = round_tag(base, s as u32, c as u32);
-            let held: Vec<usize> = (0..n).filter(|r| r & !processed == v & !processed).collect();
+            let held: Vec<usize> = (0..n)
+                .filter(|r| r & !processed == v & !processed)
+                .collect();
             let incoming: Vec<usize> = (0..n)
                 .filter(|r| r & !processed == peer_rank & !processed)
                 .collect();
@@ -166,7 +168,11 @@ pub fn reduce_scatter_plan(
     assert_eq!(parts.len(), n, "reduce_scatter needs one part per member");
     let part_len = parts[0].len();
     for p in &parts {
-        assert_eq!(p.len(), part_len, "reduce_scatter parts must have equal length");
+        assert_eq!(
+            p.len(),
+            part_len,
+            "reduce_scatter parts must have equal length"
+        );
     }
 
     let ncopies = ncopies_for(port, d);
@@ -246,7 +252,12 @@ mod tests {
             let v = sc.rank_of(proc.id());
             let all = allgather(proc, &sc, 0, contribution(v, m));
             for (r, part) in all.iter().enumerate() {
-                assert_eq!(&part[..], &contribution(r, m)[..], "node {} part {r}", proc.id());
+                assert_eq!(
+                    &part[..],
+                    &contribution(r, m)[..],
+                    "node {} part {r}",
+                    proc.id()
+                );
             }
             proc.clock()
         });

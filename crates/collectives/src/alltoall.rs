@@ -159,7 +159,9 @@ mod tests {
     const COST: CostParams = CostParams { ts: 10.0, tw: 2.0 };
 
     fn msg(from: usize, to: usize, m: usize) -> Payload {
-        (0..m).map(|x| (from * 10_000 + to * 100 + x) as f64).collect()
+        (0..m)
+            .map(|x| (from * 10_000 + to * 100 + x) as f64)
+            .collect()
     }
 
     fn check(p: usize, port: PortModel, m: usize) -> f64 {

@@ -23,12 +23,7 @@ impl BcastRun {
     /// Extracts the broadcast payload after execution.
     pub fn finish(mut self) -> Payload {
         let parts: Vec<Payload> = (0..self.ncopies)
-            .map(|c| {
-                self.inner
-                    .store
-                    .take(c)
-                    .expect("broadcast slice delivered")
-            })
+            .map(|c| self.inner.store.take(c).expect("broadcast slice delivered"))
             .collect();
         unchunk(self.len, &parts)
     }
@@ -226,8 +221,7 @@ mod tests {
                 let col = Subcube::new(proc.id(), vec![2, 3]);
                 let row_data = (row.rank_of(proc.id()) == 0).then(|| payload(m));
                 let col_data = (col.rank_of(proc.id()) == 0).then(|| payload(m));
-                let mut b1 =
-                    bcast_plan(proc.port_model(), &row, proc.id(), 0, 0, row_data, m);
+                let mut b1 = bcast_plan(proc.port_model(), &row, proc.id(), 0, 0, row_data, m);
                 let mut b2 = bcast_plan(
                     proc.port_model(),
                     &col,

@@ -88,7 +88,9 @@ pub fn gather_plan(
             // Merge along the reverse of the scatter tree of copy c
             // (dimension order o_i = (c + i) mod d, traversed backwards).
             let u_dim = (c + d - 1 - step) % d;
-            let remaining: usize = ((step + 1)..d).map(|i| 1usize << ((c + d - 1 - i) % d)).sum();
+            let remaining: usize = ((step + 1)..d)
+                .map(|i| 1usize << ((c + d - 1 - i) % d))
+                .sum();
             let tag = round_tag(base, step as u32, c as u32);
             if v & !(remaining | (1 << u_dim)) == 0 && (v >> u_dim) & 1 == 1 {
                 // Leaf of the remaining tree: ship my whole gathered

@@ -59,15 +59,19 @@ mod allgather;
 mod allreduce;
 mod alltoall;
 mod bcast;
+mod ft;
 mod gather;
 pub mod plan;
 mod reduce;
 mod scatter;
 
-pub use allgather::{allgather, allgather_plan, reduce_scatter, reduce_scatter_plan, AllgatherRun, ReduceScatterRun};
+pub use allgather::{
+    allgather, allgather_plan, reduce_scatter, reduce_scatter_plan, AllgatherRun, ReduceScatterRun,
+};
 pub use allreduce::{allreduce_is_bandwidth_optimal, allreduce_sum};
 pub use alltoall::{alltoall_personalized, alltoall_plan, AlltoallRun};
 pub use bcast::{bcast, bcast_plan, BcastRun};
+pub use ft::{allgather_ft, bcast_ft, execute_ft};
 pub use gather::{gather, gather_plan, GatherRun};
 pub use plan::{execute_fused, CollectiveRun};
 pub use reduce::{reduce_plan, reduce_sum, ReduceRun};

@@ -70,7 +70,9 @@ pub fn reduce_plan(
             // Merge along the reverse of the broadcast tree: copy c uses
             // dimension u = (c + d - 1 - step) mod d at round `step`.
             let u = (c + d - 1 - step) % d;
-            let remaining: usize = ((step + 1)..d).map(|i| 1usize << ((c + d - 1 - i) % d)).sum();
+            let remaining: usize = ((step + 1)..d)
+                .map(|i| 1usize << ((c + d - 1 - i) % d))
+                .sum();
             let tag = round_tag(base, step as u32, c as u32);
             if v & !(remaining | (1 << u)) == 0 && (v >> u) & 1 == 1 {
                 plan.push(

@@ -153,7 +153,15 @@ pub fn scatter(
     parts: Option<Vec<Payload>>,
     part_len: usize,
 ) -> Payload {
-    let mut run = scatter_plan(proc.port_model(), sc, proc.id(), root, base, parts, part_len);
+    let mut run = scatter_plan(
+        proc.port_model(),
+        sc,
+        proc.id(),
+        root,
+        base,
+        parts,
+        part_len,
+    );
     execute(proc, run.run_mut());
     run.finish()
 }
@@ -174,8 +182,7 @@ mod tests {
         let out = run_machine(p, port, COST, vec![(); p], move |proc, ()| {
             let sc = Subcube::whole(proc.dim());
             let my_rank = sc.rank_of(proc.id());
-            let parts =
-                (my_rank == root).then(|| (0..sc.size()).map(|r| part_for(r, m)).collect());
+            let parts = (my_rank == root).then(|| (0..sc.size()).map(|r| part_for(r, m)).collect());
             let got = scatter(proc, &sc, root, 0, parts, m);
             assert_eq!(&got[..], &part_for(my_rank, m)[..], "node {}", proc.id());
             proc.clock()

@@ -1,172 +1,169 @@
-//! Property-based tests for the collective schedules: random subcube
+//! Deterministic property sweeps for the collective schedules: subcube
 //! shapes, roots, message sizes, and port models — data must always be
 //! delivered correctly and the measured cost must obey the Table 1
-//! bounds.
+//! bounds. (Formerly proptest strategies; now reproducible loops so the
+//! workspace needs no external crates.)
 
 use cubemm_collectives as coll;
 use cubemm_simnet::{run_machine, CostParams, Payload, PortModel};
 use cubemm_topology::Subcube;
-use proptest::prelude::*;
 
 const COST: CostParams = CostParams { ts: 3.0, tw: 1.0 };
+const PORTS: [PortModel; 2] = [PortModel::OnePort, PortModel::MultiPort];
 
 fn payload(tagish: usize, m: usize) -> Payload {
     (0..m).map(|x| (tagish * 10_000 + x) as f64).collect()
 }
 
-fn port_strategy() -> impl Strategy<Value = PortModel> {
-    prop_oneof![Just(PortModel::OnePort), Just(PortModel::MultiPort)]
-}
-
 /// Builds a machine whose collective group is an arbitrary subcube (a
 /// permuted subset of the dimensions), not just the canonical low dims.
 fn subcube_of(dims_mask: u32, machine_dim: u32) -> Vec<u32> {
-    (0..machine_dim).filter(|d| dims_mask >> d & 1 == 1).collect()
+    (0..machine_dim)
+        .filter(|d| dims_mask >> d & 1 == 1)
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn bcast_delivers_on_arbitrary_subcubes(
-        dims_mask in 1u32..16,
-        root_seed in 0usize..64,
-        m in 1usize..40,
-        port in port_strategy(),
-    ) {
-        let machine_dim = 4u32;
-        let dims = subcube_of(dims_mask, machine_dim);
-        let group = 1usize << dims.len();
-        let root = root_seed % group;
-        let p = 1usize << machine_dim;
-        let dims2 = dims.clone();
-        let out = run_machine(p, port, COST, vec![(); p], move |proc, ()| {
-            let sc = Subcube::new(proc.id(), dims2.clone());
-            let data = (sc.rank_of(proc.id()) == root).then(|| payload(root, m));
-            let got = coll::bcast(proc, &sc, root, 0, data, m);
-            assert_eq!(&got[..], &payload(root, m)[..]);
-            proc.clock()
-        });
-        // Cost bound: never worse than the one-port closed form plus the
-        // multi-port slicing granularity.
-        let d = dims.len() as f64;
-        let bound = d * (COST.ts + COST.tw * m as f64) + 1e-9;
-        prop_assert!(out.stats.elapsed <= bound,
-            "elapsed {} exceeds one-port bound {bound}", out.stats.elapsed);
+#[test]
+fn bcast_delivers_on_arbitrary_subcubes() {
+    let machine_dim = 4u32;
+    let p = 1usize << machine_dim;
+    for dims_mask in 1u32..16 {
+        for port in PORTS {
+            for (m, root_seed) in [(1usize, 0usize), (7, 3), (40, 13)] {
+                let dims = subcube_of(dims_mask, machine_dim);
+                let group = 1usize << dims.len();
+                let root = root_seed % group;
+                let dims2 = dims.clone();
+                let out = run_machine(p, port, COST, vec![(); p], move |proc, ()| {
+                    let sc = Subcube::new(proc.id(), dims2.clone());
+                    let data = (sc.rank_of(proc.id()) == root).then(|| payload(root, m));
+                    let got = coll::bcast(proc, &sc, root, 0, data, m);
+                    assert_eq!(&got[..], &payload(root, m)[..]);
+                    proc.clock()
+                });
+                // Cost bound: never worse than the one-port closed form
+                // plus the multi-port slicing granularity.
+                let d = dims.len() as f64;
+                let bound = d * (COST.ts + COST.tw * m as f64) + 1e-9;
+                assert!(
+                    out.stats.elapsed <= bound,
+                    "elapsed {} exceeds one-port bound {bound} (mask {dims_mask}, {port}, m {m})",
+                    out.stats.elapsed
+                );
+            }
+        }
     }
+}
 
-    #[test]
-    fn allgather_and_reduce_scatter_are_inverses(
-        dims_mask in 1u32..16,
-        m in 1usize..24,
-        port in port_strategy(),
-    ) {
-        let machine_dim = 4u32;
-        let dims = subcube_of(dims_mask, machine_dim);
-        let p = 1usize << machine_dim;
-        let dims2 = dims.clone();
-        let out = run_machine(p, port, COST, vec![(); p], move |proc, ()| {
-            let sc = Subcube::new(proc.id(), dims2.clone());
-            let v = sc.rank_of(proc.id());
-            let n = sc.size();
-            // allgather everyone's contribution...
-            let all = coll::allgather(proc, &sc, 0, payload(v, m));
-            for (r, part) in all.iter().enumerate() {
-                assert_eq!(&part[..], &payload(r, m)[..]);
+#[test]
+fn allgather_and_reduce_scatter_are_inverses() {
+    let machine_dim = 4u32;
+    let p = 1usize << machine_dim;
+    for dims_mask in 1u32..16 {
+        for port in PORTS {
+            for m in [1usize, 5, 24] {
+                let dims = subcube_of(dims_mask, machine_dim);
+                let dims2 = dims.clone();
+                let out = run_machine(p, port, COST, vec![(); p], move |proc, ()| {
+                    let sc = Subcube::new(proc.id(), dims2.clone());
+                    let v = sc.rank_of(proc.id());
+                    let n = sc.size();
+                    // allgather everyone's contribution...
+                    let all = coll::allgather(proc, &sc, 0, payload(v, m));
+                    for (r, part) in all.iter().enumerate() {
+                        assert_eq!(&part[..], &payload(r, m)[..]);
+                    }
+                    // ...then reduce-scatter the same parts back: every
+                    // member contributes the same `all` vector, so slot v
+                    // sums n copies of payload(v, m).
+                    let back = coll::reduce_scatter(proc, &sc, coll::TAG_SPACE, all);
+                    for (x, val) in back.iter().enumerate() {
+                        assert_eq!(*val, payload(v, m)[x] * n as f64);
+                    }
+                    proc.clock()
+                });
+                assert!(out.stats.elapsed >= 0.0);
             }
-            // ...then reduce-scatter the same parts back: every node
-            // receives the sum over members of its own slot, i.e. n
-            // times its own contribution? No — every member contributes
-            // the same `all` vector, so slot v sums n copies of
-            // payload(v, m).
-            let back = coll::reduce_scatter(proc, &sc, coll::TAG_SPACE, all);
-            for (x, val) in back.iter().enumerate() {
-                assert_eq!(*val, payload(v, m)[x] * n as f64);
-            }
-            proc.clock()
-        });
-        prop_assert!(out.stats.elapsed >= 0.0);
+        }
     }
+}
 
-    #[test]
-    fn alltoall_permutes_correctly_and_scatter_agrees_with_gather(
-        dims_mask in 1u32..8,
-        m in 1usize..16,
-        port in port_strategy(),
-        root_seed in 0usize..8,
-    ) {
-        let machine_dim = 3u32;
-        let dims = subcube_of(dims_mask, machine_dim);
-        let group = 1usize << dims.len();
-        let root = root_seed % group;
-        let p = 1usize << machine_dim;
-        let dims2 = dims.clone();
-        run_machine(p, port, COST, vec![(); p], move |proc, ()| {
-            let sc = Subcube::new(proc.id(), dims2.clone());
-            let v = sc.rank_of(proc.id());
-            let n = sc.size();
-            // all-to-all personalized: message (v → r).
-            let parts: Vec<Payload> = (0..n).map(|r| payload(v * 100 + r, m)).collect();
-            let got = coll::alltoall_personalized(proc, &sc, 0, parts);
-            for (origin, part) in got.iter().enumerate() {
-                assert_eq!(&part[..], &payload(origin * 100 + v, m)[..]);
+#[test]
+fn alltoall_permutes_correctly_and_scatter_agrees_with_gather() {
+    let machine_dim = 3u32;
+    let p = 1usize << machine_dim;
+    for dims_mask in 1u32..8 {
+        for port in PORTS {
+            for (m, root_seed) in [(1usize, 0usize), (4, 5), (16, 2)] {
+                let dims = subcube_of(dims_mask, machine_dim);
+                let group = 1usize << dims.len();
+                let root = root_seed % group;
+                let dims2 = dims.clone();
+                run_machine(p, port, COST, vec![(); p], move |proc, ()| {
+                    let sc = Subcube::new(proc.id(), dims2.clone());
+                    let v = sc.rank_of(proc.id());
+                    let n = sc.size();
+                    // all-to-all personalized: message (v → r).
+                    let parts: Vec<Payload> = (0..n).map(|r| payload(v * 100 + r, m)).collect();
+                    let got = coll::alltoall_personalized(proc, &sc, 0, parts);
+                    for (origin, part) in got.iter().enumerate() {
+                        assert_eq!(&part[..], &payload(origin * 100 + v, m)[..]);
+                    }
+                    // gather to root then scatter back must round-trip.
+                    let gathered = coll::gather(proc, &sc, root, coll::TAG_SPACE, payload(v, m));
+                    let scattered =
+                        coll::scatter(proc, &sc, root, 2 * coll::TAG_SPACE, gathered, m);
+                    assert_eq!(&scattered[..], &payload(v, m)[..]);
+                });
             }
-            // gather to root then scatter back must round-trip.
-            let gathered = coll::gather(proc, &sc, root, coll::TAG_SPACE, payload(v, m));
-            let scattered = coll::scatter(
-                proc,
-                &sc,
-                root,
-                2 * coll::TAG_SPACE,
-                gathered,
-                m,
+        }
+    }
+}
+
+#[test]
+fn fused_collectives_agree_with_sequential_execution_values() {
+    // Fusing two independent broadcasts must deliver the same data as
+    // running them back to back, and never take longer.
+    let p = 16usize;
+    for port in PORTS {
+        for m in [1usize, 9, 24] {
+            let elapsed_fused = run_machine(p, port, COST, vec![(); p], move |proc, ()| {
+                let row = Subcube::new(proc.id(), vec![0, 1]);
+                let col = Subcube::new(proc.id(), vec![2, 3]);
+                let d1 = (row.rank_of(proc.id()) == 0).then(|| payload(1, m));
+                let d2 = (col.rank_of(proc.id()) == 0).then(|| payload(2, m));
+                let mut b1 = coll::bcast_plan(proc.port_model(), &row, proc.id(), 0, 0, d1, m);
+                let mut b2 = coll::bcast_plan(
+                    proc.port_model(),
+                    &col,
+                    proc.id(),
+                    0,
+                    coll::TAG_SPACE,
+                    d2,
+                    m,
+                );
+                coll::execute_fused(proc, &mut [b1.run_mut(), b2.run_mut()]);
+                assert_eq!(&b1.finish()[..], &payload(1, m)[..]);
+                assert_eq!(&b2.finish()[..], &payload(2, m)[..]);
+                proc.clock()
+            })
+            .stats
+            .elapsed;
+            let elapsed_seq = run_machine(p, port, COST, vec![(); p], move |proc, ()| {
+                let row = Subcube::new(proc.id(), vec![0, 1]);
+                let col = Subcube::new(proc.id(), vec![2, 3]);
+                let d1 = (row.rank_of(proc.id()) == 0).then(|| payload(1, m));
+                let d2 = (col.rank_of(proc.id()) == 0).then(|| payload(2, m));
+                let _ = coll::bcast(proc, &row, 0, 0, d1, m);
+                let _ = coll::bcast(proc, &col, 0, coll::TAG_SPACE, d2, m);
+                proc.clock()
+            })
+            .stats
+            .elapsed;
+            assert!(
+                elapsed_fused <= elapsed_seq + 1e-9,
+                "fused {elapsed_fused} slower than sequential {elapsed_seq} ({port}, m {m})"
             );
-            assert_eq!(&scattered[..], &payload(v, m)[..]);
-        });
-    }
-
-    #[test]
-    fn fused_collectives_agree_with_sequential_execution_values(
-        m in 1usize..24,
-        port in port_strategy(),
-    ) {
-        // Fusing two independent broadcasts must deliver the same data
-        // as running them back to back, and never take longer.
-        let p = 16usize;
-        let elapsed_fused = run_machine(p, port, COST, vec![(); p], move |proc, ()| {
-            let row = Subcube::new(proc.id(), vec![0, 1]);
-            let col = Subcube::new(proc.id(), vec![2, 3]);
-            let d1 = (row.rank_of(proc.id()) == 0).then(|| payload(1, m));
-            let d2 = (col.rank_of(proc.id()) == 0).then(|| payload(2, m));
-            let mut b1 = coll::bcast_plan(proc.port_model(), &row, proc.id(), 0, 0, d1, m);
-            let mut b2 = coll::bcast_plan(
-                proc.port_model(),
-                &col,
-                proc.id(),
-                0,
-                coll::TAG_SPACE,
-                d2,
-                m,
-            );
-            coll::execute_fused(proc, &mut [b1.run_mut(), b2.run_mut()]);
-            assert_eq!(&b1.finish()[..], &payload(1, m)[..]);
-            assert_eq!(&b2.finish()[..], &payload(2, m)[..]);
-            proc.clock()
-        })
-        .stats
-        .elapsed;
-        let elapsed_seq = run_machine(p, port, COST, vec![(); p], move |proc, ()| {
-            let row = Subcube::new(proc.id(), vec![0, 1]);
-            let col = Subcube::new(proc.id(), vec![2, 3]);
-            let d1 = (row.rank_of(proc.id()) == 0).then(|| payload(1, m));
-            let d2 = (col.rank_of(proc.id()) == 0).then(|| payload(2, m));
-            let _ = coll::bcast(proc, &row, 0, 0, d1, m);
-            let _ = coll::bcast(proc, &col, 0, coll::TAG_SPACE, d2, m);
-            proc.clock()
-        })
-        .stats
-        .elapsed;
-        prop_assert!(elapsed_fused <= elapsed_seq + 1e-9,
-            "fused {elapsed_fused} slower than sequential {elapsed_seq}");
+        }
     }
 }

@@ -65,7 +65,7 @@ pub fn multiply(
         })
         .collect();
 
-    let cfg = *cfg;
+    let cfg = cfg.clone();
     let out = crate::util::run_spmd(&cfg, p, inits, move |proc, (pa, pb)| {
         let (i, j, k) = grid.coords(proc.id());
         let me = proc.id();
@@ -115,7 +115,7 @@ pub fn multiply(
             .map(|l| partition::col_group(&outer, q, l).into_payload())
             .collect();
         reduce_scatter(proc, &y_line, phase_tag(3), parts)
-    });
+    })?;
 
     let mut c = Matrix::zeros(n, n);
     for label in 0..p {

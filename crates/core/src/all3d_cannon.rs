@@ -39,7 +39,11 @@ use crate::{AlgoError, MachineConfig, RunResult};
 pub fn check(n: usize, p: usize, mesh_bits: u32) -> Result<(), AlgoError> {
     let grid = SupernodeGrid::new(p, mesh_bits)?;
     let g = grid.super_q();
-    require_divides(n, g * g * grid.mesh_q(), "supernode Figure 8 piece partition")?;
+    require_divides(
+        n,
+        g * g * grid.mesh_q(),
+        "supernode Figure 8 piece partition",
+    )?;
     Ok(())
 }
 
@@ -52,9 +56,17 @@ pub fn default_mesh_bits(n: usize, p: usize) -> Option<u32> {
         .copied()
         .find(|&mb| {
             check(n, p, mb).is_ok()
-                && SupernodeGrid::new(p, mb).map(|g| g.s() >= 8).unwrap_or(false)
+                && SupernodeGrid::new(p, mb)
+                    .map(|g| g.s() >= 8)
+                    .unwrap_or(false)
         })
-        .or_else(|| splits.iter().rev().copied().find(|&mb| check(n, p, mb).is_ok()))
+        .or_else(|| {
+            splits
+                .iter()
+                .rev()
+                .copied()
+                .find(|&mb| check(n, p, mb).is_ok())
+        })
 }
 
 /// Multiplies `a · b` with the default split.
@@ -106,7 +118,7 @@ pub fn multiply_with_mesh(
         })
         .collect();
 
-    let cfg = *cfg;
+    let cfg = cfg.clone();
     let out = crate::util::run_spmd(&cfg, p, inits, move |proc, (pa, pb)| {
         let (x, y, i, j, k) = grid.coords(proc.id());
         let me = proc.id();
@@ -190,7 +202,7 @@ pub fn multiply_with_mesh(
             .collect();
         let y_line = grid.super_y_line(me);
         reduce_scatter(proc, &y_line, phase_tag(7), parts)
-    });
+    })?;
 
     // The mesh layout of C comes out row-major over (y, j): node
     // (x, y, i, j, k) holds rows [k·n/g + x·pr) and columns
@@ -200,7 +212,11 @@ pub fn multiply_with_mesh(
     for label in 0..p {
         let (x, y, i, j, k) = grid.coords(label);
         let block = to_matrix(pr, pc, &out.outputs[label]);
-        c.paste(k * (n / g) + x * pr, i * (n / g) + y * g * pc + j * pc, &block);
+        c.paste(
+            k * (n / g) + x * pr,
+            i * (n / g) + y * g * pc + j * pc,
+            &block,
+        );
     }
     Ok(RunResult {
         c,
@@ -263,11 +279,7 @@ mod tests {
         // redistribution's extra start-ups let DNS+Cannon win — the
         // claim's base-algorithm form (3-D All vs DNS) never has that
         // exception because plain 3-D All's first phase is a pure AAPC.
-        for (n, p, mb) in [
-            (64usize, 32usize, 1u32),
-            (128, 32, 1),
-            (128, 256, 1),
-        ] {
+        for (n, p, mb) in [(64usize, 32usize, 1u32), (128, 32, 1), (128, 256, 1)] {
             for port in [PortModel::OnePort, PortModel::MultiPort] {
                 let a = Matrix::random(n, n, 3);
                 let b = Matrix::random(n, n, 4);

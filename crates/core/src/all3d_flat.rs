@@ -64,7 +64,7 @@ pub fn multiply(
         })
         .collect();
 
-    let cfg = *cfg;
+    let cfg = cfg.clone();
     let out = crate::util::run_spmd(&cfg, p, inits, move |proc, (pa, pb)| {
         let (i, j, k) = grid.coords(proc.id());
         let me = proc.id();
@@ -92,7 +92,7 @@ pub fn multiply(
             let mut gb = allgather_plan(port, &z_high, me, phase_tag(2), strip);
             execute_fused(proc, &mut [ga.run_mut(), gb.run_mut()]);
             let strips = gb.finish(); // rank k_hi ↔ row group k_hi·g + j
-            // Stack vertically: rows of B[S_j, i-band], a g·w × g·w tile.
+                                      // Stack vertically: rows of B[S_j, i-band], a g·w × g·w tile.
             let pieces: Vec<Matrix> = strips.iter().map(|p| to_matrix(w, g * w, p)).collect();
             let stacked = partition::stack_rows(&pieces);
             // Phase 3a: broadcast the tile along the z-low subcube.
@@ -110,18 +110,12 @@ pub fn multiply(
             execute_fused(proc, &mut [ga.run_mut()]);
             // Phase 3a (receiving side): the tile arrives over z-low.
             let z_low = grid.z_low_line(me);
-            let tile = cubemm_collectives::bcast(
-                proc,
-                &z_low,
-                j,
-                phase_tag(3),
-                None,
-                g * w * g * w,
-            );
+            let tile =
+                cubemm_collectives::bcast(proc, &z_low, j, phase_tag(3), None, g * w * g * w);
             let stacked = to_matrix(g * w, g * w, &tile);
             finish(proc, &grid, ga, stacked, i, j, k, w, cfg.kernel)
         }
-    });
+    })?;
 
     let mut c = Matrix::zeros(n, n);
     for label in 0..p {

@@ -57,10 +57,11 @@ pub fn multiply(
         })
         .collect();
 
-    let cfg = *cfg;
+    let cfg = cfg.clone();
+    let inner = cfg.clone();
     let out = crate::util::run_spmd(&cfg, p, inits, move |proc, (pa, pb)| {
-        program(proc, &grid, pa, pb, &cfg)
-    });
+        program(proc, &grid, pa, pb, &inner)
+    })?;
     Ok(assemble(n, p, &grid, out))
 }
 
@@ -94,7 +95,8 @@ pub fn multiply_from_identical(
         })
         .collect();
 
-    let cfg = *cfg;
+    let cfg = cfg.clone();
+    let inner = cfg.clone();
     let out = crate::util::run_spmd(&cfg, p, inits, move |proc, (pa, pb)| {
         let (i, j, k) = grid.coords(proc.id());
 
@@ -128,8 +130,8 @@ pub fn multiply_from_identical(
             .collect();
         let tall = partition::concat_cols(&pieces);
 
-        program(proc, &grid, pa, tall.into_payload(), &cfg)
-    });
+        program(proc, &grid, pa, tall.into_payload(), &inner)
+    })?;
     Ok(assemble(n, p, &grid, out))
 }
 

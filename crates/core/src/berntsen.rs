@@ -23,7 +23,11 @@ use crate::{AlgoError, MachineConfig, RunResult};
 pub fn check(n: usize, p: usize) -> Result<(), AlgoError> {
     let grid = Grid3::new(p)?;
     let q = grid.q();
-    require_divides(n, q * q, "p^(2/3) block partition of the outer product sets")?;
+    require_divides(
+        n,
+        q * q,
+        "p^(2/3) block partition of the outer product sets",
+    )?;
     Ok(())
 }
 
@@ -53,7 +57,7 @@ pub fn multiply(
         })
         .collect();
 
-    let cfg = *cfg;
+    let cfg = cfg.clone();
     let out = crate::util::run_spmd(&cfg, p, inits, move |proc, (pa, pb)| {
         let (i, j, m) = grid.coords(proc.id());
         let ma = to_matrix(big, small, &pa);
@@ -75,7 +79,7 @@ pub fn multiply(
         let strip = cubemm_collectives::reduce_scatter(proc, &fibre, phase_tag(4), parts);
         proc.track_peak_words(2 * big * small + big * big + small * big);
         strip
-    });
+    })?;
 
     // Node p_{i,j,k} holds C rows [i·n/q + k·n/q², +n/q²), cols
     // [j·n/q, +n/q).

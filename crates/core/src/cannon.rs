@@ -153,7 +153,7 @@ pub fn multiply(
         })
         .collect();
 
-    let cfg = *cfg;
+    let cfg = cfg.clone();
     let out = crate::util::run_spmd(&cfg, p, inits, move |proc, (pa, pb)| {
         let (i, j) = grid.coords(proc.id());
         let ma = to_matrix(bs, bs, &pa);
@@ -163,9 +163,11 @@ pub fn multiply(
         let node_of = |x: usize, y: usize| grid.node(x, y);
         let c = cannon_phase(proc, &node_of, i, j, q, ma, mb, cfg.kernel);
         c.into_payload()
-    });
+    })?;
 
-    let c = partition::assemble_square(n, q, |i, j| to_matrix(bs, bs, &out.outputs[grid.node(i, j)]));
+    let c = partition::assemble_square(n, q, |i, j| {
+        to_matrix(bs, bs, &out.outputs[grid.node(i, j)])
+    });
     Ok(RunResult {
         c,
         stats: out.stats,

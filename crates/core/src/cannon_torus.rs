@@ -64,10 +64,13 @@ pub fn multiply(
                 ));
             }
         }
-        by_label.into_iter().map(|x| x.expect("bijection")).collect()
+        by_label
+            .into_iter()
+            .map(|x| x.expect("bijection"))
+            .collect()
     };
 
-    let cfg = *cfg;
+    let cfg = cfg.clone();
     let ring_coords = move |label: usize| {
         let (gi, gj) = grid.coords(label);
         (
@@ -158,7 +161,7 @@ pub fn multiply(
             mb = to_matrix(bs, bs, &received.next().expect("shifted B"));
         }
         c.into_payload()
-    });
+    })?;
 
     let c = partition::assemble_square(n, q, |i, j| {
         to_matrix(bs, bs, &out.outputs[ring_node(i, j)])
@@ -246,19 +249,24 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "does not exist")]
     fn hypercube_cannon_needs_edges_a_torus_lacks() {
         // The XOR-skew form is hypercube-specific: on the torus machine
         // its alignment step tries a missing edge and the simulator
-        // rejects it. (Nodes waiting on the panicked ones are released
-        // by the watchdog; shrink it so teardown is fast.)
-        std::env::set_var("CUBEMM_DEADLOCK_TIMEOUT_MS", "5000");
+        // reports the offending node as a structured error. (Nodes
+        // waiting on the panicked ones are released immediately by the
+        // machine-wide abort channel, not by the watchdog.)
         let n = 16;
         let p = 64;
         let a = Matrix::random(n, n, 1);
         let b = Matrix::random(n, n, 2);
         let cfg = MachineConfig::default().on_torus(3);
-        let _ = crate::cannon::multiply(&a, &b, p, &cfg);
+        let err = crate::cannon::multiply(&a, &b, p, &cfg).unwrap_err();
+        match err {
+            crate::AlgoError::Sim(cubemm_simnet::RunError::NodePanicked { message, .. }) => {
+                assert!(message.contains("does not exist"), "message: {message}");
+            }
+            other => panic!("expected Sim(NodePanicked), got {other:?}"),
+        }
     }
 
     #[test]

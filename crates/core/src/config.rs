@@ -2,10 +2,10 @@
 
 use cubemm_dense::gemm::Kernel;
 use cubemm_dense::Matrix;
-use cubemm_simnet::{ChargePolicy, CostParams, LinkTopology, PortModel, RunStats};
+use cubemm_simnet::{ChargePolicy, CostParams, FaultPlan, LinkTopology, PortModel, RunStats};
 
 /// Configuration of the simulated machine a multiplication runs on.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct MachineConfig {
     /// One-port or multi-port nodes (paper §2).
     pub port: PortModel,
@@ -21,6 +21,8 @@ pub struct MachineConfig {
     /// Physical link topology (full hypercube by default; `Torus2d`
     /// proves an algorithm uses mesh links only).
     pub links: LinkTopology,
+    /// Deterministic fault injection (empty — healthy — by default).
+    pub faults: FaultPlan,
 }
 
 impl Default for MachineConfig {
@@ -32,6 +34,7 @@ impl Default for MachineConfig {
             traced: false,
             charge: ChargePolicy::SenderOnly,
             links: LinkTopology::Hypercube,
+            faults: FaultPlan::new(),
         }
     }
 }
@@ -46,6 +49,7 @@ impl MachineConfig {
             traced: false,
             charge: ChargePolicy::SenderOnly,
             links: LinkTopology::Hypercube,
+            faults: FaultPlan::new(),
         }
     }
 
@@ -64,6 +68,15 @@ impl MachineConfig {
     /// Enables per-message event tracing for runs under this config.
     pub fn with_trace(mut self) -> Self {
         self.traced = true;
+        self
+    }
+
+    /// Injects the given deterministic fault plan into runs under this
+    /// config. Run failures (unroutable destinations, deadlocks, strict
+    /// dead links) surface as [`crate::AlgoError::Sim`] instead of
+    /// panics.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
         self
     }
 }

@@ -56,7 +56,7 @@ pub fn multiply(
         })
         .collect();
 
-    let cfg = *cfg;
+    let cfg = cfg.clone();
     let out = crate::util::run_spmd(&cfg, p, inits, move |proc, init| {
         let (i, j) = grid.coords(proc.id());
         let me = proc.id();
@@ -92,7 +92,7 @@ pub fn multiply(
         // node p_{i,i}; the sum over j is column group i of C.
         let row = grid.row(i); // rank within the row = column coordinate j
         reduce_sum(proc, &row, i, phase_tag(2), part.into_payload())
-    });
+    })?;
 
     let mut c = Matrix::zeros(n, n);
     for k in 0..q {

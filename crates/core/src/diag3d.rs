@@ -60,7 +60,7 @@ pub fn multiply(
         })
         .collect();
 
-    let cfg = *cfg;
+    let cfg = cfg.clone();
     let out = crate::util::run_spmd(&cfg, p, inits, move |proc, init| {
         let (i, j, k) = grid.coords(proc.id());
         let me = proc.id();
@@ -101,7 +101,7 @@ pub fn multiply(
         // Σ_j A_{k,j}·B_{j,i} = C_{k,i} at p_{i,i,k}.
         let y_line = grid.y_line(i, k);
         reduce_sum(proc, &y_line, i, phase_tag(3), part.into_payload())
-    });
+    })?;
 
     let c = partition::assemble_square(n, q, |k, i| {
         let payload = out.outputs[grid.node(i, i, k)]

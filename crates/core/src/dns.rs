@@ -54,7 +54,7 @@ pub fn multiply(
         })
         .collect();
 
-    let cfg = *cfg;
+    let cfg = cfg.clone();
     let out = crate::util::run_spmd(&cfg, p, inits, move |proc, init| {
         let (i, j, k) = grid.coords(proc.id());
         let me = proc.id();
@@ -103,7 +103,7 @@ pub fn multiply(
         // Phase 3: all-to-one reduction along z back to the base plane.
         let z_line = grid.z_line(i, j);
         reduce_sum(proc, &z_line, 0, phase_tag(4), c.into_payload())
-    });
+    })?;
 
     let c = partition::assemble_square(n, q, |i, j| {
         let payload = out.outputs[grid.node(i, j, 0)]

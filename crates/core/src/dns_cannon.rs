@@ -25,7 +25,11 @@ use crate::{AlgoError, MachineConfig, RunResult};
 /// Validates the combination for a given mesh split (`r = 4^mesh_bits`).
 pub fn check(n: usize, p: usize, mesh_bits: u32) -> Result<(), AlgoError> {
     let grid = SupernodeGrid::new(p, mesh_bits)?;
-    require_divides(n, grid.super_q() * grid.mesh_q(), "supernode sub-block partition")?;
+    require_divides(
+        n,
+        grid.super_q() * grid.mesh_q(),
+        "supernode sub-block partition",
+    )?;
     Ok(())
 }
 
@@ -40,9 +44,17 @@ pub fn default_mesh_bits(n: usize, p: usize) -> Option<u32> {
         .copied()
         .find(|&mb| {
             check(n, p, mb).is_ok()
-                && SupernodeGrid::new(p, mb).map(|g| g.s() >= 8).unwrap_or(false)
+                && SupernodeGrid::new(p, mb)
+                    .map(|g| g.s() >= 8)
+                    .unwrap_or(false)
         })
-        .or_else(|| splits.iter().rev().copied().find(|&mb| check(n, p, mb).is_ok()))
+        .or_else(|| {
+            splits
+                .iter()
+                .rev()
+                .copied()
+                .find(|&mb| check(n, p, mb).is_ok())
+        })
 }
 
 /// Multiplies `a · b` with the default (memory-optimal) mesh split.
@@ -92,7 +104,7 @@ pub fn multiply_with_mesh(
         })
         .collect();
 
-    let cfg = *cfg;
+    let cfg = cfg.clone();
     let out = crate::util::run_spmd(&cfg, p, inits, move |proc, init| {
         let (x, y, i, j, k) = grid.coords(proc.id());
         let me = proc.id();
@@ -141,7 +153,7 @@ pub fn multiply_with_mesh(
         // Phase 4: reduce along super-z back to the base plane.
         let z_line = grid.super_z_line(me);
         reduce_sum(proc, &z_line, 0, phase_tag(8), c.into_payload())
-    });
+    })?;
 
     let mut c = Matrix::zeros(n, n);
     for label in 0..p {

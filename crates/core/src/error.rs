@@ -1,5 +1,6 @@
-//! Typed errors for inapplicable problem shapes.
+//! Typed errors for inapplicable problem shapes and failed runs.
 
+use cubemm_simnet::RunError;
 use cubemm_topology::TopologyError;
 
 /// Why an algorithm cannot run on the requested `(n, p)`.
@@ -32,11 +33,21 @@ pub enum AlgoError {
         /// Links per grid dimension, `log √p`.
         need: usize,
     },
+    /// The simulated run itself failed — deadlock, node panic, or a
+    /// link fault the algorithm could not route around (fault
+    /// injection). Carries the structured simulator error.
+    Sim(RunError),
 }
 
 impl From<TopologyError> for AlgoError {
     fn from(e: TopologyError) -> Self {
         AlgoError::Topology(e)
+    }
+}
+
+impl From<RunError> for AlgoError {
+    fn from(e: RunError) -> Self {
+        AlgoError::Sim(e)
     }
 }
 
@@ -57,6 +68,7 @@ impl std::fmt::Display for AlgoError {
                 "local block side {have} is smaller than the {need} links per \
                  grid dimension (Ho-Johnsson-Edelman requires n/sqrt(p) >= log sqrt(p))"
             ),
+            AlgoError::Sim(e) => write!(f, "simulated run failed: {e}"),
         }
     }
 }

@@ -55,10 +55,13 @@ pub fn multiply(
                 ));
             }
         }
-        by_label.into_iter().map(|x| x.expect("bijection")).collect()
+        by_label
+            .into_iter()
+            .map(|x| x.expect("bijection"))
+            .collect()
     };
 
-    let cfg = *cfg;
+    let cfg = cfg.clone();
     let ring_coords = move |label: usize| {
         let (gi, gj) = grid.coords(label);
         (
@@ -79,7 +82,14 @@ pub fn multiply(
             let owner = (i + k) % q;
             let root_rank = gray(owner);
             let data = (owner == j).then(|| a_home.to_payload());
-            let ak = bcast(proc, &row, root_rank, phase_tag(2 * k as u64), data, bs * bs);
+            let ak = bcast(
+                proc,
+                &row,
+                root_rank,
+                phase_tag(2 * k as u64),
+                data,
+                bs * bs,
+            );
             gemm_acc(&mut c, &to_matrix(bs, bs, &ak), &mb, cfg.kernel);
 
             // Roll B up one ring position (except after the last step).
@@ -102,7 +112,7 @@ pub fn multiply(
             mb = to_matrix(bs, bs, &rolled);
         }
         c.into_payload()
-    });
+    })?;
 
     let c = partition::assemble_square(n, q, |i, j| {
         to_matrix(bs, bs, &out.outputs[ring_node(i, j)])

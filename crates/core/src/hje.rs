@@ -76,7 +76,7 @@ pub fn multiply(
         })
         .collect();
 
-    let cfg = *cfg;
+    let cfg = cfg.clone();
     let out = crate::util::run_spmd(&cfg, p, inits, move |proc, (pa, pb)| {
         let (i, j) = grid.coords(proc.id());
         let mut ma = to_matrix(bs, bs, &pa);
@@ -186,9 +186,11 @@ pub fn multiply(
             }
         }
         c.into_payload()
-    });
+    })?;
 
-    let c = partition::assemble_square(n, q, |i, j| to_matrix(bs, bs, &out.outputs[grid.node(i, j)]));
+    let c = partition::assemble_square(n, q, |i, j| {
+        to_matrix(bs, bs, &out.outputs[grid.node(i, j)])
+    });
     Ok(RunResult {
         c,
         stats: out.stats,

@@ -43,7 +43,7 @@ pub fn multiply(
         })
         .collect();
 
-    let cfg = *cfg;
+    let cfg = cfg.clone();
     let out = crate::util::run_spmd(&cfg, p, inits, move |proc, (pa, pb)| {
         let (i, j) = grid.coords(proc.id());
         proc.track_peak_words(2 * bs * bs);
@@ -68,9 +68,11 @@ pub fn multiply(
             gemm_acc(&mut c, &ak, &bk, cfg.kernel);
         }
         c.into_payload()
-    });
+    })?;
 
-    let c = partition::assemble_square(n, q, |i, j| to_matrix(bs, bs, &out.outputs[grid.node(i, j)]));
+    let c = partition::assemble_square(n, q, |i, j| {
+        to_matrix(bs, bs, &out.outputs[grid.node(i, j)])
+    });
     Ok(RunResult {
         c,
         stats: out.stats,

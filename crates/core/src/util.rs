@@ -1,7 +1,7 @@
 //! Shared helpers for the algorithm drivers.
 
 use cubemm_dense::Matrix;
-use cubemm_simnet::{run_machine_with, MachineOptions, Proc, RunOutcome};
+use cubemm_simnet::{try_run_machine_with, MachineOptions, Proc, RunOutcome};
 
 use crate::{AlgoError, MachineConfig};
 
@@ -39,23 +39,29 @@ pub fn to_matrix(rows: usize, cols: usize, p: &[f64]) -> Matrix {
 }
 
 /// Runs an SPMD program on the machine described by `cfg`, honoring the
-/// tracing flag.
-pub fn run_spmd<I, O, F>(cfg: &MachineConfig, p: usize, inits: Vec<I>, f: F) -> RunOutcome<O>
+/// tracing flag and the fault plan. Simulator failures — deadlock, node
+/// panic, link faults — come back as [`AlgoError::Sim`] values rather
+/// than panics, so a faulty machine degrades a multiplication into a
+/// reportable error.
+pub fn run_spmd<I, O, F>(
+    cfg: &MachineConfig,
+    p: usize,
+    inits: Vec<I>,
+    f: F,
+) -> Result<RunOutcome<O>, AlgoError>
 where
     I: Send,
     O: Send,
     F: Fn(&mut Proc, I) -> O + Sync,
 {
-    run_machine_with(
-        p,
-        MachineOptions {
-            port: cfg.port,
-            cost: cfg.cost,
-            charge: cfg.charge,
-            links: cfg.links,
-            traced: cfg.traced,
-        },
-        inits,
-        f,
-    )
+    let options = MachineOptions {
+        port: cfg.port,
+        cost: cfg.cost,
+        charge: cfg.charge,
+        links: cfg.links,
+        traced: cfg.traced,
+        faults: cfg.faults.clone(),
+        deadlock_timeout: None,
+    };
+    try_run_machine_with(p, options, inits, f).map_err(AlgoError::Sim)
 }

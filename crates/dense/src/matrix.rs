@@ -4,9 +4,17 @@ use std::fmt;
 use std::ops::{Index, IndexMut};
 use std::sync::Arc;
 
-use rand::distributions::{Distribution, Uniform};
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+/// SplitMix64: a tiny, high-quality, dependency-free generator. The test
+/// matrices only need reproducible, well-spread entries, not
+/// cryptographic quality, and an in-tree generator keeps seeded runs
+/// stable across toolchain and dependency upgrades.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
 
 /// Owned row-major dense matrix.
 ///
@@ -61,9 +69,14 @@ impl Matrix {
 
     /// A reproducible pseudo-random matrix with entries in `[-1, 1)`.
     pub fn random(rows: usize, cols: usize, seed: u64) -> Self {
-        let mut rng = ChaCha8Rng::seed_from_u64(seed);
-        let dist = Uniform::new(-1.0, 1.0);
-        let data = (0..rows * cols).map(|_| dist.sample(&mut rng)).collect();
+        let mut state = seed;
+        let data = (0..rows * cols)
+            .map(|_| {
+                // 53 uniform mantissa bits mapped onto [-1, 1).
+                let u = (splitmix64(&mut state) >> 11) as f64 / (1u64 << 53) as f64;
+                2.0 * u - 1.0
+            })
+            .collect();
         Matrix { rows, cols, data }
     }
 
@@ -106,7 +119,10 @@ impl Matrix {
     /// Copies the rectangular block with top-left corner `(r0, c0)` and
     /// shape `br × bc` into a new matrix.
     pub fn block(&self, r0: usize, c0: usize, br: usize, bc: usize) -> Matrix {
-        assert!(r0 + br <= self.rows && c0 + bc <= self.cols, "block out of range");
+        assert!(
+            r0 + br <= self.rows && c0 + bc <= self.cols,
+            "block out of range"
+        );
         let mut data = Vec::with_capacity(br * bc);
         for r in r0..r0 + br {
             data.extend_from_slice(&self.data[r * self.cols + c0..r * self.cols + c0 + bc]);

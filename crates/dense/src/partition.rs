@@ -17,7 +17,10 @@ use crate::Matrix;
 /// # Panics
 /// Panics if the matrix dimensions are not divisible by `q`.
 pub fn square(m: &Matrix, q: usize, i: usize, j: usize) -> Matrix {
-    assert!(m.rows() % q == 0 && m.cols() % q == 0, "matrix not divisible into {q}x{q} blocks");
+    assert!(
+        m.rows() % q == 0 && m.cols() % q == 0,
+        "matrix not divisible into {q}x{q} blocks"
+    );
     let (br, bc) = (m.rows() / q, m.cols() / q);
     m.block(i * br, j * bc, br, bc)
 }
@@ -30,7 +33,11 @@ pub fn assemble_square(n: usize, q: usize, mut get: impl FnMut(usize, usize) -> 
     for i in 0..q {
         for j in 0..q {
             let blk = get(i, j);
-            assert_eq!((blk.rows(), blk.cols()), (b, b), "block ({i},{j}) has wrong shape");
+            assert_eq!(
+                (blk.rows(), blk.cols()),
+                (b, b),
+                "block ({i},{j}) has wrong shape"
+            );
             out.paste(i * b, j * b, &blk);
         }
     }
@@ -90,7 +97,10 @@ pub fn f_index(q: usize, i: usize, j: usize) -> usize {
 /// Block `A_{k, f}` of the Figure 8 partition: rows split into `q` groups,
 /// columns into `q²` groups (block shape `n/q × n/q²`).
 pub fn wide(m: &Matrix, q: usize, k: usize, f: usize) -> Matrix {
-    assert!(m.rows() % q == 0 && m.cols() % (q * q) == 0, "matrix not divisible for Figure 8 layout");
+    assert!(
+        m.rows() % q == 0 && m.cols() % (q * q) == 0,
+        "matrix not divisible for Figure 8 layout"
+    );
     let (br, bc) = (m.rows() / q, m.cols() / (q * q));
     m.block(k * br, f * bc, br, bc)
 }
@@ -98,7 +108,10 @@ pub fn wide(m: &Matrix, q: usize, k: usize, f: usize) -> Matrix {
 /// Block `B_{f, k}` of the Figure 9 partition: rows split into `q²`
 /// groups, columns into `q` groups (block shape `n/q² × n/q`).
 pub fn tall(m: &Matrix, q: usize, f: usize, k: usize) -> Matrix {
-    assert!(m.rows() % (q * q) == 0 && m.cols() % q == 0, "matrix not divisible for Figure 9 layout");
+    assert!(
+        m.rows() % (q * q) == 0 && m.cols() % q == 0,
+        "matrix not divisible for Figure 9 layout"
+    );
     let (br, bc) = (m.rows() / (q * q), m.cols() / q);
     m.block(f * br, k * bc, br, bc)
 }

@@ -1,42 +1,42 @@
-//! Property-based tests for matrices, partitions, and kernels.
+//! Deterministic property sweeps for matrices, partitions, and kernels
+//! (formerly proptest strategies; now seeded reproducible loops so the
+//! workspace needs no external crates).
 
 use cubemm_dense::gemm::{gemm_acc, matmul, Kernel};
 use cubemm_dense::{partition, Matrix};
-use proptest::prelude::*;
 
-fn kernel_strategy() -> impl Strategy<Value = Kernel> {
-    prop_oneof![
-        Just(Kernel::Naive),
-        Just(Kernel::Ikj),
-        (1usize..16).prop_map(Kernel::Blocked),
-    ]
+fn kernels() -> Vec<Kernel> {
+    let mut ks = vec![Kernel::Naive, Kernel::Ikj];
+    ks.extend([1usize, 2, 3, 5, 8, 15].map(Kernel::Blocked));
+    ks
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn kernels_agree_with_naive(
-        m in 1usize..12,
-        k in 1usize..12,
-        n in 1usize..12,
-        seed in 0u64..1000,
-        kernel in kernel_strategy(),
-    ) {
+#[test]
+fn kernels_agree_with_naive() {
+    for (case, (m, k, n)) in [(1, 1, 1), (2, 3, 4), (5, 5, 5), (7, 11, 3), (11, 8, 11)]
+        .into_iter()
+        .enumerate()
+    {
+        let seed = case as u64 * 131;
         let a = Matrix::random(m, k, seed);
         let b = Matrix::random(k, n, seed + 1);
         let mut want = Matrix::zeros(m, n);
         gemm_acc(&mut want, &a, &b, Kernel::Naive);
-        let mut got = Matrix::zeros(m, n);
-        gemm_acc(&mut got, &a, &b, kernel);
-        prop_assert!(got.max_abs_diff(&want) < 1e-10);
+        for kernel in kernels() {
+            let mut got = Matrix::zeros(m, n);
+            gemm_acc(&mut got, &a, &b, kernel);
+            assert!(
+                got.max_abs_diff(&want) < 1e-10,
+                "{kernel:?} disagrees at {m}x{k}x{n}"
+            );
+        }
     }
+}
 
-    #[test]
-    fn matmul_distributes_over_addition(
-        n in 1usize..10,
-        seed in 0u64..1000,
-    ) {
+#[test]
+fn matmul_distributes_over_addition() {
+    for n in 1usize..10 {
+        let seed = n as u64 * 977;
         let a = Matrix::random(n, n, seed);
         let b = Matrix::random(n, n, seed + 1);
         let c = Matrix::random(n, n, seed + 2);
@@ -45,76 +45,80 @@ proptest! {
         let lhs = matmul(&a, &b_plus_c);
         let mut rhs = matmul(&a, &b);
         rhs.add_assign(&matmul(&a, &c));
-        prop_assert!(lhs.max_abs_diff(&rhs) < 1e-10);
+        assert!(lhs.max_abs_diff(&rhs) < 1e-10, "n = {n}");
     }
+}
 
-    #[test]
-    fn transpose_reverses_products(
-        n in 1usize..10,
-        seed in 0u64..1000,
-    ) {
-        // (A·B)^T = B^T·A^T
+#[test]
+fn transpose_reverses_products() {
+    // (A·B)^T = B^T·A^T
+    for n in 1usize..10 {
+        let seed = n as u64 * 733 + 5;
         let a = Matrix::random(n, n, seed);
         let b = Matrix::random(n, n, seed + 1);
         let lhs = matmul(&a, &b).transpose();
         let rhs = matmul(&b.transpose(), &a.transpose());
-        prop_assert!(lhs.max_abs_diff(&rhs) < 1e-10);
+        assert!(lhs.max_abs_diff(&rhs) < 1e-10, "n = {n}");
     }
+}
 
-    #[test]
-    fn square_partition_tiles_exactly(
-        q_exp in 0u32..3,
-        scale in 1usize..5,
-        seed in 0u64..1000,
-    ) {
-        let q = 1usize << q_exp;
-        let n = q * scale;
-        let m = Matrix::random(n, n, seed);
-        let back = partition::assemble_square(n, q, |i, j| partition::square(&m, q, i, j));
-        prop_assert_eq!(back, m);
+#[test]
+fn square_partition_tiles_exactly() {
+    for q_exp in 0u32..3 {
+        for scale in 1usize..5 {
+            let q = 1usize << q_exp;
+            let n = q * scale;
+            let m = Matrix::random(n, n, (q * 100 + scale) as u64);
+            let back = partition::assemble_square(n, q, |i, j| partition::square(&m, q, i, j));
+            assert_eq!(back, m, "q = {q}, n = {n}");
+        }
     }
+}
 
-    #[test]
-    fn row_col_groups_partition_exactly(
-        groups in 1usize..6,
-        scale in 1usize..5,
-        seed in 0u64..1000,
-    ) {
-        let n = groups * scale;
-        let m = Matrix::random(n, n, seed);
-        let rows: Vec<Matrix> = (0..groups).map(|i| partition::row_group(&m, groups, i)).collect();
-        prop_assert_eq!(partition::stack_rows(&rows), m.clone());
-        let cols: Vec<Matrix> = (0..groups).map(|j| partition::col_group(&m, groups, j)).collect();
-        prop_assert_eq!(partition::concat_cols(&cols), m);
+#[test]
+fn row_col_groups_partition_exactly() {
+    for groups in 1usize..6 {
+        for scale in 1usize..5 {
+            let n = groups * scale;
+            let m = Matrix::random(n, n, (groups * 31 + scale) as u64);
+            let rows: Vec<Matrix> = (0..groups)
+                .map(|i| partition::row_group(&m, groups, i))
+                .collect();
+            assert_eq!(partition::stack_rows(&rows), m.clone());
+            let cols: Vec<Matrix> = (0..groups)
+                .map(|j| partition::col_group(&m, groups, j))
+                .collect();
+            assert_eq!(partition::concat_cols(&cols), m);
+        }
     }
+}
 
-    #[test]
-    fn wide_and_tall_layouts_are_transposes(
-        q_exp in 0u32..2,
-        scale in 1usize..4,
-        seed in 0u64..1000,
-    ) {
-        let q = 1usize << q_exp;
-        let n = q * q * scale;
-        let m = Matrix::random(n, n, seed);
-        let mt = m.transpose();
-        for k in 0..q {
-            for f in 0..q * q {
-                let w = partition::wide(&m, q, k, f);
-                let t = partition::tall(&mt, q, f, k);
-                prop_assert_eq!(w, t.transpose());
+#[test]
+fn wide_and_tall_layouts_are_transposes() {
+    for q_exp in 0u32..2 {
+        for scale in 1usize..4 {
+            let q = 1usize << q_exp;
+            let n = q * q * scale;
+            let m = Matrix::random(n, n, (q * 17 + scale) as u64);
+            let mt = m.transpose();
+            for k in 0..q {
+                for f in 0..q * q {
+                    let w = partition::wide(&m, q, k, f);
+                    let t = partition::tall(&mt, q, f, k);
+                    assert_eq!(w, t.transpose());
+                }
             }
         }
     }
+}
 
-    #[test]
-    fn payload_roundtrip_arbitrary(
-        r in 1usize..12,
-        c in 1usize..12,
-        seed in 0u64..1000,
-    ) {
-        let m = Matrix::random(r, c, seed);
-        let p = m.to_payload();
-        prop_assert_eq!(Matrix::from_payload(r, c, &p), m);
+#[test]
+fn payload_roundtrip_arbitrary() {
+    for r in [1usize, 2, 5, 11] {
+        for c in [1usize, 3, 7, 11] {
+            let m = Matrix::random(r, c, (r * 13 + c) as u64);
+            let p = m.to_payload();
+            assert_eq!(Matrix::from_payload(r, c, &p), m);
+        }
     }
 }

@@ -4,8 +4,7 @@ use cubemm_simnet::PortModel;
 
 /// The algorithms priced by Table 2 (Algorithm Simple is included even
 /// though §5 excludes it from the comparison for its space cost).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize)]
-#[serde(rename_all = "kebab-case")]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ModelAlgo {
     /// Row/column all-to-all broadcasts (§3.1).
     Simple,
@@ -78,7 +77,7 @@ impl std::fmt::Display for ModelAlgo {
 }
 
 /// A Table 2 entry: communication time is `t_s·a + t_w·b`.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Overhead {
     /// Message start-ups on the critical path.
     pub a: f64,

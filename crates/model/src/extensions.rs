@@ -17,7 +17,12 @@ use crate::costs::Overhead;
 /// Cannon's row with `p → r` on blocks of `n²·s^{-2/3}·r^{-1}` words.
 /// Multi-port halves the Cannon terms and pipelines the lifts exactly as
 /// in the DNS/Cannon rows of Table 2.
-pub fn dns_cannon_overhead(n: usize, p: usize, mesh_bits: u32, port: PortModel) -> Option<Overhead> {
+pub fn dns_cannon_overhead(
+    n: usize,
+    p: usize,
+    mesh_bits: u32,
+    port: PortModel,
+) -> Option<Overhead> {
     let r = 1usize << (2 * mesh_bits);
     if p % r != 0 {
         return None;
@@ -89,13 +94,8 @@ mod tests {
         // mesh_bits = 0 ⇒ r = 1 ⇒ the DNS row of Table 2 (up to the
         // degenerate Cannon terms, which vanish).
         let o = dns_cannon_overhead(64, 64, 0, PortModel::OnePort).unwrap();
-        let dns = crate::costs::overhead(
-            crate::costs::ModelAlgo::Dns,
-            PortModel::OnePort,
-            64,
-            64,
-        )
-        .unwrap();
+        let dns = crate::costs::overhead(crate::costs::ModelAlgo::Dns, PortModel::OnePort, 64, 64)
+            .unwrap();
         assert_eq!(o.a, dns.a);
         assert!((o.b - dns.b).abs() < 1e-9);
     }
@@ -124,13 +124,10 @@ mod tests {
         // p = n²: standard 3-D All refuses, the flat variant applies.
         let n = 4;
         let p = 16;
-        assert!(crate::costs::overhead(
-            crate::costs::ModelAlgo::All3d,
-            PortModel::OnePort,
-            n,
-            p
-        )
-        .is_none());
+        assert!(
+            crate::costs::overhead(crate::costs::ModelAlgo::All3d, PortModel::OnePort, n, p)
+                .is_none()
+        );
         assert!(flat_all3d_overhead(n, p, PortModel::OnePort).is_some());
         // ...but beyond n², nothing.
         assert!(flat_all3d_overhead(3, 16, PortModel::OnePort).is_none());
@@ -142,13 +139,8 @@ mod tests {
         // standard 3-D All's 3n²/p^{2/3} wherever both apply.
         let (n, p) = (4096usize, 4096usize);
         let flat = flat_all3d_overhead(n, p, PortModel::OnePort).unwrap();
-        let std = crate::costs::overhead(
-            crate::costs::ModelAlgo::All3d,
-            PortModel::OnePort,
-            n,
-            p,
-        )
-        .unwrap();
+        let std = crate::costs::overhead(crate::costs::ModelAlgo::All3d, PortModel::OnePort, n, p)
+            .unwrap();
         assert!(flat.b > std.b);
         assert!(flat.a < std.a);
     }

@@ -152,6 +152,9 @@ mod tests {
             tw: 1e9,
             tc: 1.0,
         };
-        assert_eq!(isoefficiency_n(ModelAlgo::Cannon, ONE, 4096, params, 0.999), None);
+        assert_eq!(
+            isoefficiency_n(ModelAlgo::Cannon, ONE, 4096, params, 0.999),
+            None
+        );
     }
 }

@@ -1,0 +1,490 @@
+//! Deterministic fault injection for the simulated machine.
+//!
+//! The paper's machine model is a perfect, failure-free hypercube. Real
+//! machines are not: links die or degrade, nodes straggle, messages get
+//! lost. A [`FaultPlan`] describes such imperfections *deterministically*
+//! — every fault is keyed by static configuration (an edge, a node) or a
+//! per-sender sequence number (the k-th traversal of an edge), never by a
+//! random draw — so a faulty run is exactly as reproducible as a healthy
+//! one (the crate's determinism contract, property-tested).
+//!
+//! Injectable faults:
+//!
+//! * **dead links** — the edge is removed from the machine. Sends either
+//!   re-route over one of the `log p` edge-disjoint Hamming paths
+//!   (the default), charging the detour hops honestly, or fail with a
+//!   typed [`SendError`] under [`FaultPlan::strict`];
+//! * **degraded links** — per-edge multipliers on `t_s` and `t_w`;
+//! * **stragglers** — a per-node clock-rate multiplier: every charge to
+//!   that node's port takes proportionally longer;
+//! * **message loss** — drop the k-th message a node injects toward a
+//!   given neighbor/destination; [`crate::Proc::send_with_retry`] models
+//!   the recovery, charging exponential virtual-time backoff.
+//!
+//! An empty plan (the default) costs nothing: every virtual-time result
+//! is bit-for-bit identical to a run without the fault layer.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use cubemm_topology::bits::hamming;
+
+use crate::LinkTopology;
+
+/// Normalizes an undirected edge to `(lo, hi)`.
+#[inline]
+fn edge(a: usize, b: usize) -> (usize, usize) {
+    (a.min(b), a.max(b))
+}
+
+/// Per-link cost degradation: multipliers applied to the healthy
+/// `t_s`/`t_w` of every transfer crossing the link.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkQuality {
+    /// Multiplier on the start-up cost `t_s` (1.0 = healthy).
+    pub ts_factor: f64,
+    /// Multiplier on the per-word cost `t_w` (1.0 = healthy).
+    pub tw_factor: f64,
+}
+
+impl LinkQuality {
+    /// A healthy link.
+    pub const HEALTHY: LinkQuality = LinkQuality {
+        ts_factor: 1.0,
+        tw_factor: 1.0,
+    };
+}
+
+/// A typed, non-panicking send failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendError {
+    /// The direct link to the destination is dead and the plan forbids
+    /// re-routing ([`FaultPlan::strict`]).
+    LinkDead {
+        /// Sending node.
+        from: usize,
+        /// Intended neighbor.
+        to: usize,
+    },
+    /// No live path exists between the endpoints (the destination is cut
+    /// off by dead links).
+    Unroutable {
+        /// Sending node.
+        from: usize,
+        /// Destination node.
+        to: usize,
+    },
+    /// [`crate::Proc::send_with_retry`] exhausted its retry budget
+    /// against the drop schedule.
+    RetriesExhausted {
+        /// Sending node.
+        from: usize,
+        /// Destination node.
+        to: usize,
+        /// Attempts made (initial send plus retries).
+        attempts: u32,
+    },
+}
+
+impl std::fmt::Display for SendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SendError::LinkDead { from, to } => {
+                write!(f, "link {from} <-> {to} is dead (strict fault plan)")
+            }
+            SendError::Unroutable { from, to } => {
+                write!(f, "no live path from node {from} to node {to}")
+            }
+            SendError::RetriesExhausted { from, to, attempts } => write!(
+                f,
+                "node {from} -> {to}: message dropped on all {attempts} attempts"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SendError {}
+
+/// Retry policy for [`crate::Proc::send_with_retry`]: bounded attempts
+/// with exponential *virtual-time* backoff charged to the sender's
+/// clock.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Maximum total attempts (initial send plus retries); must be ≥ 1.
+    pub max_attempts: u32,
+    /// Virtual time charged after the first failed attempt.
+    pub backoff: f64,
+    /// Multiplier applied to the backoff after each failure.
+    pub backoff_factor: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            backoff: 1.0,
+            backoff_factor: 2.0,
+        }
+    }
+}
+
+/// A deterministic fault-injection plan for one simulated run.
+///
+/// Plans are built with the `with_*` methods and handed to the machine
+/// through [`crate::MachineOptions::faults`]. All faults are global
+/// knowledge: every node sees the same plan, mirroring a system whose
+/// fault detector has converged.
+///
+/// ```
+/// use cubemm_simnet::FaultPlan;
+///
+/// let plan = FaultPlan::new()
+///     .with_dead_link(0, 1)
+///     .with_degraded_link(2, 3, 2.0, 4.0)
+///     .with_straggler(5, 3.0)
+///     .with_drop(0, 2, 0); // drop the first message 0 sends toward 2
+/// assert!(!plan.is_empty());
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    /// Dead undirected edges, normalized `(lo, hi)`.
+    dead: BTreeSet<(usize, usize)>,
+    /// Degraded undirected edges.
+    degraded: BTreeMap<(usize, usize), LinkQuality>,
+    /// Per-node clock-rate multipliers (> 1 runs slower).
+    stragglers: BTreeMap<usize, f64>,
+    /// Directed `(from, to)` → set of 0-based sequence numbers to drop.
+    drops: BTreeMap<(usize, usize), BTreeSet<u64>>,
+    /// When `true`, sends over dead links fail with
+    /// [`SendError::LinkDead`] instead of re-routing.
+    strict: bool,
+}
+
+impl FaultPlan {
+    /// An empty (healthy) plan.
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Kills the undirected hypercube edge `a <-> b`.
+    ///
+    /// # Panics
+    /// Panics if `a` and `b` are not hypercube neighbors.
+    pub fn with_dead_link(mut self, a: usize, b: usize) -> Self {
+        assert_eq!(
+            hamming(a, b),
+            1,
+            "dead link {a} <-> {b} is not a hypercube edge"
+        );
+        self.dead.insert(edge(a, b));
+        self
+    }
+
+    /// Degrades the undirected edge `a <-> b`: transfers crossing it pay
+    /// `ts_factor · t_s + tw_factor · t_w · m`.
+    ///
+    /// # Panics
+    /// Panics if the endpoints are not neighbors or a factor is not a
+    /// positive finite number.
+    pub fn with_degraded_link(
+        mut self,
+        a: usize,
+        b: usize,
+        ts_factor: f64,
+        tw_factor: f64,
+    ) -> Self {
+        assert_eq!(
+            hamming(a, b),
+            1,
+            "degraded link {a} <-> {b} is not a hypercube edge"
+        );
+        assert!(
+            ts_factor.is_finite() && ts_factor > 0.0 && tw_factor.is_finite() && tw_factor > 0.0,
+            "degradation factors must be positive and finite"
+        );
+        self.degraded.insert(
+            edge(a, b),
+            LinkQuality {
+                ts_factor,
+                tw_factor,
+            },
+        );
+        self
+    }
+
+    /// Marks `node` as a straggler: every charge to its clock (sends,
+    /// local work, retry backoff) is multiplied by `slowdown`.
+    ///
+    /// # Panics
+    /// Panics unless `slowdown` is finite and ≥ 1.
+    pub fn with_straggler(mut self, node: usize, slowdown: f64) -> Self {
+        assert!(
+            slowdown.is_finite() && slowdown >= 1.0,
+            "straggler slowdown must be finite and >= 1"
+        );
+        self.stragglers.insert(node, slowdown);
+        self
+    }
+
+    /// Schedules the `k`-th message (0-based, counted per sender in
+    /// program order) injected by `from` toward destination `to` to be
+    /// dropped in flight.
+    pub fn with_drop(mut self, from: usize, to: usize, k: u64) -> Self {
+        self.drops.entry((from, to)).or_default().insert(k);
+        self
+    }
+
+    /// Forbids transparent re-routing: sends over dead links fail with
+    /// [`SendError::LinkDead`] instead of taking a detour.
+    pub fn strict(mut self) -> Self {
+        self.strict = true;
+        self
+    }
+
+    /// Whether the plan injects no faults at all (`strict` alone does not
+    /// count: with no dead links it changes nothing).
+    pub fn is_empty(&self) -> bool {
+        self.dead.is_empty()
+            && self.degraded.is_empty()
+            && self.stragglers.is_empty()
+            && self.drops.is_empty()
+    }
+
+    /// Whether re-routing around dead links is forbidden.
+    pub fn is_strict(&self) -> bool {
+        self.strict
+    }
+
+    /// Whether the undirected edge `a <-> b` is dead.
+    pub fn is_dead(&self, a: usize, b: usize) -> bool {
+        self.dead.contains(&edge(a, b))
+    }
+
+    /// The quality of the undirected edge `a <-> b`.
+    pub fn link_quality(&self, a: usize, b: usize) -> LinkQuality {
+        self.degraded
+            .get(&edge(a, b))
+            .copied()
+            .unwrap_or(LinkQuality::HEALTHY)
+    }
+
+    /// The clock-rate multiplier of `node` (1.0 when healthy).
+    pub fn slowdown(&self, node: usize) -> f64 {
+        self.stragglers.get(&node).copied().unwrap_or(1.0)
+    }
+
+    /// Whether the `seq`-th injection from `from` toward `to` is dropped.
+    pub fn drops_nth(&self, from: usize, to: usize, seq: u64) -> bool {
+        self.drops
+            .get(&(from, to))
+            .is_some_and(|set| set.contains(&seq))
+    }
+
+    /// The dead edges, for reporting.
+    pub fn dead_links(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.dead.iter().copied()
+    }
+
+    /// The degraded edges with their qualities, for reporting.
+    pub fn degraded_links(&self) -> impl Iterator<Item = ((usize, usize), LinkQuality)> + '_ {
+        self.degraded.iter().map(|(&e, &q)| (e, q))
+    }
+
+    /// The straggler nodes with their slowdowns, for reporting.
+    pub fn stragglers(&self) -> impl Iterator<Item = (usize, f64)> + '_ {
+        self.stragglers.iter().map(|(&n, &s)| (n, s))
+    }
+
+    /// Every scheduled drop as `((from, to), seq)`, for reporting.
+    pub fn scheduled_drops(&self) -> impl Iterator<Item = ((usize, usize), u64)> + '_ {
+        self.drops
+            .iter()
+            .flat_map(|(&pair, set)| set.iter().map(move |&k| (pair, k)))
+    }
+
+    /// Checks that every referenced node fits a `p`-node machine.
+    pub fn validate(&self, p: usize) -> Result<(), String> {
+        let check = |n: usize, what: &str| {
+            if n >= p {
+                Err(format!(
+                    "fault plan references {what} node {n} outside the {p}-node machine"
+                ))
+            } else {
+                Ok(())
+            }
+        };
+        for &(a, b) in &self.dead {
+            check(a, "dead-link")?;
+            check(b, "dead-link")?;
+        }
+        for &(a, b) in self.degraded.keys() {
+            check(a, "degraded-link")?;
+            check(b, "degraded-link")?;
+        }
+        for &n in self.stragglers.keys() {
+            check(n, "straggler")?;
+        }
+        for &(a, b) in self.drops.keys() {
+            check(a, "drop-schedule")?;
+            check(b, "drop-schedule")?;
+        }
+        Ok(())
+    }
+
+    /// A live path from `from` to `to` as the sequence of nodes *after*
+    /// `from` (so the last element is `to`), or `None` if every path is
+    /// severed.
+    ///
+    /// Deterministic: first the `h` rotated dimension-ordered corrections
+    /// of the classic `log p` edge-disjoint Hamming paths are tried (the
+    /// zero-rotation candidate is exactly the healthy dimension-ordered
+    /// route, so an empty plan routes as the paper prices it); if every
+    /// rotation crosses a dead edge, a breadth-first search in fixed
+    /// dimension order finds a shortest live detour.
+    pub fn route(
+        &self,
+        links: LinkTopology,
+        dim: u32,
+        from: usize,
+        to: usize,
+    ) -> Option<Vec<usize>> {
+        let usable = |a: usize, b: usize| links.allows(a, b) && !self.is_dead(a, b);
+        let diff = from ^ to;
+        let dims: Vec<u32> = (0..dim).filter(|d| diff >> d & 1 == 1).collect();
+        let h = dims.len();
+        for rot in 0..h {
+            let mut path = Vec::with_capacity(h);
+            let mut cur = from;
+            let mut ok = true;
+            for i in 0..h {
+                let next = cur ^ (1usize << dims[(rot + i) % h]);
+                if !usable(cur, next) {
+                    ok = false;
+                    break;
+                }
+                path.push(next);
+                cur = next;
+            }
+            if ok {
+                return Some(path);
+            }
+        }
+        // All minimal rotations blocked: breadth-first search for a
+        // shortest live detour (deterministic by dimension order).
+        let p = 1usize << dim;
+        let mut prev: Vec<Option<usize>> = vec![None; p];
+        let mut queue = VecDeque::from([from]);
+        prev[from] = Some(from);
+        while let Some(cur) = queue.pop_front() {
+            if cur == to {
+                let mut path = Vec::new();
+                let mut n = to;
+                while n != from {
+                    path.push(n);
+                    n = prev[n].expect("BFS predecessor chain");
+                }
+                path.reverse();
+                return Some(path);
+            }
+            for d in 0..dim {
+                let next = cur ^ (1usize << d);
+                if prev[next].is_none() && usable(cur, next) {
+                    prev[next] = Some(cur);
+                    queue.push_back(next);
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_is_empty_and_healthy() {
+        let plan = FaultPlan::new();
+        assert!(plan.is_empty());
+        assert!(!plan.is_dead(0, 1));
+        assert_eq!(plan.link_quality(0, 1), LinkQuality::HEALTHY);
+        assert_eq!(plan.slowdown(3), 1.0);
+        assert!(!plan.drops_nth(0, 1, 0));
+    }
+
+    #[test]
+    fn edge_queries_are_undirected() {
+        let plan = FaultPlan::new()
+            .with_dead_link(2, 3)
+            .with_degraded_link(4, 5, 2.0, 3.0);
+        assert!(plan.is_dead(2, 3) && plan.is_dead(3, 2));
+        assert_eq!(plan.link_quality(5, 4).tw_factor, 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a hypercube edge")]
+    fn non_edge_rejected() {
+        let _ = FaultPlan::new().with_dead_link(0, 3);
+    }
+
+    #[test]
+    fn validate_checks_node_bounds() {
+        assert!(FaultPlan::new().with_straggler(7, 2.0).validate(8).is_ok());
+        assert!(FaultPlan::new().with_straggler(8, 2.0).validate(8).is_err());
+        assert!(FaultPlan::new().with_dead_link(8, 9).validate(8).is_err());
+    }
+
+    #[test]
+    fn healthy_route_is_dimension_ordered() {
+        let plan = FaultPlan::new();
+        let path = plan.route(LinkTopology::Hypercube, 3, 0, 0b101).unwrap();
+        assert_eq!(path, vec![0b001, 0b101]);
+    }
+
+    #[test]
+    fn dead_edge_forces_rotated_path() {
+        // 0 -> 3 normally goes 0,1,3; kill 0<->1 and the rotation
+        // 0,2,3 must be found, still 2 hops.
+        let plan = FaultPlan::new().with_dead_link(0, 1);
+        let path = plan.route(LinkTopology::Hypercube, 2, 0, 3).unwrap();
+        assert_eq!(path, vec![2, 3]);
+    }
+
+    #[test]
+    fn neighbor_detour_costs_three_hops() {
+        // Adjacent nodes have no common neighbor in a hypercube: the
+        // shortest detour around a dead edge is three hops.
+        let plan = FaultPlan::new().with_dead_link(0, 1);
+        let path = plan.route(LinkTopology::Hypercube, 3, 0, 1).unwrap();
+        assert_eq!(path.len(), 3);
+        assert_eq!(*path.last().unwrap(), 1);
+        // Every hop is a live hypercube edge.
+        let mut cur = 0usize;
+        for &n in &path {
+            assert_eq!(hamming(cur, n), 1);
+            assert!(!plan.is_dead(cur, n));
+            cur = n;
+        }
+    }
+
+    #[test]
+    fn cut_off_node_is_unroutable() {
+        // Kill all three links of node 0 in an 8-node cube.
+        let plan = FaultPlan::new()
+            .with_dead_link(0, 1)
+            .with_dead_link(0, 2)
+            .with_dead_link(0, 4);
+        assert_eq!(plan.route(LinkTopology::Hypercube, 3, 0, 7), None);
+        assert_eq!(plan.route(LinkTopology::Hypercube, 3, 7, 0), None);
+        // Other pairs still route.
+        assert!(plan.route(LinkTopology::Hypercube, 3, 1, 7).is_some());
+    }
+
+    #[test]
+    fn drops_are_per_sequence_number() {
+        let plan = FaultPlan::new().with_drop(1, 2, 0).with_drop(1, 2, 2);
+        assert!(plan.drops_nth(1, 2, 0));
+        assert!(!plan.drops_nth(1, 2, 1));
+        assert!(plan.drops_nth(1, 2, 2));
+        assert!(!plan.drops_nth(2, 1, 0), "drops are directed");
+    }
+}

@@ -50,13 +50,36 @@
 //! `(from, tag)` receives, never on OS scheduling, so a run's virtual time
 //! is bit-for-bit reproducible across executions and thread interleavings
 //! (property-tested).
+//!
+//! # Fault model
+//!
+//! A [`FaultPlan`] (see [`MachineOptions::faults`] and the [`faults`]
+//! module) deterministically injects dead links, degraded links,
+//! straggler nodes, and scheduled message drops. Sends over dead links
+//! transparently re-route over a live Hamming detour — charging the
+//! extra hops honestly — or fail with a typed [`SendError`] under a
+//! strict plan. An empty plan changes no clock arithmetic: every healthy
+//! result is bit-for-bit identical with the fault layer present.
+//!
+//! Failures surface as values through [`try_run_machine_with`], which
+//! returns a structured [`RunError`] — distinguishing configuration
+//! problems, simulated deadlocks (naming *every* blocked node with the
+//! `(from, tag)` it awaited), node panics, and link faults — instead of
+//! panicking. A machine-wide abort channel wakes sibling nodes the
+//! moment any node fails, so a poisoned run tears down promptly rather
+//! than waiting out the receive watchdog.
 
+pub mod faults;
 mod machine;
 mod proc;
 mod stats;
 pub mod trace;
 
-pub use machine::{run_machine, run_machine_traced, run_machine_with, MachineOptions, RunOutcome};
+pub use faults::{FaultPlan, LinkQuality, RetryPolicy, SendError};
+pub use machine::{
+    run_machine, run_machine_traced, run_machine_with, try_run_machine_with, Blocked,
+    MachineOptions, RunError, RunOutcome,
+};
 pub use proc::{Op, Proc};
 pub use stats::{NodeStats, RunStats};
 pub use trace::{TraceEvent, TraceKind};

@@ -1,16 +1,21 @@
 //! Spawning and joining a simulated machine run.
 
-use std::sync::Arc;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Sender};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
-use crossbeam_channel::unbounded;
 use cubemm_topology::log2_exact;
 
-use crate::proc::Envelope;
+use crate::faults::{FaultPlan, SendError};
+use crate::proc::{resolve_deadlock_timeout, Envelope};
 use crate::stats::{NodeStats, RunStats};
 use crate::{ChargePolicy, CostParams, LinkTopology, PortModel, Proc};
 
-/// Full machine configuration for [`run_machine_with`].
-#[derive(Debug, Clone, Copy)]
+/// Full machine configuration for [`run_machine_with`] and
+/// [`try_run_machine_with`].
+#[derive(Debug, Clone)]
 pub struct MachineOptions {
     /// One-port or multi-port nodes.
     pub port: PortModel,
@@ -22,11 +27,17 @@ pub struct MachineOptions {
     pub links: LinkTopology,
     /// Record per-message event traces.
     pub traced: bool,
+    /// Deterministic fault injection (empty — a healthy machine — by
+    /// default; an empty plan changes no clock arithmetic).
+    pub faults: FaultPlan,
+    /// Host-time watchdog for blocking receives; `None` defers to the
+    /// `CUBEMM_DEADLOCK_TIMEOUT_MS` environment variable, then 60 s.
+    pub deadlock_timeout: Option<Duration>,
 }
 
 impl MachineOptions {
     /// The paper's machine: given port model and costs, sender-charged,
-    /// full hypercube, untraced.
+    /// full hypercube, untraced, fault-free.
     pub fn paper(port: PortModel, cost: CostParams) -> Self {
         MachineOptions {
             port,
@@ -34,6 +45,8 @@ impl MachineOptions {
             charge: ChargePolicy::SenderOnly,
             links: LinkTopology::Hypercube,
             traced: false,
+            faults: FaultPlan::new(),
+            deadlock_timeout: None,
         }
     }
 }
@@ -47,6 +60,176 @@ pub struct RunOutcome<O> {
     pub stats: RunStats,
     /// Per-node event traces (empty unless the run was traced).
     pub traces: Vec<Vec<crate::trace::TraceEvent>>,
+}
+
+/// A receive that was still waiting when a run died, for the deadlock
+/// report: `node` was blocked on a message from `from` tagged `tag`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Blocked {
+    /// The waiting node.
+    pub node: usize,
+    /// The sender it was waiting on.
+    pub from: usize,
+    /// The tag it was waiting on.
+    pub tag: u64,
+}
+
+/// Why a simulated run failed ([`try_run_machine_with`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunError {
+    /// The machine could not be constructed (bad size, bad init count,
+    /// fault plan referencing nodes outside the machine).
+    Config(String),
+    /// No node made progress within the watchdog interval. `blocked`
+    /// names every node still parked in a receive with the `(from, tag)`
+    /// it was waiting for, sorted by node label.
+    Deadlock {
+        /// The host-time watchdog interval that expired.
+        timeout: Duration,
+        /// Every blocked receive at the time of death.
+        blocked: Vec<Blocked>,
+    },
+    /// The SPMD program panicked on a node.
+    NodePanicked {
+        /// The panicking node.
+        node: usize,
+        /// The panic payload, if it was a string.
+        message: String,
+    },
+    /// A send failed against the fault plan: dead link under a strict
+    /// plan, destination unroutable, or retries exhausted.
+    LinkDead {
+        /// The node whose send failed.
+        node: usize,
+        /// The typed send failure.
+        error: SendError,
+    },
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::Config(msg) => write!(f, "{msg}"),
+            RunError::Deadlock { timeout, blocked } => {
+                write!(f, "simulated deadlock: no progress for {timeout:?};")?;
+                for (i, b) in blocked.iter().enumerate() {
+                    let sep = if i == 0 { " " } else { "; " };
+                    write!(
+                        f,
+                        "{sep}node {} blocked on (from={}, tag={:#x})",
+                        b.node, b.from, b.tag
+                    )?;
+                }
+                Ok(())
+            }
+            RunError::NodePanicked { node, message } => {
+                write!(f, "node {node} panicked: {message}")
+            }
+            RunError::LinkDead { node, error } => {
+                write!(f, "node {node} send failed: {error}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+/// The unwind payload of a node that aborts *quietly* because the run is
+/// already failing elsewhere (or because its own failure was recorded as
+/// a typed [`Failure`]): carries no message and is swallowed by the
+/// join, unlike a genuine program panic.
+pub(crate) struct Aborted;
+
+/// Why the run is aborting — the first failure wins the slot; later ones
+/// (cascading victims of the abort) are ignored.
+pub(crate) enum Failure {
+    /// A node's receive watchdog expired.
+    Deadlock {
+        /// The interval that expired.
+        timeout: Duration,
+    },
+    /// The SPMD program panicked.
+    Panicked {
+        /// The panicking node.
+        node: usize,
+        /// Stringified panic payload.
+        message: String,
+    },
+    /// A typed send failure (see [`SendError`]).
+    Link {
+        /// The sending node.
+        node: usize,
+        /// The failure.
+        error: SendError,
+    },
+}
+
+/// Run-wide abort channel. When any node fails, `trigger` records the
+/// failure (first wins), flips the abort flag, and pokes every node's
+/// message queue with a wake-up sentinel so parked receivers notice
+/// *immediately* — sibling nodes must not wait out the watchdog interval
+/// just because a peer died.
+pub(crate) struct Shared {
+    abort: AtomicBool,
+    failure: Mutex<Option<Failure>>,
+    blocked: Mutex<Vec<Blocked>>,
+    wakers: Arc<Vec<Sender<Envelope>>>,
+}
+
+/// Locks ignoring poisoning: the protected state stays consistent under
+/// every partial update we perform, and panicking nodes are the normal
+/// case here.
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+impl Shared {
+    fn new(wakers: Arc<Vec<Sender<Envelope>>>) -> Self {
+        Shared {
+            abort: AtomicBool::new(false),
+            failure: Mutex::new(None),
+            blocked: Mutex::new(Vec::new()),
+            wakers,
+        }
+    }
+
+    /// Whether the run is aborting.
+    pub(crate) fn aborting(&self) -> bool {
+        self.abort.load(Ordering::Acquire)
+    }
+
+    /// Records a failure (keeping the first) and wakes every node.
+    pub(crate) fn trigger(&self, failure: Failure) {
+        {
+            let mut slot = lock(&self.failure);
+            if slot.is_none() {
+                *slot = Some(failure);
+            }
+        }
+        if !self.abort.swap(true, Ordering::AcqRel) {
+            for tx in self.wakers.iter() {
+                // A node that already exited has dropped its receiver;
+                // nothing to wake there.
+                let _ = tx.send(Envelope::wake());
+            }
+        }
+    }
+
+    /// Adds a parked receive to the post-mortem report.
+    pub(crate) fn note_blocked(&self, blocked: Blocked) {
+        lock(&self.blocked).push(blocked);
+    }
+}
+
+/// Stringifies a panic payload for [`RunError::NodePanicked`].
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 /// Runs `program` as an SPMD job on a simulated `p`-node hypercube.
@@ -81,7 +264,8 @@ pub struct RunOutcome<O> {
 /// # Panics
 ///
 /// Panics if `p` is not a power of two, if `inits.len() != p`, or if the
-/// SPMD program itself panics on any node.
+/// SPMD program itself panics on any node. Use [`try_run_machine_with`]
+/// to observe failures as values instead.
 pub fn run_machine<I, O, F>(
     p: usize,
     port: PortModel,
@@ -94,15 +278,7 @@ where
     O: Send,
     F: Fn(&mut Proc, I) -> O + Sync,
 {
-    run_machine_with(
-        p,
-        MachineOptions {
-            traced: false,
-            ..MachineOptions::paper(port, cost)
-        },
-        inits,
-        program,
-    )
+    run_machine_with(p, MachineOptions::paper(port, cost), inits, program)
 }
 
 /// Like [`run_machine`], but records a [`crate::trace::TraceEvent`] for
@@ -132,7 +308,13 @@ where
 }
 
 /// Runs `program` with full control over the machine options, including
-/// the port-charging policy ablation.
+/// the port-charging policy ablation and fault injection.
+///
+/// This is the legacy panicking wrapper around [`try_run_machine_with`]:
+/// any [`RunError`] becomes a panic carrying its `Display` rendering.
+/// Thanks to the shared abort channel, a failed run still tears down
+/// promptly — sibling nodes are woken instead of waiting out their
+/// watchdog interval.
 pub fn run_machine_with<I, O, F>(
     p: usize,
     options: MachineOptions,
@@ -144,22 +326,77 @@ where
     O: Send,
     F: Fn(&mut Proc, I) -> O + Sync,
 {
-    let dim = log2_exact(p).unwrap_or_else(|| panic!("machine size {p} is not a power of two"));
-    assert_eq!(
-        inits.len(),
-        p,
-        "need exactly one initial-data entry per node"
-    );
+    match try_run_machine_with(p, options, inits, program) {
+        Ok(outcome) => outcome,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Runs `program`, reporting failure as a structured [`RunError`] instead
+/// of panicking: configuration problems, simulated deadlocks (naming
+/// every blocked node and the `(from, tag)` it awaited), node panics, and
+/// typed link faults are all values. When any node fails, a machine-wide
+/// abort flag plus a wake-up sentinel per message queue unblock the
+/// remaining nodes immediately.
+///
+/// # Example
+///
+/// ```
+/// use cubemm_simnet::{
+///     try_run_machine_with, CostParams, FaultPlan, MachineOptions, PortModel, RunError,
+/// };
+///
+/// // Node 0's only link in a 2-node machine is dead and the plan is
+/// // strict: the run reports the failure instead of panicking.
+/// let mut options = MachineOptions::paper(PortModel::OnePort, CostParams::PAPER);
+/// options.faults = FaultPlan::new().with_dead_link(0, 1).strict();
+/// let err = try_run_machine_with(2, options, vec![(), ()], |proc, ()| {
+///     if proc.id() == 0 {
+///         proc.send(1, 0, vec![1.0]);
+///     } else {
+///         let _ = proc.recv(0, 0);
+///     }
+/// })
+/// .unwrap_err();
+/// assert!(matches!(err, RunError::LinkDead { node: 0, .. }));
+/// ```
+pub fn try_run_machine_with<I, O, F>(
+    p: usize,
+    options: MachineOptions,
+    inits: Vec<I>,
+    program: F,
+) -> Result<RunOutcome<O>, RunError>
+where
+    I: Send,
+    O: Send,
+    F: Fn(&mut Proc, I) -> O + Sync,
+{
+    let Some(dim) = log2_exact(p) else {
+        return Err(RunError::Config(format!(
+            "machine size {p} is not a power of two"
+        )));
+    };
+    if inits.len() != p {
+        return Err(RunError::Config(format!(
+            "need exactly one initial-data entry per node: got {} for p = {p}",
+            inits.len()
+        )));
+    }
+    options.faults.validate(p).map_err(RunError::Config)?;
 
     let mut senders = Vec::with_capacity(p);
     let mut receivers = Vec::with_capacity(p);
     for _ in 0..p {
-        let (tx, rx) = unbounded::<Envelope>();
+        let (tx, rx) = channel::<Envelope>();
         senders.push(tx);
         receivers.push(rx);
     }
     let senders = Arc::new(senders);
+    let shared = Arc::new(Shared::new(Arc::clone(&senders)));
+    let faults = (!options.faults.is_empty()).then(|| Arc::new(options.faults.clone()));
+    let timeout = resolve_deadlock_timeout(options.deadlock_timeout);
     let program = &program;
+    let options = &options;
 
     let mut results: Vec<Option<(O, NodeStats, Vec<crate::trace::TraceEvent>)>> =
         Vec::with_capacity(p);
@@ -169,20 +406,59 @@ where
         let mut handles = Vec::with_capacity(p);
         for (id, (init, rx)) in inits.into_iter().zip(receivers).enumerate() {
             let senders = Arc::clone(&senders);
+            let shared = Arc::clone(&shared);
+            let faults = faults.clone();
             handles.push(scope.spawn(move || {
-                let mut proc = Proc::new(id, dim, options, senders, rx);
-                let out = program(&mut proc, init);
-                let (stats, trace) = proc.into_parts();
-                (out, stats, trace)
+                let body = AssertUnwindSafe(|| {
+                    let mut proc = Proc::new(
+                        id,
+                        dim,
+                        options,
+                        faults,
+                        timeout,
+                        senders,
+                        rx,
+                        shared.clone(),
+                    );
+                    let out = program(&mut proc, init);
+                    let (stats, trace) = proc.into_parts();
+                    (out, stats, trace)
+                });
+                match catch_unwind(body) {
+                    Ok(triple) => Some(triple),
+                    Err(payload) => {
+                        // Quiet unwinds already registered their failure
+                        // (or are cascading victims); anything else is a
+                        // genuine program panic.
+                        if !payload.is::<Aborted>() {
+                            shared.trigger(Failure::Panicked {
+                                node: id,
+                                message: panic_message(payload.as_ref()),
+                            });
+                        }
+                        None
+                    }
+                }
             }));
         }
         for (id, handle) in handles.into_iter().enumerate() {
-            match handle.join() {
-                Ok(pair) => results[id] = Some(pair),
-                Err(payload) => std::panic::resume_unwind(payload),
+            // The closure catches every unwind, so the join itself only
+            // fails on catastrophic runtime errors.
+            if let Ok(result) = handle.join() {
+                results[id] = result;
             }
         }
     });
+
+    if let Some(failure) = lock(&shared.failure).take() {
+        let mut blocked = std::mem::take(&mut *lock(&shared.blocked));
+        blocked.sort_by_key(|b| b.node);
+        return Err(match failure {
+            Failure::Deadlock { timeout } => RunError::Deadlock { timeout, blocked },
+            Failure::Panicked { node, message } => RunError::NodePanicked { node, message },
+            Failure::Link { node, error } => RunError::LinkDead { node, error },
+        });
+    }
 
     let mut outputs = Vec::with_capacity(p);
     let mut nodes = Vec::with_capacity(p);
@@ -194,11 +470,11 @@ where
         traces.push(trace);
     }
     let elapsed = nodes.iter().map(|n| n.clock).fold(0.0, f64::max);
-    RunOutcome {
+    Ok(RunOutcome {
         outputs,
         stats: RunStats { elapsed, nodes },
         traces,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -404,5 +680,37 @@ mod tests {
                 proc.send(3, 0, words(1));
             }
         });
+    }
+
+    #[test]
+    fn try_run_reports_config_errors() {
+        let options = MachineOptions::paper(PortModel::OnePort, COST);
+        let err =
+            try_run_machine_with(3, options.clone(), vec![(), (), ()], |_, ()| ()).unwrap_err();
+        assert!(matches!(err, RunError::Config(ref m) if m.contains("power of two")));
+        let err = try_run_machine_with(4, options.clone(), vec![(), ()], |_, ()| ()).unwrap_err();
+        assert!(matches!(err, RunError::Config(ref m) if m.contains("one initial-data entry")));
+        let mut bad = options;
+        bad.faults = crate::FaultPlan::new().with_straggler(9, 2.0);
+        let err = try_run_machine_with(4, bad, vec![(); 4], |_, ()| ()).unwrap_err();
+        assert!(matches!(err, RunError::Config(ref m) if m.contains("outside the 4-node")));
+    }
+
+    #[test]
+    fn try_run_reports_node_panics_with_label_and_message() {
+        let options = MachineOptions::paper(PortModel::OnePort, COST);
+        let err = try_run_machine_with(4, options, vec![(); 4], |proc, ()| {
+            if proc.id() == 2 {
+                panic!("kaboom on node two");
+            }
+        })
+        .unwrap_err();
+        match err {
+            RunError::NodePanicked { node, message } => {
+                assert_eq!(node, 2);
+                assert!(message.contains("kaboom"), "message was {message:?}");
+            }
+            other => panic!("expected NodePanicked, got {other:?}"),
+        }
     }
 }

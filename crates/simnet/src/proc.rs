@@ -2,27 +2,56 @@
 
 use std::collections::HashMap;
 use std::collections::VecDeque;
+use std::sync::mpsc::{Receiver, Sender};
 use std::sync::Arc;
 use std::time::Duration;
 
-use crossbeam_channel::{Receiver, Sender};
 use cubemm_topology::bits::hamming;
 
-use crate::machine::MachineOptions;
+use crate::faults::{FaultPlan, LinkQuality, RetryPolicy, SendError};
+use crate::machine::{Blocked, Failure, MachineOptions, Shared};
 use crate::stats::NodeStats;
 use crate::trace::{TraceEvent, TraceKind};
 use crate::{ChargePolicy, CostParams, LinkTopology, Payload, PortModel};
 
-/// How long a blocking receive may wait on the host machine before the
-/// simulator declares the SPMD program deadlocked. Overridable through
-/// the `CUBEMM_DEADLOCK_TIMEOUT_MS` environment variable (used by the
-/// failure-injection tests to exercise the watchdog quickly).
-fn deadlock_timeout() -> Duration {
-    std::env::var("CUBEMM_DEADLOCK_TIMEOUT_MS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .map(Duration::from_millis)
+/// `Envelope::from` value of the abort-wakeup sentinel broadcast by
+/// [`Shared::trigger`]: no real node carries this label.
+pub(crate) const WAKE_SENTINEL: usize = usize::MAX;
+
+/// Resolves the watchdog interval: an explicit per-run setting wins,
+/// then `CUBEMM_DEADLOCK_TIMEOUT_MS`, then 60 seconds. A value from the
+/// environment must be a positive integer number of milliseconds;
+/// anything else (including `0`, which would declare every blocking
+/// receive a deadlock) is rejected with a single warning on stderr.
+pub(crate) fn resolve_deadlock_timeout(explicit: Option<Duration>) -> Duration {
+    explicit
+        .or_else(env_deadlock_timeout)
         .unwrap_or(Duration::from_secs(60))
+}
+
+fn env_deadlock_timeout() -> Option<Duration> {
+    static WARN_ONCE: std::sync::Once = std::sync::Once::new();
+    let raw = std::env::var("CUBEMM_DEADLOCK_TIMEOUT_MS").ok()?;
+    let parsed = parse_deadlock_ms(&raw);
+    if parsed.is_none() {
+        WARN_ONCE.call_once(|| {
+            eprintln!(
+                "warning: ignoring CUBEMM_DEADLOCK_TIMEOUT_MS={raw:?}: \
+                 expected a positive integer (milliseconds)"
+            );
+        });
+    }
+    parsed
+}
+
+/// Parses a `CUBEMM_DEADLOCK_TIMEOUT_MS` value: a positive integer
+/// number of milliseconds. `0` is rejected — it would declare every
+/// blocking receive a deadlock.
+pub(crate) fn parse_deadlock_ms(raw: &str) -> Option<Duration> {
+    match raw.parse::<u64>() {
+        Ok(ms) if ms > 0 => Some(Duration::from_millis(ms)),
+        _ => None,
+    }
 }
 
 /// A message in flight.
@@ -33,6 +62,20 @@ pub(crate) struct Envelope {
     /// Virtual time at which the message is available at the receiver.
     pub arrive: f64,
     pub data: Payload,
+}
+
+impl Envelope {
+    /// The zero-byte sentinel [`Shared::trigger`] broadcasts so parked
+    /// receivers notice the abort immediately instead of waiting out
+    /// their watchdog interval.
+    pub(crate) fn wake() -> Self {
+        Envelope {
+            from: WAKE_SENTINEL,
+            tag: 0,
+            arrive: 0.0,
+            data: Vec::new().into(),
+        }
+    }
 }
 
 /// One element of a [`Proc::multi`] batch.
@@ -58,7 +101,8 @@ pub enum Op {
 
 /// Handle through which a virtual processor's SPMD program communicates.
 ///
-/// See the crate-level documentation for the cost semantics.
+/// See the crate-level documentation for the cost semantics and the
+/// [`crate::faults`] module for the fault model.
 pub struct Proc {
     id: usize,
     dim: u32,
@@ -67,21 +111,35 @@ pub struct Proc {
     charge: ChargePolicy,
     links: LinkTopology,
     clock: f64,
+    /// Straggler clock-rate multiplier (1.0 when healthy).
+    slow: f64,
+    /// `None` when the plan is empty: the healthy fast path performs the
+    /// exact arithmetic of the fault-free simulator.
+    faults: Option<Arc<FaultPlan>>,
+    timeout: Duration,
     senders: Arc<Vec<Sender<Envelope>>>,
     rx: Receiver<Envelope>,
+    shared: Arc<Shared>,
+    /// Per-destination injection counters driving the drop schedules.
+    seq: HashMap<usize, u64>,
     pending: HashMap<(usize, u64), VecDeque<Envelope>>,
     stats: NodeStats,
     trace: Option<Vec<TraceEvent>>,
 }
 
 impl Proc {
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         id: usize,
         dim: u32,
-        options: MachineOptions,
+        options: &MachineOptions,
+        faults: Option<Arc<FaultPlan>>,
+        timeout: Duration,
         senders: Arc<Vec<Sender<Envelope>>>,
         rx: Receiver<Envelope>,
+        shared: Arc<Shared>,
     ) -> Self {
+        let slow = faults.as_ref().map_or(1.0, |plan| plan.slowdown(id));
         Proc {
             id,
             dim,
@@ -90,8 +148,13 @@ impl Proc {
             charge: options.charge,
             links: options.links,
             clock: 0.0,
+            slow,
+            faults,
+            timeout,
             senders,
             rx,
+            shared,
+            seq: HashMap::new(),
             pending: HashMap::new(),
             stats: NodeStats::default(),
             trace: options.traced.then(Vec::new),
@@ -141,20 +204,40 @@ impl Proc {
         self.cost
     }
 
+    /// The fault plan in effect, or `None` when the machine is healthy.
+    /// Degraded-mode collectives use this to spot dead dimension links
+    /// before scheduling over them.
+    #[inline]
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.faults.as_deref()
+    }
+
     /// Current virtual time at this processor.
     #[inline]
     pub fn clock(&self) -> f64 {
         self.clock
     }
 
+    /// Straggler clock-rate multiplier on cost `c` — the identity on a
+    /// healthy node, so an empty fault plan changes no clock arithmetic.
+    #[inline]
+    fn scaled(&self, cost: f64) -> f64 {
+        if self.slow == 1.0 {
+            cost
+        } else {
+            cost * self.slow
+        }
+    }
+
     /// Charges local (non-communication) work to the virtual clock. The
     /// paper compares communication overheads only — the flop count is
     /// identical across algorithms — so the matmul drivers do not call
     /// this; it exists for experiments that want total-time estimates.
+    /// Straggler nodes pay their slowdown factor here too.
     #[inline]
     pub fn advance_clock(&mut self, dt: f64) {
         debug_assert!(dt >= 0.0);
-        self.clock += dt;
+        self.clock += self.scaled(dt);
     }
 
     /// Records an instantaneous resident-data footprint in words; the peak
@@ -164,10 +247,113 @@ impl Proc {
         self.stats.peak_words = self.stats.peak_words.max(words);
     }
 
+    /// Cost of the direct link to `to` for `words` words, including any
+    /// degradation. With no fault plan this is exactly `CostParams::hop`.
+    fn link_cost(&self, to: usize, words: usize) -> f64 {
+        match &self.faults {
+            None => self.cost.hop(words),
+            Some(plan) => {
+                let q = plan.link_quality(self.id, to);
+                q.ts_factor * self.cost.ts + q.tw_factor * self.cost.tw * words as f64
+            }
+        }
+    }
+
+    /// Port-occupancy cost of pushing `words` words along a multi-hop
+    /// `path` (successor labels): one-port store-and-forward sums the
+    /// per-edge costs; multi-port pipelines the message, paying every
+    /// edge's start-up but only the slowest edge's bandwidth.
+    fn path_cost(&self, path: &[usize], words: usize) -> f64 {
+        let mut ts_sum = 0.0;
+        let mut tw_worst: f64 = 0.0;
+        let mut store_forward = 0.0;
+        let mut cur = self.id;
+        for &next in path {
+            let q = match &self.faults {
+                Some(plan) => plan.link_quality(cur, next),
+                None => LinkQuality::HEALTHY,
+            };
+            ts_sum += q.ts_factor * self.cost.ts;
+            tw_worst = tw_worst.max(q.tw_factor);
+            store_forward += q.ts_factor * self.cost.ts + q.tw_factor * self.cost.tw * words as f64;
+            cur = next;
+        }
+        match self.port {
+            PortModel::OnePort => store_forward,
+            PortModel::MultiPort => ts_sum + tw_worst * self.cost.tw * words as f64,
+        }
+    }
+
     /// Sends `data` to a hypercube neighbor, charging the sender's port
     /// for one hop.
+    ///
+    /// If the direct link is dead the message transparently re-routes
+    /// over a live detour, charging the extra hops honestly (strict fault
+    /// plans fail instead). A scheduled message drop silently loses the
+    /// payload in flight — use [`Proc::send_with_retry`] to model
+    /// recovery, or [`Proc::try_send`] to observe delivery. Failures
+    /// abort the run with a structured [`crate::RunError`] when driven
+    /// through [`crate::try_run_machine_with`].
     pub fn send(&mut self, to: usize, tag: u64, data: impl Into<Payload>) {
+        if let Err(e) = self.transmit(to, tag, data.into()) {
+            self.fail_link(e);
+        }
+    }
+
+    /// Non-panicking [`Proc::send`]: returns `Ok(true)` when the message
+    /// was delivered to the destination's queue, `Ok(false)` when a
+    /// scheduled fault dropped it in flight (the port time is still
+    /// charged — the words left the node), and `Err` when no live route
+    /// exists or a strict plan forbids the detour.
+    pub fn try_send(
+        &mut self,
+        to: usize,
+        tag: u64,
+        data: impl Into<Payload>,
+    ) -> Result<bool, SendError> {
+        self.transmit(to, tag, data.into())
+    }
+
+    /// Sends to a neighbor with bounded retries against the drop
+    /// schedule: after each lost attempt the sender charges an
+    /// exponentially growing *virtual-time* backoff to its own clock and
+    /// retransmits. Returns the number of attempts the successful
+    /// delivery took, or [`SendError::RetriesExhausted`] if every attempt
+    /// was dropped (routing failures propagate immediately).
+    pub fn send_with_retry(
+        &mut self,
+        to: usize,
+        tag: u64,
+        data: impl Into<Payload>,
+        policy: RetryPolicy,
+    ) -> Result<u32, SendError> {
+        assert!(
+            policy.max_attempts >= 1,
+            "retry policy needs at least one attempt"
+        );
         let data = data.into();
+        let mut backoff = policy.backoff;
+        for attempt in 1..=policy.max_attempts {
+            if self.transmit(to, tag, data.clone())? {
+                return Ok(attempt);
+            }
+            if attempt < policy.max_attempts {
+                self.stats.retries += 1;
+                self.clock += self.scaled(backoff);
+                backoff *= policy.backoff_factor;
+            }
+        }
+        Err(SendError::RetriesExhausted {
+            from: self.id,
+            to,
+            attempts: policy.max_attempts,
+        })
+    }
+
+    /// The charged neighbor send shared by [`Proc::send`],
+    /// [`Proc::try_send`] and [`Proc::send_with_retry`]. `Ok(delivered)`
+    /// reports whether the message survived the drop schedule.
+    fn transmit(&mut self, to: usize, tag: u64, data: Payload) -> Result<bool, SendError> {
         assert_eq!(
             hamming(self.id, to),
             1,
@@ -182,11 +368,41 @@ impl Proc {
             to,
             self.links
         );
+        if let Some(plan) = self.faults.clone() {
+            if plan.is_dead(self.id, to) {
+                if plan.is_strict() {
+                    return Err(SendError::LinkDead { from: self.id, to });
+                }
+                let path = plan
+                    .route(self.links, self.dim, self.id, to)
+                    .ok_or(SendError::Unroutable { from: self.id, to })?;
+                return Ok(self.send_along(&path, to, tag, data));
+            }
+        }
         let start = self.clock;
-        let end = start + self.cost.hop(data.len());
+        let end = start + self.scaled(self.link_cost(to, data.len()));
         self.clock = end;
         self.record(TraceKind::Send { to, hops: 1 }, tag, data.len(), start, end);
-        self.inject(to, tag, end, data, 1);
+        Ok(self.inject(to, tag, end, data, 1))
+    }
+
+    /// Charges and injects a multi-hop transfer along `path` (successor
+    /// labels ending at `to`), counting detour hops beyond the Hamming
+    /// distance.
+    fn send_along(&mut self, path: &[usize], to: usize, tag: u64, data: Payload) -> bool {
+        let h = path.len();
+        let start = self.clock;
+        let end = start + self.scaled(self.path_cost(path, data.len()));
+        self.clock = end;
+        self.record(
+            TraceKind::Send { to, hops: h as u32 },
+            tag,
+            data.len(),
+            start,
+            end,
+        );
+        self.stats.detour_hops += h - hamming(self.id, to) as usize;
+        self.inject(to, tag, end, data, h)
     }
 
     /// Point-to-point transfer to an arbitrary node via dimension-ordered
@@ -198,21 +414,52 @@ impl Proc {
     ///   `h·t_s + t_w·m` (this is what makes the DNS and 3-D Diagonal
     ///   multi-port rows of Table 2 carry a `t_w` term of `m`, not
     ///   `m·log ∛p`).
+    ///
+    /// Under a fault plan the route deterministically detours around dead
+    /// links (charging the extra hops); if the destination is cut off the
+    /// run aborts with [`SendError::Unroutable`].
     pub fn send_routed(&mut self, to: usize, tag: u64, data: impl Into<Payload>) {
-        let data = data.into();
+        if let Err(e) = self.transmit_routed(to, tag, data.into()) {
+            self.fail_link(e);
+        }
+    }
+
+    /// Non-panicking [`Proc::send_routed`]; see [`Proc::try_send`] for
+    /// the meaning of the `Ok` value.
+    pub fn try_send_routed(
+        &mut self,
+        to: usize,
+        tag: u64,
+        data: impl Into<Payload>,
+    ) -> Result<bool, SendError> {
+        self.transmit_routed(to, tag, data.into())
+    }
+
+    fn transmit_routed(&mut self, to: usize, tag: u64, data: Payload) -> Result<bool, SendError> {
         let h = hamming(self.id, to);
         assert!(h > 0, "send_routed: node {} sending to itself", self.id);
-        let cost = match self.port {
-            PortModel::OnePort => f64::from(h) * self.cost.hop(data.len()),
-            PortModel::MultiPort => {
-                f64::from(h) * self.cost.ts + self.cost.tw * data.len() as f64
+        match self.faults.clone() {
+            // Healthy machine: the closed-form pricing, bit-for-bit.
+            None => {
+                let cost = match self.port {
+                    PortModel::OnePort => f64::from(h) * self.cost.hop(data.len()),
+                    PortModel::MultiPort => {
+                        f64::from(h) * self.cost.ts + self.cost.tw * data.len() as f64
+                    }
+                };
+                let start = self.clock;
+                let end = start + cost;
+                self.clock = end;
+                self.record(TraceKind::Send { to, hops: h }, tag, data.len(), start, end);
+                Ok(self.inject(to, tag, end, data, h as usize))
             }
-        };
-        let start = self.clock;
-        let end = start + cost;
-        self.clock = end;
-        self.record(TraceKind::Send { to, hops: h }, tag, data.len(), start, end);
-        self.inject(to, tag, end, data, h as usize);
+            Some(plan) => {
+                let path = plan
+                    .route(self.links, self.dim, self.id, to)
+                    .ok_or(SendError::Unroutable { from: self.id, to })?;
+                Ok(self.send_along(&path, to, tag, data))
+            }
+        }
     }
 
     /// Receives the message tagged `tag` from `from`, advancing the clock
@@ -225,10 +472,16 @@ impl Proc {
             ChargePolicy::SenderOnly => self.clock.max(env.arrive),
             // Symmetric: pulling the message occupies this port too.
             ChargePolicy::Symmetric => {
-                self.clock.max(env.arrive) + self.cost.hop(env.data.len())
+                self.clock.max(env.arrive) + self.scaled(self.cost.hop(env.data.len()))
             }
         };
-        self.record(TraceKind::Recv { from }, tag, env.data.len(), start, self.clock);
+        self.record(
+            TraceKind::Recv { from },
+            tag,
+            env.data.len(),
+            start,
+            self.clock,
+        );
         env.data
     }
 
@@ -239,7 +492,9 @@ impl Proc {
     /// one-port the sends serialize; under multi-port sends to distinct
     /// neighbors overlap (sends sharing a link serialize on it). The
     /// returned vector is aligned with `ops`: `Some(payload)` for each
-    /// `Recv`, `None` for each `Send`.
+    /// `Recv`, `None` for each `Send`. Sends over dead links re-route
+    /// exactly as [`Proc::send`] does (detours occupy the first-hop
+    /// link); under a strict plan they abort the run.
     pub fn multi(&mut self, ops: Vec<Op>) -> Vec<Option<Payload>> {
         let batch_start = self.clock;
         let mut link_busy: HashMap<usize, f64> = HashMap::new();
@@ -263,28 +518,62 @@ impl Proc {
                     to,
                     self.links
                 );
+                let mut detour: Option<Vec<usize>> = None;
+                if let Some(plan) = &self.faults {
+                    if plan.is_dead(self.id, *to) {
+                        if plan.is_strict() {
+                            let e = SendError::LinkDead {
+                                from: self.id,
+                                to: *to,
+                            };
+                            self.fail_link(e);
+                        }
+                        match plan.route(self.links, self.dim, self.id, *to) {
+                            Some(path) => detour = Some(path),
+                            None => {
+                                let e = SendError::Unroutable {
+                                    from: self.id,
+                                    to: *to,
+                                };
+                                self.fail_link(e);
+                            }
+                        }
+                    }
+                }
+                let (cost, hops, first_hop) = match &detour {
+                    None => (self.scaled(self.link_cost(*to, data.len())), 1usize, *to),
+                    Some(path) => (
+                        self.scaled(self.path_cost(path, data.len())),
+                        path.len(),
+                        path[0],
+                    ),
+                };
                 let start = match self.port {
                     // One-port: the single port serializes every send.
                     PortModel::OnePort => batch_end.max(batch_start),
                     // Multi-port: each link proceeds independently.
-                    PortModel::MultiPort => *link_busy.get(to).unwrap_or(&batch_start),
+                    PortModel::MultiPort => *link_busy.get(&first_hop).unwrap_or(&batch_start),
                 };
-                let end = start + self.cost.hop(data.len());
+                let end = start + cost;
                 match self.port {
                     PortModel::OnePort => batch_end = end,
                     PortModel::MultiPort => {
-                        link_busy.insert(*to, end);
+                        link_busy.insert(first_hop, end);
                         batch_end = batch_end.max(end);
                     }
                 }
                 self.record(
-                    TraceKind::Send { to: *to, hops: 1 },
+                    TraceKind::Send {
+                        to: *to,
+                        hops: hops as u32,
+                    },
                     *tag,
                     data.len(),
                     start,
                     end,
                 );
-                self.inject(*to, *tag, end, data.clone(), 1);
+                self.stats.detour_hops += hops - 1;
+                self.inject(*to, *tag, end, data.clone(), hops);
             }
         }
 
@@ -299,12 +588,14 @@ impl Proc {
                         ChargePolicy::Symmetric => match self.port {
                             // One-port: the pull serializes on the port.
                             PortModel::OnePort => {
-                                batch_end.max(env.arrive) + self.cost.hop(env.data.len())
+                                batch_end.max(env.arrive)
+                                    + self.scaled(self.cost.hop(env.data.len()))
                             }
                             // Multi-port: the pull occupies its own link.
                             PortModel::MultiPort => {
                                 let busy = link_busy.get(&from).copied().unwrap_or(batch_start);
-                                let end = busy.max(env.arrive) + self.cost.hop(env.data.len());
+                                let end = busy.max(env.arrive)
+                                    + self.scaled(self.cost.hop(env.data.len()));
                                 link_busy.insert(from, end);
                                 end
                             }
@@ -351,17 +642,51 @@ impl Proc {
         (self.stats, self.trace.unwrap_or_default())
     }
 
-    fn inject(&mut self, to: usize, tag: u64, arrive: f64, data: Payload, hops: usize) {
+    /// Registers the typed failure as the run's outcome and unwinds this
+    /// node quietly (no panic hook, no message: the failure is reported
+    /// by [`crate::try_run_machine_with`]).
+    fn fail_link(&self, error: SendError) -> ! {
+        self.shared.trigger(Failure::Link {
+            node: self.id,
+            error,
+        });
+        self.quiet_abort();
+    }
+
+    fn quiet_abort(&self) -> ! {
+        std::panic::resume_unwind(Box::new(crate::machine::Aborted))
+    }
+
+    /// Counts the message against this node and delivers it, honoring the
+    /// drop schedule. Returns whether the message reached the
+    /// destination's queue. Port time has already been charged by the
+    /// caller: a dropped message still spent the wire time.
+    fn inject(&mut self, to: usize, tag: u64, arrive: f64, data: Payload, hops: usize) -> bool {
         self.stats.messages += hops;
         self.stats.word_hops += hops * data.len();
-        self.senders[to]
-            .send(Envelope {
-                from: self.id,
-                tag,
-                arrive,
-                data,
-            })
-            .expect("simnet channel closed prematurely");
+        if let Some(plan) = self.faults.clone() {
+            let seq = self.seq.entry(to).or_insert(0);
+            let s = *seq;
+            *seq += 1;
+            if plan.drops_nth(self.id, to, s) {
+                self.stats.dropped += 1;
+                self.record(TraceKind::Dropped { to }, tag, data.len(), arrive, arrive);
+                return false;
+            }
+        }
+        let env = Envelope {
+            from: self.id,
+            tag,
+            arrive,
+            data,
+        };
+        match self.senders[to].send(env) {
+            Ok(()) => true,
+            // The receiver is gone: either the machine is aborting (fall
+            // in line quietly) or the SPMD program is malformed.
+            Err(_) if self.shared.aborting() => self.quiet_abort(),
+            Err(_) => panic!("simnet channel closed prematurely"),
+        }
     }
 
     fn take_matching(&mut self, from: usize, tag: u64) -> Envelope {
@@ -370,10 +695,23 @@ impl Proc {
                 return env;
             }
         }
-        let timeout = deadlock_timeout();
         loop {
-            match self.rx.recv_timeout(timeout) {
+            if self.shared.aborting() {
+                // Another node failed: record what this node was waiting
+                // for (diagnosing deadlocks needs the full picture) and
+                // unwind instead of blocking out the watchdog.
+                self.shared.note_blocked(Blocked {
+                    node: self.id,
+                    from,
+                    tag,
+                });
+                self.quiet_abort();
+            }
+            match self.rx.recv_timeout(self.timeout) {
                 Ok(env) => {
+                    if env.from == WAKE_SENTINEL {
+                        continue; // abort sentinel: re-check at loop top
+                    }
                     if env.from == from && env.tag == tag {
                         return env;
                     }
@@ -382,11 +720,49 @@ impl Proc {
                         .or_default()
                         .push_back(env);
                 }
-                Err(_) => panic!(
-                    "simulated deadlock: node {} waited {:?} for (from={}, tag={:#x})",
-                    self.id, timeout, from, tag
-                ),
+                Err(_) => {
+                    // Watchdog fired: this node is deadlocked. First
+                    // reporter wins the failure slot; everyone else still
+                    // contributes their blocked receive to the report.
+                    self.shared.note_blocked(Blocked {
+                        node: self.id,
+                        from,
+                        tag,
+                    });
+                    self.shared.trigger(Failure::Deadlock {
+                        timeout: self.timeout,
+                    });
+                    self.quiet_abort();
+                }
             }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deadlock_timeout_parsing_accepts_positive_millis_only() {
+        assert_eq!(parse_deadlock_ms("250"), Some(Duration::from_millis(250)));
+        assert_eq!(parse_deadlock_ms("1"), Some(Duration::from_millis(1)));
+        // Zero would declare every blocking receive a deadlock.
+        assert_eq!(parse_deadlock_ms("0"), None);
+        assert_eq!(parse_deadlock_ms(""), None);
+        assert_eq!(parse_deadlock_ms("fast"), None);
+        assert_eq!(parse_deadlock_ms("-5"), None);
+        assert_eq!(parse_deadlock_ms("1.5"), None);
+    }
+
+    #[test]
+    fn deadlock_timeout_resolution_order() {
+        // An explicit per-run setting always wins; the 60 s default
+        // backs everything up.
+        let explicit = Duration::from_millis(7);
+        assert_eq!(resolve_deadlock_timeout(Some(explicit)), explicit);
+        if std::env::var("CUBEMM_DEADLOCK_TIMEOUT_MS").is_err() {
+            assert_eq!(resolve_deadlock_timeout(None), Duration::from_secs(60));
         }
     }
 }

@@ -13,6 +13,14 @@ pub struct NodeStats {
     /// Peak words of matrix data held at any instrumented point
     /// (see [`crate::Proc::track_peak_words`]).
     pub peak_words: usize,
+    /// Retransmissions performed by [`crate::Proc::send_with_retry`]
+    /// after a scheduled message drop.
+    pub retries: usize,
+    /// Extra hops travelled beyond the Hamming distance because dead
+    /// links forced detours (fault injection).
+    pub detour_hops: usize,
+    /// Messages this node injected that a fault plan dropped in flight.
+    pub dropped: usize,
 }
 
 /// Aggregated result of one simulated run.
@@ -44,5 +52,20 @@ impl RunStats {
     /// (Table 3) counts total words across the machine.
     pub fn total_peak_words(&self) -> usize {
         self.nodes.iter().map(|n| n.peak_words).sum()
+    }
+
+    /// Total retransmissions across all nodes (fault injection).
+    pub fn total_retries(&self) -> usize {
+        self.nodes.iter().map(|n| n.retries).sum()
+    }
+
+    /// Total detour hops around dead links across all nodes.
+    pub fn total_detour_hops(&self) -> usize {
+        self.nodes.iter().map(|n| n.detour_hops).sum()
+    }
+
+    /// Total messages lost to scheduled drops across all nodes.
+    pub fn total_dropped(&self) -> usize {
+        self.nodes.iter().map(|n| n.dropped).sum()
     }
 }

@@ -20,6 +20,12 @@ pub enum TraceKind {
         /// Source node label.
         from: usize,
     },
+    /// A message lost in flight to a scheduled fault-plan drop (the port
+    /// time was still charged to the sender).
+    Dropped {
+        /// Intended destination node label.
+        to: usize,
+    },
 }
 
 /// One traced communication event at a node.
@@ -57,6 +63,10 @@ impl TraceEvent {
             TraceKind::Recv { from } => format!(
                 "[{:>8.1} → {:>8.1}] node {:>3} RECV {:>5}w from {:>3} (tag {:#x})",
                 self.start, self.end, self.node, self.words, from, self.tag
+            ),
+            TraceKind::Dropped { to } => format!(
+                "[{:>8.1} → {:>8.1}] node {:>3} DROP {:>5}w to   {:>3} (tag {:#x})",
+                self.start, self.end, self.node, self.words, to, self.tag
             ),
         }
     }

@@ -1,0 +1,354 @@
+//! Integration tests for the fault-injection subsystem: structured run
+//! outcomes, the machine-wide abort channel, fault-tolerant routing, and
+//! the determinism of degraded runs.
+
+use std::time::{Duration, Instant};
+
+use cubemm_simnet::{
+    run_machine, try_run_machine_with, Blocked, CostParams, FaultPlan, MachineOptions, PortModel,
+    RetryPolicy, RunError, SendError,
+};
+
+const COST: CostParams = CostParams { ts: 10.0, tw: 2.0 };
+
+fn options(port: PortModel, faults: FaultPlan) -> MachineOptions {
+    let mut o = MachineOptions::paper(port, COST);
+    o.faults = faults;
+    o
+}
+
+/// A poisoned run must be released by the abort channel, not by the
+/// watchdog: with the watchdog parked at 60 s, a node panic still
+/// unblocks every sibling receive almost immediately.
+#[test]
+fn node_panic_releases_blocked_siblings_well_under_the_watchdog() {
+    let mut o = options(PortModel::OnePort, FaultPlan::new());
+    o.deadlock_timeout = Some(Duration::from_secs(60));
+    let started = Instant::now();
+    let err = try_run_machine_with(8, o, vec![(); 8], |proc, ()| {
+        if proc.id() == 3 {
+            panic!("injected failure");
+        }
+        // Everyone else waits for a message node 3 will never send.
+        let _ = proc.recv(3, 1);
+    })
+    .expect_err("the poisoned run must fail");
+    let wall = started.elapsed();
+    match err {
+        RunError::NodePanicked { node, message } => {
+            assert_eq!(node, 3);
+            assert!(message.contains("injected failure"), "message: {message}");
+        }
+        other => panic!("expected NodePanicked, got {other:?}"),
+    }
+    assert!(
+        wall < Duration::from_secs(10),
+        "abort took {wall:?}; siblings waited out the watchdog instead of \
+         being released by the abort channel"
+    );
+}
+
+/// A tag-mismatch deadlock under a tiny explicit timeout reports every
+/// blocked node with the exact `(from, tag)` it was waiting on.
+#[test]
+fn deadlock_report_names_all_blocked_nodes_with_their_awaited_receives() {
+    let mut o = options(PortModel::OnePort, FaultPlan::new());
+    o.deadlock_timeout = Some(Duration::from_millis(150));
+    let err = try_run_machine_with(4, o, vec![(); 4], |proc, ()| {
+        // A cycle of receives nobody ever feeds: node i waits on its
+        // successor with a tag unique to i.
+        let from = (proc.id() + 1) % 4;
+        let _ = proc.recv(from, 40 + proc.id() as u64);
+    })
+    .expect_err("the cycle must deadlock");
+    match &err {
+        RunError::Deadlock { timeout, blocked } => {
+            assert_eq!(*timeout, Duration::from_millis(150));
+            let want: Vec<Blocked> = (0..4)
+                .map(|node| Blocked {
+                    node,
+                    from: (node + 1) % 4,
+                    tag: 40 + node as u64,
+                })
+                .collect();
+            assert_eq!(*blocked, want, "every blocked receive must be reported");
+        }
+        other => panic!("expected Deadlock, got {other:?}"),
+    }
+    // The rendered report names each node and its awaited (from, tag).
+    let text = err.to_string();
+    for node in 0..4 {
+        assert!(
+            text.contains(&format!("node {node} blocked on (from={}", (node + 1) % 4)),
+            "report missing node {node}: {text}"
+        );
+    }
+}
+
+/// A dead link re-routes transparently (lenient plans): the run completes
+/// with the same data at a strictly higher virtual time — exactly the
+/// 3-hop bipartite detour.
+#[test]
+fn dead_link_rerouting_completes_with_strictly_higher_elapsed() {
+    let m = 4;
+    let program = move |proc: &mut cubemm_simnet::Proc, ()| {
+        if proc.id() == 0 {
+            proc.send(1, 9, (0..m).map(f64::from).collect::<Vec<_>>());
+            0.0
+        } else if proc.id() == 1 {
+            let got = proc.recv(0, 9);
+            assert_eq!(&got[..], &[0.0, 1.0, 2.0, 3.0]);
+            proc.clock()
+        } else {
+            0.0
+        }
+    };
+    let healthy = try_run_machine_with(
+        4,
+        options(PortModel::OnePort, FaultPlan::new()),
+        vec![(); 4],
+        program,
+    )
+    .unwrap();
+    assert_eq!(healthy.stats.elapsed, 18.0); // ts + tw·m
+
+    let plan = FaultPlan::new().with_dead_link(0, 1);
+    let faulty = try_run_machine_with(
+        4,
+        options(PortModel::OnePort, plan.clone()),
+        vec![(); 4],
+        program,
+    )
+    .unwrap();
+    // Store-and-forward over the 3-hop detour: 3 (ts + tw·m).
+    assert_eq!(faulty.stats.elapsed, 54.0);
+    assert!(faulty.stats.elapsed > healthy.stats.elapsed);
+    assert_eq!(faulty.stats.total_detour_hops(), 2);
+
+    // Multi-port pipelines the detour: 3·ts + tw·m.
+    let mp =
+        try_run_machine_with(4, options(PortModel::MultiPort, plan), vec![(); 4], program).unwrap();
+    assert_eq!(mp.stats.elapsed, 38.0);
+}
+
+/// Under a strict plan the same dead link is a typed failure instead.
+#[test]
+fn strict_plan_turns_the_dead_link_into_a_structured_error() {
+    let plan = FaultPlan::new().with_dead_link(0, 1).strict();
+    let err = try_run_machine_with(
+        4,
+        options(PortModel::OnePort, plan),
+        vec![(); 4],
+        |proc, ()| {
+            if proc.id() == 0 {
+                proc.send(1, 9, [1.0]);
+            } else if proc.id() == 1 {
+                let _ = proc.recv(0, 9);
+            }
+        },
+    )
+    .expect_err("strict dead link must abort");
+    assert_eq!(
+        err,
+        RunError::LinkDead {
+            node: 0,
+            error: SendError::LinkDead { from: 0, to: 1 },
+        }
+    );
+}
+
+/// A node cut off by dead links is unroutable: the run fails cleanly
+/// with the typed error rather than hanging or panicking.
+#[test]
+fn cut_off_destination_is_reported_unroutable() {
+    let plan = (0..2u32).fold(FaultPlan::new(), |plan, d| {
+        plan.with_dead_link(1, 1 ^ (1 << d))
+    });
+    let err = try_run_machine_with(
+        4,
+        options(PortModel::OnePort, plan),
+        vec![(); 4],
+        |proc, ()| {
+            if proc.id() == 0 {
+                proc.send(1, 9, [1.0]);
+            } else if proc.id() == 1 {
+                let _ = proc.recv(0, 9);
+            }
+        },
+    )
+    .expect_err("cut-off node must be unroutable");
+    assert_eq!(
+        err,
+        RunError::LinkDead {
+            node: 0,
+            error: SendError::Unroutable { from: 0, to: 1 },
+        }
+    );
+}
+
+/// The drop schedule loses exactly the k-th injection;
+/// `send_with_retry` recovers, charging the virtual-time backoff.
+#[test]
+fn scheduled_drop_is_recovered_by_retry_with_backoff() {
+    let plan = FaultPlan::new().with_drop(0, 1, 0);
+    let out = try_run_machine_with(
+        2,
+        options(PortModel::OnePort, plan),
+        vec![(); 2],
+        |proc, ()| {
+            if proc.id() == 0 {
+                let attempts = proc
+                    .send_with_retry(1, 9, [5.0, 6.0], RetryPolicy::default())
+                    .expect("second attempt is delivered");
+                assert_eq!(attempts, 2);
+                proc.clock()
+            } else {
+                let got = proc.recv(0, 9);
+                assert_eq!(&got[..], &[5.0, 6.0]);
+                proc.clock()
+            }
+        },
+    )
+    .unwrap();
+    // Two charged transmissions (ts + 2·tw each) plus the 1.0 backoff.
+    assert_eq!(out.outputs[0], 29.0);
+    assert_eq!(out.stats.total_retries(), 1);
+    assert_eq!(out.stats.total_dropped(), 1);
+}
+
+/// When every attempt is dropped the sender gets a typed exhaustion
+/// error it can surface as a value — the machine itself still completes.
+#[test]
+fn exhausted_retries_surface_as_a_value_not_an_abort() {
+    let plan = (0..4u64).fold(FaultPlan::new(), |plan, k| plan.with_drop(0, 1, k));
+    let out = try_run_machine_with(
+        2,
+        options(PortModel::OnePort, plan),
+        vec![(); 2],
+        |proc, ()| {
+            if proc.id() == 0 {
+                Some(proc.send_with_retry(1, 9, [1.0], RetryPolicy::default()))
+            } else {
+                None // the receiver never posts a receive
+            }
+        },
+    )
+    .unwrap();
+    assert_eq!(
+        out.outputs[0],
+        Some(Err(SendError::RetriesExhausted {
+            from: 0,
+            to: 1,
+            attempts: 4,
+        }))
+    );
+    assert_eq!(out.stats.total_dropped(), 4);
+}
+
+/// Stragglers and degraded links price exactly as configured.
+#[test]
+fn stragglers_and_degraded_links_scale_costs_exactly() {
+    let program = |proc: &mut cubemm_simnet::Proc, ()| {
+        if proc.id() == 0 {
+            proc.send(1, 9, [1.0, 2.0, 3.0, 4.0]);
+        } else {
+            let _ = proc.recv(0, 9);
+        }
+        proc.clock()
+    };
+    // Healthy: ts + tw·4 = 18.
+    let healthy = try_run_machine_with(
+        2,
+        options(PortModel::OnePort, FaultPlan::new()),
+        vec![(); 2],
+        program,
+    )
+    .unwrap();
+    assert_eq!(healthy.stats.elapsed, 18.0);
+    // A 2x straggler sender doubles it.
+    let slow = FaultPlan::new().with_straggler(0, 2.0);
+    let out =
+        try_run_machine_with(2, options(PortModel::OnePort, slow), vec![(); 2], program).unwrap();
+    assert_eq!(out.stats.elapsed, 36.0);
+    // Degradation multiplies the per-edge terms: 2·ts + 3·tw·4 = 44.
+    let degraded = FaultPlan::new().with_degraded_link(0, 1, 2.0, 3.0);
+    let out = try_run_machine_with(
+        2,
+        options(PortModel::OnePort, degraded),
+        vec![(); 2],
+        program,
+    )
+    .unwrap();
+    assert_eq!(out.stats.elapsed, 44.0);
+}
+
+/// An empty fault plan is bit-for-bit identical to the legacy fault-free
+/// entry point, including routed sends and batched exchanges.
+#[test]
+fn empty_plan_is_bit_identical_to_the_legacy_run() {
+    let program = |proc: &mut cubemm_simnet::Proc, ()| {
+        let partner = proc.id() ^ 1;
+        let got = proc.exchange(partner, 5, vec![proc.id() as f64; 3]);
+        assert_eq!(&got[..], &[partner as f64; 3]);
+        // A 2-hop routed send with a disjoint tag pattern.
+        let far = proc.id() ^ 0b11;
+        proc.send_routed(far, 6, [proc.clock()]);
+        let _ = proc.recv(far, 6);
+        proc.clock()
+    };
+    let legacy = run_machine(8, PortModel::OnePort, COST, vec![(); 8], program);
+    let with_empty_plan = try_run_machine_with(
+        8,
+        options(PortModel::OnePort, FaultPlan::new()),
+        vec![(); 8],
+        program,
+    )
+    .unwrap();
+    assert_eq!(
+        legacy.stats.elapsed.to_bits(),
+        with_empty_plan.stats.elapsed.to_bits()
+    );
+    assert_eq!(legacy.outputs, with_empty_plan.outputs);
+    assert_eq!(
+        legacy.stats.total_messages(),
+        with_empty_plan.stats.total_messages()
+    );
+}
+
+/// Faulty runs obey the same determinism contract as healthy ones: two
+/// identical degraded runs agree bit-for-bit.
+#[test]
+fn degraded_runs_are_deterministic() {
+    let plan = FaultPlan::new()
+        .with_dead_link(0, 1)
+        .with_straggler(2, 1.5)
+        .with_degraded_link(4, 5, 2.0, 2.0)
+        .with_drop(3, 2, 0);
+    let program = |proc: &mut cubemm_simnet::Proc, ()| {
+        let partner = proc.id() ^ 1;
+        if proc.id() < partner {
+            proc.send(partner, 9, vec![proc.id() as f64; 5]);
+            if proc.id() == 2 {
+                let _ = proc.recv(3, 10);
+            }
+        } else {
+            let _ = proc.recv(partner, 9);
+            if proc.id() == 3 {
+                // The dropped first injection toward node 2: retry.
+                let _ = proc.send_with_retry(2, 10, [9.0], RetryPolicy::default());
+            }
+        }
+        proc.clock()
+    };
+    let a = try_run_machine_with(
+        8,
+        options(PortModel::OnePort, plan.clone()),
+        vec![(); 8],
+        program,
+    )
+    .unwrap();
+    let b =
+        try_run_machine_with(8, options(PortModel::OnePort, plan), vec![(); 8], program).unwrap();
+    assert_eq!(a.stats.elapsed.to_bits(), b.stats.elapsed.to_bits());
+    assert_eq!(a.outputs, b.outputs);
+}

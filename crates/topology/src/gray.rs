@@ -84,7 +84,12 @@ mod tests {
         for i in 0..q {
             let a = gray(i);
             let b = gray((i + 1) % q);
-            assert_eq!((a ^ b).count_ones(), 1, "gray({i}) vs gray({})", (i + 1) % q);
+            assert_eq!(
+                (a ^ b).count_ones(),
+                1,
+                "gray({i}) vs gray({})",
+                (i + 1) % q
+            );
         }
     }
 

@@ -164,7 +164,10 @@ mod tests {
     fn grid2_shape_checks() {
         assert!(Grid2::new(16).is_ok());
         assert!(Grid2::new(64).is_ok());
-        assert_eq!(Grid2::new(8), Err(TopologyError::IndivisibleDimension { dim: 3, divisor: 2 }));
+        assert_eq!(
+            Grid2::new(8),
+            Err(TopologyError::IndivisibleDimension { dim: 3, divisor: 2 })
+        );
         assert_eq!(Grid2::new(12), Err(TopologyError::NotPowerOfTwo(12)));
     }
 
@@ -214,7 +217,10 @@ mod tests {
     fn grid3_shape_checks() {
         assert!(Grid3::new(8).is_ok());
         assert!(Grid3::new(512).is_ok());
-        assert_eq!(Grid3::new(16), Err(TopologyError::IndivisibleDimension { dim: 4, divisor: 3 }));
+        assert_eq!(
+            Grid3::new(16),
+            Err(TopologyError::IndivisibleDimension { dim: 4, divisor: 3 })
+        );
     }
 
     #[test]

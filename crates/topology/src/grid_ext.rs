@@ -31,10 +31,7 @@ impl SupernodeGrid {
         let dim = crate::bits::log2_exact(p).ok_or(TopologyError::NotPowerOfTwo(p))?;
         let intra = 2 * mesh_bits;
         if dim < intra || (dim - intra) % 3 != 0 {
-            return Err(TopologyError::IndivisibleDimension {
-                dim,
-                divisor: 3,
-            });
+            return Err(TopologyError::IndivisibleDimension { dim, divisor: 3 });
         }
         Ok(SupernodeGrid {
             mesh_bits,
@@ -48,9 +45,7 @@ impl SupernodeGrid {
         let Some(dim) = crate::bits::log2_exact(p) else {
             return Vec::new();
         };
-        (0..=dim / 2)
-            .filter(|mb| (dim - 2 * mb) % 3 == 0)
-            .collect()
+        (0..=dim / 2).filter(|mb| (dim - 2 * mb) % 3 == 0).collect()
     }
 
     /// Mesh side `√r`.
@@ -90,10 +85,7 @@ impl SupernodeGrid {
         debug_assert!(i < self.super_q() && j < self.super_q() && k < self.super_q());
         let mb = self.mesh_bits;
         let sb = self.super_bits;
-        x | (y << mb)
-            | (i << (2 * mb))
-            | (j << (2 * mb + sb))
-            | (k << (2 * mb + 2 * sb))
+        x | (y << mb) | (i << (2 * mb)) | (j << (2 * mb + sb)) | (k << (2 * mb + 2 * sb))
     }
 
     /// Inverse of [`SupernodeGrid::node`]: `(x, y, i, j, k)`.

@@ -22,7 +22,7 @@ pub mod grid_ext;
 pub mod subcube;
 
 pub use bits::{is_pow2, log2_exact};
-pub use gray::{gray, gray_inverse, gray_delta_bit};
+pub use gray::{gray, gray_delta_bit, gray_inverse};
 pub use grid::{Grid2, Grid3};
 pub use grid_ext::{FlatGrid3, SupernodeGrid};
 pub use subcube::Subcube;

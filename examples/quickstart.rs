@@ -28,9 +28,18 @@ fn main() {
 
     println!("3-D All on a simulated {p}-node one-port hypercube, n = {n}");
     println!("  product verified: max |Δ| = {err:.2e}");
-    println!("  simulated communication time: {:.0}", result.stats.elapsed);
-    println!("  messages injected:            {}", result.stats.total_messages());
-    println!("  word·hops moved:              {}", result.stats.total_word_hops());
+    println!(
+        "  simulated communication time: {:.0}",
+        result.stats.elapsed
+    );
+    println!(
+        "  messages injected:            {}",
+        result.stats.total_messages()
+    );
+    println!(
+        "  word·hops moved:              {}",
+        result.stats.total_word_hops()
+    );
     println!(
         "  peak memory (total words):    {}",
         result.stats.total_peak_words()

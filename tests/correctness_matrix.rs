@@ -95,7 +95,12 @@ fn non_random_structured_inputs() {
         }
     });
     let cfg = MachineConfig::default();
-    for (a, b) in [(&ident, &band), (&band, &ident), (&ones, &band), (&band, &band)] {
+    for (a, b) in [
+        (&ident, &band),
+        (&band, &ident),
+        (&ones, &band),
+        (&band, &band),
+    ] {
         for algo in [Algorithm::Diag3d, Algorithm::All3d, Algorithm::AllTrans3d] {
             let res = algo.multiply(a, b, p, &cfg).unwrap();
             let want = gemm::reference(a, b);

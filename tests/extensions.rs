@@ -11,7 +11,12 @@ fn measure_ab(algo: Algorithm, n: usize, p: usize, port: PortModel) -> (f64, f64
     let a = Matrix::random(n, n, 13);
     let b = Matrix::random(n, n, 14);
     let ra = algo
-        .multiply(&a, &b, p, &MachineConfig::new(port, CostParams::STARTUPS_ONLY))
+        .multiply(
+            &a,
+            &b,
+            p,
+            &MachineConfig::new(port, CostParams::STARTUPS_ONLY),
+        )
         .unwrap();
     let rb = algo
         .multiply(&a, &b, p, &MachineConfig::new(port, CostParams::WORDS_ONLY))
@@ -79,7 +84,11 @@ fn dns_cannon_measured_within_model_bound() {
             );
             // The bound must be tight within the 3DD-style overlap
             // slack: one log ∛s phase.
-            assert!(ra >= model.a * 0.7, "bound far too loose: {ra} vs {}", model.a);
+            assert!(
+                ra >= model.a * 0.7,
+                "bound far too loose: {ra} vs {}",
+                model.a
+            );
         }
     }
 }
@@ -100,8 +109,12 @@ fn flat_all3d_measured_matches_model() {
         let model = flat_all3d_overhead(n, p, PortModel::OnePort).unwrap();
         assert!(ma <= model.a + 1e-9, "a {ma} vs model {}", model.a);
         assert!(mb <= model.b + 1e-9, "b {mb} vs model {}", model.b);
-        assert!(ma >= model.a * 0.7 && mb >= model.b * 0.5,
-            "model far off: ({ma},{mb}) vs ({},{})", model.a, model.b);
+        assert!(
+            ma >= model.a * 0.7 && mb >= model.b * 0.5,
+            "model far off: ({ma},{mb}) vs ({},{})",
+            model.a,
+            model.b
+        );
     }
 }
 

@@ -88,7 +88,11 @@ fn personalized_and_allgather_match_table1() {
             let one = TS * df + TW * (n - 1.0) * mf;
             let multi = TS * df + TW * (n - 1.0) * mf / df;
             for kind in ["scatter", "gather", "allgather", "reduce_scatter"] {
-                assert_eq!(run(kind, d, m, PortModel::OnePort), one, "{kind} d={d} m={m}");
+                assert_eq!(
+                    run(kind, d, m, PortModel::OnePort),
+                    one,
+                    "{kind} d={d} m={m}"
+                );
                 assert_eq!(
                     run(kind, d, m, PortModel::MultiPort),
                     multi,

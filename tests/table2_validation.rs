@@ -19,7 +19,12 @@ fn measure_ab(algo: Algorithm, n: usize, p: usize, port: PortModel) -> (f64, f64
     let a = Matrix::random(n, n, 77);
     let b = Matrix::random(n, n, 88);
     let ra = algo
-        .multiply(&a, &b, p, &MachineConfig::new(port, CostParams::STARTUPS_ONLY))
+        .multiply(
+            &a,
+            &b,
+            p,
+            &MachineConfig::new(port, CostParams::STARTUPS_ONLY),
+        )
         .unwrap();
     let rb = algo
         .multiply(&a, &b, p, &MachineConfig::new(port, CostParams::WORDS_ONLY))
