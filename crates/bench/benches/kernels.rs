@@ -17,6 +17,8 @@ fn bench_kernels(c: &mut Criterion) {
             ("naive", Kernel::Naive),
             ("ikj", Kernel::Ikj),
             ("blocked32", Kernel::Blocked(32)),
+            ("packed", Kernel::packed()),
+            ("packed2t", Kernel::packed_mt(2)),
         ] {
             group.bench_with_input(BenchmarkId::new(name, n), &n, |bench, _| {
                 bench.iter(|| {

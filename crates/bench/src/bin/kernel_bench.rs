@@ -1,0 +1,167 @@
+//! Local GEMM kernel throughput: the checked-in perf trajectory.
+//!
+//! Measures GFLOP/s (`2·n³` flops per product) for every kernel at a
+//! range of sizes and writes the results as `BENCH_kernels.json` in the
+//! working directory, the file the README perf table is generated from.
+//!
+//! ```text
+//! cargo run --release -p cubemm-bench --bin kernel_bench            # full run
+//! cargo run --release -p cubemm-bench --bin kernel_bench -- --smoke # CI smoke
+//! ```
+//!
+//! `--smoke` runs small sizes only, cross-checks every kernel against
+//! the naive product, and exits non-zero on mismatch — a cheap guard
+//! that keeps the kernel and bench code from bit-rotting. The full run
+//! performs the same verification before timing anything.
+
+use std::time::Instant;
+
+use cubemm_dense::gemm::{gemm_acc, Kernel};
+use cubemm_dense::Matrix;
+
+struct KernelSpec {
+    name: &'static str,
+    kernel: Kernel,
+}
+
+fn kernels() -> Vec<KernelSpec> {
+    vec![
+        KernelSpec {
+            name: "naive",
+            kernel: Kernel::Naive,
+        },
+        KernelSpec {
+            name: "ikj",
+            kernel: Kernel::Ikj,
+        },
+        KernelSpec {
+            name: "blocked64",
+            kernel: Kernel::Blocked(64),
+        },
+        KernelSpec {
+            name: "packed-1t",
+            kernel: Kernel::packed(),
+        },
+        KernelSpec {
+            name: "packed-2t",
+            kernel: Kernel::packed_mt(2),
+        },
+        KernelSpec {
+            name: "packed-4t",
+            kernel: Kernel::packed_mt(4),
+        },
+    ]
+}
+
+/// Median-of-`reps` seconds for one `n×n×n` product with `kernel`.
+fn time_product(n: usize, kernel: Kernel, reps: usize) -> f64 {
+    let a = Matrix::random(n, n, 1);
+    let b = Matrix::random(n, n, 2);
+    let mut c = Matrix::zeros(n, n);
+    gemm_acc(&mut c, &a, &b, kernel); // warm-up (and pool/buffer spin-up)
+    let mut samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let mut c = Matrix::zeros(n, n);
+            let t = Instant::now();
+            gemm_acc(&mut c, &a, &b, kernel);
+            let dt = t.elapsed().as_secs_f64();
+            std::hint::black_box(&c);
+            dt
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+/// Verifies `kernel` against the naive product at size `n`.
+fn verify(n: usize, spec: &KernelSpec) -> Result<(), String> {
+    let a = Matrix::random(n, n, 3);
+    let b = Matrix::random(n, n, 4);
+    let mut want = Matrix::zeros(n, n);
+    gemm_acc(&mut want, &a, &b, Kernel::Naive);
+    let mut got = Matrix::zeros(n, n);
+    gemm_acc(&mut got, &a, &b, spec.kernel);
+    let err = got.max_abs_diff(&want);
+    if err > 1e-9 * n as f64 {
+        return Err(format!(
+            "kernel {} mismatch at n={n}: max |Δ| = {err:.2e}",
+            spec.name
+        ));
+    }
+    Ok(())
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let sizes: &[usize] = if smoke {
+        &[64, 96]
+    } else {
+        &[128, 256, 512, 768]
+    };
+    let specs = kernels();
+
+    // Correctness first: a fast wrong kernel is worse than a slow one.
+    for &n in if smoke {
+        &[31usize, 64][..]
+    } else {
+        &[31usize, 128][..]
+    } {
+        for spec in &specs {
+            if let Err(e) = verify(n, spec) {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    println!("all kernels verified against naive");
+
+    let mut rows: Vec<String> = Vec::new();
+    println!(
+        "{:<12} {:>6} {:>12} {:>10}",
+        "kernel", "n", "time", "GFLOP/s"
+    );
+    for &n in sizes {
+        let reps = if n >= 512 { 3 } else { 5 };
+        let mut ikj_gflops = 0.0;
+        for spec in &specs {
+            if smoke && matches!(spec.kernel, Kernel::Naive) && n > 64 {
+                continue; // keep the smoke job snappy
+            }
+            let secs = time_product(n, spec.kernel, reps);
+            let gflops = 2.0 * (n as f64).powi(3) / secs / 1e9;
+            if spec.name == "ikj" {
+                ikj_gflops = gflops;
+            }
+            let speedup = if ikj_gflops > 0.0 {
+                gflops / ikj_gflops
+            } else {
+                0.0
+            };
+            println!(
+                "{:<12} {:>6} {:>10.2}ms {:>10.2}  ({speedup:.2}x ikj)",
+                spec.name,
+                n,
+                secs * 1e3,
+                gflops,
+            );
+            rows.push(format!(
+                "    {{\"kernel\": \"{}\", \"n\": {}, \"seconds\": {:.6}, \"gflops\": {:.3}, \"speedup_vs_ikj\": {:.3}}}",
+                spec.name, n, secs, gflops, speedup
+            ));
+        }
+    }
+
+    if !smoke {
+        let json = format!(
+            "{{\n  \"bench\": \"local_gemm_kernels\",\n  \"flops_formula\": \"2*n^3\",\n  \"results\": [\n{}\n  ]\n}}\n",
+            rows.join(",\n")
+        );
+        match std::fs::write("BENCH_kernels.json", &json) {
+            Ok(()) => println!("wrote BENCH_kernels.json"),
+            Err(e) => {
+                eprintln!("error: writing BENCH_kernels.json: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

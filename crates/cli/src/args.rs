@@ -78,6 +78,41 @@ pub fn parse_port(s: Option<&str>) -> Result<cubemm_simnet::PortModel, String> {
     }
 }
 
+/// Parses `naive | ikj | blocked[:TILE] | packed[:THREADS]` into a local
+/// GEMM kernel. Absent flag means the default (packed, single-threaded);
+/// `packed:0` sizes the thread count to the host automatically.
+pub fn parse_kernel(s: Option<&str>) -> Result<cubemm_dense::gemm::Kernel, String> {
+    use cubemm_dense::gemm::Kernel;
+    let Some(s) = s else {
+        return Ok(Kernel::default());
+    };
+    let (name, arg) = match s.split_once(':') {
+        Some((n, a)) => (n, Some(a)),
+        None => (s, None),
+    };
+    let num = |a: &str| {
+        a.parse::<usize>()
+            .map_err(|_| format!("--kernel {s:?}: invalid number {a:?}"))
+    };
+    match (name, arg) {
+        ("naive", None) => Ok(Kernel::Naive),
+        ("ikj", None) => Ok(Kernel::Ikj),
+        ("blocked", None) => Ok(Kernel::Blocked(64)),
+        ("blocked", Some(a)) => {
+            let tile = num(a)?;
+            if tile == 0 {
+                return Err(format!("--kernel {s:?}: tile must be positive"));
+            }
+            Ok(Kernel::Blocked(tile))
+        }
+        ("packed", None) => Ok(Kernel::packed()),
+        ("packed", Some(a)) => Ok(Kernel::packed_mt(num(a)?)),
+        _ => Err(format!(
+            "unknown kernel {s:?} (use naive|ikj|blocked[:TILE]|packed[:THREADS])"
+        )),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -125,5 +160,32 @@ mod tests {
         assert!(parse_port(Some("multi")).is_ok());
         assert!(parse_port(None).is_ok());
         assert!(parse_port(Some("dual")).is_err());
+    }
+
+    #[test]
+    fn kernel_parsing() {
+        use cubemm_dense::gemm::Kernel;
+        assert_eq!(parse_kernel(None).unwrap(), Kernel::default());
+        assert_eq!(parse_kernel(Some("naive")).unwrap(), Kernel::Naive);
+        assert_eq!(parse_kernel(Some("ikj")).unwrap(), Kernel::Ikj);
+        assert_eq!(parse_kernel(Some("blocked")).unwrap(), Kernel::Blocked(64));
+        assert_eq!(
+            parse_kernel(Some("blocked:32")).unwrap(),
+            Kernel::Blocked(32)
+        );
+        assert_eq!(parse_kernel(Some("packed")).unwrap(), Kernel::packed());
+        assert_eq!(
+            parse_kernel(Some("packed:4")).unwrap(),
+            Kernel::packed_mt(4)
+        );
+        assert_eq!(
+            parse_kernel(Some("packed:0")).unwrap(),
+            Kernel::packed_mt(0)
+        );
+        assert!(parse_kernel(Some("blocked:0")).is_err());
+        assert!(parse_kernel(Some("blocked:x")).is_err());
+        assert!(parse_kernel(Some("packed:two")).is_err());
+        assert!(parse_kernel(Some("simd")).is_err());
+        assert!(parse_kernel(Some("naive:3")).is_err());
     }
 }

@@ -1,11 +1,11 @@
 //! The `cubemm` subcommands.
 
-use cubemm_core::{Algorithm, MachineConfig};
-use cubemm_dense::{gemm, Matrix};
+use cubemm_core::prelude::*;
+use cubemm_dense::gemm;
 use cubemm_model::{render_ascii, RegionMap, Sweep};
-use cubemm_simnet::{CostParams, FaultPlan};
+use cubemm_simnet::{ChargePolicy, CostParams, FaultPlan};
 
-use crate::args::{parse_port, Args};
+use crate::args::{parse_kernel, parse_port, Args};
 
 /// Top-level usage text.
 pub const USAGE: &str = "\
@@ -16,6 +16,7 @@ USAGE:
   cubemm list [n] [p]            show every algorithm and its applicability
   cubemm run --algo A --n N --p P [--port one|multi] [--ts T] [--tw W]
              [--charge sender|symmetric]
+             [--kernel naive|ikj|blocked[:TILE]|packed[:THREADS]]
              [--fault-link A:B] [--fault-degrade A:B:TSF:TWF]
              [--fault-straggler NODE:FACTOR] [--fault-drop FROM:TO:K]
              [--fault-strict true|false]
@@ -25,13 +26,14 @@ USAGE:
                                  extra virtual time against a healthy
                                  baseline re-run
   cubemm sweep --n N [--p 4,16,64,512] [--port one|multi] [--ts T] [--tw W]
-                                 compare all applicable algorithms
+               [--kernel ...]    compare all applicable algorithms
   cubemm regions [--port one|multi] [--ts T] [--tw W]
                                  Figure 13/14-style best-algorithm map
   cubemm help                    this text
 
 Defaults: n=64, p=64, port=one, ts=150, tw=3, charge=sender (the paper's
-parameters and accounting).
+parameters and accounting), kernel=packed (single-threaded; `packed:0`
+picks a thread count automatically).
 A run that cannot progress (e.g. --fault-drop on an algorithm without
 retries) is reported as a structured deadlock naming every blocked node;
 set CUBEMM_DEADLOCK_TIMEOUT_MS to shorten the default 60s watchdog.
@@ -65,18 +67,22 @@ pub fn list(argv: &[String]) -> i32 {
 fn machine_from(args: &Args) -> Result<(MachineConfig, f64, f64), String> {
     let ts: f64 = args.get_or("ts", 150.0)?;
     let tw: f64 = args.get_or("tw", 3.0)?;
-    let port = parse_port(args.raw("port"))?;
-    let mut cfg = MachineConfig::new(port, CostParams { ts, tw });
-    match args.raw("charge") {
-        None | Some("sender") => {}
-        Some("symmetric") => cfg = cfg.with_symmetric_charging(),
+    let charge = match args.raw("charge") {
+        None | Some("sender") => ChargePolicy::SenderOnly,
+        Some("symmetric") => ChargePolicy::Symmetric,
         Some(other) => {
             return Err(format!(
                 "unknown charge policy {other:?} (sender|symmetric)"
             ))
         }
-    }
-    cfg = cfg.with_faults(faults_from(args)?);
+    };
+    let cfg = MachineConfig::builder()
+        .port(parse_port(args.raw("port"))?)
+        .costs(CostParams { ts, tw })
+        .kernel(parse_kernel(args.raw("kernel"))?)
+        .charge(charge)
+        .faults(faults_from(args)?)
+        .build();
     Ok((cfg, ts, tw))
 }
 
@@ -355,6 +361,20 @@ mod tests {
         assert_ne!(run(&argv("--algo nope --n 16 --p 8")), 0);
         assert_ne!(run(&argv("--algo 3d-all --n 15 --p 8")), 0);
         assert_ne!(run(&argv("--n 16")), 0);
+        assert_ne!(run(&argv("--algo cannon --n 16 --p 16 --kernel simd")), 0);
+    }
+
+    #[test]
+    fn run_accepts_every_kernel_spelling() {
+        for kernel in ["naive", "ikj", "blocked:32", "packed", "packed:2"] {
+            assert_eq!(
+                run(&argv(&format!(
+                    "--algo cannon --n 16 --p 16 --kernel {kernel}"
+                ))),
+                0,
+                "--kernel {kernel} failed"
+            );
+        }
     }
 
     #[test]

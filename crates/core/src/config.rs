@@ -45,11 +45,26 @@ impl MachineConfig {
         MachineConfig {
             port,
             cost,
-            kernel: Kernel::default(),
-            traced: false,
-            charge: ChargePolicy::SenderOnly,
-            links: LinkTopology::Hypercube,
-            faults: FaultPlan::new(),
+            ..MachineConfig::default()
+        }
+    }
+
+    /// Starts a fluent builder over the default machine:
+    ///
+    /// ```
+    /// use cubemm_core::prelude::*;
+    /// use cubemm_simnet::{CostParams, PortModel};
+    ///
+    /// let cfg = MachineConfig::builder()
+    ///     .port(PortModel::MultiPort)
+    ///     .costs(CostParams { ts: 10.0, tw: 1.0 })
+    ///     .kernel(Kernel::packed())
+    ///     .build();
+    /// assert_eq!(cfg.port, PortModel::MultiPort);
+    /// ```
+    pub fn builder() -> MachineConfigBuilder {
+        MachineConfigBuilder {
+            cfg: MachineConfig::default(),
         }
     }
 
@@ -78,6 +93,62 @@ impl MachineConfig {
     pub fn with_faults(mut self, faults: FaultPlan) -> Self {
         self.faults = faults;
         self
+    }
+}
+
+/// Fluent constructor for [`MachineConfig`]; every field starts at its
+/// default (one-port, paper costs, packed kernel, healthy machine).
+#[derive(Debug, Clone)]
+pub struct MachineConfigBuilder {
+    cfg: MachineConfig,
+}
+
+impl MachineConfigBuilder {
+    /// One-port or multi-port nodes.
+    pub fn port(mut self, port: PortModel) -> Self {
+        self.cfg.port = port;
+        self
+    }
+
+    /// Message cost parameters `t_s`, `t_w`.
+    pub fn costs(mut self, cost: CostParams) -> Self {
+        self.cfg.cost = cost;
+        self
+    }
+
+    /// Local GEMM kernel.
+    pub fn kernel(mut self, kernel: Kernel) -> Self {
+        self.cfg.kernel = kernel;
+        self
+    }
+
+    /// Record a per-message event trace.
+    pub fn traced(mut self, traced: bool) -> Self {
+        self.cfg.traced = traced;
+        self
+    }
+
+    /// Port-charging policy.
+    pub fn charge(mut self, charge: ChargePolicy) -> Self {
+        self.cfg.charge = charge;
+        self
+    }
+
+    /// Physical link topology.
+    pub fn links(mut self, links: LinkTopology) -> Self {
+        self.cfg.links = links;
+        self
+    }
+
+    /// Deterministic fault injection plan.
+    pub fn faults(mut self, faults: FaultPlan) -> Self {
+        self.cfg.faults = faults;
+        self
+    }
+
+    /// Finishes the builder.
+    pub fn build(self) -> MachineConfig {
+        self.cfg
     }
 }
 

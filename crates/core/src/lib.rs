@@ -68,6 +68,23 @@ pub mod registry;
 pub mod simple;
 pub(crate) mod util;
 
-pub use config::{MachineConfig, RunResult};
+pub use config::{MachineConfig, MachineConfigBuilder, RunResult};
 pub use error::AlgoError;
-pub use registry::Algorithm;
+pub use registry::{AlgoDescriptor, AlgoGroup, Algorithm};
+
+/// One-line import for the common driver surface:
+///
+/// ```
+/// use cubemm_core::prelude::*;
+///
+/// let a = Matrix::random(16, 16, 1);
+/// let b = Matrix::random(16, 16, 2);
+/// let cfg = MachineConfig::builder().kernel(Kernel::packed()).build();
+/// let res = Algorithm::All3d.multiply(&a, &b, 8, &cfg).unwrap();
+/// assert!(res.c.max_abs_diff(&cubemm_dense::gemm::reference(&a, &b)) < 1e-9);
+/// ```
+pub mod prelude {
+    pub use crate::{AlgoError, Algorithm, MachineConfig, MachineConfigBuilder, RunResult};
+    pub use cubemm_dense::gemm::Kernel;
+    pub use cubemm_dense::Matrix;
+}

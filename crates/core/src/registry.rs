@@ -1,4 +1,13 @@
 //! Uniform dispatch over all implemented algorithms.
+//!
+//! Every algorithm is described by one row of the const
+//! [`DESCRIPTORS`] table — name, applicability check, driver, and
+//! grouping — and everything else (`name`/`check`/`multiply` dispatch,
+//! [`Algorithm::ALL`], [`Algorithm::EXTENSIONS`], [`Algorithm::COMPARED`],
+//! `FromStr`) derives from that table. Adding an algorithm means adding
+//! one enum variant and one table row; a mismatch between the two is a
+//! compile-time error (array lengths) or caught by the
+//! `table_is_aligned_with_enum` test.
 
 use cubemm_dense::Matrix;
 
@@ -29,6 +38,9 @@ pub enum Algorithm {
     All3d,
     /// Extension: DNS + Cannon supernode combination (§3.5 remark).
     DnsCannon,
+    /// Extension: 3-D All + Cannon supernode combination (the §3.5
+    /// closing claim, measured against DNS + Cannon).
+    All3dCannon,
     /// Extension: flat-grid `p^{1/4}×p^{1/4}×√p` 3-D All (§4.2.2 remark).
     All3dFlat,
     /// Baseline: Cannon's original 2-D torus form on the Gray-ring
@@ -36,97 +48,240 @@ pub enum Algorithm {
     CannonTorus,
     /// Baseline: Fox–Otto–Hey broadcast-multiply-roll (reference \[4\]).
     Fox,
-    /// Extension: 3-D All + Cannon supernode combination (the §3.5
-    /// closing claim, measured against DNS + Cannon).
-    All3dCannon,
+}
+
+/// Which published set an algorithm belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlgoGroup {
+    /// One of the paper's nine tabulated algorithms ([`Algorithm::ALL`]).
+    Paper,
+    /// Extension or literature baseline ([`Algorithm::EXTENSIONS`]).
+    Extension,
+}
+
+/// One registry row: everything the rest of the workspace needs to know
+/// about an algorithm, keyed by [`Algorithm`].
+pub struct AlgoDescriptor {
+    /// The enum value this row describes (pinned by a test to the row's
+    /// table position).
+    pub algo: Algorithm,
+    /// Short stable name (CLI `--algo` value, reports, CSV output).
+    pub name: &'static str,
+    /// Grid-shape and divisibility requirements for `n × n` on `p` nodes.
+    pub check: fn(usize, usize) -> Result<(), AlgoError>,
+    /// The simulated SPMD driver.
+    pub multiply: fn(&Matrix, &Matrix, usize, &MachineConfig) -> Result<RunResult, AlgoError>,
+    /// Paper set or extension/baseline set.
+    pub group: AlgoGroup,
+    /// Whether the paper's §5 analysis (Figures 13/14) compares it.
+    pub compared: bool,
+}
+
+/// Applicability wrapper for the supernode combinations, whose natural
+/// check is "does a default mesh split exist".
+fn check_dns_cannon(n: usize, p: usize) -> Result<(), AlgoError> {
+    crate::dns_cannon::default_mesh_bits(n, p)
+        .map(|_| ())
+        .ok_or(AlgoError::Topology(
+            cubemm_topology::TopologyError::IndivisibleDimension {
+                dim: p.trailing_zeros(),
+                divisor: 3,
+            },
+        ))
+}
+
+fn check_all3d_cannon(n: usize, p: usize) -> Result<(), AlgoError> {
+    crate::all3d_cannon::default_mesh_bits(n, p)
+        .map(|_| ())
+        .ok_or(AlgoError::Topology(
+            cubemm_topology::TopologyError::IndivisibleDimension {
+                dim: p.trailing_zeros(),
+                divisor: 3,
+            },
+        ))
+}
+
+/// The single source of truth: one row per algorithm, paper order first,
+/// then the extension set. `Algorithm::descriptor` indexes this table by
+/// enum discriminant, so rows must stay aligned with the enum
+/// declaration order (checked by `table_is_aligned_with_enum`).
+pub const DESCRIPTORS: [AlgoDescriptor; 14] = [
+    AlgoDescriptor {
+        algo: Algorithm::Simple,
+        name: "simple",
+        check: crate::simple::check,
+        multiply: crate::simple::multiply,
+        group: AlgoGroup::Paper,
+        compared: false,
+    },
+    AlgoDescriptor {
+        algo: Algorithm::Cannon,
+        name: "cannon",
+        check: crate::cannon::check,
+        multiply: crate::cannon::multiply,
+        group: AlgoGroup::Paper,
+        compared: true,
+    },
+    AlgoDescriptor {
+        algo: Algorithm::Hje,
+        name: "hje",
+        check: crate::hje::check,
+        multiply: crate::hje::multiply,
+        group: AlgoGroup::Paper,
+        compared: true,
+    },
+    AlgoDescriptor {
+        algo: Algorithm::Berntsen,
+        name: "berntsen",
+        check: crate::berntsen::check,
+        multiply: crate::berntsen::multiply,
+        group: AlgoGroup::Paper,
+        compared: true,
+    },
+    AlgoDescriptor {
+        algo: Algorithm::Dns,
+        name: "dns",
+        check: crate::dns::check,
+        multiply: crate::dns::multiply,
+        group: AlgoGroup::Paper,
+        compared: false,
+    },
+    AlgoDescriptor {
+        algo: Algorithm::Diag2d,
+        name: "diag2d",
+        check: crate::diag2d::check,
+        multiply: crate::diag2d::multiply,
+        group: AlgoGroup::Paper,
+        compared: false,
+    },
+    AlgoDescriptor {
+        algo: Algorithm::Diag3d,
+        name: "3dd",
+        check: crate::diag3d::check,
+        multiply: crate::diag3d::multiply,
+        group: AlgoGroup::Paper,
+        compared: true,
+    },
+    AlgoDescriptor {
+        algo: Algorithm::AllTrans3d,
+        name: "3d-all-trans",
+        check: crate::all_trans3d::check,
+        multiply: crate::all_trans3d::multiply,
+        group: AlgoGroup::Paper,
+        compared: false,
+    },
+    AlgoDescriptor {
+        algo: Algorithm::All3d,
+        name: "3d-all",
+        check: crate::all3d::check,
+        multiply: crate::all3d::multiply,
+        group: AlgoGroup::Paper,
+        compared: true,
+    },
+    AlgoDescriptor {
+        algo: Algorithm::DnsCannon,
+        name: "dns-cannon",
+        check: check_dns_cannon,
+        multiply: crate::dns_cannon::multiply,
+        group: AlgoGroup::Extension,
+        compared: false,
+    },
+    AlgoDescriptor {
+        algo: Algorithm::All3dCannon,
+        name: "3d-all-cannon",
+        check: check_all3d_cannon,
+        multiply: crate::all3d_cannon::multiply,
+        group: AlgoGroup::Extension,
+        compared: false,
+    },
+    AlgoDescriptor {
+        algo: Algorithm::All3dFlat,
+        name: "3d-all-flat",
+        check: crate::all3d_flat::check,
+        multiply: crate::all3d_flat::multiply,
+        group: AlgoGroup::Extension,
+        compared: false,
+    },
+    AlgoDescriptor {
+        algo: Algorithm::CannonTorus,
+        name: "cannon-torus",
+        check: crate::cannon_torus::check,
+        multiply: crate::cannon_torus::multiply,
+        group: AlgoGroup::Extension,
+        compared: false,
+    },
+    AlgoDescriptor {
+        algo: Algorithm::Fox,
+        name: "fox",
+        check: crate::fox::check,
+        multiply: crate::fox::multiply,
+        group: AlgoGroup::Extension,
+        compared: false,
+    },
+];
+
+/// Collects the `N` algorithms of `group` from the table, in table
+/// order, at compile time.
+const fn collect_group<const N: usize>(group: AlgoGroup) -> [Algorithm; N] {
+    let mut out = [Algorithm::Simple; N];
+    let mut filled = 0;
+    let mut i = 0;
+    while i < DESCRIPTORS.len() {
+        if DESCRIPTORS[i].group as usize == group as usize {
+            out[filled] = DESCRIPTORS[i].algo;
+            filled += 1;
+        }
+        i += 1;
+    }
+    assert!(filled == N, "group size mismatch with the descriptor table");
+    out
+}
+
+/// Collects the `N` algorithms the paper's §5 analysis compares.
+const fn collect_compared<const N: usize>() -> [Algorithm; N] {
+    let mut out = [Algorithm::Simple; N];
+    let mut filled = 0;
+    let mut i = 0;
+    while i < DESCRIPTORS.len() {
+        if DESCRIPTORS[i].compared {
+            out[filled] = DESCRIPTORS[i].algo;
+            filled += 1;
+        }
+        i += 1;
+    }
+    assert!(
+        filled == N,
+        "compared size mismatch with the descriptor table"
+    );
+    out
 }
 
 impl Algorithm {
     /// Every algorithm, in paper order.
-    pub const ALL: [Algorithm; 9] = [
-        Algorithm::Simple,
-        Algorithm::Cannon,
-        Algorithm::Hje,
-        Algorithm::Berntsen,
-        Algorithm::Dns,
-        Algorithm::Diag2d,
-        Algorithm::Diag3d,
-        Algorithm::AllTrans3d,
-        Algorithm::All3d,
-    ];
+    pub const ALL: [Algorithm; 9] = collect_group(AlgoGroup::Paper);
 
     /// The paper-suggested extension algorithms implemented beyond the
     /// tabulated eight (see DESIGN.md E8).
-    pub const EXTENSIONS: [Algorithm; 5] = [
-        Algorithm::DnsCannon,
-        Algorithm::All3dCannon,
-        Algorithm::All3dFlat,
-        Algorithm::CannonTorus,
-        Algorithm::Fox,
-    ];
+    pub const EXTENSIONS: [Algorithm; 5] = collect_group(AlgoGroup::Extension);
 
     /// The algorithms compared in the paper's §5 analysis (Figures 13/14).
-    pub const COMPARED: [Algorithm; 5] = [
-        Algorithm::Cannon,
-        Algorithm::Hje,
-        Algorithm::Berntsen,
-        Algorithm::Diag3d,
-        Algorithm::All3d,
-    ];
+    pub const COMPARED: [Algorithm; 5] = collect_compared();
+
+    /// This algorithm's registry row.
+    #[inline]
+    pub fn descriptor(&self) -> &'static AlgoDescriptor {
+        &DESCRIPTORS[*self as usize]
+    }
 
     /// Short stable name (used in reports and CSV output).
     pub fn name(&self) -> &'static str {
-        match self {
-            Algorithm::Simple => "simple",
-            Algorithm::Cannon => "cannon",
-            Algorithm::Hje => "hje",
-            Algorithm::Berntsen => "berntsen",
-            Algorithm::Dns => "dns",
-            Algorithm::Diag2d => "diag2d",
-            Algorithm::Diag3d => "3dd",
-            Algorithm::AllTrans3d => "3d-all-trans",
-            Algorithm::All3d => "3d-all",
-            Algorithm::DnsCannon => "dns-cannon",
-            Algorithm::All3dFlat => "3d-all-flat",
-            Algorithm::CannonTorus => "cannon-torus",
-            Algorithm::Fox => "fox",
-            Algorithm::All3dCannon => "3d-all-cannon",
-        }
+        self.descriptor().name
     }
 
     /// Whether the algorithm can run `n × n` matrices on `p` processors
     /// (grid shape and divisibility requirements).
     pub fn check(&self, n: usize, p: usize) -> Result<(), AlgoError> {
-        match self {
-            Algorithm::Simple => crate::simple::check(n, p),
-            Algorithm::Cannon => crate::cannon::check(n, p),
-            Algorithm::Hje => crate::hje::check(n, p),
-            Algorithm::Berntsen => crate::berntsen::check(n, p),
-            Algorithm::Dns => crate::dns::check(n, p),
-            Algorithm::Diag2d => crate::diag2d::check(n, p),
-            Algorithm::Diag3d => crate::diag3d::check(n, p),
-            Algorithm::AllTrans3d => crate::all_trans3d::check(n, p),
-            Algorithm::All3d => crate::all3d::check(n, p),
-            Algorithm::DnsCannon => crate::dns_cannon::default_mesh_bits(n, p)
-                .map(|_| ())
-                .ok_or(AlgoError::Topology(
-                    cubemm_topology::TopologyError::IndivisibleDimension {
-                        dim: p.trailing_zeros(),
-                        divisor: 3,
-                    },
-                )),
-            Algorithm::All3dFlat => crate::all3d_flat::check(n, p),
-            Algorithm::CannonTorus => crate::cannon_torus::check(n, p),
-            Algorithm::Fox => crate::fox::check(n, p),
-            Algorithm::All3dCannon => crate::all3d_cannon::default_mesh_bits(n, p)
-                .map(|_| ())
-                .ok_or(AlgoError::Topology(
-                    cubemm_topology::TopologyError::IndivisibleDimension {
-                        dim: p.trailing_zeros(),
-                        divisor: 3,
-                    },
-                )),
-        }
+        (self.descriptor().check)(n, p)
     }
 
     /// Runs the multiplication on the simulated machine.
@@ -137,22 +292,7 @@ impl Algorithm {
         p: usize,
         cfg: &MachineConfig,
     ) -> Result<RunResult, AlgoError> {
-        match self {
-            Algorithm::Simple => crate::simple::multiply(a, b, p, cfg),
-            Algorithm::Cannon => crate::cannon::multiply(a, b, p, cfg),
-            Algorithm::Hje => crate::hje::multiply(a, b, p, cfg),
-            Algorithm::Berntsen => crate::berntsen::multiply(a, b, p, cfg),
-            Algorithm::Dns => crate::dns::multiply(a, b, p, cfg),
-            Algorithm::Diag2d => crate::diag2d::multiply(a, b, p, cfg),
-            Algorithm::Diag3d => crate::diag3d::multiply(a, b, p, cfg),
-            Algorithm::AllTrans3d => crate::all_trans3d::multiply(a, b, p, cfg),
-            Algorithm::All3d => crate::all3d::multiply(a, b, p, cfg),
-            Algorithm::DnsCannon => crate::dns_cannon::multiply(a, b, p, cfg),
-            Algorithm::All3dFlat => crate::all3d_flat::multiply(a, b, p, cfg),
-            Algorithm::CannonTorus => crate::cannon_torus::multiply(a, b, p, cfg),
-            Algorithm::Fox => crate::fox::multiply(a, b, p, cfg),
-            Algorithm::All3dCannon => crate::all3d_cannon::multiply(a, b, p, cfg),
-        }
+        (self.descriptor().multiply)(a, b, p, cfg)
     }
 }
 
@@ -165,10 +305,10 @@ impl std::fmt::Display for Algorithm {
 impl std::str::FromStr for Algorithm {
     type Err = String;
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        Algorithm::ALL
-            .into_iter()
-            .chain(Algorithm::EXTENSIONS)
-            .find(|a| a.name() == s)
+        DESCRIPTORS
+            .iter()
+            .find(|d| d.name == s)
+            .map(|d| d.algo)
             .ok_or_else(|| format!("unknown algorithm {s:?}"))
     }
 }
@@ -178,12 +318,65 @@ mod tests {
     use super::*;
 
     #[test]
+    fn table_is_aligned_with_enum() {
+        for (i, d) in DESCRIPTORS.iter().enumerate() {
+            assert_eq!(
+                d.algo as usize, i,
+                "descriptor row {i} ({}) is out of enum order",
+                d.name
+            );
+        }
+    }
+
+    #[test]
     fn names_are_unique_and_roundtrip() {
         for a in Algorithm::ALL.into_iter().chain(Algorithm::EXTENSIONS) {
             let parsed: Algorithm = a.name().parse().unwrap();
             assert_eq!(parsed, a);
         }
         assert!("nope".parse::<Algorithm>().is_err());
+        let mut names: Vec<_> = DESCRIPTORS.iter().map(|d| d.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), DESCRIPTORS.len(), "duplicate algorithm name");
+    }
+
+    #[test]
+    fn derived_sets_cover_the_table() {
+        assert_eq!(
+            Algorithm::ALL.len() + Algorithm::EXTENSIONS.len(),
+            DESCRIPTORS.len()
+        );
+        // CLI-visible names pinned: the table refactor must not rename
+        // anything.
+        let all: Vec<_> = Algorithm::ALL.iter().map(|a| a.name()).collect();
+        assert_eq!(
+            all,
+            [
+                "simple",
+                "cannon",
+                "hje",
+                "berntsen",
+                "dns",
+                "diag2d",
+                "3dd",
+                "3d-all-trans",
+                "3d-all"
+            ]
+        );
+        let ext: Vec<_> = Algorithm::EXTENSIONS.iter().map(|a| a.name()).collect();
+        assert_eq!(
+            ext,
+            [
+                "dns-cannon",
+                "3d-all-cannon",
+                "3d-all-flat",
+                "cannon-torus",
+                "fox"
+            ]
+        );
+        let cmp: Vec<_> = Algorithm::COMPARED.iter().map(|a| a.name()).collect();
+        assert_eq!(cmp, ["cannon", "hje", "berntsen", "3dd", "3d-all"]);
     }
 
     #[test]

@@ -1,23 +1,88 @@
 //! Local dense multiplication kernels.
 //!
 //! All distributed algorithms bottom out in `C += A·B` on local blocks.
-//! Three kernels are provided; the paper's comparison concerns
-//! communication, so the kernels exist (a) to actually produce correct
-//! products in the simulator and (b) for the "local kernel choice is
-//! orthogonal" ablation bench.
+//! The paper's comparison concerns communication only, so the kernels
+//! exist (a) to actually produce correct products in the simulator,
+//! (b) for the "local kernel choice is orthogonal" ablation bench, and
+//! (c) — since the simulator's wall-clock really computes every block —
+//! to make end-to-end runs as fast as the host allows. The fast path is
+//! [`Kernel::Packed`]: a cache-blocked GEMM with panel packing
+//! ([`crate::pack`]), a 4×8 register-tiled microkernel
+//! ([`crate::microkernel`]), and an optional in-tree thread pool
+//! ([`crate::pool`]) over the column-panel macro-loop.
 
+use crate::microkernel::{microkernel, MR, NR};
+use crate::pack::{pack_a, pack_b, packed_a_len, packed_b_len};
+use crate::pool::{take_scratch, ThreadPool};
 use crate::Matrix;
 
+/// Default cache-block height of `A` (`mc` rows per packed A block).
+pub const DEFAULT_MC: usize = 64;
+/// Default shared-dimension depth (`kc` steps per packed panel pair).
+pub const DEFAULT_KC: usize = 256;
+/// Default cache-block width of `B`/`C` (`nc` columns per column panel).
+pub const DEFAULT_NC: usize = 512;
+
 /// Which local kernel to use.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Kernel {
     /// Textbook triple loop in `ijk` order.
     Naive,
     /// Loop-reordered `ikj`: streams rows of `B`, vectorizes well.
-    #[default]
     Ikj,
     /// Cache-tiled `ikj` with the given square tile size.
     Blocked(usize),
+    /// Panel-packed, register-tiled GEMM (the fast path; the default).
+    ///
+    /// `mc`/`kc`/`nc` are the cache-block sizes (`0` picks the tuned
+    /// defaults [`DEFAULT_MC`]/[`DEFAULT_KC`]/[`DEFAULT_NC`]); `threads`
+    /// is the macro-loop parallelism over column panels (`0` uses every
+    /// hardware thread, `1` stays sequential). The product is
+    /// bit-for-bit identical across `threads` values: each `C` element
+    /// is accumulated by exactly one panel job in a fixed `kc`-block
+    /// order.
+    Packed {
+        /// Rows of `A` per packed block (`0` = default).
+        mc: usize,
+        /// Depth of each packed panel pair (`0` = default).
+        kc: usize,
+        /// Columns of `B` per macro panel (`0` = default).
+        nc: usize,
+        /// Worker threads for the macro-loop (`0` = all cores).
+        threads: usize,
+    },
+}
+
+impl Kernel {
+    /// The packed kernel with tuned default tiles, single-threaded —
+    /// the right choice inside the simulator, where the `p` virtual
+    /// nodes already occupy one OS thread each.
+    pub const fn packed() -> Kernel {
+        Kernel::Packed {
+            mc: 0,
+            kc: 0,
+            nc: 0,
+            threads: 1,
+        }
+    }
+
+    /// The packed kernel with tuned default tiles and an explicit
+    /// macro-loop thread count (`0` = all cores).
+    pub const fn packed_mt(threads: usize) -> Kernel {
+        Kernel::Packed {
+            mc: 0,
+            kc: 0,
+            nc: 0,
+            threads,
+        }
+    }
+}
+
+impl Default for Kernel {
+    /// The packed single-threaded kernel.
+    fn default() -> Self {
+        Kernel::packed()
+    }
 }
 
 /// `C += A·B` with the chosen kernel.
@@ -32,6 +97,12 @@ pub fn gemm_acc(c: &mut Matrix, a: &Matrix, b: &Matrix, kernel: Kernel) {
         Kernel::Naive => naive(c, a, b),
         Kernel::Ikj => ikj(c, a, b),
         Kernel::Blocked(tile) => blocked(c, a, b, tile.max(1)),
+        Kernel::Packed {
+            mc,
+            kc,
+            nc,
+            threads,
+        } => packed(c, a, b, mc, kc, nc, threads),
     }
 }
 
@@ -43,6 +114,9 @@ pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
 }
 
 /// Sequential reference product used to verify every distributed run.
+/// Deliberately a *different* kernel (plain cache-tiled `ikj`) from the
+/// packed default the algorithms run with, so verification exercises
+/// two independent code paths.
 pub fn reference(a: &Matrix, b: &Matrix) -> Matrix {
     let mut c = Matrix::zeros(a.rows(), b.cols());
     gemm_acc(&mut c, a, b, Kernel::Blocked(64));
@@ -102,16 +176,108 @@ fn blocked(c: &mut Matrix, a: &Matrix, b: &Matrix, tile: usize) {
     }
 }
 
+/// Shared `*mut f64` into `C` for the column-panel jobs. Each job's
+/// writes stay inside its own disjoint set of columns, so concurrent
+/// tile updates never touch the same element.
+#[derive(Clone, Copy)]
+struct SendPtr(*mut f64);
+// SAFETY: jobs write disjoint column ranges of `C` (asserted by the
+// driver's panel arithmetic); the pointer itself is plain data.
+unsafe impl Send for SendPtr {}
+unsafe impl Sync for SendPtr {}
+
+/// The packed driver: BLIS-style five-loop blocking.
+///
+/// ```text
+/// for jc in 0..n step nc        // column panels — parallelized
+///   for pc in 0..k step kc      //   pack B[pc.., jc..] → Bp
+///     for ic in 0..m step mc    //     pack A[ic.., pc..] → Ap
+///       for jr, ir (register tiles)
+///         microkernel: C[ic+ir·MR.., jc+jr·NR..] += Ap·Bp
+/// ```
+fn packed(c: &mut Matrix, a: &Matrix, b: &Matrix, mc: usize, kc: usize, nc: usize, threads: usize) {
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    if m == 0 || k == 0 || n == 0 {
+        return;
+    }
+    let mc = if mc == 0 { DEFAULT_MC } else { mc }
+        .next_multiple_of(MR)
+        .max(MR);
+    let kc = if kc == 0 { DEFAULT_KC } else { kc }.max(1);
+    let nc = if nc == 0 { DEFAULT_NC } else { nc }
+        .next_multiple_of(NR)
+        .max(NR);
+    let threads = if threads == 0 {
+        ThreadPool::global().parallelism()
+    } else {
+        threads
+    };
+    let npanels = n.div_ceil(nc);
+    let cp = SendPtr(c.as_mut_slice().as_mut_ptr());
+    let body = |jp: usize| {
+        let jc = jp * nc;
+        let ncw = nc.min(n - jc);
+        packed_panel(cp, a, b, jc, ncw, mc, kc);
+    };
+    if threads <= 1 || npanels <= 1 {
+        for jp in 0..npanels {
+            body(jp);
+        }
+    } else {
+        ThreadPool::global().run(threads, npanels, &body);
+    }
+}
+
+/// Computes columns `[jc, jc + ncw)` of `C += A·B` (one macro panel).
+fn packed_panel(cp: SendPtr, a: &Matrix, b: &Matrix, jc: usize, ncw: usize, mc: usize, kc: usize) {
+    let (m, k, ldc) = (a.rows(), a.cols(), b.cols());
+    let npan = ncw.div_ceil(NR);
+    for pc in (0..k).step_by(kc) {
+        let kcw = kc.min(k - pc);
+        let mut bbuf = take_scratch(packed_b_len(kcw, ncw));
+        pack_b(b, pc, jc, kcw, ncw, bbuf.as_mut_slice());
+        for ic in (0..m).step_by(mc) {
+            let mcw = mc.min(m - ic);
+            let mpan = mcw.div_ceil(MR);
+            let mut abuf = take_scratch(packed_a_len(mcw, kcw));
+            pack_a(a, ic, pc, mcw, kcw, abuf.as_mut_slice());
+            for jr in 0..npan {
+                let nr = NR.min(ncw - jr * NR);
+                let bp = &bbuf.as_slice()[jr * NR * kcw..(jr + 1) * NR * kcw];
+                for ir in 0..mpan {
+                    let mr = MR.min(mcw - ir * MR);
+                    let ap = &abuf.as_slice()[ir * MR * kcw..(ir + 1) * MR * kcw];
+                    // SAFETY: the tile spans rows ic+ir·MR .. +mr and
+                    // columns jc+jr·NR .. +nr, all inside the m × ldc
+                    // bounds of `C` and inside this job's column range.
+                    unsafe {
+                        let tile = cp.0.add((ic + ir * MR) * ldc + jc + jr * NR);
+                        microkernel(ap, bp, tile, ldc, mr, nr);
+                    }
+                }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn kernels() -> [Kernel; 4] {
-        [
+    fn kernels() -> Vec<Kernel> {
+        vec![
             Kernel::Naive,
             Kernel::Ikj,
             Kernel::Blocked(4),
             Kernel::Blocked(64),
+            Kernel::packed(),
+            Kernel::packed_mt(2),
+            Kernel::Packed {
+                mc: 8,
+                kc: 3,
+                nc: 16,
+                threads: 1,
+            },
         ]
     }
 
@@ -141,12 +307,14 @@ mod tests {
 
     #[test]
     fn gemm_accumulates_rather_than_overwrites() {
-        let a = Matrix::identity(3);
-        let b = Matrix::identity(3);
-        let mut c = Matrix::from_fn(3, 3, |_, _| 1.0);
-        gemm_acc(&mut c, &a, &b, Kernel::Ikj);
-        assert_eq!(c[(0, 0)], 2.0);
-        assert_eq!(c[(0, 1)], 1.0);
+        for k in [Kernel::Ikj, Kernel::packed()] {
+            let a = Matrix::identity(3);
+            let b = Matrix::identity(3);
+            let mut c = Matrix::from_fn(3, 3, |_, _| 1.0);
+            gemm_acc(&mut c, &a, &b, k);
+            assert_eq!(c[(0, 0)], 2.0, "kernel {k:?}");
+            assert_eq!(c[(0, 1)], 1.0, "kernel {k:?}");
+        }
     }
 
     #[test]
@@ -155,6 +323,64 @@ mod tests {
         let b = Matrix::from_vec(2, 2, vec![5.0, 6.0, 7.0, 8.0]);
         let c = matmul(&a, &b);
         assert_eq!(c.as_slice(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn packed_is_bitwise_stable_across_thread_counts() {
+        // Spanning several column panels at a small nc forces real
+        // parallel splits; the per-element accumulation order must not
+        // depend on how panels are distributed over threads.
+        let a = Matrix::random(37, 23, 11);
+        let b = Matrix::random(23, 61, 12);
+        let mut base = Matrix::zeros(37, 61);
+        gemm_acc(
+            &mut base,
+            &a,
+            &b,
+            Kernel::Packed {
+                mc: 16,
+                kc: 8,
+                nc: 16,
+                threads: 1,
+            },
+        );
+        for threads in [2usize, 3, 4, 8] {
+            let mut c = Matrix::zeros(37, 61);
+            gemm_acc(
+                &mut c,
+                &a,
+                &b,
+                Kernel::Packed {
+                    mc: 16,
+                    kc: 8,
+                    nc: 16,
+                    threads,
+                },
+            );
+            assert_eq!(c, base, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn packed_handles_degenerate_shapes() {
+        for (m, k, n) in [(0, 4, 4), (4, 0, 4), (4, 4, 0), (1, 1, 1), (1, 9, 1)] {
+            let a = Matrix::random(m, k, 1);
+            let b = Matrix::random(k, n, 2);
+            let mut want = Matrix::zeros(m, n);
+            gemm_acc(&mut want, &a, &b, Kernel::Naive);
+            let mut got = Matrix::zeros(m, n);
+            gemm_acc(&mut got, &a, &b, Kernel::packed());
+            assert!(got.max_abs_diff(&want) < 1e-12, "{m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn default_kernel_is_packed_single_threaded() {
+        assert_eq!(Kernel::default(), Kernel::packed());
+        assert!(matches!(
+            Kernel::default(),
+            Kernel::Packed { threads: 1, .. }
+        ));
     }
 
     #[test]

@@ -7,13 +7,19 @@
 //!
 //! * [`Matrix`] — an owned row-major `f64` matrix,
 //! * [`gemm`] — local multiplication kernels (naive `ijk`, cache-friendly
-//!   `ikj`, and tiled), all with accumulate (`C += A·B`) forms,
+//!   `ikj`, tiled, and the packed register-tiled fast path), all with
+//!   accumulate (`C += A·B`) forms,
+//! * [`pack`] / [`microkernel`] / [`pool`] — the packed kernel's panel
+//!   layouts, 4×8 register tile, and in-tree thread/buffer pools,
 //! * [`partition`] — the exact block/group layouts the paper's algorithms
 //!   assume initially (Figures 1, 8, 9) and their inverses for
 //!   reassembling distributed results.
 
 pub mod gemm;
 pub mod matrix;
+pub mod microkernel;
+pub mod pack;
 pub mod partition;
+pub mod pool;
 
 pub use matrix::Matrix;

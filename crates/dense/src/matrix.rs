@@ -134,6 +134,25 @@ impl Matrix {
         }
     }
 
+    /// Copies the rectangular block with top-left corner `(r0, c0)` and
+    /// shape `br × bc` into `dst`, reusing `dst`'s allocation when its
+    /// capacity suffices — the zero-allocation staging counterpart of
+    /// [`Matrix::block`] for per-step hot loops.
+    pub fn block_into(&self, r0: usize, c0: usize, br: usize, bc: usize, dst: &mut Matrix) {
+        assert!(
+            r0 + br <= self.rows && c0 + bc <= self.cols,
+            "block out of range"
+        );
+        dst.rows = br;
+        dst.cols = bc;
+        dst.data.clear();
+        dst.data.reserve(br * bc);
+        for r in r0..r0 + br {
+            dst.data
+                .extend_from_slice(&self.data[r * self.cols + c0..r * self.cols + c0 + bc]);
+        }
+    }
+
     /// Writes `src` into this matrix with top-left corner `(r0, c0)`.
     pub fn paste(&mut self, r0: usize, c0: usize, src: &Matrix) {
         assert!(
@@ -266,6 +285,16 @@ mod tests {
         z.paste(2, 3, &b);
         assert_eq!(z[(3, 5)], 23.0);
         assert_eq!(z[(0, 0)], 0.0);
+    }
+
+    #[test]
+    fn block_into_reuses_allocation_and_matches_block() {
+        let m = Matrix::from_fn(6, 6, |r, c| (r * 6 + c) as f64);
+        let mut dst = Matrix::zeros(4, 4); // capacity 16 >= 2*3
+        let ptr = dst.data.as_ptr();
+        m.block_into(2, 3, 2, 3, &mut dst);
+        assert_eq!(dst, m.block(2, 3, 2, 3));
+        assert_eq!(dst.data.as_ptr(), ptr, "staging buffer was reallocated");
     }
 
     #[test]

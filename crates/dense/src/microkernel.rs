@@ -1,0 +1,115 @@
+//! The register-tiled inner kernel of the packed GEMM path.
+//!
+//! One call computes a single `MR × NR` tile of `C += A·B` from packed
+//! panels (see [`crate::pack`] for the layout). The `MR × NR = 4 × 8`
+//! accumulator lives entirely in registers across the `k` loop — with
+//! `f64` lanes that is eight 4-wide (or four 8-wide) vector registers,
+//! which LLVM auto-vectorizes from the plain nested loop below; each
+//! loaded `a`/`b` value feeds `NR`/`MR` FMAs instead of the one
+//! multiply-add per load of the scalar `ikj` kernel.
+
+/// Microkernel tile height (rows of `C` per register tile).
+pub const MR: usize = 4;
+/// Microkernel tile width (columns of `C` per register tile).
+pub const NR: usize = 8;
+
+/// Computes `C[0..mr, 0..nr] += Ap · Bp` for one register tile.
+///
+/// `ap` is one packed MR-row panel and `bp` one packed NR-column panel,
+/// both `kc` steps long (`ap.len() == kc * MR`, `bp.len() == kc * NR`);
+/// panels are zero-padded by the packers, so the full tile is computed
+/// and only the write-back is masked to the `mr × nr` live region.
+///
+/// # Safety
+///
+/// `c` must point at the tile's top-left element of a row-major matrix
+/// with row stride `ldc >= nr`, valid for reads and writes over the
+/// `mr` rows × `nr` columns footprint. Distinct tiles may be updated
+/// concurrently from several threads **only if their footprints are
+/// disjoint** (the packed driver partitions `C` by column panel, so
+/// they are).
+pub unsafe fn microkernel(ap: &[f64], bp: &[f64], c: *mut f64, ldc: usize, mr: usize, nr: usize) {
+    debug_assert_eq!(ap.len() % MR, 0);
+    debug_assert_eq!(bp.len() % NR, 0);
+    debug_assert_eq!(ap.len() / MR, bp.len() / NR);
+    debug_assert!(mr <= MR && nr <= NR && nr <= ldc);
+    let mut acc = [[0.0f64; NR]; MR];
+    for (av, bv) in ap.chunks_exact(MR).zip(bp.chunks_exact(NR)) {
+        for i in 0..MR {
+            let ai = av[i];
+            for j in 0..NR {
+                acc[i][j] += ai * bv[j];
+            }
+        }
+    }
+    if mr == MR && nr == NR {
+        for (i, row) in acc.iter().enumerate() {
+            let crow = c.add(i * ldc);
+            for (j, &v) in row.iter().enumerate() {
+                *crow.add(j) += v;
+            }
+        }
+    } else {
+        for (i, row) in acc.iter().take(mr).enumerate() {
+            let crow = c.add(i * ldc);
+            for (j, &v) in row.iter().take(nr).enumerate() {
+                *crow.add(j) += v;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pack::{pack_a, pack_b, packed_a_len, packed_b_len};
+    use crate::Matrix;
+
+    #[test]
+    fn full_tile_matches_scalar_product() {
+        let (m, k, n) = (MR, 5, NR);
+        let a = Matrix::random(m, k, 7);
+        let b = Matrix::random(k, n, 8);
+        let mut ap = vec![0.0; packed_a_len(m, k)];
+        let mut bp = vec![0.0; packed_b_len(k, n)];
+        pack_a(&a, 0, 0, m, k, &mut ap);
+        pack_b(&b, 0, 0, k, n, &mut bp);
+        let mut c = Matrix::zeros(m, n);
+        unsafe { microkernel(&ap, &bp, c.as_mut_slice().as_mut_ptr(), n, m, n) };
+        let mut want = Matrix::zeros(m, n);
+        for i in 0..m {
+            for j in 0..n {
+                for l in 0..k {
+                    want[(i, j)] += a[(i, l)] * b[(l, j)];
+                }
+            }
+        }
+        assert!(c.max_abs_diff(&want) < 1e-12);
+    }
+
+    #[test]
+    fn masked_edge_tile_leaves_outside_untouched() {
+        let (mr, nr, k) = (3, 5, 4);
+        let a = Matrix::random(mr, k, 1);
+        let b = Matrix::random(k, nr, 2);
+        let mut ap = vec![0.0; packed_a_len(mr, k)];
+        let mut bp = vec![0.0; packed_b_len(k, nr)];
+        pack_a(&a, 0, 0, mr, k, &mut ap);
+        pack_b(&b, 0, 0, k, nr, &mut bp);
+        // Embed the tile in a larger C and check the frame stays put.
+        let ldc = NR + 3;
+        let mut c = Matrix::from_fn(MR + 1, ldc, |_, _| 9.0);
+        unsafe { microkernel(&ap, &bp, c.as_mut_slice().as_mut_ptr(), ldc, mr, nr) };
+        for i in 0..mr {
+            for j in 0..nr {
+                let mut want = 9.0;
+                for l in 0..k {
+                    want += a[(i, l)] * b[(l, j)];
+                }
+                assert!((c[(i, j)] - want).abs() < 1e-12, "({i},{j})");
+            }
+        }
+        assert_eq!(c[(mr, 0)], 9.0);
+        assert_eq!(c[(0, nr)], 9.0);
+    }
+}

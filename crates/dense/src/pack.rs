@@ -1,0 +1,134 @@
+//! Panel packing for the blocked GEMM path.
+//!
+//! The packed kernel (see [`crate::gemm`]) never reads `A` or `B`
+//! directly in its inner loops. Each `mc × kc` block of `A` and
+//! `kc × nc` block of `B` is first copied into a contiguous scratch
+//! buffer laid out exactly in the order the microkernel consumes it:
+//!
+//! ```text
+//! A block (mc × kc)  →  ⌈mc/MR⌉ row panels, each kc steps of MR values:
+//!     ap[panel][l*MR + i] = A[ic + panel*MR + i][pc + l]
+//! B block (kc × nc)  →  ⌈nc/NR⌉ column panels, each kc steps of NR values:
+//!     bp[panel][l*NR + j] = B[pc + l][jc + panel*NR + j]
+//! ```
+//!
+//! Ragged edges are **zero-padded** to full `MR`/`NR` width, so the
+//! microkernel always executes a full register tile and only the
+//! write-back is masked. Every element of the destination slice is
+//! written (padding included), which is what lets the scratch buffers
+//! from [`crate::pool::take_scratch`] carry unspecified contents.
+
+use crate::microkernel::{MR, NR};
+use crate::Matrix;
+
+/// Packed length of an `mcw × kcw` block of `A` (rows padded to `MR`).
+#[inline]
+pub fn packed_a_len(mcw: usize, kcw: usize) -> usize {
+    mcw.div_ceil(MR) * MR * kcw
+}
+
+/// Packed length of a `kcw × ncw` block of `B` (columns padded to `NR`).
+#[inline]
+pub fn packed_b_len(kcw: usize, ncw: usize) -> usize {
+    ncw.div_ceil(NR) * NR * kcw
+}
+
+/// Packs the `mcw × kcw` block of `a` with top-left `(ic, pc)` into
+/// MR-row panels (layout in the module docs). `ap` must be exactly
+/// [`packed_a_len`] long; every element is written.
+pub fn pack_a(a: &Matrix, ic: usize, pc: usize, mcw: usize, kcw: usize, ap: &mut [f64]) {
+    assert_eq!(ap.len(), packed_a_len(mcw, kcw), "packed A size mismatch");
+    let panels = mcw.div_ceil(MR);
+    for panel in 0..panels {
+        let r0 = panel * MR;
+        let live = MR.min(mcw - r0);
+        let dst = &mut ap[panel * MR * kcw..(panel + 1) * MR * kcw];
+        if live == MR {
+            // Full panel: interleave MR source rows, stride-1 reads.
+            let rows: [&[f64]; MR] = std::array::from_fn(|i| &a.row(ic + r0 + i)[pc..pc + kcw]);
+            for (l, out) in dst.chunks_exact_mut(MR).enumerate() {
+                for i in 0..MR {
+                    out[i] = rows[i][l];
+                }
+            }
+        } else {
+            for (l, out) in dst.chunks_exact_mut(MR).enumerate() {
+                for (i, slot) in out.iter_mut().enumerate() {
+                    *slot = if i < live {
+                        a[(ic + r0 + i, pc + l)]
+                    } else {
+                        0.0
+                    };
+                }
+            }
+        }
+    }
+}
+
+/// Packs the `kcw × ncw` block of `b` with top-left `(pc, jc)` into
+/// NR-column panels (layout in the module docs). `bp` must be exactly
+/// [`packed_b_len`] long; every element is written.
+pub fn pack_b(b: &Matrix, pc: usize, jc: usize, kcw: usize, ncw: usize, bp: &mut [f64]) {
+    assert_eq!(bp.len(), packed_b_len(kcw, ncw), "packed B size mismatch");
+    let panels = ncw.div_ceil(NR);
+    for panel in 0..panels {
+        let c0 = panel * NR;
+        let live = NR.min(ncw - c0);
+        let dst = &mut bp[panel * NR * kcw..(panel + 1) * NR * kcw];
+        for (l, out) in dst.chunks_exact_mut(NR).enumerate() {
+            let src = &b.row(pc + l)[jc + c0..jc + c0 + live];
+            out[..live].copy_from_slice(src);
+            out[live..].fill(0.0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_a_layout_and_padding() {
+        let a = Matrix::from_fn(5, 3, |r, c| (r * 10 + c) as f64);
+        let (mcw, kcw) = (5, 3);
+        let mut ap = vec![-1.0; packed_a_len(mcw, kcw)];
+        pack_a(&a, 0, 0, mcw, kcw, &mut ap);
+        // First panel, step l=1 holds column 1 of rows 0..4.
+        assert_eq!(&ap[MR..2 * MR], &[1.0, 11.0, 21.0, 31.0]);
+        // Second panel holds row 4 then zero padding.
+        let p2 = &ap[MR * kcw..];
+        assert_eq!(p2[0], 40.0);
+        assert_eq!(&p2[1..MR], &[0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn pack_a_respects_block_origin() {
+        let a = Matrix::from_fn(8, 8, |r, c| (r * 8 + c) as f64);
+        let mut ap = vec![0.0; packed_a_len(4, 2)];
+        pack_a(&a, 2, 3, 4, 2, &mut ap);
+        // l = 0: column 3 of rows 2..6.
+        assert_eq!(&ap[..MR], &[19.0, 27.0, 35.0, 43.0]);
+    }
+
+    #[test]
+    fn pack_b_layout_and_padding() {
+        let b = Matrix::from_fn(2, 10, |r, c| (r * 100 + c) as f64);
+        let (kcw, ncw) = (2, 10);
+        let mut bp = vec![-1.0; packed_b_len(kcw, ncw)];
+        pack_b(&b, 0, 0, kcw, ncw, &mut bp);
+        // First panel, step l=0: columns 0..8 of row 0.
+        assert_eq!(&bp[..NR], &[0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0]);
+        // Second panel: two live columns then zeros.
+        let p2 = &bp[NR * kcw..];
+        assert_eq!(&p2[..3], &[8.0, 9.0, 0.0]);
+        assert_eq!(&p2[NR..NR + 3], &[108.0, 109.0, 0.0]);
+    }
+
+    #[test]
+    fn packed_lengths_round_up() {
+        assert_eq!(packed_a_len(4, 7), 4 * 7);
+        assert_eq!(packed_a_len(5, 7), 8 * 7);
+        assert_eq!(packed_b_len(3, 8), 8 * 3);
+        assert_eq!(packed_b_len(3, 9), 16 * 3);
+    }
+}

@@ -8,15 +8,38 @@ use cubemm_dense::{partition, Matrix};
 fn kernels() -> Vec<Kernel> {
     let mut ks = vec![Kernel::Naive, Kernel::Ikj];
     ks.extend([1usize, 2, 3, 5, 8, 15].map(Kernel::Blocked));
+    // The packed path at every threading level the property sweeps use,
+    // plus deliberately awkward tile sizes (not multiples of MR/NR, kc
+    // smaller than k, nc smaller than n).
+    ks.push(Kernel::packed());
+    ks.extend([2usize, 4].map(Kernel::packed_mt));
+    ks.push(Kernel::Packed {
+        mc: 5,
+        kc: 3,
+        nc: 7,
+        threads: 2,
+    });
     ks
 }
 
+/// Ragged shapes: nothing divides the register tile (4x8) or the default
+/// cache blocks, plus empty and degenerate extents.
+const SHAPES: [(usize, usize, usize); 10] = [
+    (1, 1, 1),
+    (2, 3, 4),
+    (5, 5, 5),
+    (7, 11, 3),
+    (11, 8, 11),
+    (4, 8, 8),
+    (13, 17, 9),
+    (1, 19, 1),
+    (0, 5, 3),
+    (3, 0, 0),
+];
+
 #[test]
 fn kernels_agree_with_naive() {
-    for (case, (m, k, n)) in [(1, 1, 1), (2, 3, 4), (5, 5, 5), (7, 11, 3), (11, 8, 11)]
-        .into_iter()
-        .enumerate()
-    {
+    for (case, (m, k, n)) in SHAPES.into_iter().enumerate() {
         let seed = case as u64 * 131;
         let a = Matrix::random(m, k, seed);
         let b = Matrix::random(k, n, seed + 1);
@@ -26,8 +49,49 @@ fn kernels_agree_with_naive() {
             let mut got = Matrix::zeros(m, n);
             gemm_acc(&mut got, &a, &b, kernel);
             assert!(
-                got.max_abs_diff(&want) < 1e-10,
+                got.max_abs_diff(&want) < 1e-9,
                 "{kernel:?} disagrees at {m}x{k}x{n}"
+            );
+        }
+    }
+}
+
+#[test]
+fn kernels_accumulate_into_nonzero_c() {
+    // gemm_acc must add to C, not overwrite it, on every kernel path.
+    let (m, k, n) = (9, 14, 21);
+    let a = Matrix::random(m, k, 71);
+    let b = Matrix::random(k, n, 72);
+    let c0 = Matrix::random(m, n, 73);
+    let mut want = c0.clone();
+    gemm_acc(&mut want, &a, &b, Kernel::Naive);
+    for kernel in kernels() {
+        let mut got = c0.clone();
+        gemm_acc(&mut got, &a, &b, kernel);
+        assert!(
+            got.max_abs_diff(&want) < 1e-9,
+            "{kernel:?} does not accumulate correctly"
+        );
+    }
+}
+
+#[test]
+fn packed_kernel_is_deterministic_across_thread_counts() {
+    // The packed path owes bitwise-identical results regardless of the
+    // thread count: each C element is accumulated by exactly one
+    // column-panel job in a fixed kc-block order.
+    for (case, (m, k, n)) in SHAPES.into_iter().enumerate() {
+        let seed = 900 + case as u64;
+        let a = Matrix::random(m, k, seed);
+        let b = Matrix::random(k, n, seed + 1);
+        let mut want = Matrix::zeros(m, n);
+        gemm_acc(&mut want, &a, &b, Kernel::packed());
+        for threads in [2usize, 3, 4, 8] {
+            let mut got = Matrix::zeros(m, n);
+            gemm_acc(&mut got, &a, &b, Kernel::packed_mt(threads));
+            assert_eq!(
+                got, want,
+                "packed kernel drifted at {m}x{k}x{n} with {threads} threads"
             );
         }
     }

@@ -368,7 +368,7 @@ impl Proc {
             to,
             self.links
         );
-        if let Some(plan) = self.faults.clone() {
+        if let Some(plan) = self.faults.as_deref() {
             if plan.is_dead(self.id, to) {
                 if plan.is_strict() {
                     return Err(SendError::LinkDead { from: self.id, to });
@@ -438,7 +438,7 @@ impl Proc {
     fn transmit_routed(&mut self, to: usize, tag: u64, data: Payload) -> Result<bool, SendError> {
         let h = hamming(self.id, to);
         assert!(h > 0, "send_routed: node {} sending to itself", self.id);
-        match self.faults.clone() {
+        match self.faults.as_deref() {
             // Healthy machine: the closed-form pricing, bit-for-bit.
             None => {
                 let cost = match self.port {
@@ -664,7 +664,7 @@ impl Proc {
     fn inject(&mut self, to: usize, tag: u64, arrive: f64, data: Payload, hops: usize) -> bool {
         self.stats.messages += hops;
         self.stats.word_hops += hops * data.len();
-        if let Some(plan) = self.faults.clone() {
+        if let Some(plan) = self.faults.as_deref() {
             let seq = self.seq.entry(to).or_insert(0);
             let s = *seq;
             *seq += 1;

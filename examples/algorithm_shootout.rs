@@ -6,8 +6,8 @@
 //!   cargo run --release -p cubemm-harness --example algorithm_shootout
 //!   cargo run --release -p cubemm-harness --example algorithm_shootout -- 128 64 150 3
 
-use cubemm_core::{Algorithm, MachineConfig};
-use cubemm_dense::{gemm, Matrix};
+use cubemm_core::prelude::*;
+use cubemm_dense::gemm;
 use cubemm_simnet::{CostParams, PortModel};
 
 fn main() {
@@ -36,7 +36,7 @@ fn main() {
         let mut msg = 0usize;
         let mut peak = 0usize;
         for port in [PortModel::OnePort, PortModel::MultiPort] {
-            let cfg = MachineConfig::new(port, cost);
+            let cfg = MachineConfig::builder().port(port).costs(cost).build();
             let res = algo.multiply(&a, &b, p, &cfg).expect("checked applicable");
             let err = res.c.max_abs_diff(&reference);
             assert!(err < 1e-9 * n as f64, "{algo} produced a wrong product");

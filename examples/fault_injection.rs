@@ -8,8 +8,8 @@
 //!
 //! Run with: `cargo run --release -p cubemm-harness --example fault_injection`
 
-use cubemm_core::{Algorithm, MachineConfig};
-use cubemm_dense::{gemm, Matrix};
+use cubemm_core::prelude::*;
+use cubemm_dense::gemm;
 use cubemm_simnet::{
     try_run_machine_with, CostParams, FaultPlan, MachineOptions, PortModel, RunError,
 };
@@ -22,7 +22,10 @@ fn main() {
     let reference = gemm::reference(&a, &b);
 
     // A healthy baseline run of hypercube Cannon.
-    let healthy_cfg = MachineConfig::new(PortModel::OnePort, CostParams::PAPER);
+    let healthy_cfg = MachineConfig::builder()
+        .port(PortModel::OnePort)
+        .costs(CostParams::PAPER)
+        .build();
     let healthy = Algorithm::Cannon.multiply(&a, &b, p, &healthy_cfg).unwrap();
     assert!(healthy.c.max_abs_diff(&reference) < 1e-9);
     println!("hypercube Cannon, n = {n}, p = {p} (one-port, paper costs)");
@@ -36,7 +39,11 @@ fn main() {
         .with_dead_link(0, 1)
         .with_straggler(5, 2.0)
         .with_degraded_link(2, 6, 1.0, 4.0);
-    let faulty_cfg = healthy_cfg.clone().with_faults(plan);
+    let faulty_cfg = MachineConfig::builder()
+        .port(PortModel::OnePort)
+        .costs(CostParams::PAPER)
+        .faults(plan)
+        .build();
     let faulty = Algorithm::Cannon.multiply(&a, &b, p, &faulty_cfg).unwrap();
     assert!(faulty.c.max_abs_diff(&reference) < 1e-9);
     println!(

@@ -8,8 +8,9 @@
 //!   cargo run --release -p cubemm-harness --example memory_vs_time
 //!   cargo run --release -p cubemm-harness --example memory_vs_time -- 64 64
 
-use cubemm_core::{dns_cannon, Algorithm, MachineConfig};
-use cubemm_dense::{gemm, Matrix};
+use cubemm_core::dns_cannon;
+use cubemm_core::prelude::*;
+use cubemm_dense::gemm;
 use cubemm_simnet::{CostParams, PortModel};
 use cubemm_topology::SupernodeGrid;
 
@@ -21,14 +22,17 @@ fn main() {
     let a = Matrix::random(n, n, 1);
     let b = Matrix::random(n, n, 2);
     let reference = gemm::reference(&a, &b);
-    let cfg = MachineConfig::new(PortModel::OnePort, CostParams::PAPER);
+    let cfg = MachineConfig::builder()
+        .port(PortModel::OnePort)
+        .costs(CostParams::PAPER)
+        .build();
 
     println!("space-time trade-off: n = {n}, p = {p}, one-port, t_s=150, t_w=3");
     println!(
         "{:<22} {:>12} {:>14} {:>10}",
         "algorithm", "time", "total words", "words/n^2"
     );
-    let report = |name: String, res: cubemm_core::RunResult| {
+    let report = |name: String, res: RunResult| {
         assert!(res.c.max_abs_diff(&reference) < 1e-9 * n as f64);
         println!(
             "{:<22} {:>12.0} {:>14} {:>10.2}",

@@ -7,8 +7,7 @@
 //!   cargo run --release -p cubemm-harness --example phase_trace
 //!   cargo run --release -p cubemm-harness --example phase_trace -- 3dd 16 8 multi
 
-use cubemm_core::{Algorithm, MachineConfig};
-use cubemm_dense::Matrix;
+use cubemm_core::prelude::*;
 use cubemm_simnet::{CostParams, TraceKind};
 
 fn main() {
@@ -27,7 +26,11 @@ fn main() {
     algo.check(n, p).expect("shape not applicable");
     let a = Matrix::random(n, n, 1);
     let b = Matrix::random(n, n, 2);
-    let cfg = MachineConfig::new(port, CostParams { ts: 10.0, tw: 1.0 }).with_trace();
+    let cfg = MachineConfig::builder()
+        .port(port)
+        .costs(CostParams { ts: 10.0, tw: 1.0 })
+        .traced(true)
+        .build();
     let res = algo.multiply(&a, &b, p, &cfg).expect("run");
 
     // Chronological transfer log (sends only, to keep it readable).

@@ -3,8 +3,8 @@
 //!
 //! Run with: `cargo run --release -p cubemm-harness --example quickstart`
 
-use cubemm_core::{Algorithm, MachineConfig};
-use cubemm_dense::{gemm, Matrix};
+use cubemm_core::prelude::*;
+use cubemm_dense::gemm;
 use cubemm_simnet::{CostParams, PortModel};
 
 fn main() {
@@ -16,7 +16,10 @@ fn main() {
 
     // The paper's headline machine setting: one-port nodes,
     // t_s = 150, t_w = 3.
-    let cfg = MachineConfig::new(PortModel::OnePort, CostParams::PAPER);
+    let cfg = MachineConfig::builder()
+        .port(PortModel::OnePort)
+        .costs(CostParams::PAPER)
+        .build();
     let result = Algorithm::All3d
         .multiply(&a, &b, p, &cfg)
         .expect("n=64, p=64 satisfies the 3-D All applicability conditions");
@@ -47,7 +50,10 @@ fn main() {
 
     // The same run on multi-port nodes — the full-bandwidth schedules
     // kick in and the data-transmission term shrinks by ~log ∛p.
-    let cfg_mp = MachineConfig::new(PortModel::MultiPort, CostParams::PAPER);
+    let cfg_mp = MachineConfig::builder()
+        .port(PortModel::MultiPort)
+        .costs(CostParams::PAPER)
+        .build();
     let mp = Algorithm::All3d.multiply(&a, &b, p, &cfg_mp).unwrap();
     assert!(mp.c.max_abs_diff(&reference) < 1e-9);
     println!(

@@ -6,8 +6,8 @@
 //!   cargo run --release -p cubemm-harness --example scaling_study
 //!   cargo run --release -p cubemm-harness --example scaling_study -- 128
 
-use cubemm_core::{Algorithm, MachineConfig};
-use cubemm_dense::{gemm, Matrix};
+use cubemm_core::prelude::*;
+use cubemm_dense::gemm;
 use cubemm_simnet::{CostParams, PortModel};
 
 fn main() {
@@ -38,7 +38,10 @@ fn main() {
             for &p in &machine_sizes {
                 match algo.check(n, p) {
                     Ok(()) => {
-                        let cfg = MachineConfig::new(port, CostParams::PAPER);
+                        let cfg = MachineConfig::builder()
+                            .port(port)
+                            .costs(CostParams::PAPER)
+                            .build();
                         let res = algo.multiply(&a, &b, p, &cfg).expect("applicable");
                         assert!(res.c.max_abs_diff(&reference) < 1e-9 * n as f64);
                         print!("{:>10.0}", res.stats.elapsed);
