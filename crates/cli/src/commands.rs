@@ -29,6 +29,14 @@ USAGE:
                [--kernel ...]    compare all applicable algorithms
   cubemm regions [--port one|multi] [--ts T] [--tw W]
                                  Figure 13/14-style best-algorithm map
+  cubemm analyze <algo|all> [--n N] [--p P] [--port one|multi|both]
+                                 static schedule analysis: prove the compiled
+                                 schedule deadlock-free and port/link-legal,
+                                 extract its exact (a, b) Table 2 coordinates
+                                 by replay, and report per-phase traffic;
+                                 `analyze all` sweeps every algorithm over
+                                 the default (n, p) grid and fails on any
+                                 violation
   cubemm help                    this text
 
 Defaults: n=64, p=64, port=one, ts=150, tw=3, charge=sender (the paper's
@@ -336,6 +344,112 @@ pub fn regions(argv: &[String]) -> i32 {
     0
 }
 
+/// The port models `--port one|multi|both` selects (default: both —
+/// analysis is cheap and the claims differ per model).
+fn analyze_ports(raw: Option<&str>) -> Result<Vec<cubemm_simnet::PortModel>, String> {
+    match raw {
+        None | Some("both") => Ok(vec![
+            cubemm_simnet::PortModel::OnePort,
+            cubemm_simnet::PortModel::MultiPort,
+        ]),
+        some => Ok(vec![parse_port(some)?]),
+    }
+}
+
+/// `cubemm analyze <algo|all> ...`.
+pub fn analyze(argv: &[String]) -> i32 {
+    let args = match Args::parse(argv) {
+        Ok(a) => a,
+        Err(e) => return fail(&e),
+    };
+    let ports = match analyze_ports(args.raw("port")) {
+        Ok(v) => v,
+        Err(e) => return fail(&e),
+    };
+    let selector = match args
+        .positional::<String>(0)
+        .or_else(|| args.raw("algo").map(str::to_string))
+    {
+        Some(s) => s,
+        None => return fail("analyze needs an algorithm name or `all`"),
+    };
+
+    if selector == "all" {
+        // Registry sweep over the default grid: one summary line per
+        // point, non-zero exit on any unsound or non-conformant result.
+        let mut violations = 0usize;
+        for algo in Algorithm::ALL.into_iter().chain(Algorithm::EXTENSIONS) {
+            for &port in &ports {
+                for (n, p) in cubemm_analyze::applicable_grid(algo) {
+                    let r = match cubemm_analyze::analyze_algorithm(algo, n, p, port) {
+                        Ok(r) => r,
+                        Err(e) => return fail(&e),
+                    };
+                    let cost = r.analysis.cost;
+                    let status = if !r.analysis.is_sound() || !r.verdict.is_conformant() {
+                        violations += 1;
+                        "VIOLATION"
+                    } else if r.analysis.is_full_bandwidth() {
+                        "ok"
+                    } else {
+                        "ok (links serialize)"
+                    };
+                    println!(
+                        "{:<14} n={n:<3} p={p:<3} {:<10} a={:<6} b={:<9} {status}: {}",
+                        algo.name(),
+                        format!("{port}"),
+                        cost.map_or_else(|| "-".into(), |c| format!("{}", c.a)),
+                        cost.map_or_else(|| "-".into(), |c| format!("{}", c.b)),
+                        r.verdict
+                    );
+                    if !r.analysis.is_sound() {
+                        for d in &r.analysis.diagnostics {
+                            println!("    - {d}");
+                        }
+                    }
+                }
+            }
+        }
+        if violations > 0 {
+            return fail(&format!("{violations} schedule(s) failed analysis"));
+        }
+        println!("all schedules certified");
+        return 0;
+    }
+
+    let algo: Algorithm = match selector
+        .parse::<Algorithm>()
+        .map_err(|e| format!("{e} (see `cubemm help` for the list)"))
+    {
+        Ok(a) => a,
+        Err(e) => return fail(&e),
+    };
+    let n: usize = match args.get_or("n", 64) {
+        Ok(v) => v,
+        Err(e) => return fail(&e),
+    };
+    let p: usize = match args.get_or("p", 64) {
+        Ok(v) => v,
+        Err(e) => return fail(&e),
+    };
+    if let Err(e) = algo.check(n, p) {
+        return fail(&format!("{algo} cannot run n={n} on p={p}: {e}"));
+    }
+    let mut bad = false;
+    for port in ports {
+        let r = match cubemm_analyze::analyze_algorithm(algo, n, p, port) {
+            Ok(r) => r,
+            Err(e) => return fail(&e),
+        };
+        print!("{}", cubemm_analyze::render(&r));
+        bad |= !r.analysis.is_sound() || !r.verdict.is_conformant();
+    }
+    if bad {
+        return fail("schedule failed analysis");
+    }
+    0
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -428,5 +542,21 @@ mod tests {
     fn sweep_and_regions_run_clean() {
         assert_eq!(sweep(&argv("--n 16 --p 4,8,16")), 0);
         assert_eq!(regions(&argv("--port multi --ts 5 --tw 3")), 0);
+    }
+
+    #[test]
+    fn analyze_certifies_small_configurations() {
+        assert_eq!(analyze(&argv("cannon --n 16 --p 16 --port one")), 0);
+        assert_eq!(analyze(&argv("3d-all --n 16 --p 8 --port multi")), 0);
+        // `--algo` spelling and the both-ports default.
+        assert_eq!(analyze(&argv("--algo simple --n 16 --p 16")), 0);
+    }
+
+    #[test]
+    fn analyze_rejects_bad_input() {
+        assert_ne!(analyze(&argv("")), 0);
+        assert_ne!(analyze(&argv("nosuch --n 16 --p 16")), 0);
+        assert_ne!(analyze(&argv("cannon --n 17 --p 16")), 0);
+        assert_ne!(analyze(&argv("cannon --n 16 --p 16 --port dual")), 0);
     }
 }

@@ -7,6 +7,8 @@
 //! cubemm sweep --n N [--p P1,P2,...]       all algorithms across machines
 //! cubemm regions [--port one|multi] [--ts X] [--tw Y]
 //!                                          Figure 13/14-style region map
+//! cubemm analyze <algo|all> [--n N] [--p P] [--port one|multi|both]
+//!                                          static schedule certification
 //! ```
 
 mod args;
@@ -19,6 +21,7 @@ fn main() {
         Some("run") => commands::run(&argv[1..]),
         Some("sweep") => commands::sweep(&argv[1..]),
         Some("regions") => commands::regions(&argv[1..]),
+        Some("analyze") => commands::analyze(&argv[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
             print!("{}", commands::USAGE);
             0

@@ -46,8 +46,7 @@ impl AllgatherRun {
                     .map(|c| {
                         self.inner
                             .store
-                            .take(c * self.n + r)
-                            .expect("all-gather slice delivered")
+                            .delivered(c * self.n + r, "all-gather slice delivered")
                     })
                     .collect();
                 unchunk(self.part_len, &parts)
@@ -144,8 +143,7 @@ impl ReduceScatterRun {
             .map(|c| {
                 self.inner
                     .store
-                    .take(c * self.n + self.v)
-                    .expect("reduced part delivered")
+                    .delivered(c * self.n + self.v, "reduced part delivered")
             })
             .collect();
         unchunk(self.part_len, &parts)

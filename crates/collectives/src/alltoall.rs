@@ -41,8 +41,7 @@ impl AlltoallRun {
                     .map(|c| {
                         self.inner
                             .store
-                            .take(c * n * n + self.v * n + origin)
-                            .expect("packet for me delivered")
+                            .delivered(c * n * n + self.v * n + origin, "packet for me delivered")
                     })
                     .collect();
                 unchunk(self.part_len, &parts)

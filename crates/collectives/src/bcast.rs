@@ -23,7 +23,7 @@ impl BcastRun {
     /// Extracts the broadcast payload after execution.
     pub fn finish(mut self) -> Payload {
         let parts: Vec<Payload> = (0..self.ncopies)
-            .map(|c| self.inner.store.take(c).expect("broadcast slice delivered"))
+            .map(|c| self.inner.store.delivered(c, "broadcast slice delivered"))
             .collect();
         unchunk(self.len, &parts)
     }
@@ -48,6 +48,10 @@ pub fn bcast_plan(
     let my_rank = sc.rank_of(me);
     let v = my_rank ^ root;
     if my_rank == root {
+        #[allow(
+            clippy::expect_used,
+            reason = "documented API precondition, enforced like the asserts beside it"
+        )]
         let data = data.as_ref().expect("broadcast root must supply data");
         assert_eq!(data.len(), len, "root data length disagrees with len");
     } else {

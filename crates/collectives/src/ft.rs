@@ -91,6 +91,10 @@ pub fn execute_ft(proc: &mut Proc, run: &mut CollectiveRun) -> Result<(), SendEr
         let results = proc.multi(ops);
         let mut received = results.into_iter().flatten();
         for xi in recv_order {
+            #[allow(
+                clippy::expect_used,
+                reason = "engine contract: multi returns one Some per Op::Recv"
+            )]
             let bundle = received.next().expect("engine recv result");
             let xfer = &xfers[xi];
             let expected: usize = xfer.recv.iter().map(|&id| run.store.expected_len(id)).sum();

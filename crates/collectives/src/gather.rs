@@ -41,8 +41,7 @@ impl GatherRun {
                         .map(|c| {
                             self.inner
                                 .store
-                                .take(c * n + u)
-                                .expect("gathered part delivered")
+                                .delivered(c * n + u, "gathered part delivered")
                         })
                         .collect();
                     unchunk(self.part_len, &parts)

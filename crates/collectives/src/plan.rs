@@ -12,6 +12,50 @@
 //! [`Proc::multi`].
 
 use cubemm_simnet::{Op, Payload, Proc};
+use cubemm_topology::bits::hamming;
+
+/// A malformed [`PacketStore`] access: the typed form of the plan bugs
+/// the store used to surface as raw index/assert panics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PacketError {
+    /// Packet `id` does not exist in a store of `slots` slots.
+    OutOfRange {
+        /// The offending packet id.
+        id: usize,
+        /// Number of slots in the store.
+        slots: usize,
+    },
+    /// A payload's length disagreed with the slot's declared length.
+    LengthMismatch {
+        /// The target packet id.
+        id: usize,
+        /// The payload length offered.
+        got: usize,
+        /// The length the store declares for this slot.
+        want: usize,
+    },
+    /// `put` targeted a slot that already holds a packet.
+    AlreadyFilled {
+        /// The occupied packet id.
+        id: usize,
+    },
+}
+
+impl std::fmt::Display for PacketError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PacketError::OutOfRange { id, slots } => {
+                write!(f, "packet {id} out of range (store has {slots} slots)")
+            }
+            PacketError::LengthMismatch { id, got, want } => {
+                write!(f, "packet {id} length mismatch: got {got}, want {want}")
+            }
+            PacketError::AlreadyFilled { id } => write!(f, "packet {id} already present"),
+        }
+    }
+}
+
+impl std::error::Error for PacketError {}
 
 /// Packet storage for one in-flight collective. Packet lengths are known
 /// at plan time (every caller knows its block shapes), so received
@@ -40,29 +84,98 @@ impl PacketStore {
     }
 
     /// The expected length of packet `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range; use
+    /// [`PacketStore::try_expected_len`] for the fallible form.
     pub fn expected_len(&self, id: usize) -> usize {
-        self.lens[id]
+        self.try_expected_len(id)
+            .unwrap_or_else(|e| panic!("PacketStore::expected_len: {e}"))
+    }
+
+    /// The expected length of packet `id`, or a typed error if the slot
+    /// does not exist.
+    pub fn try_expected_len(&self, id: usize) -> Result<usize, PacketError> {
+        self.lens.get(id).copied().ok_or(PacketError::OutOfRange {
+            id,
+            slots: self.lens.len(),
+        })
     }
 
     /// Fills slot `id` with an initial payload.
     ///
     /// # Panics
-    /// Panics if the payload length disagrees with the declared length or
+    /// Panics with the [`PacketError`] rendering if the slot does not
+    /// exist, the payload length disagrees with the declared length, or
     /// the slot is already filled.
     pub fn put(&mut self, id: usize, payload: Payload) {
-        assert_eq!(payload.len(), self.lens[id], "packet {id} length mismatch");
-        assert!(self.slots[id].is_none(), "packet {id} already present");
-        self.slots[id] = Some(payload);
+        if let Err(e) = self.try_put(id, payload) {
+            panic!("PacketStore::put: {e}");
+        }
     }
 
-    /// Removes and returns packet `id`.
+    /// Fallible [`PacketStore::put`]: reports malformed accesses as a
+    /// typed [`PacketError`] instead of panicking.
+    pub fn try_put(&mut self, id: usize, payload: Payload) -> Result<(), PacketError> {
+        let want = self.try_expected_len(id)?;
+        if payload.len() != want {
+            return Err(PacketError::LengthMismatch {
+                id,
+                got: payload.len(),
+                want,
+            });
+        }
+        if self.slots[id].is_some() {
+            return Err(PacketError::AlreadyFilled { id });
+        }
+        self.slots[id] = Some(payload);
+        Ok(())
+    }
+
+    /// Removes and returns packet `id` (`None` when the slot is empty).
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range; use [`PacketStore::try_take`] for
+    /// the fallible form.
     pub fn take(&mut self, id: usize) -> Option<Payload> {
-        self.slots[id].take()
+        self.try_take(id)
+            .unwrap_or_else(|e| panic!("PacketStore::take: {e}"))
+    }
+
+    /// Fallible [`PacketStore::take`]: `Ok(None)` when the slot exists
+    /// but is empty, `Err` when the slot does not exist at all.
+    pub fn try_take(&mut self, id: usize) -> Result<Option<Payload>, PacketError> {
+        match self.slots.get_mut(id) {
+            Some(slot) => Ok(slot.take()),
+            None => Err(PacketError::OutOfRange {
+                id,
+                slots: self.lens.len(),
+            }),
+        }
     }
 
     /// Returns a clone of packet `id` if present.
     pub fn get(&self, id: usize) -> Option<Payload> {
-        self.slots[id].clone()
+        self.slots.get(id).cloned().flatten()
+    }
+
+    /// Removes and returns packet `id`, panicking with `what` if absent.
+    ///
+    /// For the finish paths of completed collectives: once a plan's
+    /// rounds have all executed, every slot the collective's result
+    /// reads from is filled by construction of the plan. An empty slot
+    /// there is a plan-builder bug, not a runtime condition — and node
+    /// panics surface as structured run failures, not process aborts.
+    ///
+    /// # Panics
+    /// Panics if the slot is empty or out of range.
+    #[track_caller]
+    #[allow(
+        clippy::expect_used,
+        reason = "plan invariant: finish only runs after the rounds that fill these slots"
+    )]
+    pub fn delivered(&mut self, id: usize, what: &str) -> Payload {
+        self.take(id).expect(what)
     }
 }
 
@@ -116,6 +229,43 @@ impl Plan {
     pub fn push(&mut self, r: usize, xfer: Xfer) {
         self.rounds[r].push(xfer);
     }
+
+    /// Checks the node-local well-formedness of this plan as compiled for
+    /// node `me` of a `p`-node hypercube against `store`: every peer is a
+    /// genuine hypercube neighbor and every packet id addresses a real
+    /// slot. The cross-node properties (send/receive matching, deadlock
+    /// freedom, link contention) need every node's plan at once — that is
+    /// `cubemm-analyze`'s job; this local check is what
+    /// [`execute_fused`] can afford to debug-assert on every run.
+    pub fn validate_local(&self, me: usize, p: usize, store: &PacketStore) -> Result<(), String> {
+        for (r, round) in self.rounds.iter().enumerate() {
+            for xfer in round {
+                if xfer.peer >= p {
+                    return Err(format!(
+                        "round {r}: node {me} addresses peer {} outside the {p}-node machine",
+                        xfer.peer
+                    ));
+                }
+                if hamming(me, xfer.peer) != 1 {
+                    return Err(format!(
+                        "round {r}: node {me} -> {} is not a hypercube edge",
+                        xfer.peer
+                    ));
+                }
+                if xfer.send.is_empty() && xfer.recv.is_empty() {
+                    return Err(format!(
+                        "round {r}: node {me} has an empty transfer (no send, no recv)"
+                    ));
+                }
+                for &id in xfer.send.iter().chain(&xfer.recv) {
+                    if let Err(e) = store.try_expected_len(id) {
+                        return Err(format!("round {r}: node {me}: {e}"));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
 }
 
 /// An in-flight collective: its plan plus packet state.
@@ -141,12 +291,27 @@ impl CollectiveRun {
     pub fn store(&self) -> &PacketStore {
         &self.store
     }
+
+    /// Read access to the compiled plan (for static analysis).
+    pub fn plan(&self) -> &Plan {
+        &self.plan
+    }
 }
 
 /// Executes one or more collectives *fused*: round `r` of every run is
 /// issued in a single [`Proc::multi`] batch. All participating nodes
 /// must fuse the same set of collectives in the same order.
 pub fn execute_fused(proc: &mut Proc, runs: &mut [&mut CollectiveRun]) {
+    // Self-check every compiled plan in debug builds: a malformed plan
+    // fails here with a named round/peer instead of deep inside the
+    // engine (release builds skip the scan; `cubemm-analyze` carries the
+    // full cross-node proof).
+    #[cfg(debug_assertions)]
+    for run in runs.iter() {
+        if let Err(e) = run.plan.validate_local(proc.id(), proc.p(), &run.store) {
+            panic!("execute_fused: malformed plan: {e}");
+        }
+    }
     let max_rounds = runs.iter().map(|r| r.plan.rounds.len()).max().unwrap_or(0);
     for r in 0..max_rounds {
         // Build the batch: all sends (across runs), then all receives.
@@ -194,6 +359,10 @@ pub fn execute_fused(proc: &mut Proc, runs: &mut [&mut CollectiveRun]) {
         let results = proc.multi(ops);
         let mut received = results.into_iter().flatten();
         for (ri, xi) in recv_order {
+            #[allow(
+                clippy::expect_used,
+                reason = "engine contract: multi returns one Some per Op::Recv"
+            )]
             let bundle = received.next().expect("engine recv result");
             let run = &mut *runs[ri];
             let xfer = run.plan.rounds[r][xi].clone();
@@ -227,4 +396,125 @@ pub fn execute_fused(proc: &mut Proc, runs: &mut [&mut CollectiveRun]) {
 /// Executes a single collective (the common case).
 pub fn execute(proc: &mut Proc, run: &mut CollectiveRun) {
     execute_fused(proc, &mut [run]);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn payload(n: usize) -> Payload {
+        (0..n).map(|x| x as f64).collect()
+    }
+
+    #[test]
+    fn try_put_reports_length_mismatch() {
+        let mut store = PacketStore::new(vec![4, 2]);
+        assert_eq!(
+            store.try_put(1, payload(3)),
+            Err(PacketError::LengthMismatch {
+                id: 1,
+                got: 3,
+                want: 2
+            })
+        );
+        // The failed put must not have filled the slot.
+        assert!(store.get(1).is_none());
+        assert_eq!(store.try_put(1, payload(2)), Ok(()));
+    }
+
+    #[test]
+    fn try_put_reports_double_fill() {
+        let mut store = PacketStore::new(vec![4]);
+        store.put(0, payload(4));
+        assert_eq!(
+            store.try_put(0, payload(4)),
+            Err(PacketError::AlreadyFilled { id: 0 })
+        );
+        // The original packet is untouched.
+        assert_eq!(store.take(0).map(|p| p.len()), Some(4));
+    }
+
+    #[test]
+    fn out_of_range_ids_are_typed_errors() {
+        let mut store = PacketStore::new(vec![4, 2]);
+        let oob = PacketError::OutOfRange { id: 7, slots: 2 };
+        assert_eq!(store.try_put(7, payload(1)), Err(oob.clone()));
+        assert_eq!(store.try_take(7), Err(oob.clone()));
+        assert_eq!(store.try_expected_len(7), Err(oob));
+        assert!(store.get(7).is_none());
+    }
+
+    #[test]
+    fn try_take_distinguishes_empty_from_missing() {
+        let mut store = PacketStore::new(vec![3]);
+        assert_eq!(store.try_take(0), Ok(None));
+        store.put(0, payload(3));
+        assert_eq!(store.try_take(0).map(|p| p.map(|p| p.len())), Ok(Some(3)));
+    }
+
+    #[test]
+    #[should_panic(expected = "packet 9 out of range (store has 1 slots)")]
+    fn put_panic_names_the_offending_packet() {
+        let mut store = PacketStore::new(vec![4]);
+        store.put(9, payload(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "packet 5 out of range")]
+    fn take_panic_names_the_offending_packet() {
+        let mut store = PacketStore::new(vec![4]);
+        let _ = store.take(5);
+    }
+
+    #[test]
+    fn validate_local_accepts_a_well_formed_plan() {
+        let store = PacketStore::new(vec![4, 4]);
+        let mut plan = Plan::with_rounds(1);
+        plan.push(
+            0,
+            Xfer {
+                peer: 1,
+                tag: 0,
+                send: vec![0],
+                consume_sends: false,
+                recv: vec![1],
+                recv_mode: RecvMode::Fill,
+            },
+        );
+        assert!(plan.validate_local(0, 4, &store).is_ok());
+    }
+
+    #[test]
+    fn validate_local_rejects_non_neighbors_and_bad_ids() {
+        let store = PacketStore::new(vec![4]);
+        let mut plan = Plan::with_rounds(1);
+        plan.push(
+            0,
+            Xfer {
+                peer: 3,
+                tag: 0,
+                send: vec![0],
+                consume_sends: false,
+                recv: vec![],
+                recv_mode: RecvMode::Fill,
+            },
+        );
+        let err = plan.validate_local(0, 4, &store).unwrap_err();
+        assert!(err.contains("not a hypercube edge"), "{err}");
+
+        let mut plan = Plan::with_rounds(1);
+        plan.push(
+            0,
+            Xfer {
+                peer: 1,
+                tag: 0,
+                send: vec![2],
+                consume_sends: false,
+                recv: vec![],
+                recv_mode: RecvMode::Fill,
+            },
+        );
+        let err = plan.validate_local(0, 4, &store).unwrap_err();
+        assert!(err.contains("out of range"), "{err}");
+    }
 }

@@ -28,7 +28,7 @@ impl ReduceRun {
             return None;
         }
         let parts: Vec<Payload> = (0..self.ncopies)
-            .map(|c| self.inner.store.take(c).expect("root retains all slices"))
+            .map(|c| self.inner.store.delivered(c, "root retains all slices"))
             .collect();
         Some(unchunk(self.len, &parts))
     }

@@ -28,8 +28,7 @@ impl ScatterRun {
             .map(|c| {
                 self.inner
                     .store
-                    .take(c * self.n + self.v)
-                    .expect("own scatter part delivered")
+                    .delivered(c * self.n + self.v, "own scatter part delivered")
             })
             .collect();
         unchunk(self.part_len, &parts)
@@ -77,6 +76,10 @@ pub fn scatter_plan(
     }
     let mut store = PacketStore::new(lens);
     if my_rank == root {
+        #[allow(
+            clippy::expect_used,
+            reason = "documented API precondition, enforced like the asserts beside it"
+        )]
         let parts = parts.expect("scatter root must supply parts");
         assert_eq!(parts.len(), n, "scatter needs one part per member");
         for part in &parts {

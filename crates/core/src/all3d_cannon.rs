@@ -32,7 +32,7 @@ use cubemm_simnet::Payload;
 use cubemm_topology::SupernodeGrid;
 
 use crate::cannon::cannon_phase;
-use crate::util::{phase_tag, require_divides, square_order, to_matrix};
+use crate::util::{delivered, phase_tag, require_divides, square_order, to_matrix};
 use crate::{AlgoError, MachineConfig, RunResult};
 
 /// Validates the combination for a given mesh split (`r = 4^mesh_bits`).
@@ -156,7 +156,7 @@ pub fn multiply_with_mesh(
                 let wp = y * g + c;
                 let src = grid.node(u_mine / g, wp % qm, i, wp / qm, k);
                 let payload = if src == proc.id() {
-                    own_tile.clone().expect("own redistribution tile")
+                    delivered(own_tile.clone(), "own redistribution tile")
                 } else {
                     proc.recv(src, phase_tag(4) + t_src as u64)
                 };

@@ -22,7 +22,7 @@ use cubemm_dense::{partition, Matrix};
 use cubemm_simnet::Payload;
 use cubemm_topology::Grid3;
 
-use crate::util::{phase_tag, require_divides, square_order, to_matrix};
+use crate::util::{delivered, phase_tag, require_divides, square_order, to_matrix};
 use crate::{AlgoError, MachineConfig, RunResult};
 
 /// Validates that 3-D All_Trans can run `n × n` on `p` processors.
@@ -121,7 +121,7 @@ pub fn multiply_from_identical(
             .map(|jp| {
                 let src = grid.node(k, jp, i);
                 let payload = if src == proc.id() {
-                    own_piece.clone().expect("own transpose piece")
+                    delivered(own_piece.clone(), "own transpose piece")
                 } else {
                     proc.recv(src, phase_tag(8) + j as u64)
                 };

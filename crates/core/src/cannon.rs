@@ -20,7 +20,7 @@ use cubemm_dense::{partition, Matrix};
 use cubemm_simnet::{Op, Payload, Proc};
 use cubemm_topology::{gray_delta_bit, Grid2};
 
-use crate::util::{phase_tag, require_divides, square_order, to_matrix};
+use crate::util::{delivered, phase_tag, require_divides, square_order, to_matrix};
 use crate::{AlgoError, MachineConfig, RunResult};
 
 /// Validates that Cannon can run `n × n` matrices on `p` processors.
@@ -82,10 +82,10 @@ pub(crate) fn cannon_phase(
         let results = proc.multi(ops);
         let mut received = results.into_iter().flatten();
         if want.0 {
-            ma = to_matrix(ar, ac, &received.next().expect("skewed A"));
+            ma = to_matrix(ar, ac, &delivered(received.next(), "skewed A"));
         }
         if want.1 {
-            mb = to_matrix(br, bc, &received.next().expect("skewed B"));
+            mb = to_matrix(br, bc, &delivered(received.next(), "skewed B"));
         }
     }
 
@@ -123,8 +123,8 @@ pub(crate) fn cannon_phase(
             },
         ]);
         let mut received = results.into_iter().flatten();
-        ma = to_matrix(ar, ac, &received.next().expect("shifted A"));
-        mb = to_matrix(br, bc, &received.next().expect("shifted B"));
+        ma = to_matrix(ar, ac, &delivered(received.next(), "shifted A"));
+        mb = to_matrix(br, bc, &delivered(received.next(), "shifted B"));
     }
     c
 }

@@ -25,7 +25,7 @@ use cubemm_dense::{partition, Matrix};
 use cubemm_simnet::{Op, Payload};
 use cubemm_topology::{gray, Grid2};
 
-use crate::util::{phase_tag, require_divides, square_order, to_matrix};
+use crate::util::{delivered, phase_tag, require_divides, square_order, to_matrix};
 use crate::{AlgoError, MachineConfig, RunResult};
 
 /// Validates that torus Cannon can run `n × n` matrices on `p`
@@ -66,7 +66,7 @@ pub fn multiply(
         }
         by_label
             .into_iter()
-            .map(|x| x.expect("bijection"))
+            .map(|x| delivered(x, "bijection"))
             .collect()
     };
 
@@ -119,10 +119,10 @@ pub fn multiply(
             let results = proc.multi(ops);
             let mut received = results.into_iter().flatten();
             if shift_a {
-                ma = to_matrix(bs, bs, &received.next().expect("aligned A"));
+                ma = to_matrix(bs, bs, &delivered(received.next(), "aligned A"));
             }
             if shift_b {
-                mb = to_matrix(bs, bs, &received.next().expect("aligned B"));
+                mb = to_matrix(bs, bs, &delivered(received.next(), "aligned B"));
             }
         }
 
@@ -157,8 +157,8 @@ pub fn multiply(
                 },
             ]);
             let mut received = results.into_iter().flatten();
-            ma = to_matrix(bs, bs, &received.next().expect("shifted A"));
-            mb = to_matrix(bs, bs, &received.next().expect("shifted B"));
+            ma = to_matrix(bs, bs, &delivered(received.next(), "shifted A"));
+            mb = to_matrix(bs, bs, &delivered(received.next(), "shifted B"));
         }
         c.into_payload()
     })?;

@@ -17,7 +17,7 @@ use cubemm_dense::{partition, Matrix};
 use cubemm_simnet::Payload;
 use cubemm_topology::Grid2;
 
-use crate::util::{phase_tag, require_divides, square_order, to_matrix};
+use crate::util::{delivered, phase_tag, require_divides, square_order, to_matrix};
 use crate::{AlgoError, MachineConfig, RunResult};
 
 /// Validates that the 2-D Diagonal algorithm can run `n × n` on `p`
@@ -96,9 +96,7 @@ pub fn multiply(
 
     let mut c = Matrix::zeros(n, n);
     for k in 0..q {
-        let payload = out.outputs[grid.node(k, k)]
-            .as_ref()
-            .expect("diagonal holds C");
+        let payload = delivered(out.outputs[grid.node(k, k)].as_ref(), "diagonal holds C");
         let group = to_matrix(n, w, payload);
         c.paste(0, k * w, &group);
     }

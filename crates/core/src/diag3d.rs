@@ -23,7 +23,7 @@ use cubemm_dense::{partition, Matrix};
 use cubemm_simnet::Payload;
 use cubemm_topology::Grid3;
 
-use crate::util::{phase_tag, require_divides, square_order, to_matrix};
+use crate::util::{delivered, phase_tag, require_divides, square_order, to_matrix};
 use crate::{AlgoError, MachineConfig, RunResult};
 
 /// Validates that 3DD can run `n × n` matrices on `p` processors.
@@ -104,9 +104,10 @@ pub fn multiply(
     })?;
 
     let c = partition::assemble_square(n, q, |k, i| {
-        let payload = out.outputs[grid.node(i, i, k)]
-            .as_ref()
-            .expect("diagonal plane holds C");
+        let payload = delivered(
+            out.outputs[grid.node(i, i, k)].as_ref(),
+            "diagonal plane holds C",
+        );
         to_matrix(bs, bs, payload)
     });
     Ok(RunResult {

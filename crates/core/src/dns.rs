@@ -18,7 +18,7 @@ use cubemm_dense::{partition, Matrix};
 use cubemm_simnet::Payload;
 use cubemm_topology::Grid3;
 
-use crate::util::{phase_tag, require_divides, square_order, to_matrix};
+use crate::util::{delivered, phase_tag, require_divides, square_order, to_matrix};
 use crate::{AlgoError, MachineConfig, RunResult};
 
 /// Validates that DNS can run `n × n` matrices on `p` processors.
@@ -106,9 +106,10 @@ pub fn multiply(
     })?;
 
     let c = partition::assemble_square(n, q, |i, j| {
-        let payload = out.outputs[grid.node(i, j, 0)]
-            .as_ref()
-            .expect("base plane holds C");
+        let payload = delivered(
+            out.outputs[grid.node(i, j, 0)].as_ref(),
+            "base plane holds C",
+        );
         to_matrix(bs, bs, payload)
     });
     Ok(RunResult {

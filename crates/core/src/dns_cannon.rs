@@ -19,7 +19,7 @@ use cubemm_simnet::Payload;
 use cubemm_topology::SupernodeGrid;
 
 use crate::cannon::cannon_phase;
-use crate::util::{phase_tag, require_divides, square_order, to_matrix};
+use crate::util::{delivered, phase_tag, require_divides, square_order, to_matrix};
 use crate::{AlgoError, MachineConfig, RunResult};
 
 /// Validates the combination for a given mesh split (`r = 4^mesh_bits`).
@@ -164,7 +164,7 @@ pub fn multiply_with_mesh(
         let piece = to_matrix(
             sub,
             sub,
-            out.outputs[label].as_ref().expect("base plane holds C"),
+            delivered(out.outputs[label].as_deref(), "base plane holds C"),
         );
         c.paste(i * (n / qs) + x * sub, j * (n / qs) + y * sub, &piece);
     }

@@ -19,7 +19,7 @@ use cubemm_dense::{partition, Matrix};
 use cubemm_simnet::{Op, Payload};
 use cubemm_topology::{gray, Grid2};
 
-use crate::util::{phase_tag, require_divides, square_order, to_matrix};
+use crate::util::{delivered, phase_tag, require_divides, square_order, to_matrix};
 use crate::{AlgoError, MachineConfig, RunResult};
 
 /// Validates that Fox's algorithm can run `n × n` on `p` processors.
@@ -57,7 +57,7 @@ pub fn multiply(
         }
         by_label
             .into_iter()
-            .map(|x| x.expect("bijection"))
+            .map(|x| delivered(x, "bijection"))
             .collect()
     };
 
@@ -108,7 +108,7 @@ pub fn multiply(
                     tag,
                 },
             ]);
-            let rolled = results.into_iter().flatten().next().expect("rolled B");
+            let rolled = delivered(results.into_iter().flatten().next(), "rolled B");
             mb = to_matrix(bs, bs, &rolled);
         }
         c.into_payload()

@@ -27,7 +27,7 @@ use cubemm_simnet::{Op, Payload};
 use cubemm_topology::gray::hje_schedule_bit;
 use cubemm_topology::Grid2;
 
-use crate::util::{phase_tag, require_divides, square_order, to_matrix};
+use crate::util::{delivered, phase_tag, require_divides, square_order, to_matrix};
 use crate::{AlgoError, MachineConfig, RunResult};
 
 /// Validates that HJE can run `n × n` matrices on `p` processors.
@@ -114,10 +114,10 @@ pub fn multiply(
             let results = proc.multi(ops);
             let mut received = results.into_iter().flatten();
             if want.0 {
-                ma = to_matrix(bs, bs, &received.next().expect("skewed A"));
+                ma = to_matrix(bs, bs, &delivered(received.next(), "skewed A"));
             }
             if want.1 {
-                mb = to_matrix(bs, bs, &received.next().expect("skewed B"));
+                mb = to_matrix(bs, bs, &delivered(received.next(), "skewed B"));
             }
         }
 
@@ -181,8 +181,10 @@ pub fn multiply(
             let mut received = results.into_iter().flatten();
             for l in 0..d {
                 let (lo, hi) = group_bounds(bs, d, l);
-                a_groups[l] = to_matrix(bs, hi - lo, &received.next().expect("shifted A group"));
-                b_groups[l] = to_matrix(hi - lo, bs, &received.next().expect("shifted B group"));
+                a_groups[l] =
+                    to_matrix(bs, hi - lo, &delivered(received.next(), "shifted A group"));
+                b_groups[l] =
+                    to_matrix(hi - lo, bs, &delivered(received.next(), "shifted B group"));
             }
         }
         c.into_payload()

@@ -38,6 +38,23 @@ pub fn to_matrix(rows: usize, cols: usize, p: &[f64]) -> Matrix {
     Matrix::from_payload(rows, cols, p)
 }
 
+/// Unwraps a value an algorithm invariant guarantees is present — an
+/// engine-delivered payload ([`Proc::multi`] returns exactly one `Some`
+/// per `Op::Recv` on a healthy machine), a node's own staged block, or
+/// a bijectively-assigned slot. A `None` here is a bug in the engine or
+/// the algorithm's index arithmetic, not a recoverable condition, so
+/// the node panics (which the machine turns into a structured
+/// [`RunOutcome`] failure, not a process abort).
+#[inline]
+#[track_caller]
+#[allow(
+    clippy::expect_used,
+    reason = "documented algorithm/engine invariant; a miss is a bug, not a recoverable state"
+)]
+pub fn delivered<T>(value: Option<T>, what: &str) -> T {
+    value.expect(what)
+}
+
 /// Runs an SPMD program on the machine described by `cfg`, honoring the
 /// tracing flag and the fault plan. Simulator failures — deadlock, node
 /// panic, link faults — come back as [`AlgoError::Sim`] values rather

@@ -15,6 +15,8 @@
 //!   assume initially (Figures 1, 8, 9) and their inverses for
 //!   reassembling distributed results.
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod gemm;
 pub mod matrix;
 pub mod microkernel;

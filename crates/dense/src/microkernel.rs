@@ -44,16 +44,22 @@ pub unsafe fn microkernel(ap: &[f64], bp: &[f64], c: *mut f64, ldc: usize, mr: u
     }
     if mr == MR && nr == NR {
         for (i, row) in acc.iter().enumerate() {
-            let crow = c.add(i * ldc);
+            // SAFETY: i < MR = mr and j < NR = nr, so every access lands
+            // inside the mr × nr footprint the caller guarantees valid.
+            let crow = unsafe { c.add(i * ldc) };
             for (j, &v) in row.iter().enumerate() {
-                *crow.add(j) += v;
+                // SAFETY: see above; j < nr <= ldc keeps the offset in row i.
+                unsafe { *crow.add(j) += v };
             }
         }
     } else {
         for (i, row) in acc.iter().take(mr).enumerate() {
-            let crow = c.add(i * ldc);
+            // SAFETY: take(mr)/take(nr) clamp the walk to the mr × nr
+            // live region of the caller-guaranteed footprint.
+            let crow = unsafe { c.add(i * ldc) };
             for (j, &v) in row.iter().take(nr).enumerate() {
-                *crow.add(j) += v;
+                // SAFETY: see above; j < nr <= ldc keeps the offset in row i.
+                unsafe { *crow.add(j) += v };
             }
         }
     }
@@ -75,6 +81,7 @@ mod tests {
         pack_a(&a, 0, 0, m, k, &mut ap);
         pack_b(&b, 0, 0, k, n, &mut bp);
         let mut c = Matrix::zeros(m, n);
+        // SAFETY: `c` is m × n row-major with ldc = n; the full tile fits.
         unsafe { microkernel(&ap, &bp, c.as_mut_slice().as_mut_ptr(), n, m, n) };
         let mut want = Matrix::zeros(m, n);
         for i in 0..m {
@@ -99,6 +106,8 @@ mod tests {
         // Embed the tile in a larger C and check the frame stays put.
         let ldc = NR + 3;
         let mut c = Matrix::from_fn(MR + 1, ldc, |_, _| 9.0);
+        // SAFETY: `c` is (MR+1) × ldc row-major; the masked mr × nr tile
+        // at its top-left corner is in bounds.
         unsafe { microkernel(&ap, &bp, c.as_mut_slice().as_mut_ptr(), ldc, mr, nr) };
         for i in 0..mr {
             for j in 0..nr {

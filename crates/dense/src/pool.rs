@@ -76,6 +76,10 @@ impl ThreadPool {
             done: Condvar::new(),
         }));
         for i in 0..workers {
+            #[allow(
+                clippy::expect_used,
+                reason = "thread spawn failure at pool construction is unrecoverable"
+            )]
             thread::Builder::new()
                 .name(format!("cubemm-gemm-{i}"))
                 .spawn(move || worker_loop(inner))
@@ -140,6 +144,10 @@ impl ThreadPool {
         let res = catch_unwind(AssertUnwindSafe(|| run_slot(body, njobs, threads, 0)));
         let mut st = lock(&self.inner.state);
         {
+            #[allow(
+                clippy::expect_used,
+                reason = "pool invariant: the posting lock keeps the job alive until remaining hits 0"
+            )]
             let job = st.job.as_mut().expect("pool job vanished mid-run");
             if res.is_err() {
                 job.panicked = true;
@@ -149,6 +157,10 @@ impl ThreadPool {
         while st.job.as_ref().is_some_and(|j| j.remaining > 0) {
             st = self.inner.done.wait(st).unwrap_or_else(|e| e.into_inner());
         }
+        #[allow(
+            clippy::expect_used,
+            reason = "pool invariant: only this poster takes the job it posted"
+        )]
         let job = st.job.take().expect("pool job vanished before collection");
         drop(st);
         if job.panicked {
@@ -197,6 +209,10 @@ fn worker_loop(inner: &'static Inner) {
         }
         let res = catch_unwind(AssertUnwindSafe(|| run_slot(body, njobs, slots, slot)));
         let mut st = lock(&inner.state);
+        #[allow(
+            clippy::expect_used,
+            reason = "pool invariant: a claimed slot's job stays posted until every slot reports"
+        )]
         let job = st.job.as_mut().expect("pool job vanished under a worker");
         if res.is_err() {
             job.panicked = true;

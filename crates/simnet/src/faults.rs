@@ -380,7 +380,13 @@ impl FaultPlan {
                 let mut n = to;
                 while n != from {
                     path.push(n);
-                    n = prev[n].expect("BFS predecessor chain");
+                    #[allow(
+                        clippy::expect_used,
+                        reason = "BFS invariant: every dequeued node was given a predecessor"
+                    )]
+                    {
+                        n = prev[n].expect("BFS predecessor chain");
+                    }
                 }
                 path.reverse();
                 return Some(path);

@@ -464,6 +464,10 @@ where
     let mut nodes = Vec::with_capacity(p);
     let mut traces = Vec::with_capacity(p);
     for triple in results {
+        #[allow(
+            clippy::expect_used,
+            reason = "failed nodes returned RunError above; every surviving slot is Some"
+        )]
         let (out, stats, trace) = triple.expect("every node joined");
         outputs.push(out);
         nodes.push(stats);

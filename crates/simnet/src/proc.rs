@@ -125,6 +125,9 @@ pub struct Proc {
     pending: HashMap<(usize, u64), VecDeque<Envelope>>,
     stats: NodeStats,
     trace: Option<Vec<TraceEvent>>,
+    /// Program-step counter stamped on trace events: each public
+    /// communication call is one step, a `multi` batch shares one.
+    round: u64,
 }
 
 impl Proc {
@@ -158,13 +161,22 @@ impl Proc {
             pending: HashMap::new(),
             stats: NodeStats::default(),
             trace: options.traced.then(Vec::new),
+            round: 0,
         }
+    }
+
+    /// Starts the next program step (see [`TraceEvent::round`]): called
+    /// once per public communication call, so every event a single call
+    /// records — including fault-plan retries — shares one round.
+    fn begin_round(&mut self) {
+        self.round += 1;
     }
 
     fn record(&mut self, kind: TraceKind, tag: u64, words: usize, start: f64, end: f64) {
         if let Some(trace) = &mut self.trace {
             trace.push(TraceEvent {
                 node: self.id,
+                round: self.round,
                 kind,
                 tag,
                 words,
@@ -295,6 +307,7 @@ impl Proc {
     /// abort the run with a structured [`crate::RunError`] when driven
     /// through [`crate::try_run_machine_with`].
     pub fn send(&mut self, to: usize, tag: u64, data: impl Into<Payload>) {
+        self.begin_round();
         if let Err(e) = self.transmit(to, tag, data.into()) {
             self.fail_link(e);
         }
@@ -311,6 +324,7 @@ impl Proc {
         tag: u64,
         data: impl Into<Payload>,
     ) -> Result<bool, SendError> {
+        self.begin_round();
         self.transmit(to, tag, data.into())
     }
 
@@ -331,6 +345,7 @@ impl Proc {
             policy.max_attempts >= 1,
             "retry policy needs at least one attempt"
         );
+        self.begin_round();
         let data = data.into();
         let mut backoff = policy.backoff;
         for attempt in 1..=policy.max_attempts {
@@ -419,6 +434,7 @@ impl Proc {
     /// links (charging the extra hops); if the destination is cut off the
     /// run aborts with [`SendError::Unroutable`].
     pub fn send_routed(&mut self, to: usize, tag: u64, data: impl Into<Payload>) {
+        self.begin_round();
         if let Err(e) = self.transmit_routed(to, tag, data.into()) {
             self.fail_link(e);
         }
@@ -432,6 +448,7 @@ impl Proc {
         tag: u64,
         data: impl Into<Payload>,
     ) -> Result<bool, SendError> {
+        self.begin_round();
         self.transmit_routed(to, tag, data.into())
     }
 
@@ -466,6 +483,7 @@ impl Proc {
     /// to its arrival time if it has not yet arrived. Receives are
     /// passive: they do not occupy the port (crate docs).
     pub fn recv(&mut self, from: usize, tag: u64) -> Payload {
+        self.begin_round();
         let start = self.clock;
         let env = self.take_matching(from, tag);
         self.clock = match self.charge {
@@ -496,6 +514,7 @@ impl Proc {
     /// exactly as [`Proc::send`] does (detours occupy the first-hop
     /// link); under a strict plan they abort the run.
     pub fn multi(&mut self, ops: Vec<Op>) -> Vec<Option<Payload>> {
+        self.begin_round();
         let batch_start = self.clock;
         let mut link_busy: HashMap<usize, f64> = HashMap::new();
         let mut results: Vec<Option<Payload>> = Vec::with_capacity(ops.len());
@@ -632,6 +651,10 @@ impl Proc {
             },
             Op::Recv { from: partner, tag },
         ]);
+        #[allow(
+            clippy::expect_used,
+            reason = "engine contract: multi returns one Some per Op::Recv; a miss is an engine bug"
+        )]
         out.into_iter().flatten().next().expect("exchange recv")
     }
 

@@ -33,6 +33,12 @@ pub enum TraceKind {
 pub struct TraceEvent {
     /// The node the event belongs to.
     pub node: usize,
+    /// The program step this event belongs to at its node. Each
+    /// `send`/`send_routed`/`recv` call is one step; a whole
+    /// [`crate::Proc::multi`] batch shares one step, so events with equal
+    /// `round` were issued as logically concurrent. Static analysis
+    /// (`cubemm-analyze`) reconstructs per-node schedules from this.
+    pub round: u64,
     /// Send or receive.
     pub kind: TraceKind,
     /// Message tag.
