@@ -1,0 +1,79 @@
+//! Execution-engine microbenchmarks: host-time cost of the simulator
+//! itself (virtual times are pinned by the determinism tests; these
+//! track how fast the engine reproduces them).
+
+use cubemm_bench::criterion_group;
+use cubemm_bench::criterion_main;
+use cubemm_bench::microbench::{black_box, BenchmarkId, Criterion};
+use cubemm_collectives::allgather;
+use cubemm_simnet::{run_machine, CostParams, PortModel};
+use cubemm_topology::Subcube;
+
+const COST: CostParams = CostParams { ts: 10.0, tw: 2.0 };
+
+/// Machine spin-up/tear-down: `p` node threads, no communication.
+fn bench_spinup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simnet_spinup");
+    group.sample_size(10);
+    for p in [8usize, 64, 256] {
+        group.bench_with_input(BenchmarkId::new("spinup", p), &p, |b, &p| {
+            b.iter(|| {
+                let out = run_machine(p, PortModel::OnePort, COST, vec![(); p], |proc, ()| {
+                    proc.id()
+                });
+                black_box(out.stats.elapsed)
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Two nodes volleying a 4-word message: per-message engine latency.
+fn bench_pingpong(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simnet_pingpong");
+    group.sample_size(10);
+    for rounds in [64u64, 512] {
+        group.bench_with_input(BenchmarkId::new("rounds", rounds), &rounds, |b, &rounds| {
+            b.iter(|| {
+                let out = run_machine(2, PortModel::OnePort, COST, vec![(); 2], |proc, ()| {
+                    let msg = vec![proc.id() as f64; 4];
+                    for r in 0..rounds {
+                        if proc.id() == 0 {
+                            proc.send(1, r, msg.clone());
+                            let _ = proc.recv(1, r);
+                        } else {
+                            let got = proc.recv(0, r);
+                            proc.send(0, r, got);
+                        }
+                    }
+                });
+                black_box(out.stats.elapsed)
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Full-cube all-gather: the collective start-up pattern that dominates
+/// the paper's algorithms (many small messages, every node involved).
+fn bench_allgather(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simnet_allgather");
+    group.sample_size(10);
+    for p in [8usize, 64, 256] {
+        group.bench_with_input(BenchmarkId::new("allgather", p), &p, |b, &p| {
+            let dim = p.trailing_zeros();
+            b.iter(|| {
+                let out = run_machine(p, PortModel::OnePort, COST, vec![(); p], move |proc, ()| {
+                    let sc = Subcube::whole(dim);
+                    let mine: Vec<f64> = vec![proc.id() as f64; 64];
+                    allgather(proc, &sc, 0, mine.into()).len()
+                });
+                black_box(out.stats.elapsed)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(engine, bench_spinup, bench_pingpong, bench_allgather);
+criterion_main!(engine);

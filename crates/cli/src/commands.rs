@@ -26,10 +26,11 @@ USAGE:
                                  extra virtual time against a healthy
                                  baseline re-run
   cubemm sweep --n N [--p 4,16,64,512] [--port one|multi] [--ts T] [--tw W]
-               [--kernel ...]    compare all applicable algorithms
+               [--kernel ...] [--jobs N]
+                                 compare all applicable algorithms
   cubemm regions [--port one|multi] [--ts T] [--tw W]
                                  Figure 13/14-style best-algorithm map
-  cubemm analyze <algo|all> [--n N] [--p P] [--port one|multi|both]
+  cubemm analyze <algo|all> [--n N] [--p P] [--port one|multi|both] [--jobs N]
                                  static schedule analysis: prove the compiled
                                  schedule deadlock-free and port/link-legal,
                                  extract its exact (a, b) Table 2 coordinates
@@ -43,8 +44,12 @@ Defaults: n=64, p=64, port=one, ts=150, tw=3, charge=sender (the paper's
 parameters and accounting), kernel=packed (single-threaded; `packed:0`
 picks a thread count automatically).
 A run that cannot progress (e.g. --fault-drop on an algorithm without
-retries) is reported as a structured deadlock naming every blocked node;
-set CUBEMM_DEADLOCK_TIMEOUT_MS to shorten the default 60s watchdog.
+retries) is reported as a structured deadlock naming every blocked node,
+detected exactly and instantly by the engine's progress ledger (no
+watchdog; results are identical at any --jobs value).
+--jobs N runs independent sweep/analysis grid points on N worker threads
+under a global budget on simulated node threads; output is identical to
+--jobs 1 (the default).
 Algorithms: simple cannon hje berntsen dns diag2d 3dd 3d-all-trans 3d-all
             dns-cannon 3d-all-cannon 3d-all-flat cannon-torus fox
 ";
@@ -52,6 +57,16 @@ Algorithms: simple cannon hje berntsen dns diag2d 3dd 3d-all-trans 3d-all
 fn fail(msg: &str) -> i32 {
     eprintln!("error: {msg}");
     2
+}
+
+/// Parses `--jobs N` (default 1 — serial, byte-identical output at any
+/// value; see `cubemm_harness::run_grid`).
+fn jobs_from(args: &Args) -> Result<usize, String> {
+    let jobs: usize = args.get_or("jobs", 1)?;
+    if jobs == 0 {
+        return Err("--jobs must be at least 1".into());
+    }
+    Ok(jobs)
 }
 
 /// `cubemm list [n] [p]`.
@@ -289,9 +304,51 @@ pub fn sweep(argv: &[String]) -> i32 {
         },
     };
 
+    let jobs = match jobs_from(&args) {
+        Ok(v) => v,
+        Err(e) => return fail(&e),
+    };
+
     let a = Matrix::random(n, n, 1);
     let b = Matrix::random(n, n, 2);
     let reference = gemm::reference(&a, &b);
+
+    // Every (algorithm, p) cell is an independent simulated run; compute
+    // them through the parallel grid driver (results come back in task
+    // order, so the table below is identical at any --jobs value), then
+    // print.
+    enum Cell {
+        Inapplicable,
+        Elapsed(f64),
+        WrongProduct,
+        Failed(String),
+    }
+    let algos: Vec<Algorithm> = Algorithm::ALL
+        .into_iter()
+        .chain(Algorithm::EXTENSIONS)
+        .collect();
+    let tasks: Vec<(Algorithm, usize)> = algos
+        .iter()
+        .flat_map(|&algo| ps.iter().map(move |&p| (algo, p)))
+        .collect();
+    let cells = cubemm_harness::run_grid(
+        &tasks,
+        jobs,
+        |&(_, p)| p,
+        |&(algo, p)| match algo.check(n, p) {
+            Err(_) => Cell::Inapplicable,
+            Ok(()) => match algo.multiply(&a, &b, p, &cfg) {
+                Ok(res) => {
+                    if res.c.max_abs_diff(&reference) > 1e-9 * n as f64 {
+                        Cell::WrongProduct
+                    } else {
+                        Cell::Elapsed(res.stats.elapsed)
+                    }
+                }
+                Err(e) => Cell::Failed(e.to_string()),
+            },
+        },
+    );
 
     println!("sweep: n = {n}, {}, ts = {ts}, tw = {tw}", cfg.port);
     print!("{:<14}", "p =");
@@ -299,20 +356,20 @@ pub fn sweep(argv: &[String]) -> i32 {
         print!("{p:>10}");
     }
     println!();
-    for algo in Algorithm::ALL.into_iter().chain(Algorithm::EXTENSIONS) {
+    let mut cells = tasks.iter().zip(cells);
+    for algo in &algos {
         print!("{:<14}", algo.name());
-        for &p in &ps {
-            match algo.check(n, p) {
-                Ok(()) => match algo.multiply(&a, &b, p, &cfg) {
-                    Ok(res) => {
-                        if res.c.max_abs_diff(&reference) > 1e-9 * n as f64 {
-                            return fail(&format!("{algo} produced a wrong product at p={p}"));
-                        }
-                        print!("{:>10.0}", res.stats.elapsed);
-                    }
-                    Err(e) => return fail(&e.to_string()),
-                },
-                Err(_) => print!("{:>10}", "-"),
+        for _ in &ps {
+            let Some((&(algo, p), cell)) = cells.next() else {
+                return fail("internal error: sweep grid size mismatch");
+            };
+            match cell {
+                Cell::Inapplicable => print!("{:>10}", "-"),
+                Cell::Elapsed(t) => print!("{t:>10.0}"),
+                Cell::WrongProduct => {
+                    return fail(&format!("{algo} produced a wrong product at p={p}"))
+                }
+                Cell::Failed(e) => return fail(&e),
             }
         }
         println!();
@@ -377,36 +434,54 @@ pub fn analyze(argv: &[String]) -> i32 {
     if selector == "all" {
         // Registry sweep over the default grid: one summary line per
         // point, non-zero exit on any unsound or non-conformant result.
-        let mut violations = 0usize;
+        // Each point replays its schedule on an independent simulated
+        // machine, so the grid runs through the parallel driver; results
+        // come back in task order and the report below is identical at
+        // any --jobs value.
+        let jobs = match jobs_from(&args) {
+            Ok(v) => v,
+            Err(e) => return fail(&e),
+        };
+        let mut tasks = Vec::new();
         for algo in Algorithm::ALL.into_iter().chain(Algorithm::EXTENSIONS) {
             for &port in &ports {
                 for (n, p) in cubemm_analyze::applicable_grid(algo) {
-                    let r = match cubemm_analyze::analyze_algorithm(algo, n, p, port) {
-                        Ok(r) => r,
-                        Err(e) => return fail(&e),
-                    };
-                    let cost = r.analysis.cost;
-                    let status = if !r.analysis.is_sound() || !r.verdict.is_conformant() {
-                        violations += 1;
-                        "VIOLATION"
-                    } else if r.analysis.is_full_bandwidth() {
-                        "ok"
-                    } else {
-                        "ok (links serialize)"
-                    };
-                    println!(
-                        "{:<14} n={n:<3} p={p:<3} {:<10} a={:<6} b={:<9} {status}: {}",
-                        algo.name(),
-                        format!("{port}"),
-                        cost.map_or_else(|| "-".into(), |c| format!("{}", c.a)),
-                        cost.map_or_else(|| "-".into(), |c| format!("{}", c.b)),
-                        r.verdict
-                    );
-                    if !r.analysis.is_sound() {
-                        for d in &r.analysis.diagnostics {
-                            println!("    - {d}");
-                        }
-                    }
+                    tasks.push((algo, port, n, p));
+                }
+            }
+        }
+        let results = cubemm_harness::run_grid(
+            &tasks,
+            jobs,
+            |&(_, _, _, p)| p,
+            |&(algo, port, n, p)| cubemm_analyze::analyze_algorithm(algo, n, p, port),
+        );
+        let mut violations = 0usize;
+        for (&(algo, port, n, p), result) in tasks.iter().zip(results) {
+            let r = match result {
+                Ok(r) => r,
+                Err(e) => return fail(&e),
+            };
+            let cost = r.analysis.cost;
+            let status = if !r.analysis.is_sound() || !r.verdict.is_conformant() {
+                violations += 1;
+                "VIOLATION"
+            } else if r.analysis.is_full_bandwidth() {
+                "ok"
+            } else {
+                "ok (links serialize)"
+            };
+            println!(
+                "{:<14} n={n:<3} p={p:<3} {:<10} a={:<6} b={:<9} {status}: {}",
+                algo.name(),
+                format!("{port}"),
+                cost.map_or_else(|| "-".into(), |c| format!("{}", c.a)),
+                cost.map_or_else(|| "-".into(), |c| format!("{}", c.b)),
+                r.verdict
+            );
+            if !r.analysis.is_sound() {
+                for d in &r.analysis.diagnostics {
+                    println!("    - {d}");
                 }
             }
         }
@@ -542,6 +617,19 @@ mod tests {
     fn sweep_and_regions_run_clean() {
         assert_eq!(sweep(&argv("--n 16 --p 4,8,16")), 0);
         assert_eq!(regions(&argv("--port multi --ts 5 --tw 3")), 0);
+    }
+
+    #[test]
+    fn sweep_accepts_parallel_jobs() {
+        assert_eq!(sweep(&argv("--n 16 --p 4,8,16 --jobs 3")), 0);
+    }
+
+    #[test]
+    fn jobs_flag_is_validated() {
+        assert_ne!(sweep(&argv("--n 16 --p 4 --jobs 0")), 0);
+        assert_ne!(sweep(&argv("--n 16 --p 4 --jobs many")), 0);
+        assert_ne!(analyze(&argv("all --jobs 0")), 0);
+        assert_ne!(analyze(&argv("all --jobs many")), 0);
     }
 
     #[test]

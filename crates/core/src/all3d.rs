@@ -59,8 +59,8 @@ pub fn multiply(
             let (i, j, k) = grid.coords(label);
             let f = partition::f_index(q, i, j);
             (
-                partition::wide(a, q, k, f).into_payload(),
-                partition::wide(b, q, k, f).into_payload(),
+                partition::wide(a, q, k, f).into_payload().into(),
+                partition::wide(b, q, k, f).into_payload().into(),
             )
         })
         .collect();
@@ -77,7 +77,7 @@ pub fn multiply(
         let y_line = grid.y_line(i, k);
         let bm = to_matrix(side, wide_c, &pb);
         let parts: Vec<Payload> = (0..q)
-            .map(|l| bm.block(l * sub, 0, sub, wide_c).into_payload())
+            .map(|l| bm.block(l * sub, 0, sub, wide_c).into_payload().into())
             .collect();
         let received = alltoall_personalized(proc, &y_line, phase_tag(0), parts);
 
@@ -95,7 +95,13 @@ pub fn multiply(
         let x_line = grid.x_line(j, k);
         let z_line = grid.z_line(i, j);
         let mut ga = allgather_plan(port, &x_line, me, phase_tag(1), pa);
-        let mut gb = allgather_plan(port, &z_line, me, phase_tag(2), b_tall.into_payload());
+        let mut gb = allgather_plan(
+            port,
+            &z_line,
+            me,
+            phase_tag(2),
+            b_tall.into_payload().into(),
+        );
         execute_fused(proc, &mut [ga.run_mut(), gb.run_mut()]);
         let a_blocks = ga.finish(); // a_blocks[l] = A_{k, f(l,j)}
         let b_blocks = gb.finish(); // b_blocks[l] = B_{f(l,j), i}
@@ -112,7 +118,7 @@ pub fn multiply(
         // Phase 3: all-to-all reduction along y (column group l to rank
         // l) — this node ends with C_{k,f(i,j)}.
         let parts: Vec<Payload> = (0..q)
-            .map(|l| partition::col_group(&outer, q, l).into_payload())
+            .map(|l| partition::col_group(&outer, q, l).into_payload().into())
             .collect();
         reduce_scatter(proc, &y_line, phase_tag(3), parts)
     })?;

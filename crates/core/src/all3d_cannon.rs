@@ -112,8 +112,8 @@ pub fn multiply_with_mesh(
             let r0 = k * (n / g) + x * pr;
             let c0 = f * (n / (g * g)) + y * pc;
             (
-                a.block(r0, c0, pr, pc).into_payload(),
-                b.block(r0, c0, pr, pc).into_payload(),
+                a.block(r0, c0, pr, pc).into_payload().into(),
+                b.block(r0, c0, pr, pc).into_payload().into(),
             )
         })
         .collect();
@@ -140,7 +140,7 @@ pub fn multiply_with_mesh(
         for t in 0..g {
             let u = x * g + t;
             let dest = grid.node(u % qm, w / g, i, u / qm, k);
-            let tile = bm.block(t * pc, 0, pc, pc).into_payload();
+            let tile = bm.block(t * pc, 0, pc, pc).into_payload().into();
             if dest == proc.id() {
                 own_tile = Some(tile);
             } else {
@@ -172,7 +172,13 @@ pub fn multiply_with_mesh(
         let x_line = grid.super_x_line(me);
         let z_line = grid.super_z_line(me);
         let mut ga = allgather_plan(port, &x_line, me, phase_tag(5), pa);
-        let mut gb = allgather_plan(port, &z_line, me, phase_tag(6), b_tall.into_payload());
+        let mut gb = allgather_plan(
+            port,
+            &z_line,
+            me,
+            phase_tag(6),
+            b_tall.into_payload().into(),
+        );
         execute_fused(proc, &mut [ga.run_mut(), gb.run_mut()]);
         let a_pieces: Vec<Matrix> = ga
             .finish()
@@ -198,7 +204,7 @@ pub fn multiply_with_mesh(
         // Phase 3: all-to-all reduction along super-y — column group l of
         // the outer-product piece to super rank l.
         let parts: Vec<Payload> = (0..g)
-            .map(|l| partition::col_group(&outer, g, l).into_payload())
+            .map(|l| partition::col_group(&outer, g, l).into_payload().into())
             .collect();
         let y_line = grid.super_y_line(me);
         reduce_scatter(proc, &y_line, phase_tag(7), parts)

@@ -58,8 +58,8 @@ pub fn multiply(
             let (i, j, k) = grid.coords(label);
             let f = partition::f_index(g, i, j);
             (
-                a.block(k * w, f * w, w, w).into_payload(),
-                b.block(k * w, f * w, w, w).into_payload(),
+                a.block(k * w, f * w, w, w).into_payload().into(),
+                b.block(k * w, f * w, w, w).into_payload().into(),
             )
         })
         .collect();
@@ -79,7 +79,7 @@ pub fn multiply(
             // Ascending y rank concatenates the column groups f(i,0..g):
             // B[k-rows, i-th n/g column band], a w × g·w strip.
             let pieces: Vec<Matrix> = parts.iter().map(|p| to_matrix(w, w, p)).collect();
-            partition::concat_cols(&pieces).into_payload()
+            partition::concat_cols(&pieces).into_payload().into()
         });
 
         // Phase 2 (fused): all-gather A along x; all-gather the strips
@@ -102,7 +102,7 @@ pub fn multiply(
                 &z_low,
                 j,
                 phase_tag(3),
-                Some(stacked.to_payload()),
+                Some(stacked.to_payload().into()),
                 g * w * g * w,
             );
             finish(proc, &grid, ga, stacked, i, j, k, w, cfg.kernel)
@@ -161,7 +161,7 @@ fn finish(
     // Reduce-scatter along y: column group l to rank l.
     let y_line = grid.y_line(proc.id());
     let parts: Vec<Payload> = (0..g)
-        .map(|l| partition::col_group(&outer, g, l).into_payload())
+        .map(|l| partition::col_group(&outer, g, l).into_payload().into())
         .collect();
     reduce_scatter(proc, &y_line, crate::util::phase_tag(4), parts)
 }

@@ -51,8 +51,8 @@ pub fn multiply(
             let (i, j, k) = grid.coords(label);
             let f = partition::f_index(q, i, j);
             (
-                partition::wide(a, q, k, f).into_payload(),
-                partition::tall(b, q, f, k).into_payload(),
+                partition::wide(a, q, k, f).into_payload().into(),
+                partition::tall(b, q, f, k).into_payload().into(),
             )
         })
         .collect();
@@ -89,8 +89,8 @@ pub fn multiply_from_identical(
             let (i, j, k) = grid.coords(label);
             let f = partition::f_index(q, i, j);
             (
-                partition::wide(a, q, k, f).into_payload(),
-                partition::wide(b, q, k, f).into_payload(),
+                partition::wide(a, q, k, f).into_payload().into(),
+                partition::wide(b, q, k, f).into_payload().into(),
             )
         })
         .collect();
@@ -107,7 +107,7 @@ pub fn multiply_from_identical(
         let bm = to_matrix(n / q, n / (q * q), &pb);
         let mut own_piece: Option<Payload> = None;
         for l in 0..q {
-            let piece = bm.block(l * sub, 0, sub, sub).into_payload();
+            let piece = bm.block(l * sub, 0, sub, sub).into_payload().into();
             let dest = grid.node(k, l, i);
             if dest == proc.id() {
                 own_piece = Some(piece);
@@ -130,7 +130,7 @@ pub fn multiply_from_identical(
             .collect();
         let tall = partition::concat_cols(&pieces);
 
-        program(proc, &grid, pa, tall.into_payload(), &inner)
+        program(proc, &grid, pa, tall.into_payload().into(), &inner)
     })?;
     Ok(assemble(n, p, &grid, out))
 }
@@ -197,7 +197,7 @@ fn program(
         // column group l, so this node ends with C_{k,f(i,j)}.
         let y_line = grid.y_line(i, k);
         let parts: Vec<Payload> = (0..q)
-            .map(|l| partition::col_group(&outer, q, l).into_payload())
+            .map(|l| partition::col_group(&outer, q, l).into_payload().into())
             .collect();
         reduce_scatter(proc, &y_line, phase_tag(3), parts)
     }

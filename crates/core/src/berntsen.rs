@@ -53,7 +53,7 @@ pub fn multiply(
             let (i, j, m) = grid.coords(label);
             let ab = a.block(i * big, m * big + j * small, big, small);
             let bb = b.block(m * big + i * small, j * big, small, big);
-            (ab.into_payload(), bb.into_payload())
+            (ab.into_payload().into(), bb.into_payload().into())
         })
         .collect();
 
@@ -74,7 +74,7 @@ pub fn multiply(
         // row strip of the total.
         let fibre = grid.z_line(i, j);
         let parts: Vec<Payload> = (0..q)
-            .map(|l| partition::row_group(&outer, q, l).into_payload())
+            .map(|l| partition::row_group(&outer, q, l).into_payload().into())
             .collect();
         let strip = cubemm_collectives::reduce_scatter(proc, &fibre, phase_tag(4), parts);
         proc.track_peak_words(2 * big * small + big * big + small * big);

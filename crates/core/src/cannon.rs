@@ -63,7 +63,7 @@ pub(crate) fn cannon_phase(
             ops.push(Op::Send {
                 to: partner,
                 tag,
-                data: ma.to_payload(),
+                data: ma.to_payload().into(),
             });
             ops.push(Op::Recv { from: partner, tag });
             want.0 = true;
@@ -74,7 +74,7 @@ pub(crate) fn cannon_phase(
             ops.push(Op::Send {
                 to: partner,
                 tag,
-                data: mb.to_payload(),
+                data: mb.to_payload().into(),
             });
             ops.push(Op::Recv { from: partner, tag });
             want.1 = true;
@@ -106,12 +106,12 @@ pub(crate) fn cannon_phase(
             Op::Send {
                 to: a_partner,
                 tag: a_tag,
-                data: ma.to_payload(),
+                data: ma.to_payload().into(),
             },
             Op::Send {
                 to: b_partner,
                 tag: b_tag,
-                data: mb.to_payload(),
+                data: mb.to_payload().into(),
             },
             Op::Recv {
                 from: a_partner,
@@ -147,8 +147,8 @@ pub fn multiply(
         .map(|label| {
             let (i, j) = grid.coords(label);
             (
-                partition::square(a, q, i, j).into_payload(),
-                partition::square(b, q, i, j).into_payload(),
+                partition::square(a, q, i, j).into_payload().into(),
+                partition::square(b, q, i, j).into_payload().into(),
             )
         })
         .collect();
@@ -162,7 +162,7 @@ pub fn multiply(
         proc.track_peak_words(3 * bs * bs);
         let node_of = |x: usize, y: usize| grid.node(x, y);
         let c = cannon_phase(proc, &node_of, i, j, q, ma, mb, cfg.kernel);
-        c.into_payload()
+        Payload::from(c.into_payload())
     })?;
 
     let c = partition::assemble_square(n, q, |i, j| {

@@ -59,8 +59,8 @@ pub fn multiply(
         for i in 0..q {
             for j in 0..q {
                 by_label[ring_node(i, j)] = Some((
-                    partition::square(a, q, i, j).into_payload(),
-                    partition::square(b, q, i, j).into_payload(),
+                    partition::square(a, q, i, j).into_payload().into(),
+                    partition::square(b, q, i, j).into_payload().into(),
                 ));
             }
         }
@@ -97,7 +97,7 @@ pub fn multiply(
                 ops.push(Op::Send {
                     to: ring_node(i, j + q - 1), // left neighbor
                     tag,
-                    data: ma.to_payload(),
+                    data: ma.to_payload().into(),
                 });
                 ops.push(Op::Recv {
                     from: ring_node(i, j + 1),
@@ -109,7 +109,7 @@ pub fn multiply(
                 ops.push(Op::Send {
                     to: ring_node(i + q - 1, j), // up neighbor
                     tag,
-                    data: mb.to_payload(),
+                    data: mb.to_payload().into(),
                 });
                 ops.push(Op::Recv {
                     from: ring_node(i + 1, j),
@@ -140,12 +140,12 @@ pub fn multiply(
                 Op::Send {
                     to: ring_node(i, j + q - 1),
                     tag: a_tag,
-                    data: ma.to_payload(),
+                    data: ma.to_payload().into(),
                 },
                 Op::Send {
                     to: ring_node(i + q - 1, j),
                     tag: b_tag,
-                    data: mb.to_payload(),
+                    data: mb.to_payload().into(),
                 },
                 Op::Recv {
                     from: ring_node(i, j + 1),
@@ -160,7 +160,7 @@ pub fn multiply(
             ma = to_matrix(bs, bs, &delivered(received.next(), "shifted A"));
             mb = to_matrix(bs, bs, &delivered(received.next(), "shifted B"));
         }
-        c.into_payload()
+        Payload::from(c.into_payload())
     })?;
 
     let c = partition::assemble_square(n, q, |i, j| {

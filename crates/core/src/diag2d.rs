@@ -49,8 +49,8 @@ pub fn multiply(
             let (i, j) = grid.coords(label);
             (i == j).then(|| {
                 (
-                    partition::col_group(a, q, j).into_payload(),
-                    partition::row_group(b, q, j).into_payload(),
+                    partition::col_group(a, q, j).into_payload().into(),
+                    partition::row_group(b, q, j).into_payload().into(),
                 )
             })
         })
@@ -70,7 +70,7 @@ pub fn multiply(
                 proc.track_peak_words(2 * n * w);
                 let bm = to_matrix(w, n, &pb);
                 let parts: Vec<Payload> = (0..q)
-                    .map(|k| bm.block(0, k * w, w, w).into_payload())
+                    .map(|k| bm.block(0, k * w, w, w).into_payload().into())
                     .collect();
                 (Some(pa), Some(parts))
             }
@@ -91,7 +91,7 @@ pub fn multiply(
         // Phase 2: reduce along the row (y direction) to the diagonal
         // node p_{i,i}; the sum over j is column group i of C.
         let row = grid.row(i); // rank within the row = column coordinate j
-        reduce_sum(proc, &row, i, phase_tag(2), part.into_payload())
+        reduce_sum(proc, &row, i, phase_tag(2), part.into_payload().into())
     })?;
 
     let mut c = Matrix::zeros(n, n);

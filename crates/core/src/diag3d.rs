@@ -53,8 +53,8 @@ pub fn multiply(
             let (i, j, k) = grid.coords(label);
             (i == j).then(|| {
                 (
-                    partition::square(a, q, k, i).into_payload(),
-                    partition::square(b, q, k, i).into_payload(),
+                    partition::square(a, q, k, i).into_payload().into(),
+                    partition::square(b, q, k, i).into_payload().into(),
                 )
             })
         })
@@ -100,7 +100,7 @@ pub fn multiply(
         // Phase 3: reduce along y to the diagonal plane (root rank i):
         // Σ_j A_{k,j}·B_{j,i} = C_{k,i} at p_{i,i,k}.
         let y_line = grid.y_line(i, k);
-        reduce_sum(proc, &y_line, i, phase_tag(3), part.into_payload())
+        reduce_sum(proc, &y_line, i, phase_tag(3), part.into_payload().into())
     })?;
 
     let c = partition::assemble_square(n, q, |k, i| {

@@ -47,8 +47,8 @@ pub fn multiply(
             let (i, j, k) = grid.coords(label);
             (k == 0).then(|| {
                 (
-                    partition::square(a, q, i, j).into_payload(),
-                    partition::square(b, q, i, j).into_payload(),
+                    partition::square(a, q, i, j).into_payload().into(),
+                    partition::square(b, q, i, j).into_payload().into(),
                 )
             })
         })
@@ -102,7 +102,7 @@ pub fn multiply(
 
         // Phase 3: all-to-one reduction along z back to the base plane.
         let z_line = grid.z_line(i, j);
-        reduce_sum(proc, &z_line, 0, phase_tag(4), c.into_payload())
+        reduce_sum(proc, &z_line, 0, phase_tag(4), c.into_payload().into())
     })?;
 
     let c = partition::assemble_square(n, q, |i, j| {

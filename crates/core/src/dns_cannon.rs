@@ -97,8 +97,8 @@ pub fn multiply_with_mesh(
                 let r0 = i * (n / qs) + x * sub;
                 let c0 = j * (n / qs) + y * sub;
                 (
-                    a.block(r0, c0, sub, sub).into_payload(),
-                    b.block(r0, c0, sub, sub).into_payload(),
+                    a.block(r0, c0, sub, sub).into_payload().into(),
+                    b.block(r0, c0, sub, sub).into_payload().into(),
                 )
             })
         })
@@ -152,7 +152,7 @@ pub fn multiply_with_mesh(
 
         // Phase 4: reduce along super-z back to the base plane.
         let z_line = grid.super_z_line(me);
-        reduce_sum(proc, &z_line, 0, phase_tag(8), c.into_payload())
+        reduce_sum(proc, &z_line, 0, phase_tag(8), c.into_payload().into())
     })?;
 
     let mut c = Matrix::zeros(n, n);

@@ -50,8 +50,8 @@ pub fn multiply(
         for i in 0..q {
             for j in 0..q {
                 by_label[ring_node(i, j)] = Some((
-                    partition::square(a, q, i, j).into_payload(),
-                    partition::square(b, q, i, j).into_payload(),
+                    partition::square(a, q, i, j).into_payload().into(),
+                    partition::square(b, q, i, j).into_payload().into(),
                 ));
             }
         }
@@ -81,7 +81,7 @@ pub fn multiply(
             // Broadcast A_{i, (i+k) mod q} along the row.
             let owner = (i + k) % q;
             let root_rank = gray(owner);
-            let data = (owner == j).then(|| a_home.to_payload());
+            let data = (owner == j).then(|| a_home.to_payload().into());
             let ak = bcast(
                 proc,
                 &row,
@@ -101,7 +101,7 @@ pub fn multiply(
                 Op::Send {
                     to: ring_node(i + q - 1, j),
                     tag,
-                    data: mb.to_payload(),
+                    data: mb.to_payload().into(),
                 },
                 Op::Recv {
                     from: ring_node(i + 1, j),
@@ -111,7 +111,7 @@ pub fn multiply(
             let rolled = delivered(results.into_iter().flatten().next(), "rolled B");
             mb = to_matrix(bs, bs, &rolled);
         }
-        c.into_payload()
+        Payload::from(c.into_payload())
     })?;
 
     let c = partition::assemble_square(n, q, |i, j| {

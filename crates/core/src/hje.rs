@@ -70,8 +70,8 @@ pub fn multiply(
         .map(|label| {
             let (i, j) = grid.coords(label);
             (
-                partition::square(a, q, i, j).into_payload(),
-                partition::square(b, q, i, j).into_payload(),
+                partition::square(a, q, i, j).into_payload().into(),
+                partition::square(b, q, i, j).into_payload().into(),
             )
         })
         .collect();
@@ -95,7 +95,7 @@ pub fn multiply(
                 ops.push(Op::Send {
                     to: partner,
                     tag,
-                    data: ma.to_payload(),
+                    data: ma.to_payload().into(),
                 });
                 ops.push(Op::Recv { from: partner, tag });
                 want.0 = true;
@@ -106,7 +106,7 @@ pub fn multiply(
                 ops.push(Op::Send {
                     to: partner,
                     tag,
-                    data: mb.to_payload(),
+                    data: mb.to_payload().into(),
                 });
                 ops.push(Op::Recv { from: partner, tag });
                 want.1 = true;
@@ -125,7 +125,7 @@ pub fn multiply(
             // Single processor: one local multiply.
             let mut c = Matrix::zeros(bs, bs);
             gemm_acc(&mut c, &ma, &mb, cfg.kernel);
-            return c.into_payload();
+            return Payload::from(c.into_payload());
         }
 
         // Split A into d column groups and B into d row groups; group l
@@ -161,7 +161,7 @@ pub fn multiply(
                 ops.push(Op::Send {
                     to: a_partner,
                     tag: a_tag,
-                    data: ag.to_payload(),
+                    data: ag.to_payload().into(),
                 });
                 ops.push(Op::Recv {
                     from: a_partner,
@@ -170,7 +170,7 @@ pub fn multiply(
                 ops.push(Op::Send {
                     to: b_partner,
                     tag: b_tag,
-                    data: bg.to_payload(),
+                    data: bg.to_payload().into(),
                 });
                 ops.push(Op::Recv {
                     from: b_partner,
@@ -187,7 +187,7 @@ pub fn multiply(
                     to_matrix(hi - lo, bs, &delivered(received.next(), "shifted B group"));
             }
         }
-        c.into_payload()
+        Payload::from(c.into_payload())
     })?;
 
     let c = partition::assemble_square(n, q, |i, j| {

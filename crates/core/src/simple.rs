@@ -37,8 +37,8 @@ pub fn multiply(
         .map(|label| {
             let (i, j) = grid.coords(label);
             (
-                partition::square(a, q, i, j).into_payload(),
-                partition::square(b, q, i, j).into_payload(),
+                partition::square(a, q, i, j).into_payload().into(),
+                partition::square(b, q, i, j).into_payload().into(),
             )
         })
         .collect();
@@ -67,7 +67,7 @@ pub fn multiply(
             let bk = to_matrix(bs, bs, &b_col[k]);
             gemm_acc(&mut c, &ak, &bk, cfg.kernel);
         }
-        c.into_payload()
+        Payload::from(c.into_payload())
     })?;
 
     let c = partition::assemble_square(n, q, |i, j| {

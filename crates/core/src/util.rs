@@ -78,7 +78,6 @@ where
         links: cfg.links,
         traced: cfg.traced,
         faults: cfg.faults.clone(),
-        deadlock_timeout: None,
     };
     try_run_machine_with(p, options, inits, f).map_err(AlgoError::Sim)
 }

@@ -1,4 +1,214 @@
-//! Glue crate: hosts the workspace-level runnable examples
-//! (`examples/*.rs` at the repository root) and the cross-crate
-//! integration tests (`tests/*.rs` at the repository root). See those
-//! directories; this library itself is intentionally empty.
+//! Harness utilities shared by the workspace-level examples
+//! (`examples/*.rs` at the repository root), the cross-crate integration
+//! tests (`tests/*.rs`), and the CLI's experiment drivers.
+//!
+//! The main export is [`run_grid`]: a parallel driver for sweeps over
+//! independent simulated-machine runs. Each grid point spawns its own
+//! `p`-node machine, so the driver throttles admission with a global
+//! *node-thread budget* rather than a plain job count — four concurrent
+//! 512-node runs are a very different load from four 8-node runs.
+//!
+//! Determinism: each run's virtual-time results depend only on its own
+//! configuration (see the `cubemm-simnet` crate docs), and [`run_grid`]
+//! returns results indexed exactly like its input slice, so a grid's
+//! output is bitwise identical at any `jobs` value — property-tested by
+//! the workspace determinism suite.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, MutexGuard};
+
+/// Default cap on simulated node threads alive at once across a grid
+/// ([`run_grid`]). Big enough that any single run (the largest machine
+/// in the evaluation is 512 nodes) always fits; small enough that a
+/// parallel sweep cannot pile thousands of OS threads onto the host.
+pub const DEFAULT_NODE_BUDGET: usize = 1024;
+
+/// Locks ignoring poisoning: budget and result state stay consistent
+/// under every partial update, and a panicking grid task must not
+/// deadlock its siblings.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// A counting budget of simulated node threads, shared by every worker
+/// of a [`run_grid`] call.
+///
+/// `acquire(p)` blocks until `p` units are free and returns a permit
+/// that releases them on drop. Requests are clamped to the capacity, so
+/// a run bigger than the whole budget still executes (alone) instead of
+/// deadlocking.
+pub struct ThreadBudget {
+    capacity: usize,
+    available: Mutex<usize>,
+    freed: Condvar,
+}
+
+/// A held reservation against a [`ThreadBudget`]; units return on drop.
+pub struct BudgetPermit<'a> {
+    budget: &'a ThreadBudget,
+    held: usize,
+}
+
+impl ThreadBudget {
+    /// A budget of `capacity` node threads (at least 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        ThreadBudget {
+            capacity,
+            available: Mutex::new(capacity),
+            freed: Condvar::new(),
+        }
+    }
+
+    /// Blocks until `want` node threads are available and reserves them.
+    pub fn acquire(&self, want: usize) -> BudgetPermit<'_> {
+        let want = want.clamp(1, self.capacity);
+        let mut available = lock(&self.available);
+        while *available < want {
+            available = self
+                .freed
+                .wait(available)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+        *available -= want;
+        BudgetPermit {
+            budget: self,
+            held: want,
+        }
+    }
+}
+
+impl Drop for BudgetPermit<'_> {
+    fn drop(&mut self) {
+        *lock(&self.budget.available) += self.held;
+        self.budget.freed.notify_all();
+    }
+}
+
+/// Runs every task of a grid, `jobs` at a time, under a global
+/// node-thread budget of [`DEFAULT_NODE_BUDGET`].
+///
+/// * `weight(task)` is the number of simulated node threads the task
+///   will spawn (its machine size `p`); admission waits until the budget
+///   covers it.
+/// * `run(task)` executes one grid point. Tasks are claimed in input
+///   order; results are returned indexed exactly like `tasks`, so the
+///   output (and anything printed from it afterwards) is independent of
+///   `jobs` and of worker interleaving.
+///
+/// `jobs <= 1` (or a single task) degenerates to a plain serial loop on
+/// the calling thread — the serial path stays exercised, and callers can
+/// expose `--jobs 1` as the conservative default.
+///
+/// # Panics
+///
+/// A panicking task propagates out of `run_grid` after the remaining
+/// workers drain (as the scope's generic "a scoped thread panicked").
+pub fn run_grid<T, R, W, F>(tasks: &[T], jobs: usize, weight: W, run: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    W: Fn(&T) -> usize + Sync,
+    F: Fn(&T) -> R + Sync,
+{
+    let jobs = jobs.max(1).min(tasks.len().max(1));
+    if jobs == 1 {
+        return tasks.iter().map(run).collect();
+    }
+
+    let budget = ThreadBudget::new(DEFAULT_NODE_BUDGET);
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = tasks.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= tasks.len() {
+                    break;
+                }
+                let permit = budget.acquire(weight(&tasks[i]));
+                let result = run(&tasks[i]);
+                drop(permit);
+                *lock(&slots[i]) = Some(result);
+            });
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|slot| {
+            #[allow(
+                clippy::expect_used,
+                reason = "a task that failed would have panicked the scope above; \
+                          every surviving slot is filled"
+            )]
+            slot.into_inner()
+                .unwrap_or_else(|e| e.into_inner())
+                .expect("every grid slot filled")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_results_keep_input_order_at_any_job_count() {
+        let tasks: Vec<usize> = (0..37).collect();
+        let serial = run_grid(&tasks, 1, |_| 1, |&t| t * t);
+        for jobs in [2, 4, 8] {
+            let parallel = run_grid(&tasks, jobs, |_| 1, |&t| t * t);
+            assert_eq!(parallel, serial, "jobs = {jobs}");
+        }
+    }
+
+    #[test]
+    fn budget_clamps_oversized_requests_instead_of_deadlocking() {
+        let budget = ThreadBudget::new(4);
+        // Twice the capacity still acquires (clamped), alone.
+        let permit = budget.acquire(1000);
+        drop(permit);
+        let a = budget.acquire(3);
+        // A second oversized request waits for the first to drop…
+        drop(a);
+        let b = budget.acquire(4);
+        drop(b);
+    }
+
+    #[test]
+    fn budget_serializes_heavy_tasks_but_work_completes() {
+        // 8 tasks each weighing 3 against a budget of 4: at most one
+        // runs at a time, but all finish.
+        let done = AtomicUsize::new(0);
+        let tasks: Vec<usize> = (0..8).collect();
+        let out = run_grid(
+            &tasks,
+            4,
+            |_| 3,
+            |&t| {
+                done.fetch_add(1, Ordering::Relaxed);
+                t
+            },
+        );
+        assert_eq!(out, tasks);
+        assert_eq!(done.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "a scoped thread panicked")]
+    fn panicking_task_propagates() {
+        let tasks = [0usize, 1, 2];
+        let _ = run_grid(
+            &tasks,
+            2,
+            |_| 1,
+            |&t| {
+                if t == 1 {
+                    panic!("grid task panicked");
+                }
+                t
+            },
+        );
+    }
+}

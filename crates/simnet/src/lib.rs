@@ -65,11 +65,22 @@
 //! returns a structured [`RunError`] — distinguishing configuration
 //! problems, simulated deadlocks (naming *every* blocked node with the
 //! `(from, tag)` it awaited), node panics, and link faults — instead of
-//! panicking. A machine-wide abort channel wakes sibling nodes the
-//! moment any node fails, so a poisoned run tears down promptly rather
-//! than waiting out the receive watchdog.
+//! panicking.
+//!
+//! # Execution engine
+//!
+//! Node threads are scheduled by a central **progress ledger** (see
+//! `ledger.rs` and DESIGN.md §11): per-node mailboxes indexed by
+//! `(from, tag)`, a record of which nodes are parked in receives, and
+//! live/in-flight counts. A blocked receive is woken *exactly* when its
+//! message is injected; the moment every live node is parked the run is
+//! provably deadlocked and aborts instantly — there is no host-time
+//! watchdog, and host scheduling can never influence virtual clocks.
+//! When any node fails, the ledger broadcasts the abort over every
+//! node's condvar, so a poisoned run tears down promptly.
 
 pub mod faults;
+mod ledger;
 mod machine;
 mod proc;
 mod stats;
@@ -86,9 +97,162 @@ pub use trace::{TraceEvent, TraceKind};
 
 use std::sync::Arc;
 
-/// Message payload: an immutable word vector shared without copying when a
-/// node forwards the same block to several children.
-pub type Payload = Arc<[f64]>;
+/// Words a [`Payload`] stores inline, without touching the heap.
+pub const PAYLOAD_INLINE_WORDS: usize = 8;
+
+/// Message payload: an immutable word vector.
+///
+/// Two representations behind one read surface (`Deref<Target = [f64]>`):
+/// messages of at most [`PAYLOAD_INLINE_WORDS`] words — the control- and
+/// flit-sized traffic that dominates collective start-up rounds — are
+/// stored inline in the envelope and never allocate; anything larger
+/// rides a shared `Arc<[f64]>`, so a node forwarding the same block to
+/// several children copies nothing. Construct through the `From` /
+/// `FromIterator` impls (every send primitive takes `impl Into<Payload>`,
+/// so slices, vectors, arrays, and `Arc<[f64]>` all work unchanged).
+#[derive(Clone)]
+pub struct Payload(PayloadRepr);
+
+#[derive(Clone)]
+enum PayloadRepr {
+    /// At most [`PAYLOAD_INLINE_WORDS`] words, stored in the envelope.
+    Inline {
+        len: u8,
+        words: [f64; PAYLOAD_INLINE_WORDS],
+    },
+    /// A shared immutable allocation.
+    Shared(Arc<[f64]>),
+}
+
+impl Payload {
+    /// Builds the inline representation; `slice` must fit.
+    #[inline]
+    fn inline(slice: &[f64]) -> Self {
+        debug_assert!(slice.len() <= PAYLOAD_INLINE_WORDS);
+        let mut words = [0.0; PAYLOAD_INLINE_WORDS];
+        words[..slice.len()].copy_from_slice(slice);
+        Payload(PayloadRepr::Inline {
+            len: slice.len() as u8,
+            words,
+        })
+    }
+
+    /// Whether this payload is stored inline (no heap allocation).
+    #[inline]
+    pub fn is_inline(&self) -> bool {
+        matches!(self.0, PayloadRepr::Inline { .. })
+    }
+}
+
+impl std::ops::Deref for Payload {
+    type Target = [f64];
+
+    #[inline]
+    fn deref(&self) -> &[f64] {
+        match &self.0 {
+            PayloadRepr::Inline { len, words } => &words[..usize::from(*len)],
+            PayloadRepr::Shared(data) => data,
+        }
+    }
+}
+
+impl AsRef<[f64]> for Payload {
+    #[inline]
+    fn as_ref(&self) -> &[f64] {
+        self
+    }
+}
+
+impl Default for Payload {
+    fn default() -> Self {
+        Payload::inline(&[])
+    }
+}
+
+impl std::fmt::Debug for Payload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_list().entries(self.iter()).finish()
+    }
+}
+
+impl PartialEq for Payload {
+    fn eq(&self, other: &Self) -> bool {
+        self[..] == other[..]
+    }
+}
+
+impl From<&[f64]> for Payload {
+    fn from(slice: &[f64]) -> Self {
+        if slice.len() <= PAYLOAD_INLINE_WORDS {
+            Payload::inline(slice)
+        } else {
+            Payload(PayloadRepr::Shared(Arc::from(slice)))
+        }
+    }
+}
+
+impl From<Vec<f64>> for Payload {
+    fn from(vec: Vec<f64>) -> Self {
+        if vec.len() <= PAYLOAD_INLINE_WORDS {
+            Payload::inline(&vec)
+        } else {
+            Payload(PayloadRepr::Shared(Arc::from(vec)))
+        }
+    }
+}
+
+impl From<Box<[f64]>> for Payload {
+    fn from(boxed: Box<[f64]>) -> Self {
+        if boxed.len() <= PAYLOAD_INLINE_WORDS {
+            Payload::inline(&boxed)
+        } else {
+            Payload(PayloadRepr::Shared(Arc::from(boxed)))
+        }
+    }
+}
+
+impl From<Arc<[f64]>> for Payload {
+    fn from(shared: Arc<[f64]>) -> Self {
+        // Copying ≤ 8 words out of the Arc keeps the envelope
+        // allocation-free; the sharing it forgoes is cheaper than the
+        // refcount traffic it avoids.
+        if shared.len() <= PAYLOAD_INLINE_WORDS {
+            Payload::inline(&shared)
+        } else {
+            Payload(PayloadRepr::Shared(shared))
+        }
+    }
+}
+
+impl<const N: usize> From<[f64; N]> for Payload {
+    fn from(array: [f64; N]) -> Self {
+        Payload::from(&array[..])
+    }
+}
+
+impl FromIterator<f64> for Payload {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut it = iter.into_iter();
+        let mut words = [0.0; PAYLOAD_INLINE_WORDS];
+        let mut len = 0usize;
+        for w in it.by_ref() {
+            if len == PAYLOAD_INLINE_WORDS {
+                // Spill: finish collecting on the heap.
+                let mut vec = Vec::with_capacity(PAYLOAD_INLINE_WORDS * 2);
+                vec.extend_from_slice(&words);
+                vec.push(w);
+                vec.extend(it);
+                return Payload(PayloadRepr::Shared(Arc::from(vec)));
+            }
+            words[len] = w;
+            len += 1;
+        }
+        Payload(PayloadRepr::Inline {
+            len: len as u8,
+            words,
+        })
+    }
+}
 
 /// Message start-up and per-word transfer costs (`t_s`, `t_w` in the
 /// paper).

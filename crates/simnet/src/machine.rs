@@ -1,15 +1,12 @@
 //! Spawning and joining a simulated machine run.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{channel, Sender};
-use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::sync::Arc;
 
 use cubemm_topology::log2_exact;
 
 use crate::faults::{FaultPlan, SendError};
-use crate::proc::{resolve_deadlock_timeout, Envelope};
+use crate::ledger::Ledger;
 use crate::stats::{NodeStats, RunStats};
 use crate::{ChargePolicy, CostParams, LinkTopology, PortModel, Proc};
 
@@ -30,9 +27,6 @@ pub struct MachineOptions {
     /// Deterministic fault injection (empty — a healthy machine — by
     /// default; an empty plan changes no clock arithmetic).
     pub faults: FaultPlan,
-    /// Host-time watchdog for blocking receives; `None` defers to the
-    /// `CUBEMM_DEADLOCK_TIMEOUT_MS` environment variable, then 60 s.
-    pub deadlock_timeout: Option<Duration>,
 }
 
 impl MachineOptions {
@@ -46,7 +40,6 @@ impl MachineOptions {
             links: LinkTopology::Hypercube,
             traced: false,
             faults: FaultPlan::new(),
-            deadlock_timeout: None,
         }
     }
 }
@@ -80,12 +73,13 @@ pub enum RunError {
     /// The machine could not be constructed (bad size, bad init count,
     /// fault plan referencing nodes outside the machine).
     Config(String),
-    /// No node made progress within the watchdog interval. `blocked`
-    /// names every node still parked in a receive with the `(from, tag)`
-    /// it was waiting for, sorted by node label.
+    /// Every live node was blocked in a receive no remaining sender can
+    /// satisfy — detected *exactly* by the progress ledger the instant
+    /// the last live node parks (or finishes), with no host-time
+    /// watchdog involved. `blocked` names every node still parked in a
+    /// receive with the `(from, tag)` it was waiting for, sorted by node
+    /// label.
     Deadlock {
-        /// The host-time watchdog interval that expired.
-        timeout: Duration,
         /// Every blocked receive at the time of death.
         blocked: Vec<Blocked>,
     },
@@ -110,8 +104,8 @@ impl std::fmt::Display for RunError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             RunError::Config(msg) => write!(f, "{msg}"),
-            RunError::Deadlock { timeout, blocked } => {
-                write!(f, "simulated deadlock: no progress for {timeout:?};")?;
+            RunError::Deadlock { blocked } => {
+                write!(f, "simulated deadlock: every live node is blocked;")?;
                 for (i, b) in blocked.iter().enumerate() {
                     let sep = if i == 0 { " " } else { "; " };
                     write!(
@@ -143,11 +137,8 @@ pub(crate) struct Aborted;
 /// Why the run is aborting — the first failure wins the slot; later ones
 /// (cascading victims of the abort) are ignored.
 pub(crate) enum Failure {
-    /// A node's receive watchdog expired.
-    Deadlock {
-        /// The interval that expired.
-        timeout: Duration,
-    },
+    /// The progress ledger proved no node can ever run again.
+    Deadlock,
     /// The SPMD program panicked.
     Panicked {
         /// The panicking node.
@@ -164,63 +155,6 @@ pub(crate) enum Failure {
     },
 }
 
-/// Run-wide abort channel. When any node fails, `trigger` records the
-/// failure (first wins), flips the abort flag, and pokes every node's
-/// message queue with a wake-up sentinel so parked receivers notice
-/// *immediately* — sibling nodes must not wait out the watchdog interval
-/// just because a peer died.
-pub(crate) struct Shared {
-    abort: AtomicBool,
-    failure: Mutex<Option<Failure>>,
-    blocked: Mutex<Vec<Blocked>>,
-    wakers: Arc<Vec<Sender<Envelope>>>,
-}
-
-/// Locks ignoring poisoning: the protected state stays consistent under
-/// every partial update we perform, and panicking nodes are the normal
-/// case here.
-fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(|e| e.into_inner())
-}
-
-impl Shared {
-    fn new(wakers: Arc<Vec<Sender<Envelope>>>) -> Self {
-        Shared {
-            abort: AtomicBool::new(false),
-            failure: Mutex::new(None),
-            blocked: Mutex::new(Vec::new()),
-            wakers,
-        }
-    }
-
-    /// Whether the run is aborting.
-    pub(crate) fn aborting(&self) -> bool {
-        self.abort.load(Ordering::Acquire)
-    }
-
-    /// Records a failure (keeping the first) and wakes every node.
-    pub(crate) fn trigger(&self, failure: Failure) {
-        {
-            let mut slot = lock(&self.failure);
-            if slot.is_none() {
-                *slot = Some(failure);
-            }
-        }
-        if !self.abort.swap(true, Ordering::AcqRel) {
-            for tx in self.wakers.iter() {
-                // A node that already exited has dropped its receiver;
-                // nothing to wake there.
-                let _ = tx.send(Envelope::wake());
-            }
-        }
-    }
-
-    /// Adds a parked receive to the post-mortem report.
-    pub(crate) fn note_blocked(&self, blocked: Blocked) {
-        lock(&self.blocked).push(blocked);
-    }
-}
-
 /// Stringifies a panic payload for [`RunError::NodePanicked`].
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&'static str>() {
@@ -232,6 +166,21 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
+/// Warns once per process if the retired watchdog knob is still set: the
+/// progress ledger detects deadlocks exactly, so the variable is
+/// accepted for compatibility but has no effect.
+fn warn_deprecated_watchdog_env() {
+    static WARN_ONCE: std::sync::Once = std::sync::Once::new();
+    if std::env::var_os("CUBEMM_DEADLOCK_TIMEOUT_MS").is_some() {
+        WARN_ONCE.call_once(|| {
+            eprintln!(
+                "warning: CUBEMM_DEADLOCK_TIMEOUT_MS is deprecated and ignored: \
+                 deadlocks are now detected exactly by the progress ledger"
+            );
+        });
+    }
+}
+
 /// Runs `program` as an SPMD job on a simulated `p`-node hypercube.
 ///
 /// `inits[i]` is handed to node `i` as its initial local data — the
@@ -239,9 +188,10 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 /// placing the blocks is free, exactly as in the paper's accounting. The
 /// per-node return values are collected in label order.
 ///
-/// Every node runs on its own OS thread; a node blocking more than the
-/// deadlock timeout on a receive aborts the run with a panic identifying
-/// the blocked node.
+/// Every node runs on its own OS thread; blocking receives park on the
+/// progress ledger and are woken exactly when their message is injected.
+/// A cyclic wait aborts the run immediately (see [`RunError::Deadlock`])
+/// with a panic identifying every blocked node.
 ///
 /// # Example
 ///
@@ -312,9 +262,9 @@ where
 ///
 /// This is the legacy panicking wrapper around [`try_run_machine_with`]:
 /// any [`RunError`] becomes a panic carrying its `Display` rendering.
-/// Thanks to the shared abort channel, a failed run still tears down
-/// promptly — sibling nodes are woken instead of waiting out their
-/// watchdog interval.
+/// Thanks to the ledger's abort broadcast, a failed run still tears down
+/// promptly — every parked sibling is woken the instant the failure is
+/// recorded.
 pub fn run_machine_with<I, O, F>(
     p: usize,
     options: MachineOptions,
@@ -335,8 +285,8 @@ where
 /// Runs `program`, reporting failure as a structured [`RunError`] instead
 /// of panicking: configuration problems, simulated deadlocks (naming
 /// every blocked node and the `(from, tag)` it awaited), node panics, and
-/// typed link faults are all values. When any node fails, a machine-wide
-/// abort flag plus a wake-up sentinel per message queue unblock the
+/// typed link faults are all values. When any node fails, the progress
+/// ledger broadcasts the abort over each node's condvar, unblocking the
 /// remaining nodes immediately.
 ///
 /// # Example
@@ -383,18 +333,10 @@ where
         )));
     }
     options.faults.validate(p).map_err(RunError::Config)?;
+    warn_deprecated_watchdog_env();
 
-    let mut senders = Vec::with_capacity(p);
-    let mut receivers = Vec::with_capacity(p);
-    for _ in 0..p {
-        let (tx, rx) = channel::<Envelope>();
-        senders.push(tx);
-        receivers.push(rx);
-    }
-    let senders = Arc::new(senders);
-    let shared = Arc::new(Shared::new(Arc::clone(&senders)));
+    let ledger = Arc::new(Ledger::new(p));
     let faults = (!options.faults.is_empty()).then(|| Arc::new(options.faults.clone()));
-    let timeout = resolve_deadlock_timeout(options.deadlock_timeout);
     let program = &program;
     let options = &options;
 
@@ -404,41 +346,35 @@ where
 
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(p);
-        for (id, (init, rx)) in inits.into_iter().zip(receivers).enumerate() {
-            let senders = Arc::clone(&senders);
-            let shared = Arc::clone(&shared);
+        for (id, init) in inits.into_iter().enumerate() {
+            let ledger = Arc::clone(&ledger);
             let faults = faults.clone();
             handles.push(scope.spawn(move || {
                 let body = AssertUnwindSafe(|| {
-                    let mut proc = Proc::new(
-                        id,
-                        dim,
-                        options,
-                        faults,
-                        timeout,
-                        senders,
-                        rx,
-                        shared.clone(),
-                    );
+                    let mut proc = Proc::new(id, dim, options, faults, Arc::clone(&ledger));
                     let out = program(&mut proc, init);
                     let (stats, trace) = proc.into_parts();
                     (out, stats, trace)
                 });
-                match catch_unwind(body) {
+                let result = match catch_unwind(body) {
                     Ok(triple) => Some(triple),
                     Err(payload) => {
                         // Quiet unwinds already registered their failure
                         // (or are cascading victims); anything else is a
-                        // genuine program panic.
+                        // genuine program panic. Trigger BEFORE finish so
+                        // the genuine failure wins the first-failure slot
+                        // even if finishing would also declare deadlock.
                         if !payload.is::<Aborted>() {
-                            shared.trigger(Failure::Panicked {
+                            ledger.trigger(Failure::Panicked {
                                 node: id,
                                 message: panic_message(payload.as_ref()),
                             });
                         }
                         None
                     }
-                }
+                };
+                ledger.finish(id);
+                result
             }));
         }
         for (id, handle) in handles.into_iter().enumerate() {
@@ -450,11 +386,10 @@ where
         }
     });
 
-    if let Some(failure) = lock(&shared.failure).take() {
-        let mut blocked = std::mem::take(&mut *lock(&shared.blocked));
-        blocked.sort_by_key(|b| b.node);
+    let (failure, blocked) = ledger.take_outcome();
+    if let Some(failure) = failure {
         return Err(match failure {
-            Failure::Deadlock { timeout } => RunError::Deadlock { timeout, blocked },
+            Failure::Deadlock => RunError::Deadlock { blocked },
             Failure::Panicked { node, message } => RunError::NodePanicked { node, message },
             Failure::Link { node, error } => RunError::LinkDead { node, error },
         });
@@ -484,10 +419,9 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::Op;
-    use std::sync::Arc;
+    use crate::{Op, Payload};
 
-    fn words(n: usize) -> Arc<[f64]> {
+    fn words(n: usize) -> Payload {
         (0..n).map(|x| x as f64).collect()
     }
 
@@ -716,5 +650,74 @@ mod tests {
             }
             other => panic!("expected NodePanicked, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn two_node_cyclic_wait_is_detected_exactly_and_instantly() {
+        // Both nodes immediately receive from each other: a textbook
+        // cyclic wait. The ledger must prove the deadlock the moment the
+        // second node parks — no watchdog, well under a second.
+        let wall = std::time::Instant::now();
+        let options = MachineOptions::paper(PortModel::OnePort, COST);
+        let err = try_run_machine_with(2, options, vec![(), ()], |proc, ()| {
+            let other = proc.id() ^ 1;
+            let _ = proc.recv(other, 77);
+        })
+        .unwrap_err();
+        assert!(
+            wall.elapsed() < std::time::Duration::from_secs(1),
+            "exact deadlock detection took {:?}",
+            wall.elapsed()
+        );
+        match err {
+            RunError::Deadlock { blocked } => {
+                assert_eq!(
+                    blocked,
+                    vec![
+                        Blocked {
+                            node: 0,
+                            from: 1,
+                            tag: 77
+                        },
+                        Blocked {
+                            node: 1,
+                            from: 0,
+                            tag: 77
+                        },
+                    ]
+                );
+            }
+            other => panic!("expected Deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn finished_sender_leaves_receiver_deadlocked_not_hung() {
+        // Node 0 exits without sending; node 1 waits forever. The last
+        // live node is parked, so the ledger declares deadlock from the
+        // finish path (not only the park path).
+        let wall = std::time::Instant::now();
+        let options = MachineOptions::paper(PortModel::OnePort, COST);
+        let err = try_run_machine_with(2, options, vec![(), ()], |proc, ()| {
+            if proc.id() == 1 {
+                let _ = proc.recv(0, 5);
+            }
+        })
+        .unwrap_err();
+        assert!(
+            wall.elapsed() < std::time::Duration::from_secs(1),
+            "exact deadlock detection took {:?}",
+            wall.elapsed()
+        );
+        assert_eq!(
+            err,
+            RunError::Deadlock {
+                blocked: vec![Blocked {
+                    node: 1,
+                    from: 0,
+                    tag: 5
+                }]
+            }
+        );
     }
 }

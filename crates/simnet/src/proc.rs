@@ -1,58 +1,16 @@
 //! The per-processor handle: virtual clock, message primitives, counters.
 
 use std::collections::HashMap;
-use std::collections::VecDeque;
-use std::sync::mpsc::{Receiver, Sender};
 use std::sync::Arc;
-use std::time::Duration;
 
 use cubemm_topology::bits::hamming;
 
 use crate::faults::{FaultPlan, LinkQuality, RetryPolicy, SendError};
-use crate::machine::{Blocked, Failure, MachineOptions, Shared};
+use crate::ledger::{Delivery, Ledger};
+use crate::machine::{Failure, MachineOptions};
 use crate::stats::NodeStats;
 use crate::trace::{TraceEvent, TraceKind};
 use crate::{ChargePolicy, CostParams, LinkTopology, Payload, PortModel};
-
-/// `Envelope::from` value of the abort-wakeup sentinel broadcast by
-/// [`Shared::trigger`]: no real node carries this label.
-pub(crate) const WAKE_SENTINEL: usize = usize::MAX;
-
-/// Resolves the watchdog interval: an explicit per-run setting wins,
-/// then `CUBEMM_DEADLOCK_TIMEOUT_MS`, then 60 seconds. A value from the
-/// environment must be a positive integer number of milliseconds;
-/// anything else (including `0`, which would declare every blocking
-/// receive a deadlock) is rejected with a single warning on stderr.
-pub(crate) fn resolve_deadlock_timeout(explicit: Option<Duration>) -> Duration {
-    explicit
-        .or_else(env_deadlock_timeout)
-        .unwrap_or(Duration::from_secs(60))
-}
-
-fn env_deadlock_timeout() -> Option<Duration> {
-    static WARN_ONCE: std::sync::Once = std::sync::Once::new();
-    let raw = std::env::var("CUBEMM_DEADLOCK_TIMEOUT_MS").ok()?;
-    let parsed = parse_deadlock_ms(&raw);
-    if parsed.is_none() {
-        WARN_ONCE.call_once(|| {
-            eprintln!(
-                "warning: ignoring CUBEMM_DEADLOCK_TIMEOUT_MS={raw:?}: \
-                 expected a positive integer (milliseconds)"
-            );
-        });
-    }
-    parsed
-}
-
-/// Parses a `CUBEMM_DEADLOCK_TIMEOUT_MS` value: a positive integer
-/// number of milliseconds. `0` is rejected — it would declare every
-/// blocking receive a deadlock.
-pub(crate) fn parse_deadlock_ms(raw: &str) -> Option<Duration> {
-    match raw.parse::<u64>() {
-        Ok(ms) if ms > 0 => Some(Duration::from_millis(ms)),
-        _ => None,
-    }
-}
 
 /// A message in flight.
 #[derive(Debug, Clone)]
@@ -62,20 +20,6 @@ pub(crate) struct Envelope {
     /// Virtual time at which the message is available at the receiver.
     pub arrive: f64,
     pub data: Payload,
-}
-
-impl Envelope {
-    /// The zero-byte sentinel [`Shared::trigger`] broadcasts so parked
-    /// receivers notice the abort immediately instead of waiting out
-    /// their watchdog interval.
-    pub(crate) fn wake() -> Self {
-        Envelope {
-            from: WAKE_SENTINEL,
-            tag: 0,
-            arrive: 0.0,
-            data: Vec::new().into(),
-        }
-    }
 }
 
 /// One element of a [`Proc::multi`] batch.
@@ -116,13 +60,11 @@ pub struct Proc {
     /// `None` when the plan is empty: the healthy fast path performs the
     /// exact arithmetic of the fault-free simulator.
     faults: Option<Arc<FaultPlan>>,
-    timeout: Duration,
-    senders: Arc<Vec<Sender<Envelope>>>,
-    rx: Receiver<Envelope>,
-    shared: Arc<Shared>,
+    /// The machine's progress ledger: mailboxes, parked receives,
+    /// liveness, and the abort/failure channel.
+    ledger: Arc<Ledger>,
     /// Per-destination injection counters driving the drop schedules.
     seq: HashMap<usize, u64>,
-    pending: HashMap<(usize, u64), VecDeque<Envelope>>,
     stats: NodeStats,
     trace: Option<Vec<TraceEvent>>,
     /// Program-step counter stamped on trace events: each public
@@ -131,16 +73,12 @@ pub struct Proc {
 }
 
 impl Proc {
-    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         id: usize,
         dim: u32,
         options: &MachineOptions,
         faults: Option<Arc<FaultPlan>>,
-        timeout: Duration,
-        senders: Arc<Vec<Sender<Envelope>>>,
-        rx: Receiver<Envelope>,
-        shared: Arc<Shared>,
+        ledger: Arc<Ledger>,
     ) -> Self {
         let slow = faults.as_ref().map_or(1.0, |plan| plan.slowdown(id));
         Proc {
@@ -153,12 +91,8 @@ impl Proc {
             clock: 0.0,
             slow,
             faults,
-            timeout,
-            senders,
-            rx,
-            shared,
+            ledger,
             seq: HashMap::new(),
-            pending: HashMap::new(),
             stats: NodeStats::default(),
             trace: options.traced.then(Vec::new),
             round: 0,
@@ -669,7 +603,7 @@ impl Proc {
     /// node quietly (no panic hook, no message: the failure is reported
     /// by [`crate::try_run_machine_with`]).
     fn fail_link(&self, error: SendError) -> ! {
-        self.shared.trigger(Failure::Link {
+        self.ledger.trigger(Failure::Link {
             node: self.id,
             error,
         });
@@ -703,89 +637,24 @@ impl Proc {
             arrive,
             data,
         };
-        match self.senders[to].send(env) {
-            Ok(()) => true,
-            // The receiver is gone: either the machine is aborting (fall
-            // in line quietly) or the SPMD program is malformed.
-            Err(_) if self.shared.aborting() => self.quiet_abort(),
-            Err(_) => panic!("simnet channel closed prematurely"),
+        match self.ledger.inject(to, env) {
+            Delivery::Delivered => true,
+            // The destination finished: either the machine is aborting
+            // (fall in line quietly) or the SPMD program is malformed.
+            Delivery::Aborting => self.quiet_abort(),
+            Delivery::DestFinished => {
+                panic!("send: node {} already finished its program", to)
+            }
         }
     }
 
     fn take_matching(&mut self, from: usize, tag: u64) -> Envelope {
-        if let Some(queue) = self.pending.get_mut(&(from, tag)) {
-            if let Some(env) = queue.pop_front() {
-                return env;
-            }
-        }
-        loop {
-            if self.shared.aborting() {
-                // Another node failed: record what this node was waiting
-                // for (diagnosing deadlocks needs the full picture) and
-                // unwind instead of blocking out the watchdog.
-                self.shared.note_blocked(Blocked {
-                    node: self.id,
-                    from,
-                    tag,
-                });
-                self.quiet_abort();
-            }
-            match self.rx.recv_timeout(self.timeout) {
-                Ok(env) => {
-                    if env.from == WAKE_SENTINEL {
-                        continue; // abort sentinel: re-check at loop top
-                    }
-                    if env.from == from && env.tag == tag {
-                        return env;
-                    }
-                    self.pending
-                        .entry((env.from, env.tag))
-                        .or_default()
-                        .push_back(env);
-                }
-                Err(_) => {
-                    // Watchdog fired: this node is deadlocked. First
-                    // reporter wins the failure slot; everyone else still
-                    // contributes their blocked receive to the report.
-                    self.shared.note_blocked(Blocked {
-                        node: self.id,
-                        from,
-                        tag,
-                    });
-                    self.shared.trigger(Failure::Deadlock {
-                        timeout: self.timeout,
-                    });
-                    self.quiet_abort();
-                }
-            }
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn deadlock_timeout_parsing_accepts_positive_millis_only() {
-        assert_eq!(parse_deadlock_ms("250"), Some(Duration::from_millis(250)));
-        assert_eq!(parse_deadlock_ms("1"), Some(Duration::from_millis(1)));
-        // Zero would declare every blocking receive a deadlock.
-        assert_eq!(parse_deadlock_ms("0"), None);
-        assert_eq!(parse_deadlock_ms(""), None);
-        assert_eq!(parse_deadlock_ms("fast"), None);
-        assert_eq!(parse_deadlock_ms("-5"), None);
-        assert_eq!(parse_deadlock_ms("1.5"), None);
-    }
-
-    #[test]
-    fn deadlock_timeout_resolution_order() {
-        // An explicit per-run setting always wins; the 60 s default
-        // backs everything up.
-        let explicit = Duration::from_millis(7);
-        assert_eq!(resolve_deadlock_timeout(Some(explicit)), explicit);
-        if std::env::var("CUBEMM_DEADLOCK_TIMEOUT_MS").is_err() {
-            assert_eq!(resolve_deadlock_timeout(None), Duration::from_secs(60));
+        match self.ledger.receive(self.id, from, tag) {
+            Ok(env) => env,
+            // The run aborted while this node was parked; the ledger has
+            // already recorded the blocked receive for the post-mortem
+            // report, so unwind quietly.
+            Err(()) => self.quiet_abort(),
         }
     }
 }

@@ -65,8 +65,10 @@ fn zero_cost_machine_still_computes_correctly() {
 #[should_panic(expected = "simulated deadlock")]
 fn mismatched_program_deadlocks_with_diagnostic() {
     // A receive with no matching send must abort with the simulator's
-    // deadlock diagnostic rather than hanging forever. Shrink the
-    // watchdog so the failure path is fast.
+    // deadlock diagnostic rather than hanging forever. The progress
+    // ledger detects this exactly; the legacy watchdog variable is kept
+    // set here deliberately so the deprecation path (accept + warn once,
+    // change nothing) stays exercised.
     std::env::set_var("CUBEMM_DEADLOCK_TIMEOUT_MS", "2000");
     let _ = run_machine(
         2,
