@@ -15,20 +15,36 @@ impl Args {
     /// Parses `argv`; every token starting with `--` consumes the next
     /// token as its value.
     pub fn parse(argv: &[String]) -> Result<Args, String> {
+        Args::parse_with_bools(argv, &[])
+    }
+
+    /// [`Args::parse`], except the keys listed in `bools` are boolean
+    /// switches: their presence records `"true"` without consuming the
+    /// next token.
+    pub fn parse_with_bools(argv: &[String], bools: &[&str]) -> Result<Args, String> {
         let mut flags: HashMap<String, Vec<String>> = HashMap::new();
         let mut positional = Vec::new();
         let mut it = argv.iter();
         while let Some(tok) = it.next() {
             if let Some(key) = tok.strip_prefix("--") {
-                let val = it
-                    .next()
-                    .ok_or_else(|| format!("flag --{key} needs a value"))?;
-                flags.entry(key.to_string()).or_default().push(val.clone());
+                let val = if bools.contains(&key) {
+                    "true".to_string()
+                } else {
+                    it.next()
+                        .ok_or_else(|| format!("flag --{key} needs a value"))?
+                        .clone()
+                };
+                flags.entry(key.to_string()).or_default().push(val);
             } else {
                 positional.push(tok.clone());
             }
         }
         Ok(Args { flags, positional })
+    }
+
+    /// Whether a flag appeared at all (boolean switches).
+    pub fn has(&self, key: &str) -> bool {
+        self.flags.contains_key(key)
     }
 
     /// Positional argument `idx`, parsed.
@@ -133,6 +149,17 @@ mod tests {
     #[test]
     fn missing_value_is_an_error() {
         assert!(Args::parse(&argv("--n")).is_err());
+    }
+
+    #[test]
+    fn boolean_switches_consume_no_value() {
+        let a = Args::parse_with_bools(&argv("--abft --n 8"), &["abft"]).unwrap();
+        assert!(a.has("abft"));
+        assert!(!a.has("n-missing"));
+        assert_eq!(a.get_or::<usize>("n", 0).unwrap(), 8);
+        // Without the bool registration, --abft would swallow `--n`.
+        let b = Args::parse(&argv("--abft --n 8")).unwrap();
+        assert_eq!(b.raw("abft"), Some("--n"));
     }
 
     #[test]

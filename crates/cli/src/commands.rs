@@ -1,9 +1,11 @@
 //! The `cubemm` subcommands.
 
+use cubemm_core::abft::AbftOutcome;
 use cubemm_core::prelude::*;
 use cubemm_dense::gemm;
+use cubemm_harness::recovery::{multiply_with_recovery, RecoveryError, RecoveryPolicy};
 use cubemm_model::{render_ascii, RegionMap, Sweep};
-use cubemm_simnet::{ChargePolicy, CostParams, FaultPlan};
+use cubemm_simnet::{ChargePolicy, CorruptKind, Corruption, CostParams, FaultPlan, RunError};
 
 use crate::args::{parse_kernel, parse_port, Args};
 
@@ -19,7 +21,11 @@ USAGE:
              [--kernel naive|ikj|blocked[:TILE]|packed[:THREADS]]
              [--fault-link A:B] [--fault-degrade A:B:TSF:TWF]
              [--fault-straggler NODE:FACTOR] [--fault-drop FROM:TO:K]
+             [--fault-corrupt FROM:TO:K:WORD:DELTA]
+             [--fault-flip FROM:TO:K:WORD:BIT] [--fault-crash NODE:STEP]
              [--fault-strict true|false]
+             [--fault-plan FILE] [--fault-plan-dump FILE]
+             [--abft] [--recover-attempts N]
                                  one verified simulated multiplication;
                                  --fault-* flags repeat, and a faulty run
                                  reports retries/detours/drops and the
@@ -50,6 +56,20 @@ watchdog; results are identical at any --jobs value).
 --jobs N runs independent sweep/analysis grid points on N worker threads
 under a global budget on simulated node threads; output is identical to
 --jobs 1 (the default).
+--abft runs the multiplication under Huang-Abraham checksum protection:
+silent data corruption (--fault-corrupt perturbs word WORD of the K-th
+payload crossing the directed edge FROM->TO by DELTA; --fault-flip flips
+bit BIT of it) is detected from the product's checksum residuals and
+either corrected in place or survived by quarantining the corrupting
+link and re-running; a node crash scheduled with --fault-crash (kills
+NODE at its STEP-th communication call) is survived by rebooting it.
+--recover-attempts N bounds the re-runs (default 4, capped exponential
+virtual backoff between attempts). --fault-plan loads a JSON fault plan
+(flags stack on top); --fault-plan-dump writes the effective plan.
+Exit codes: 0 = verified product (clean, ABFT-corrected, or recovered);
+            2 = usage/run errors, or damage still uncorrectable after
+                the --recover-attempts budget;
+            3 = deadlock (every live node blocked in a receive).
 Algorithms: simple cannon hje berntsen dns diag2d 3dd 3d-all-trans 3d-all
             dns-cannon 3d-all-cannon 3d-all-flat cannon-torus fox
 ";
@@ -140,7 +160,14 @@ fn require_edge(flag: &str, spec: &str, a: usize, b: usize) -> Result<(), String
 /// Builds the deterministic fault plan from the repeatable `--fault-*`
 /// flags (see `USAGE`).
 fn faults_from(args: &Args) -> Result<FaultPlan, String> {
-    let mut plan = FaultPlan::new();
+    let mut plan = match args.raw("fault-plan") {
+        None => FaultPlan::new(),
+        Some(path) => {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("--fault-plan {path:?}: {e}"))?;
+            FaultPlan::from_json(&text).map_err(|e| format!("--fault-plan {path:?}: {e}"))?
+        }
+    };
     for spec in args.raw_all("fault-link") {
         let f = fields("fault-link", spec, 2)?;
         let (a, b) = (
@@ -187,8 +214,64 @@ fn faults_from(args: &Args) -> Result<FaultPlan, String> {
             num("fault-drop", spec, f[2])?,
         );
     }
+    for spec in args.raw_all("fault-corrupt") {
+        let f = fields("fault-corrupt", spec, 5)?;
+        let (from, to) = (
+            num("fault-corrupt", spec, f[0])?,
+            num("fault-corrupt", spec, f[1])?,
+        );
+        require_edge("fault-corrupt", spec, from, to)?;
+        let k: u64 = num("fault-corrupt", spec, f[2])?;
+        let word: usize = num("fault-corrupt", spec, f[3])?;
+        let delta: f64 = num("fault-corrupt", spec, f[4])?;
+        if !delta.is_finite() || delta == 0.0 {
+            return Err(format!(
+                "--fault-corrupt {spec:?}: delta must be finite and non-zero"
+            ));
+        }
+        plan = plan.with_corruption(
+            from,
+            to,
+            k,
+            Corruption {
+                word,
+                kind: CorruptKind::Perturb { delta },
+            },
+        );
+    }
+    for spec in args.raw_all("fault-flip") {
+        let f = fields("fault-flip", spec, 5)?;
+        let (from, to) = (
+            num("fault-flip", spec, f[0])?,
+            num("fault-flip", spec, f[1])?,
+        );
+        require_edge("fault-flip", spec, from, to)?;
+        let k: u64 = num("fault-flip", spec, f[2])?;
+        let word: usize = num("fault-flip", spec, f[3])?;
+        let bit: u32 = num("fault-flip", spec, f[4])?;
+        if bit > 63 {
+            return Err(format!("--fault-flip {spec:?}: bit must be 0..=63"));
+        }
+        plan = plan.with_corruption(
+            from,
+            to,
+            k,
+            Corruption {
+                word,
+                kind: CorruptKind::BitFlip { bit },
+            },
+        );
+    }
+    for spec in args.raw_all("fault-crash") {
+        let f = fields("fault-crash", spec, 2)?;
+        plan = plan.with_crash(
+            num("fault-crash", spec, f[0])?,
+            num("fault-crash", spec, f[1])?,
+        );
+    }
     match args.raw("fault-strict") {
-        None | Some("false") => {}
+        None => {}
+        Some("false") => plan = plan.lenient(),
         Some("true") => plan = plan.strict(),
         Some(other) => {
             return Err(format!(
@@ -201,7 +284,7 @@ fn faults_from(args: &Args) -> Result<FaultPlan, String> {
 
 /// `cubemm run --algo A --n N --p P ...`.
 pub fn run(argv: &[String]) -> i32 {
-    let args = match Args::parse(argv) {
+    let args = match Args::parse_with_bools(argv, &["abft"]) {
         Ok(a) => a,
         Err(e) => return fail(&e),
     };
@@ -228,14 +311,30 @@ pub fn run(argv: &[String]) -> i32 {
         Ok(v) => v,
         Err(e) => return fail(&e),
     };
+    if let Some(path) = args.raw("fault-plan-dump") {
+        if let Err(e) = std::fs::write(path, cfg.faults.to_json() + "\n") {
+            return fail(&format!("--fault-plan-dump {path:?}: {e}"));
+        }
+        println!("effective fault plan written to {path}");
+    }
+
+    let a = Matrix::random(n, n, seed);
+    let b = Matrix::random(n, n, seed + 1);
+    if args.has("abft") {
+        // ABFT pads to the nearest acceptable order internally, so the
+        // raw n is not checked here.
+        return run_abft(algo, &a, &b, p, &args, &cfg);
+    }
 
     if let Err(e) = algo.check(n, p) {
         return fail(&format!("{algo} cannot run n={n} on p={p}: {e}"));
     }
-    let a = Matrix::random(n, n, seed);
-    let b = Matrix::random(n, n, seed + 1);
     let res = match algo.multiply(&a, &b, p, &cfg) {
         Ok(r) => r,
+        Err(AlgoError::Sim(e @ RunError::Deadlock { .. })) => {
+            eprintln!("error: {e}");
+            return 3;
+        }
         Err(e) => return fail(&e.to_string()),
     };
     let err = res.c.max_abs_diff(&gemm::reference(&a, &b));
@@ -276,6 +375,89 @@ pub fn run(argv: &[String]) -> i32 {
             res.stats.elapsed - baseline,
         );
     }
+    if err > 1e-9 * n as f64 {
+        return fail("verification FAILED");
+    }
+    0
+}
+
+/// The `--abft` arm of `cubemm run`: checksum-protected multiplication
+/// under quarantine-and-rerun recovery (see `USAGE` for the exit-code
+/// contract).
+fn run_abft(
+    algo: Algorithm,
+    a: &Matrix,
+    b: &Matrix,
+    p: usize,
+    args: &Args,
+    cfg: &MachineConfig,
+) -> i32 {
+    let n = a.rows();
+    let attempts: usize = match args.get_or("recover-attempts", 4) {
+        Ok(v) => v,
+        Err(e) => return fail(&e),
+    };
+    if attempts == 0 {
+        return fail("--recover-attempts must be at least 1");
+    }
+    let policy = RecoveryPolicy {
+        max_attempts: attempts,
+        ..RecoveryPolicy::default()
+    };
+    let (res, report) = match multiply_with_recovery(algo, a, b, p, cfg, &policy) {
+        Ok(v) => v,
+        Err(RecoveryError::Fatal(AlgoError::Sim(e @ RunError::Deadlock { .. }))) => {
+            eprintln!("error: {e}");
+            return 3;
+        }
+        Err(e) => return fail(&e.to_string()),
+    };
+    let err = res.c.max_abs_diff(&gemm::reference(a, b));
+    println!(
+        "{algo}: n = {n} (ABFT-augmented to {}), p = {p}, {} nodes, ts = {}, tw = {}",
+        res.augmented, cfg.port, cfg.cost.ts, cfg.cost.tw
+    );
+    println!("  verified:              max |Δ| = {err:.2e}");
+    match &res.outcome {
+        AbftOutcome::Clean => {
+            println!("  abft outcome:          clean (no corruption detected)");
+        }
+        AbftOutcome::Corrected {
+            entries,
+            block,
+            node,
+        } => {
+            print!(
+                "  abft outcome:          corrected {} entr{}",
+                entries.len(),
+                if entries.len() == 1 { "y" } else { "ies" }
+            );
+            if let (Some((bi, bj)), Some(node)) = (block, node) {
+                print!(" in block ({bi},{bj}) — suspect node {node}");
+            }
+            println!();
+        }
+        AbftOutcome::Uncorrectable { .. } => {
+            // multiply_with_recovery never returns an untrustworthy
+            // product; keep the arm so the match stays exhaustive.
+            return fail("internal error: recovery returned an uncorrectable product");
+        }
+    }
+    println!(
+        "  attempts:              {} (virtual backoff {:.1})",
+        report.attempts, report.backoff_spent
+    );
+    for act in &report.actions {
+        println!("    recovery:            {act}");
+    }
+    println!(
+        "  payloads corrupted:    {} (final attempt)",
+        res.stats.total_corrupted()
+    );
+    println!(
+        "  simulated comm time:   {:.1} (final attempt)",
+        res.stats.elapsed
+    );
     if err > 1e-9 * n as f64 {
         return fail("verification FAILED");
     }
@@ -608,6 +790,130 @@ mod tests {
         assert_ne!(
             run(&argv(
                 "--algo cannon --n 16 --p 16 --fault-straggler 99:2.0"
+            )),
+            0
+        );
+    }
+
+    #[test]
+    fn abft_corrects_or_recovers_and_exits_zero() {
+        // In-flight corruption, corrected in place on the first attempt
+        // (site found by the smoke probe; the simulator is
+        // deterministic, so it stays stable).
+        assert_eq!(
+            run(&argv(
+                "--algo cannon --n 6 --p 4 --abft --fault-corrupt 0:1:0:1:64"
+            )),
+            0
+        );
+        // Sign-flip corruption.
+        assert_eq!(
+            run(&argv(
+                "--algo cannon --n 6 --p 4 --abft --fault-flip 0:1:0:1:63"
+            )),
+            0
+        );
+        // Scheduled node crash: survived by reboot-and-rerun.
+        assert_eq!(
+            run(&argv("--algo cannon --n 6 --p 4 --abft --fault-crash 2:1")),
+            0
+        );
+        // ABFT pads internally: n = 6 is indivisible for p = 16 (√p = 4)
+        // but the augmented order 8 is fine.
+        assert_eq!(run(&argv("--algo cannon --n 6 --p 16 --abft")), 0);
+    }
+
+    #[test]
+    fn abft_exit_codes_follow_the_contract() {
+        // Site (2,3,seq 0) propagates through Cannon's forwarded blocks:
+        // detected but not locatable, so a budget of one attempt leaves
+        // it uncorrectable (exit 2) while the default budget quarantines
+        // the link and converges (exit 0).
+        let site = "--algo cannon --n 6 --p 4 --abft --fault-corrupt 2:3:0:1:64";
+        assert_eq!(run(&argv(&format!("{site} --recover-attempts 1"))), 2);
+        assert_eq!(run(&argv(site)), 0);
+        // A dropped message on an algorithm without retries deadlocks:
+        // exit 3, with and without --abft.
+        assert_eq!(
+            run(&argv("--algo cannon --n 16 --p 4 --fault-drop 0:1:0")),
+            3
+        );
+        assert_eq!(
+            run(&argv(
+                "--algo cannon --n 16 --p 4 --abft --fault-drop 0:1:0"
+            )),
+            3
+        );
+    }
+
+    #[test]
+    fn fault_plan_round_trips_through_files() {
+        let dir = std::env::temp_dir().join(format!("cubemm-cli-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        let path = dir.join("plan.json");
+        let path = path.to_str().expect("utf-8 temp path");
+        assert_eq!(
+            run(&argv(&format!(
+                "--algo cannon --n 6 --p 4 --abft \
+                 --fault-corrupt 0:1:0:1:64 --fault-crash 2:1 \
+                 --fault-plan-dump {path}"
+            ))),
+            0
+        );
+        let text = std::fs::read_to_string(path).expect("dumped plan exists");
+        let plan = FaultPlan::from_json(&text).expect("dumped plan parses");
+        assert!(plan.has_corruptions());
+        assert_eq!(plan.crash_step(2), Some(1));
+        // Loading the dumped plan reproduces the run; a flag on top of
+        // the file stacks.
+        assert_eq!(
+            run(&argv(&format!(
+                "--algo cannon --n 6 --p 4 --abft --fault-plan {path}"
+            ))),
+            0
+        );
+        assert_eq!(
+            run(&argv(&format!(
+                "--algo cannon --n 6 --p 4 --abft --fault-plan {path} --fault-crash 3:1"
+            ))),
+            0
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn abft_and_fault_flags_reject_malformed_specs() {
+        // Not a hypercube edge.
+        assert_ne!(
+            run(&argv(
+                "--algo cannon --n 6 --p 4 --abft --fault-corrupt 0:3:0:1:64"
+            )),
+            0
+        );
+        // Zero delta, bad bit, short spec.
+        assert_ne!(
+            run(&argv(
+                "--algo cannon --n 6 --p 4 --abft --fault-corrupt 0:1:0:1:0"
+            )),
+            0
+        );
+        assert_ne!(
+            run(&argv(
+                "--algo cannon --n 6 --p 4 --abft --fault-flip 0:1:0:1:64"
+            )),
+            0
+        );
+        assert_ne!(run(&argv("--algo cannon --n 6 --p 4 --fault-crash 2")), 0);
+        // Missing plan file; zero retry budget.
+        assert_ne!(
+            run(&argv(
+                "--algo cannon --n 6 --p 4 --fault-plan /nonexistent/plan.json"
+            )),
+            0
+        );
+        assert_ne!(
+            run(&argv(
+                "--algo cannon --n 6 --p 4 --abft --recover-attempts 0"
             )),
             0
         );

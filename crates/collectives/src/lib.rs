@@ -76,7 +76,7 @@ pub use gather::{gather, gather_plan, GatherRun};
 pub use plan::{
     execute, execute_fused, CollectiveRun, PacketError, PacketStore, Plan, RecvMode, Xfer,
 };
-pub use reduce::{reduce_plan, reduce_sum, ReduceRun};
+pub use reduce::{reduce_plan, reduce_sum, reduce_sum_checked, ChecksumMismatch, ReduceRun};
 pub use scatter::{scatter, scatter_plan, ScatterRun};
 
 use cubemm_simnet::Payload;

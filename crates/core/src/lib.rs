@@ -49,6 +49,7 @@
 //! println!("simulated time: {}", result.stats.elapsed);
 //! ```
 
+pub mod abft;
 pub mod all3d;
 pub mod all3d_cannon;
 pub mod all3d_flat;
@@ -68,6 +69,7 @@ pub mod registry;
 pub mod simple;
 pub(crate) mod util;
 
+pub use abft::{AbftOutcome, AbftResult};
 pub use config::{MachineConfig, MachineConfigBuilder, RunResult};
 pub use error::AlgoError;
 pub use registry::{AlgoDescriptor, AlgoGroup, Algorithm};

@@ -17,6 +17,7 @@
 
 #![deny(unsafe_op_in_unsafe_fn)]
 
+pub mod abft;
 pub mod gemm;
 pub mod matrix;
 pub mod microkernel;

@@ -17,6 +17,8 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex, MutexGuard};
 
+pub mod recovery;
+
 /// Default cap on simulated node threads alive at once across a grid
 /// ([`run_grid`]). Big enough that any single run (the largest machine
 /// in the evaluation is 512 nodes) always fits; small enough that a

@@ -19,10 +19,23 @@
 //!   that node's port takes proportionally longer;
 //! * **message loss** — drop the k-th message a node injects toward a
 //!   given neighbor/destination; [`crate::Proc::send_with_retry`] models
-//!   the recovery, charging exponential virtual-time backoff.
+//!   the recovery, charging exponential virtual-time backoff;
+//! * **data corruption** — silently flip a bit (or add a delta) in one
+//!   word of the k-th payload a sender pushes across a given directed
+//!   edge. Delivery and timing are untouched: the receiver gets a wrong
+//!   number and no error — the failure mode ABFT (see `cubemm-core`'s
+//!   `abft` module) exists to catch;
+//! * **node crashes** — kill one rank as it begins its k-th
+//!   communication call. The crash rides the same ledger/abort
+//!   machinery as link failures and surfaces as a structured
+//!   [`crate::RunError::NodeCrashed`].
 //!
 //! An empty plan (the default) costs nothing: every virtual-time result
 //! is bit-for-bit identical to a run without the fault layer.
+//!
+//! Plans round-trip through a std-only JSON encoding
+//! ([`FaultPlan::to_json`] / [`FaultPlan::from_json`]) so experiment
+//! drivers can persist and replay them.
 
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
@@ -104,9 +117,53 @@ impl std::fmt::Display for SendError {
 
 impl std::error::Error for SendError {}
 
+/// How a scheduled corruption mangles the targeted payload word.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CorruptKind {
+    /// XOR one bit (0–63, modulo 64) of the word's IEEE-754 encoding —
+    /// the classic single-event-upset model.
+    BitFlip {
+        /// Bit index into the 64-bit encoding (63 is the sign bit).
+        bit: u32,
+    },
+    /// Add a finite delta to the word — a value-level perturbation whose
+    /// magnitude the injector controls exactly.
+    Perturb {
+        /// The additive error.
+        delta: f64,
+    },
+}
+
+/// One scheduled silent-data-corruption event: which word of the
+/// affected payload is mangled, and how.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Corruption {
+    /// Word index into the payload, taken modulo the payload length
+    /// (empty payloads are left untouched).
+    pub word: usize,
+    /// The mutation applied to that word.
+    pub kind: CorruptKind,
+}
+
+impl Corruption {
+    /// Applies the corruption in place. No-op on an empty payload.
+    pub fn apply(&self, words: &mut [f64]) {
+        if words.is_empty() {
+            return;
+        }
+        let w = self.word % words.len();
+        match self.kind {
+            CorruptKind::BitFlip { bit } => {
+                words[w] = f64::from_bits(words[w].to_bits() ^ (1u64 << (bit % 64)));
+            }
+            CorruptKind::Perturb { delta } => words[w] += delta,
+        }
+    }
+}
+
 /// Retry policy for [`crate::Proc::send_with_retry`]: bounded attempts
 /// with exponential *virtual-time* backoff charged to the sender's
-/// clock.
+/// clock, capped both by attempt count and by total backoff time.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RetryPolicy {
     /// Maximum total attempts (initial send plus retries); must be ≥ 1.
@@ -115,6 +172,13 @@ pub struct RetryPolicy {
     pub backoff: f64,
     /// Multiplier applied to the backoff after each failure.
     pub backoff_factor: f64,
+    /// Cap on the *total* virtual backoff time one call may charge. The
+    /// exponential schedule sums to `backoff·(f^(a-1)-1)/(f-1)`, which for
+    /// a generous attempt cap dwarfs any simulated run; this cap bounds
+    /// the damage regardless of how the other knobs are set. Retrying
+    /// stops with [`SendError::RetriesExhausted`] once the next wait
+    /// would push past it.
+    pub max_total_backoff: f64,
 }
 
 impl Default for RetryPolicy {
@@ -123,6 +187,7 @@ impl Default for RetryPolicy {
             max_attempts: 4,
             backoff: 1.0,
             backoff_factor: 2.0,
+            max_total_backoff: 1e6,
         }
     }
 }
@@ -154,6 +219,13 @@ pub struct FaultPlan {
     stragglers: BTreeMap<usize, f64>,
     /// Directed `(from, to)` → set of 0-based sequence numbers to drop.
     drops: BTreeMap<(usize, usize), BTreeSet<u64>>,
+    /// Directed edge `(u, v)` → crossing number → corruption. Crossings
+    /// are counted per *originating sender* per directed edge, in that
+    /// sender's program order (multi-hop sends count every edge of their
+    /// path), so injection sites are exactly reproducible.
+    corruptions: BTreeMap<(usize, usize), BTreeMap<u64, Corruption>>,
+    /// Node → 0-based communication-call index at which it crashes.
+    crashes: BTreeMap<usize, u64>,
     /// When `true`, sends over dead links fail with
     /// [`SendError::LinkDead`] instead of re-routing.
     strict: bool,
@@ -233,10 +305,69 @@ impl FaultPlan {
         self
     }
 
+    /// Schedules silent corruption of the `k`-th payload (0-based,
+    /// counted per originating sender in program order) crossing the
+    /// *directed* edge `from -> to`. The payload is delivered on time —
+    /// only its data is wrong.
+    ///
+    /// # Panics
+    /// Panics if the endpoints are not hypercube neighbors or the
+    /// corruption carries a non-finite delta.
+    pub fn with_corruption(
+        mut self,
+        from: usize,
+        to: usize,
+        k: u64,
+        corruption: Corruption,
+    ) -> Self {
+        assert_eq!(
+            hamming(from, to),
+            1,
+            "corrupted link {from} -> {to} is not a hypercube edge"
+        );
+        if let CorruptKind::Perturb { delta } = corruption.kind {
+            assert!(delta.is_finite(), "corruption delta must be finite");
+        }
+        self.corruptions
+            .entry((from, to))
+            .or_default()
+            .insert(k, corruption);
+        self
+    }
+
+    /// Schedules `node` to crash (unwind quietly, aborting the run with
+    /// [`crate::RunError::NodeCrashed`]) as it begins its `step`-th
+    /// communication call (0-based: `step = 0` dies before its first
+    /// send or receive).
+    pub fn with_crash(mut self, node: usize, step: u64) -> Self {
+        self.crashes.insert(node, step);
+        self
+    }
+
+    /// Removes any scheduled crash for `node` — the recovery driver's
+    /// "reboot" before a re-run.
+    pub fn without_crash(mut self, node: usize) -> Self {
+        self.crashes.remove(&node);
+        self
+    }
+
+    /// Removes every scheduled drop from `from` toward `to` — modelling a
+    /// replaced lossy channel before a re-run.
+    pub fn without_drops(mut self, from: usize, to: usize) -> Self {
+        self.drops.remove(&(from, to));
+        self
+    }
+
     /// Forbids transparent re-routing: sends over dead links fail with
     /// [`SendError::LinkDead`] instead of taking a detour.
     pub fn strict(mut self) -> Self {
         self.strict = true;
+        self
+    }
+
+    /// Re-allows transparent re-routing (undoes [`FaultPlan::strict`]).
+    pub fn lenient(mut self) -> Self {
+        self.strict = false;
         self
     }
 
@@ -247,6 +378,14 @@ impl FaultPlan {
             && self.degraded.is_empty()
             && self.stragglers.is_empty()
             && self.drops.is_empty()
+            && self.corruptions.is_empty()
+            && self.crashes.is_empty()
+    }
+
+    /// Whether the plan schedules any data corruption at all — the
+    /// engine's cheap gate before it starts counting edge crossings.
+    pub fn has_corruptions(&self) -> bool {
+        !self.corruptions.is_empty()
     }
 
     /// Whether re-routing around dead links is forbidden.
@@ -279,6 +418,21 @@ impl FaultPlan {
             .is_some_and(|set| set.contains(&seq))
     }
 
+    /// The corruption scheduled for the `seq`-th crossing of the directed
+    /// edge `from -> to`, if any.
+    pub fn corrupts_nth(&self, from: usize, to: usize, seq: u64) -> Option<Corruption> {
+        self.corruptions
+            .get(&(from, to))
+            .and_then(|m| m.get(&seq))
+            .copied()
+    }
+
+    /// The communication-call index at which `node` is scheduled to
+    /// crash, if any.
+    pub fn crash_step(&self, node: usize) -> Option<u64> {
+        self.crashes.get(&node).copied()
+    }
+
     /// The dead edges, for reporting.
     pub fn dead_links(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
         self.dead.iter().copied()
@@ -299,6 +453,30 @@ impl FaultPlan {
         self.drops
             .iter()
             .flat_map(|(&pair, set)| set.iter().map(move |&k| (pair, k)))
+    }
+
+    /// Every scheduled corruption as `((from, to), seq, corruption)`, for
+    /// reporting.
+    pub fn scheduled_corruptions(
+        &self,
+    ) -> impl Iterator<Item = ((usize, usize), u64, Corruption)> + '_ {
+        self.corruptions
+            .iter()
+            .flat_map(|(&pair, m)| m.iter().map(move |(&k, &c)| (pair, k, c)))
+    }
+
+    /// The undirected edges carrying a corruption schedule, normalized
+    /// `(lo, hi)` and deduplicated — the set the recovery driver
+    /// quarantines after an uncorrectable run.
+    pub fn corrupting_links(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        let set: BTreeSet<(usize, usize)> =
+            self.corruptions.keys().map(|&(a, b)| edge(a, b)).collect();
+        set.into_iter()
+    }
+
+    /// Every scheduled crash as `(node, step)`, for reporting.
+    pub fn scheduled_crashes(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.crashes.iter().map(|(&n, &s)| (n, s))
     }
 
     /// Checks that every referenced node fits a `p`-node machine.
@@ -327,7 +505,240 @@ impl FaultPlan {
             check(a, "drop-schedule")?;
             check(b, "drop-schedule")?;
         }
+        for &(a, b) in self.corruptions.keys() {
+            check(a, "corruption-schedule")?;
+            check(b, "corruption-schedule")?;
+        }
+        for &n in self.crashes.keys() {
+            check(n, "crash-schedule")?;
+        }
         Ok(())
+    }
+
+    /// Serializes the plan to its JSON encoding (see
+    /// [`FaultPlan::from_json`] for the schema). Every entry the plan
+    /// holds round-trips exactly.
+    pub fn to_json(&self) -> String {
+        use crate::json::Json;
+        let num = |x: usize| Json::Num(x as f64);
+        let seq_num = |x: u64| Json::Num(x as f64);
+        let mut fields = Vec::new();
+        fields.push(("strict".to_string(), Json::Bool(self.strict)));
+        fields.push((
+            "dead".to_string(),
+            Json::Arr(
+                self.dead
+                    .iter()
+                    .map(|&(a, b)| Json::Arr(vec![num(a), num(b)]))
+                    .collect(),
+            ),
+        ));
+        fields.push((
+            "degraded".to_string(),
+            Json::Arr(
+                self.degraded
+                    .iter()
+                    .map(|(&(a, b), q)| {
+                        Json::Obj(vec![
+                            ("a".to_string(), num(a)),
+                            ("b".to_string(), num(b)),
+                            ("ts_factor".to_string(), Json::Num(q.ts_factor)),
+                            ("tw_factor".to_string(), Json::Num(q.tw_factor)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ));
+        fields.push((
+            "stragglers".to_string(),
+            Json::Arr(
+                self.stragglers
+                    .iter()
+                    .map(|(&n, &s)| {
+                        Json::Obj(vec![
+                            ("node".to_string(), num(n)),
+                            ("slowdown".to_string(), Json::Num(s)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ));
+        fields.push((
+            "drops".to_string(),
+            Json::Arr(
+                self.scheduled_drops()
+                    .map(|((from, to), k)| {
+                        Json::Obj(vec![
+                            ("from".to_string(), num(from)),
+                            ("to".to_string(), num(to)),
+                            ("seq".to_string(), seq_num(k)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ));
+        fields.push((
+            "corruptions".to_string(),
+            Json::Arr(
+                self.scheduled_corruptions()
+                    .map(|((from, to), k, c)| {
+                        let mut entry = vec![
+                            ("from".to_string(), num(from)),
+                            ("to".to_string(), num(to)),
+                            ("seq".to_string(), seq_num(k)),
+                            ("word".to_string(), num(c.word)),
+                        ];
+                        match c.kind {
+                            CorruptKind::BitFlip { bit } => {
+                                entry.push(("bitflip".to_string(), Json::Num(f64::from(bit))));
+                            }
+                            CorruptKind::Perturb { delta } => {
+                                entry.push(("perturb".to_string(), Json::Num(delta)));
+                            }
+                        }
+                        Json::Obj(entry)
+                    })
+                    .collect(),
+            ),
+        ));
+        fields.push((
+            "crashes".to_string(),
+            Json::Arr(
+                self.scheduled_crashes()
+                    .map(|(n, s)| {
+                        Json::Obj(vec![
+                            ("node".to_string(), num(n)),
+                            ("step".to_string(), seq_num(s)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ));
+        Json::Obj(fields).encode()
+    }
+
+    /// Parses a plan from the JSON produced by [`FaultPlan::to_json`].
+    ///
+    /// The schema is one object with optional array fields `dead`
+    /// (`[a, b]` pairs), `degraded` (`{a, b, ts_factor, tw_factor}`),
+    /// `stragglers` (`{node, slowdown}`), `drops` (`{from, to, seq}`),
+    /// `corruptions` (`{from, to, seq, word}` plus either
+    /// `bitflip: <bit>` or `perturb: <delta>`), `crashes`
+    /// (`{node, step}`), and an optional boolean `strict`. Unlike the
+    /// panicking builders, malformed input comes back as `Err` — plan
+    /// files are user input.
+    pub fn from_json(text: &str) -> Result<FaultPlan, String> {
+        use crate::json::Json;
+        let doc = crate::json::parse(text)?;
+        if !matches!(doc, Json::Obj(_)) {
+            return Err("fault plan must be a JSON object".to_string());
+        }
+        let index = |v: Option<&Json>, what: &str| -> Result<u64, String> {
+            v.and_then(Json::as_index)
+                .ok_or_else(|| format!("{what} must be a non-negative integer"))
+        };
+        let node = |v: Option<&Json>, what: &str| -> Result<usize, String> {
+            Ok(index(v, what)? as usize)
+        };
+        let items = |key: &str| -> &[Json] { doc.get(key).and_then(Json::as_arr).unwrap_or(&[]) };
+        let neighbors = |a: usize, b: usize, what: &str| -> Result<(), String> {
+            if hamming(a, b) == 1 {
+                Ok(())
+            } else {
+                Err(format!("{what} {a} <-> {b} is not a hypercube edge"))
+            }
+        };
+
+        let mut plan = FaultPlan::new();
+        if let Some(strict) = doc.get("strict") {
+            plan.strict = strict
+                .as_bool()
+                .ok_or_else(|| "strict must be a boolean".to_string())?;
+        }
+        for entry in items("dead") {
+            let pair = entry.as_arr().unwrap_or(&[]);
+            if pair.len() != 2 {
+                return Err("each dead entry must be an [a, b] pair".to_string());
+            }
+            let (a, b) = (
+                node(pair.first(), "dead node")?,
+                node(pair.get(1), "dead node")?,
+            );
+            neighbors(a, b, "dead link")?;
+            plan.dead.insert(edge(a, b));
+        }
+        for entry in items("degraded") {
+            let a = node(entry.get("a"), "degraded a")?;
+            let b = node(entry.get("b"), "degraded b")?;
+            neighbors(a, b, "degraded link")?;
+            let ts = entry
+                .get("ts_factor")
+                .and_then(Json::as_f64)
+                .ok_or("degraded entry needs ts_factor")?;
+            let tw = entry
+                .get("tw_factor")
+                .and_then(Json::as_f64)
+                .ok_or("degraded entry needs tw_factor")?;
+            if !(ts.is_finite() && ts > 0.0 && tw.is_finite() && tw > 0.0) {
+                return Err("degradation factors must be positive and finite".to_string());
+            }
+            plan.degraded.insert(
+                edge(a, b),
+                LinkQuality {
+                    ts_factor: ts,
+                    tw_factor: tw,
+                },
+            );
+        }
+        for entry in items("stragglers") {
+            let n = node(entry.get("node"), "straggler node")?;
+            let s = entry
+                .get("slowdown")
+                .and_then(Json::as_f64)
+                .ok_or("straggler entry needs slowdown")?;
+            if !(s.is_finite() && s >= 1.0) {
+                return Err("straggler slowdown must be finite and >= 1".to_string());
+            }
+            plan.stragglers.insert(n, s);
+        }
+        for entry in items("drops") {
+            let from = node(entry.get("from"), "drop from")?;
+            let to = node(entry.get("to"), "drop to")?;
+            let seq = index(entry.get("seq"), "drop seq")?;
+            plan.drops.entry((from, to)).or_default().insert(seq);
+        }
+        for entry in items("corruptions") {
+            let from = node(entry.get("from"), "corruption from")?;
+            let to = node(entry.get("to"), "corruption to")?;
+            neighbors(from, to, "corrupted link")?;
+            let seq = index(entry.get("seq"), "corruption seq")?;
+            let word = node(entry.get("word"), "corruption word")?;
+            let kind = match (entry.get("bitflip"), entry.get("perturb")) {
+                (Some(bit), None) => CorruptKind::BitFlip {
+                    bit: index(Some(bit), "bitflip bit")? as u32,
+                },
+                (None, Some(delta)) => {
+                    let delta = delta.as_f64().ok_or("perturb delta must be a number")?;
+                    if !delta.is_finite() {
+                        return Err("corruption delta must be finite".to_string());
+                    }
+                    CorruptKind::Perturb { delta }
+                }
+                _ => {
+                    return Err("corruption entry needs exactly one of bitflip/perturb".to_string())
+                }
+            };
+            plan.corruptions
+                .entry((from, to))
+                .or_default()
+                .insert(seq, Corruption { word, kind });
+        }
+        for entry in items("crashes") {
+            let n = node(entry.get("node"), "crash node")?;
+            let step = index(entry.get("step"), "crash step")?;
+            plan.crashes.insert(n, step);
+        }
+        Ok(plan)
     }
 
     /// A live path from `from` to `to` as the sequence of nodes *after*
@@ -492,5 +903,136 @@ mod tests {
         assert!(!plan.drops_nth(1, 2, 1));
         assert!(plan.drops_nth(1, 2, 2));
         assert!(!plan.drops_nth(2, 1, 0), "drops are directed");
+    }
+
+    #[test]
+    fn corruptions_are_directed_and_per_sequence_number() {
+        let hit = Corruption {
+            word: 3,
+            kind: CorruptKind::Perturb { delta: 64.0 },
+        };
+        let plan = FaultPlan::new().with_corruption(0, 1, 2, hit);
+        assert!(!plan.is_empty());
+        assert!(plan.has_corruptions());
+        assert_eq!(plan.corrupts_nth(0, 1, 2), Some(hit));
+        assert_eq!(plan.corrupts_nth(0, 1, 1), None);
+        assert_eq!(plan.corrupts_nth(1, 0, 2), None, "corruptions are directed");
+        assert_eq!(plan.corrupting_links().collect::<Vec<_>>(), vec![(0, 1)]);
+    }
+
+    #[test]
+    fn corruption_apply_flips_and_perturbs() {
+        let mut words = [1.0, 2.0, 3.0];
+        Corruption {
+            word: 1,
+            kind: CorruptKind::Perturb { delta: 0.5 },
+        }
+        .apply(&mut words);
+        assert_eq!(words, [1.0, 2.5, 3.0]);
+        Corruption {
+            word: 5, // 5 % 3 == 2
+            kind: CorruptKind::BitFlip { bit: 63 },
+        }
+        .apply(&mut words);
+        assert_eq!(words, [1.0, 2.5, -3.0]);
+        // Empty payloads are left alone.
+        Corruption {
+            word: 0,
+            kind: CorruptKind::BitFlip { bit: 0 },
+        }
+        .apply(&mut []);
+    }
+
+    #[test]
+    fn crash_schedule_round_trips_through_reboot() {
+        let plan = FaultPlan::new().with_crash(3, 5);
+        assert!(!plan.is_empty());
+        assert_eq!(plan.crash_step(3), Some(5));
+        assert_eq!(plan.crash_step(2), None);
+        let rebooted = plan.without_crash(3);
+        assert_eq!(rebooted.crash_step(3), None);
+        assert!(rebooted.is_empty());
+    }
+
+    #[test]
+    fn validate_covers_corruptions_and_crashes() {
+        let plan = FaultPlan::new().with_corruption(
+            8,
+            9,
+            0,
+            Corruption {
+                word: 0,
+                kind: CorruptKind::Perturb { delta: 1.0 },
+            },
+        );
+        assert!(plan.validate(8).is_err());
+        assert!(FaultPlan::new().with_crash(8, 0).validate(8).is_err());
+        assert!(FaultPlan::new().with_crash(7, 0).validate(8).is_ok());
+    }
+
+    #[test]
+    fn json_round_trip_preserves_every_entry() {
+        let plan = FaultPlan::new()
+            .with_dead_link(0, 1)
+            .with_degraded_link(2, 3, 2.0, 4.5)
+            .with_straggler(5, 3.0)
+            .with_drop(0, 2, 1)
+            .with_corruption(
+                4,
+                5,
+                2,
+                Corruption {
+                    word: 7,
+                    kind: CorruptKind::BitFlip { bit: 63 },
+                },
+            )
+            .with_corruption(
+                5,
+                4,
+                0,
+                Corruption {
+                    word: 0,
+                    kind: CorruptKind::Perturb { delta: -64.0 },
+                },
+            )
+            .with_crash(6, 9)
+            .strict();
+        let text = plan.to_json();
+        let parsed = FaultPlan::from_json(&text).unwrap();
+        assert_eq!(parsed, plan);
+        // And the re-encoding is stable.
+        assert_eq!(parsed.to_json(), text);
+    }
+
+    #[test]
+    fn from_json_rejects_malformed_plans() {
+        assert!(FaultPlan::from_json("[]").is_err(), "not an object");
+        assert!(
+            FaultPlan::from_json(r#"{"dead": [[0, 3]]}"#).is_err(),
+            "non-edge"
+        );
+        assert!(
+            FaultPlan::from_json(r#"{"stragglers": [{"node": 1, "slowdown": 0.5}]}"#).is_err(),
+            "slowdown below 1"
+        );
+        assert!(
+            FaultPlan::from_json(r#"{"corruptions": [{"from": 0, "to": 1, "seq": 0, "word": 0}]}"#)
+                .is_err(),
+            "missing bitflip/perturb"
+        );
+        assert!(
+            FaultPlan::from_json(
+                r#"{"corruptions": [{"from": 0, "to": 1, "seq": 0, "word": 0,
+                    "bitflip": 1, "perturb": 2.0}]}"#
+            )
+            .is_err(),
+            "both bitflip and perturb"
+        );
+        assert!(
+            FaultPlan::from_json(r#"{"crashes": [{"node": -1, "step": 0}]}"#).is_err(),
+            "negative node"
+        );
+        // An empty object is a valid empty plan.
+        assert!(FaultPlan::from_json("{}").unwrap().is_empty());
     }
 }

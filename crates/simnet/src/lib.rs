@@ -64,8 +64,12 @@
 //! Failures surface as values through [`try_run_machine_with`], which
 //! returns a structured [`RunError`] — distinguishing configuration
 //! problems, simulated deadlocks (naming *every* blocked node with the
-//! `(from, tag)` it awaited), node panics, and link faults — instead of
-//! panicking.
+//! `(from, tag)` it awaited), node panics, scheduled node crashes, and
+//! link faults — instead of panicking. Plans can also schedule *silent
+//! data corruption* (a bit-flip or perturbation of one word of the k-th
+//! payload crossing a directed edge): delivery and timing stay healthy
+//! and only the data is wrong, which is the failure mode the ABFT layer
+//! in `cubemm-core` detects and corrects.
 //!
 //! # Execution engine
 //!
@@ -80,13 +84,14 @@
 //! node's condvar, so a poisoned run tears down promptly.
 
 pub mod faults;
+mod json;
 mod ledger;
 mod machine;
 mod proc;
 mod stats;
 pub mod trace;
 
-pub use faults::{FaultPlan, LinkQuality, RetryPolicy, SendError};
+pub use faults::{CorruptKind, Corruption, FaultPlan, LinkQuality, RetryPolicy, SendError};
 pub use machine::{
     run_machine, run_machine_traced, run_machine_with, try_run_machine_with, Blocked,
     MachineOptions, RunError, RunOutcome,

@@ -98,6 +98,14 @@ pub enum RunError {
         /// The typed send failure.
         error: SendError,
     },
+    /// A scheduled fault-plan crash killed a node mid-algorithm (see
+    /// [`crate::FaultPlan::with_crash`]).
+    NodeCrashed {
+        /// The crashed node.
+        node: usize,
+        /// The 0-based communication-call index at which it died.
+        step: u64,
+    },
 }
 
 impl std::fmt::Display for RunError {
@@ -121,6 +129,12 @@ impl std::fmt::Display for RunError {
             }
             RunError::LinkDead { node, error } => {
                 write!(f, "node {node} send failed: {error}")
+            }
+            RunError::NodeCrashed { node, step } => {
+                write!(
+                    f,
+                    "node {node} crashed at communication step {step} (scheduled fault)"
+                )
             }
         }
     }
@@ -152,6 +166,13 @@ pub(crate) enum Failure {
         node: usize,
         /// The failure.
         error: SendError,
+    },
+    /// A scheduled crash killed a node.
+    Crashed {
+        /// The crashed node.
+        node: usize,
+        /// The communication-call index at which it died.
+        step: u64,
     },
 }
 
@@ -392,6 +413,7 @@ where
             Failure::Deadlock => RunError::Deadlock { blocked },
             Failure::Panicked { node, message } => RunError::NodePanicked { node, message },
             Failure::Link { node, error } => RunError::LinkDead { node, error },
+            Failure::Crashed { node, step } => RunError::NodeCrashed { node, step },
         });
     }
 

@@ -65,6 +65,12 @@ pub struct Proc {
     ledger: Arc<Ledger>,
     /// Per-destination injection counters driving the drop schedules.
     seq: HashMap<usize, u64>,
+    /// Per-directed-edge crossing counters driving the corruption
+    /// schedules: how many payloads this node has pushed across each
+    /// edge (its sends count every edge of their path). Only maintained
+    /// while the plan schedules corruption, so the healthy path pays
+    /// nothing.
+    crossings: HashMap<(usize, usize), u64>,
     stats: NodeStats,
     trace: Option<Vec<TraceEvent>>,
     /// Program-step counter stamped on trace events: each public
@@ -93,6 +99,7 @@ impl Proc {
             faults,
             ledger,
             seq: HashMap::new(),
+            crossings: HashMap::new(),
             stats: NodeStats::default(),
             trace: options.traced.then(Vec::new),
             round: 0,
@@ -102,8 +109,52 @@ impl Proc {
     /// Starts the next program step (see [`TraceEvent::round`]): called
     /// once per public communication call, so every event a single call
     /// records — including fault-plan retries — shares one round.
+    ///
+    /// This is also where a scheduled node crash fires: a plan entry
+    /// `with_crash(id, k)` kills the node as it *begins* its k-th
+    /// (0-based) communication call, before any cost is charged or any
+    /// message moves — modelling a rank that dies between algorithm
+    /// steps. The crash rides the ledger's abort machinery and surfaces
+    /// as [`crate::RunError::NodeCrashed`].
     fn begin_round(&mut self) {
+        let step = self.round;
         self.round += 1;
+        if let Some(plan) = self.faults.as_deref() {
+            if plan.crash_step(self.id) == Some(step) {
+                self.ledger.trigger(Failure::Crashed {
+                    node: self.id,
+                    step,
+                });
+                self.quiet_abort();
+            }
+        }
+    }
+
+    /// Applies any scheduled in-flight corruption to `data` as it
+    /// crosses the directed edges of `path` (successor labels from this
+    /// node), bumping the per-edge crossing counters. The counters are
+    /// only maintained once the plan schedules corruption at all, so a
+    /// corruption-free plan costs one boolean check per send.
+    fn corrupt_along(&mut self, path: &[usize], data: Payload) -> Payload {
+        let plan = match &self.faults {
+            Some(plan) if plan.has_corruptions() => Arc::clone(plan),
+            _ => return data,
+        };
+        let mut data = data;
+        let mut cur = self.id;
+        for &next in path {
+            let seq = self.crossings.entry((cur, next)).or_insert(0);
+            let s = *seq;
+            *seq += 1;
+            if let Some(corruption) = plan.corrupts_nth(cur, next, s) {
+                let mut words: Vec<f64> = data.to_vec();
+                corruption.apply(&mut words);
+                self.stats.corrupted += 1;
+                data = Payload::from(words);
+            }
+            cur = next;
+        }
+        data
     }
 
     fn record(&mut self, kind: TraceKind, tag: u64, words: usize, start: f64, end: f64) {
@@ -267,7 +318,8 @@ impl Proc {
     /// exponentially growing *virtual-time* backoff to its own clock and
     /// retransmits. Returns the number of attempts the successful
     /// delivery took, or [`SendError::RetriesExhausted`] if every attempt
-    /// was dropped (routing failures propagate immediately).
+    /// was dropped (routing failures propagate immediately) or the next
+    /// backoff would exceed [`RetryPolicy::max_total_backoff`].
     pub fn send_with_retry(
         &mut self,
         to: usize,
@@ -282,13 +334,25 @@ impl Proc {
         self.begin_round();
         let data = data.into();
         let mut backoff = policy.backoff;
+        let mut backoff_spent = 0.0;
         for attempt in 1..=policy.max_attempts {
             if self.transmit(to, tag, data.clone())? {
                 return Ok(attempt);
             }
             if attempt < policy.max_attempts {
+                if backoff_spent + backoff > policy.max_total_backoff {
+                    // The time cap binds before the attempt cap does:
+                    // stop here rather than burn unbounded virtual time
+                    // against a permanently lossy link.
+                    return Err(SendError::RetriesExhausted {
+                        from: self.id,
+                        to,
+                        attempts: attempt,
+                    });
+                }
                 self.stats.retries += 1;
                 self.clock += self.scaled(backoff);
+                backoff_spent += backoff;
                 backoff *= policy.backoff_factor;
             }
         }
@@ -332,6 +396,7 @@ impl Proc {
         let end = start + self.scaled(self.link_cost(to, data.len()));
         self.clock = end;
         self.record(TraceKind::Send { to, hops: 1 }, tag, data.len(), start, end);
+        let data = self.corrupt_along(&[to], data);
         Ok(self.inject(to, tag, end, data, 1))
     }
 
@@ -351,6 +416,7 @@ impl Proc {
             end,
         );
         self.stats.detour_hops += h - hamming(self.id, to) as usize;
+        let data = self.corrupt_along(path, data);
         self.inject(to, tag, end, data, h)
     }
 
@@ -526,7 +592,11 @@ impl Proc {
                     end,
                 );
                 self.stats.detour_hops += hops - 1;
-                self.inject(*to, *tag, end, data.clone(), hops);
+                let payload = match &detour {
+                    None => self.corrupt_along(&[*to], data.clone()),
+                    Some(path) => self.corrupt_along(path, data.clone()),
+                };
+                self.inject(*to, *tag, end, payload, hops);
             }
         }
 

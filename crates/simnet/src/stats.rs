@@ -21,6 +21,9 @@ pub struct NodeStats {
     pub detour_hops: usize,
     /// Messages this node injected that a fault plan dropped in flight.
     pub dropped: usize,
+    /// Payloads this node pushed that a fault plan silently corrupted in
+    /// flight (the receiver saw wrong data, not an error).
+    pub corrupted: usize,
 }
 
 /// Aggregated result of one simulated run.
@@ -67,5 +70,10 @@ impl RunStats {
     /// Total messages lost to scheduled drops across all nodes.
     pub fn total_dropped(&self) -> usize {
         self.nodes.iter().map(|n| n.dropped).sum()
+    }
+
+    /// Total payloads silently corrupted in flight across all nodes.
+    pub fn total_corrupted(&self) -> usize {
+        self.nodes.iter().map(|n| n.corrupted).sum()
     }
 }

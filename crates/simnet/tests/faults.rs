@@ -5,8 +5,8 @@
 use std::time::{Duration, Instant};
 
 use cubemm_simnet::{
-    run_machine, try_run_machine_with, Blocked, CostParams, FaultPlan, MachineOptions, PortModel,
-    RetryPolicy, RunError, SendError,
+    run_machine, try_run_machine_with, Blocked, CorruptKind, Corruption, CostParams, FaultPlan,
+    MachineOptions, PortModel, RetryPolicy, RunError, SendError,
 };
 
 const COST: CostParams = CostParams { ts: 10.0, tw: 2.0 };
@@ -246,6 +246,219 @@ fn exhausted_retries_surface_as_a_value_not_an_abort() {
         }))
     );
     assert_eq!(out.stats.total_dropped(), 4);
+}
+
+/// The retry-time cap binds before the attempt cap: a policy with a huge
+/// attempt budget against a permanently lossy link stops as soon as the
+/// next exponential backoff would exceed `max_total_backoff`, instead of
+/// burning virtual time without bound.
+#[test]
+fn retry_total_backoff_cap_bounds_virtual_time() {
+    // Drop everything 0 sends toward 1, forever.
+    let plan = (0..64u64).fold(FaultPlan::new(), |plan, k| plan.with_drop(0, 1, k));
+    let policy = RetryPolicy {
+        max_attempts: 64,
+        backoff: 1.0,
+        backoff_factor: 2.0,
+        max_total_backoff: 100.0,
+    };
+    let out = try_run_machine_with(
+        2,
+        options(PortModel::OnePort, plan),
+        vec![(); 2],
+        move |proc, ()| {
+            if proc.id() == 0 {
+                Some((proc.send_with_retry(1, 9, [1.0], policy), proc.clock()))
+            } else {
+                None
+            }
+        },
+    )
+    .unwrap();
+    let (result, clock) = out.outputs[0].expect("sender output");
+    // Backoffs 1 + 2 + 4 + 8 + 16 + 32 = 63 fit the cap; the next (64)
+    // would not, so the call stops after its 7th transmission.
+    assert_eq!(
+        result,
+        Err(SendError::RetriesExhausted {
+            from: 0,
+            to: 1,
+            attempts: 7
+        })
+    );
+    // 7 charged transmissions (ts + tw = 12 each) plus 63 of backoff.
+    assert_eq!(clock, 7.0 * 12.0 + 63.0);
+    assert_eq!(out.stats.total_retries(), 6);
+}
+
+/// A scheduled corruption mangles exactly the k-th payload crossing the
+/// directed edge — delivery, timing, and every other message untouched.
+#[test]
+fn scheduled_corruption_mangles_exactly_the_targeted_payload() {
+    let plan = FaultPlan::new().with_corruption(
+        0,
+        1,
+        1,
+        Corruption {
+            word: 2,
+            kind: CorruptKind::Perturb { delta: 100.0 },
+        },
+    );
+    let program = |proc: &mut cubemm_simnet::Proc, ()| {
+        if proc.id() == 0 {
+            proc.send(1, 7, [1.0, 2.0, 3.0]);
+            proc.send(1, 8, [4.0, 5.0, 6.0]);
+            proc.clock()
+        } else if proc.id() == 1 {
+            let first = proc.recv(0, 7);
+            let second = proc.recv(0, 8);
+            assert_eq!(&first[..], &[1.0, 2.0, 3.0], "crossing 0 is clean");
+            assert_eq!(
+                &second[..],
+                &[4.0, 5.0, 106.0],
+                "crossing 1, word 2 carries the delta"
+            );
+            proc.clock()
+        } else {
+            0.0
+        }
+    };
+    let faulty =
+        try_run_machine_with(2, options(PortModel::OnePort, plan), vec![(); 2], program).unwrap();
+    assert_eq!(faulty.stats.total_corrupted(), 1);
+    // Timing is identical to the healthy run: corruption is silent.
+    let healthy = try_run_machine_with(
+        2,
+        options(PortModel::OnePort, FaultPlan::new()),
+        vec![(); 2],
+        |proc, ()| {
+            if proc.id() == 0 {
+                proc.send(1, 7, [1.0, 2.0, 3.0]);
+                proc.send(1, 8, [4.0, 5.0, 6.0]);
+            } else {
+                let _ = proc.recv(0, 7);
+                let _ = proc.recv(0, 8);
+            }
+            proc.clock()
+        },
+    )
+    .unwrap();
+    assert_eq!(
+        faulty.stats.elapsed.to_bits(),
+        healthy.stats.elapsed.to_bits()
+    );
+}
+
+/// Corruption keyed to a detour edge fires when routing pushes traffic
+/// across it — the crossing counters follow the actual path, not the
+/// logical destination.
+#[test]
+fn corruption_follows_the_routed_path() {
+    // Kill 0<->1 so 0 -> 1 detours; corrupt the first crossing of the
+    // detour's first edge 0 -> 2 (dimension order tries bit 1 next).
+    let plan = FaultPlan::new().with_dead_link(0, 1).with_corruption(
+        0,
+        2,
+        0,
+        Corruption {
+            word: 0,
+            kind: CorruptKind::BitFlip { bit: 63 },
+        },
+    );
+    let out = try_run_machine_with(
+        4,
+        options(PortModel::OnePort, plan),
+        vec![(); 4],
+        |proc, ()| {
+            if proc.id() == 0 {
+                proc.send(1, 9, [8.0]);
+            } else if proc.id() == 1 {
+                let got = proc.recv(0, 9);
+                assert_eq!(&got[..], &[-8.0], "sign flipped on the detour edge");
+            }
+        },
+    )
+    .unwrap();
+    assert_eq!(out.stats.total_corrupted(), 1);
+}
+
+/// A scheduled crash kills the rank as it begins the given communication
+/// call and surfaces as a structured `NodeCrashed`, releasing every
+/// blocked sibling through the abort broadcast.
+#[test]
+fn scheduled_crash_surfaces_as_node_crashed() {
+    let plan = FaultPlan::new().with_crash(2, 1);
+    let err = try_run_machine_with(
+        4,
+        options(PortModel::OnePort, plan),
+        vec![(); 4],
+        |proc, ()| {
+            // Ring: everyone sends right, receives from the left. Node 2
+            // dies beginning its second call (the receive).
+            let right = (proc.id() + 1) % 4;
+            let left = (proc.id() + 3) % 4;
+            proc.send_routed(right, 9, [proc.id() as f64]);
+            let _ = proc.recv(left, 9);
+        },
+    )
+    .expect_err("the crash must abort the run");
+    assert_eq!(err, RunError::NodeCrashed { node: 2, step: 1 });
+    assert_eq!(
+        err.to_string(),
+        "node 2 crashed at communication step 1 (scheduled fault)"
+    );
+}
+
+/// Corrupted runs obey the determinism contract: the same plan twice
+/// gives bitwise-identical outputs, and clearing the crash entry
+/// ("rebooting") lets the same program complete.
+#[test]
+fn corruption_and_crash_plans_are_deterministic_and_reboot_clears_crashes() {
+    let plan = FaultPlan::new()
+        .with_corruption(
+            0,
+            1,
+            0,
+            Corruption {
+                word: 1,
+                kind: CorruptKind::Perturb { delta: -3.5 },
+            },
+        )
+        .with_crash(3, 0);
+    let program = |proc: &mut cubemm_simnet::Proc, ()| {
+        // Everyone communicates, so the crash (which fires at the start
+        // of a communication call) has a step to fire on at node 3.
+        let partner = proc.id() ^ 1;
+        proc.send(partner, 9, [proc.id() as f64, 2.0]);
+        let got = proc.recv(partner, 9);
+        got[1]
+    };
+    let a = try_run_machine_with(
+        4,
+        options(PortModel::OnePort, plan.clone()),
+        vec![(); 4],
+        program,
+    )
+    .expect_err("node 3 crashes immediately");
+    let b = try_run_machine_with(
+        4,
+        options(PortModel::OnePort, plan.clone()),
+        vec![(); 4],
+        program,
+    )
+    .expect_err("deterministically");
+    assert_eq!(a, b);
+    assert_eq!(a, RunError::NodeCrashed { node: 3, step: 0 });
+    // Reboot node 3: the corruption still fires, but the run completes.
+    let rebooted = try_run_machine_with(
+        4,
+        options(PortModel::OnePort, plan.without_crash(3)),
+        vec![(); 4],
+        program,
+    )
+    .unwrap();
+    assert_eq!(rebooted.outputs[1], -1.5);
+    assert_eq!(rebooted.stats.total_corrupted(), 1);
 }
 
 /// Stragglers and degraded links price exactly as configured.

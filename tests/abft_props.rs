@@ -1,0 +1,236 @@
+//! Cross-algorithm ABFT properties: for every registered algorithm, a
+//! single in-flight corruption at any communication site ends in an
+//! exact product — corrected in place when the residuals localize it,
+//! or via quarantine-and-rerun when they only detect it — and
+//! multi-fault damage plus scheduled crashes are survived the same way.
+//!
+//! Sites are enumerated from the algorithm's own event trace (every
+//! directed edge some node actually sends on during the protected run),
+//! so the suite adapts automatically as algorithms change their
+//! schedules.
+
+use std::collections::BTreeSet;
+
+use cubemm_core::abft::{multiply_abft_with_tol, padded_order, AbftOutcome};
+use cubemm_core::{Algorithm, MachineConfig};
+use cubemm_dense::{gemm, Matrix};
+use cubemm_harness::recovery::{
+    multiply_with_recovery_tol, RecoveryAction, RecoveryError, RecoveryPolicy,
+};
+use cubemm_simnet::{CorruptKind, Corruption, FaultPlan, TraceKind};
+
+/// Integer-valued inputs: every checksum identity is exact in f64, so
+/// corrected products must be bitwise-equal to the reference.
+fn ints(n: usize, salt: usize) -> Matrix {
+    Matrix::from_fn(n, n, |r, c| ((r * 7 + c * 3 + salt) % 5) as f64 - 2.0)
+}
+
+/// An integer perturbation keeps the arithmetic exact.
+fn perturb(word: usize) -> Corruption {
+    Corruption {
+        word,
+        kind: CorruptKind::Perturb { delta: 64.0 },
+    }
+}
+
+/// Smallest machine (from a small menu) on which the algorithm can run
+/// a checksum-augmented order close to `n`.
+fn machine_for(algo: Algorithm, n: usize) -> Option<(usize, usize)> {
+    for p in [4usize, 8, 16, 64] {
+        if let Ok(total) = padded_order(algo, n, p) {
+            if total <= 4 * n {
+                return Some((p, total));
+            }
+        }
+    }
+    None
+}
+
+/// Every directed edge some node sends on during a healthy protected
+/// run (single-hop sends; multi-hop sends contribute their recorded
+/// destination only when it is a neighbor).
+fn active_edges(algo: Algorithm, a: &Matrix, b: &Matrix, p: usize) -> Vec<(usize, usize)> {
+    let cfg = MachineConfig::default().with_trace();
+    let res = multiply_abft_with_tol(algo, a, b, p, &cfg, Some(1e-9)).expect("healthy traced run");
+    assert_eq!(res.outcome, AbftOutcome::Clean);
+    let mut edges = BTreeSet::new();
+    for (node, events) in res.traces.iter().enumerate() {
+        for ev in events {
+            if let TraceKind::Send { to, hops: 1 } = ev.kind {
+                edges.insert((node, to));
+            }
+        }
+    }
+    edges.into_iter().collect()
+}
+
+#[test]
+fn every_algorithm_survives_any_single_corruption_bitwise() {
+    let n = 6;
+    let (a, b) = (ints(n, 1), ints(n, 2));
+    let want = gemm::reference(&a, &b);
+    let policy = RecoveryPolicy::default();
+
+    let mut corrected_in_place = 0usize;
+    let mut quarantined = 0usize;
+    for algo in Algorithm::ALL.into_iter().chain(Algorithm::EXTENSIONS) {
+        let Some((p, _total)) = machine_for(algo, n) else {
+            panic!("{algo}: no machine in the menu accepts an augmented order");
+        };
+        let edges = active_edges(algo, &a, &b, p);
+        assert!(!edges.is_empty(), "{algo}: no traced sends");
+        // Sample up to 6 edges spread across the schedule, 2 message
+        // indices each: enough to hit A-motion, B-motion, and (where it
+        // exists) partial-product motion.
+        let stride = (edges.len() / 6).max(1);
+        for (from, to) in edges.iter().step_by(stride) {
+            for seq in 0..2u64 {
+                let plan = FaultPlan::new().with_corruption(*from, *to, seq, perturb(1));
+                let cfg = MachineConfig::default().with_faults(plan);
+                let (res, report) =
+                    multiply_with_recovery_tol(algo, &a, &b, p, &cfg, &policy, Some(1e-9))
+                        .unwrap_or_else(|e| {
+                            panic!("{algo}: site ({from},{to},{seq}) not survived: {e}")
+                        });
+                assert_eq!(
+                    res.c.as_slice(),
+                    want.as_slice(),
+                    "{algo}: site ({from},{to},{seq}) product not bitwise-exact"
+                );
+                if report.attempts == 1 {
+                    if matches!(res.outcome, AbftOutcome::Corrected { .. }) {
+                        corrected_in_place += 1;
+                    }
+                } else {
+                    assert!(
+                        report
+                            .actions
+                            .iter()
+                            .any(|act| matches!(act, RecoveryAction::QuarantinedLink { .. })),
+                        "{algo}: rerun without a quarantine"
+                    );
+                    quarantined += 1;
+                }
+            }
+        }
+    }
+    // Both recovery modes must actually be exercised by the sweep.
+    assert!(corrected_in_place > 0, "no site was corrected in place");
+    assert!(quarantined > 0, "no site forced a quarantine-rerun");
+}
+
+#[test]
+fn two_faults_are_uncorrectable_then_survived_by_quarantine() {
+    let n = 6;
+    let (a, b) = (ints(n, 3), ints(n, 4));
+    let want = gemm::reference(&a, &b);
+    // Two corruptions, one per direction of the 2<->3 link. The combined
+    // syndrome implicates several rows at once, which no single-checksum
+    // pattern can localize. Both faults share one undirected link on
+    // purpose: on the 4-node machine quarantining two distinct links
+    // would disconnect the cube, and a single quarantine covers both
+    // directed corruptors.
+    let plan = FaultPlan::new()
+        .with_corruption(2, 3, 0, perturb(1))
+        .with_corruption(3, 2, 0, perturb(2));
+    let cfg = MachineConfig::default().with_faults(plan);
+
+    // A single protected run detects the damage but cannot localize it.
+    let single = multiply_abft_with_tol(Algorithm::Cannon, &a, &b, 4, &cfg, Some(1e-9))
+        .expect("corrupted run still completes");
+    assert!(
+        !single.outcome.is_good(),
+        "two faults must not verify, got {:?}",
+        single.outcome
+    );
+
+    // Recovery quarantines the corrupting link and converges exactly.
+    let (res, report) = multiply_with_recovery_tol(
+        Algorithm::Cannon,
+        &a,
+        &b,
+        4,
+        &cfg,
+        &RecoveryPolicy::default(),
+        Some(1e-9),
+    )
+    .expect("quarantine-and-rerun must converge");
+    assert_eq!(res.c.as_slice(), want.as_slice());
+    assert!(report.attempts > 1);
+    assert_eq!(
+        report.actions,
+        vec![RecoveryAction::QuarantinedLink { a: 2, b: 3 }],
+        "one quarantine covers both directed corruptors"
+    );
+
+    // With the budget capped at one attempt, the same damage is an
+    // honest exhaustion, not a wrong answer.
+    let err = multiply_with_recovery_tol(
+        Algorithm::Cannon,
+        &a,
+        &b,
+        4,
+        &cfg,
+        &RecoveryPolicy {
+            max_attempts: 1,
+            ..RecoveryPolicy::default()
+        },
+        Some(1e-9),
+    )
+    .expect_err("budget of one cannot absorb two faults");
+    assert!(matches!(err, RecoveryError::Exhausted { attempts: 1, .. }));
+}
+
+#[test]
+fn a_scheduled_crash_is_survived_on_a_3d_machine() {
+    let n = 6;
+    let (a, b) = (ints(n, 5), ints(n, 6));
+    let want = gemm::reference(&a, &b);
+    let cfg = MachineConfig::default().with_faults(FaultPlan::new().with_crash(5, 0));
+    let (res, report) = multiply_with_recovery_tol(
+        Algorithm::Dns,
+        &a,
+        &b,
+        8,
+        &cfg,
+        &RecoveryPolicy::default(),
+        Some(1e-9),
+    )
+    .expect("reboot must converge");
+    assert_eq!(res.c.as_slice(), want.as_slice());
+    assert_eq!(report.attempts, 2);
+    assert_eq!(
+        report.actions,
+        vec![RecoveryAction::RebootedNode { node: 5 }]
+    );
+    assert!(report.final_plan.crash_step(5).is_none());
+}
+
+#[test]
+fn corruption_scheduling_is_deterministic_across_repeats() {
+    // The whole suite rests on repeatable fault firing: the same plan
+    // must produce the same outcome and the same recovery transcript.
+    let n = 6;
+    let (a, b) = (ints(n, 7), ints(n, 8));
+    let plan = FaultPlan::new().with_corruption(2, 3, 0, perturb(1));
+    let cfg = MachineConfig::default().with_faults(plan);
+    let runs: Vec<_> = (0..2)
+        .map(|_| {
+            let (res, report) = multiply_with_recovery_tol(
+                Algorithm::Cannon,
+                &a,
+                &b,
+                4,
+                &cfg,
+                &RecoveryPolicy::default(),
+                Some(1e-9),
+            )
+            .expect("survivable");
+            (res.c, res.outcome, report.attempts, report.actions)
+        })
+        .collect();
+    assert_eq!(runs[0].0.as_slice(), runs[1].0.as_slice());
+    assert_eq!(runs[0].1, runs[1].1);
+    assert_eq!(runs[0].2, runs[1].2);
+    assert_eq!(runs[0].3, runs[1].3);
+}
