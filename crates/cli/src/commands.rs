@@ -44,6 +44,11 @@ USAGE:
                                  `analyze all` sweeps every algorithm over
                                  the default (n, p) grid and fails on any
                                  violation
+  cubemm serve [--workers N] [--queue N] [--node-budget N] [--socket PATH]
+                                 long-lived multiply service: JSON-lines
+                                 requests on stdin (or a Unix socket),
+                                 one typed JSON response per job; see
+                                 DESIGN.md §13 for the protocol
   cubemm help                    this text
 
 Defaults: n=64, p=64, port=one, ts=150, tw=3, charge=sender (the paper's
@@ -66,10 +71,22 @@ NODE at its STEP-th communication call) is survived by rebooting it.
 --recover-attempts N bounds the re-runs (default 4, capped exponential
 virtual backoff between attempts). --fault-plan loads a JSON fault plan
 (flags stack on top); --fault-plan-dump writes the effective plan.
+cubemm serve boots a pool of --workers machines (default 4) and reads
+one JSON request per line: {\"id\",\"n\",\"p\",...} with optional algo
+(default auto = the Table 2 model's pick), kernel, port, ts, tw, seed,
+abft (default true), priority 0-9, deadline (virtual time), attempts,
+and faults (a fault-plan object). Each job is answered with exactly one
+typed JSON line: ok (with a bit-exact product fingerprint), overloaded
+(+retry_after_ms; the --queue bound is strict and excess load is shed
+lowest-priority-first), rejected, failed, deadline, or malformed (bad
+lines never kill the stream). EOF or SIGTERM stops admission, drains
+the queue, and prints a summary to stderr.
 Exit codes: 0 = verified product (clean, ABFT-corrected, or recovered);
             2 = usage/run errors, or damage still uncorrectable after
                 the --recover-attempts budget;
-            3 = deadlock (every live node blocked in a receive).
+            3 = deadlock (every live node blocked in a receive);
+            4 = serve only: the request stream itself broke (I/O error);
+                per-job failures never abort the service.
 Algorithms: simple cannon hje berntsen dns diag2d 3dd 3d-all-trans 3d-all
             dns-cannon 3d-all-cannon 3d-all-flat cannon-torus fox
 ";
@@ -343,6 +360,12 @@ pub fn run(argv: &[String]) -> i32 {
         cfg.port
     );
     println!("  verified:              max |Δ| = {err:.2e}");
+    // The same identity `cubemm serve` reports: FNV-1a 64 over the
+    // product's bits, for byte-exact comparison across modes.
+    println!(
+        "  fingerprint:           {}",
+        cubemm_serve::fingerprint_hex(&res.c)
+    );
     println!("  simulated comm time:   {:.1}", res.stats.elapsed);
     println!("  messages injected:     {}", res.stats.total_messages());
     println!("  word·hops moved:       {}", res.stats.total_word_hops());
@@ -447,9 +470,22 @@ fn run_abft(
         "  attempts:              {} (virtual backoff {:.1})",
         report.attempts, report.backoff_spent
     );
+    if !report.backoff_delays.is_empty() {
+        let schedule = report
+            .backoff_delays
+            .iter()
+            .map(|d| format!("{d:.1}"))
+            .collect::<Vec<_>>()
+            .join(" -> ");
+        println!("    backoff schedule:    {schedule}");
+    }
     for act in &report.actions {
         println!("    recovery:            {act}");
     }
+    println!(
+        "  fingerprint:           {}",
+        cubemm_serve::fingerprint_hex(&res.c)
+    );
     println!(
         "  payloads corrupted:    {} (final attempt)",
         res.stats.total_corrupted()
@@ -707,6 +743,178 @@ pub fn analyze(argv: &[String]) -> i32 {
     0
 }
 
+/// Feeds a request stream to a live pool, one JSON line per job,
+/// answering on `output` (shared with the pool's responders). Returns
+/// the number of malformed lines answered in-band; an `Err` is a broken
+/// *stream* (the exit-4 case), which per-job failures never are.
+fn serve_stream<R, W>(
+    input: R,
+    output: &std::sync::Arc<std::sync::Mutex<W>>,
+    pool: &cubemm_serve::ServePool,
+) -> std::io::Result<u64>
+where
+    R: std::io::BufRead,
+    W: std::io::Write + Send + 'static,
+{
+    use cubemm_serve::{JobResponse, JobStatus, Responder};
+
+    fn emit<W: std::io::Write>(out: &std::sync::Mutex<W>, resp: &JobResponse) {
+        let mut w = out.lock().unwrap_or_else(|e| e.into_inner());
+        let _ = writeln!(w, "{}", resp.encode());
+        let _ = w.flush();
+    }
+
+    let mut malformed = 0u64;
+    for line in input.lines() {
+        if cubemm_serve::shutdown::requested() {
+            break;
+        }
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        match cubemm_serve::parse_request(line) {
+            Ok(req) => {
+                let out = std::sync::Arc::clone(output);
+                let responder: Responder = std::sync::Arc::new(move |resp| emit(&out, &resp));
+                pool.submit(req, responder);
+            }
+            Err((id, error)) => {
+                // A bad line is answered, not fatal: the stream (and
+                // every queued job) lives on.
+                malformed += 1;
+                emit(
+                    output,
+                    &JobResponse {
+                        id,
+                        status: JobStatus::Malformed { error },
+                    },
+                );
+            }
+        }
+    }
+    Ok(malformed)
+}
+
+/// Accept loop for `--socket PATH`: each connection gets its own
+/// reader thread against the shared pool; SIGTERM stops accepting and
+/// the scope joins every connection before the caller drains.
+#[cfg(unix)]
+fn serve_socket(path: &str, pool: &cubemm_serve::ServePool) -> std::io::Result<u64> {
+    use std::io::BufReader;
+    use std::os::unix::net::UnixListener;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::{Arc, Mutex};
+
+    let _ = std::fs::remove_file(path);
+    let listener = UnixListener::bind(path)?;
+    listener.set_nonblocking(true)?;
+    let malformed = AtomicU64::new(0);
+    let result = std::thread::scope(|scope| -> std::io::Result<()> {
+        loop {
+            if cubemm_serve::shutdown::requested() {
+                return Ok(());
+            }
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    let malformed = &malformed;
+                    scope.spawn(move || {
+                        let Ok(read_half) = stream.try_clone() else {
+                            return;
+                        };
+                        let output = Arc::new(Mutex::new(stream));
+                        if let Ok(m) = serve_stream(BufReader::new(read_half), &output, pool) {
+                            malformed.fetch_add(m, Ordering::Relaxed);
+                        }
+                    });
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(std::time::Duration::from_millis(25));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    });
+    let _ = std::fs::remove_file(path);
+    result.map(|()| malformed.load(Ordering::Relaxed))
+}
+
+/// `cubemm serve [--workers N] [--queue N] [--node-budget N]
+/// [--socket PATH]`.
+pub fn serve(argv: &[String]) -> i32 {
+    use cubemm_serve::{ServeConfig, ServePool};
+
+    let args = match Args::parse(argv) {
+        Ok(a) => a,
+        Err(e) => return fail(&e),
+    };
+    let workers: usize = match args.get_or("workers", 4) {
+        Ok(v) => v,
+        Err(e) => return fail(&e),
+    };
+    let queue_cap: usize = match args.get_or("queue", 256) {
+        Ok(v) => v,
+        Err(e) => return fail(&e),
+    };
+    let node_budget: usize = match args.get_or("node-budget", cubemm_harness::DEFAULT_NODE_BUDGET) {
+        Ok(v) => v,
+        Err(e) => return fail(&e),
+    };
+    if workers == 0 || queue_cap == 0 || node_budget == 0 {
+        return fail("--workers, --queue, and --node-budget must be at least 1");
+    }
+    cubemm_serve::shutdown::install();
+    let pool = ServePool::start(ServeConfig {
+        workers,
+        queue_cap,
+        node_budget,
+    });
+    let streamed = match args.raw("socket") {
+        Some(path) => {
+            #[cfg(unix)]
+            {
+                eprintln!("cubemm serve: listening on {path} ({workers} workers)");
+                serve_socket(path, &pool)
+            }
+            #[cfg(not(unix))]
+            {
+                let _ = path;
+                drop(pool);
+                return fail("--socket requires a Unix platform");
+            }
+        }
+        None => {
+            let stdin = std::io::stdin();
+            let output = std::sync::Arc::new(std::sync::Mutex::new(std::io::stdout()));
+            serve_stream(stdin.lock(), &output, &pool)
+        }
+    };
+    let stats = pool.drain();
+    let malformed = *streamed.as_ref().unwrap_or(&0);
+    eprintln!(
+        "cubemm serve: drained — {} submitted, {} ok, {} failed, {} deadline, \
+         {} rejected, {} overloaded, {} shed, {} malformed, {} quarantines, {} reboots",
+        stats.submitted,
+        stats.ok,
+        stats.failed,
+        stats.deadline_missed,
+        stats.rejected,
+        stats.overloaded,
+        stats.shed,
+        malformed,
+        stats.quarantines,
+        stats.reboots,
+    );
+    match streamed {
+        Ok(_) => 0,
+        Err(e) => {
+            eprintln!("error: request stream broke: {e}");
+            4
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -952,5 +1160,84 @@ mod tests {
         assert_ne!(analyze(&argv("nosuch --n 16 --p 16")), 0);
         assert_ne!(analyze(&argv("cannon --n 17 --p 16")), 0);
         assert_ne!(analyze(&argv("cannon --n 16 --p 16 --port dual")), 0);
+    }
+
+    /// Runs `serve_stream` over a canned script against a small live
+    /// pool and returns the decoded response lines.
+    fn serve_script(script: &str) -> Vec<cubemm_simnet::json::Json> {
+        use std::sync::{Arc, Mutex};
+        let pool = cubemm_serve::ServePool::start(cubemm_serve::ServeConfig {
+            workers: 2,
+            ..cubemm_serve::ServeConfig::default()
+        });
+        let output: Arc<Mutex<Vec<u8>>> = Arc::new(Mutex::new(Vec::new()));
+        serve_stream(std::io::Cursor::new(script.to_string()), &output, &pool)
+            .expect("in-memory stream cannot break");
+        pool.drain();
+        let bytes = output.lock().unwrap().clone();
+        String::from_utf8(bytes)
+            .expect("responses are UTF-8")
+            .lines()
+            .map(|l| cubemm_simnet::json::parse(l).expect("each response line is JSON"))
+            .collect()
+    }
+
+    #[test]
+    fn serve_stream_answers_every_line_and_survives_malformed_input() {
+        use cubemm_simnet::json::Json;
+        let script = concat!(
+            "{\"id\":\"a\",\"n\":16,\"p\":16,\"algo\":\"cannon\"}\n",
+            "this is not json\n",
+            "\n", // blank lines are skipped, not answered
+            "{\"id\":\"b\",\"n\":16,\"p\":16,\"algo\":\"cannon\",\"abft\":false}\n",
+            "{\"id\":\"c\",\"n\":16,\"p\":16,\"priority\":99}\n",
+        );
+        let responses = serve_script(script);
+        assert_eq!(responses.len(), 4);
+        let status_of = |id: &str| {
+            responses
+                .iter()
+                .find(|r| r.get("id").and_then(Json::as_str) == Some(id))
+                .and_then(|r| r.get("status"))
+                .and_then(Json::as_str)
+                .map(str::to_string)
+        };
+        assert_eq!(status_of("a").as_deref(), Some("ok"));
+        assert_eq!(status_of("b").as_deref(), Some("ok"));
+        // Bad priority: malformed, but the id was readable and echoed.
+        assert_eq!(status_of("c").as_deref(), Some("malformed"));
+        // The unparseable line got an anonymous malformed response.
+        assert!(responses.iter().any(|r| {
+            r.get("id").and_then(Json::as_str) == Some("")
+                && r.get("status").and_then(Json::as_str) == Some("malformed")
+        }));
+    }
+
+    #[test]
+    fn serve_stream_matches_one_shot_run_bitwise() {
+        use cubemm_simnet::json::Json;
+        // The serve-vs-run byte-identity check, through the CLI layer:
+        // the served fingerprint equals the fingerprint of the same
+        // multiplication done directly (same seed → same inputs).
+        let responses = serve_script(
+            "{\"id\":\"x\",\"n\":16,\"p\":16,\"algo\":\"cannon\",\"abft\":false,\"seed\":1}\n",
+        );
+        let served = responses[0]
+            .get("fingerprint")
+            .and_then(Json::as_str)
+            .expect("ok response carries a fingerprint")
+            .to_string();
+        let a = Matrix::random(16, 16, 1);
+        let b = Matrix::random(16, 16, 2);
+        let direct = Algorithm::Cannon
+            .multiply(&a, &b, 16, &MachineConfig::default())
+            .expect("direct run");
+        assert_eq!(served, cubemm_serve::fingerprint_hex(&direct.c));
+    }
+
+    #[test]
+    fn serve_rejects_bad_flags() {
+        assert_eq!(serve(&["--workers".into(), "0".into()]), 2);
+        assert_eq!(serve(&["--queue".into(), "x".into()]), 2);
     }
 }

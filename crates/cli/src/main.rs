@@ -9,6 +9,9 @@
 //!                                          Figure 13/14-style region map
 //! cubemm analyze <algo|all> [--n N] [--p P] [--port one|multi|both]
 //!                                          static schedule certification
+//! cubemm serve [--workers N] [--queue N] [--node-budget N] [--socket PATH]
+//!                                          long-lived JSON-lines multiply
+//!                                          service with admission control
 //! ```
 
 mod args;
@@ -22,6 +25,7 @@ fn main() {
         Some("sweep") => commands::sweep(&argv[1..]),
         Some("regions") => commands::regions(&argv[1..]),
         Some("analyze") => commands::analyze(&argv[1..]),
+        Some("serve") => commands::serve(&argv[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
             print!("{}", commands::USAGE);
             0

@@ -33,19 +33,51 @@ fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
 }
 
 /// A counting budget of simulated node threads, shared by every worker
-/// of a [`run_grid`] call.
+/// of a [`run_grid`] call and used as the admission controller of the
+/// `cubemm-serve` machine pool.
 ///
 /// `acquire(p)` blocks until `p` units are free and returns a permit
 /// that releases them on drop. Requests are clamped to the capacity, so
 /// a run bigger than the whole budget still executes (alone) instead of
-/// deadlocking.
+/// deadlocking. Services that must *reject* instead of block use
+/// [`ThreadBudget::try_acquire`], which reports an oversized request as
+/// a typed [`BudgetError`] and a momentarily full budget as `None`.
+#[derive(Debug)]
 pub struct ThreadBudget {
     capacity: usize,
     available: Mutex<usize>,
     freed: Condvar,
 }
 
+/// Why a non-blocking budget request can never succeed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BudgetError {
+    /// The request is larger than the whole budget: waiting would never
+    /// help, so admission control must reject the job outright instead
+    /// of deadlocking behind it.
+    ExceedsCapacity {
+        /// The rejected request size.
+        want: usize,
+        /// The budget's total capacity.
+        capacity: usize,
+    },
+}
+
+impl std::fmt::Display for BudgetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BudgetError::ExceedsCapacity { want, capacity } => write!(
+                f,
+                "request for {want} node threads exceeds the budget capacity {capacity}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BudgetError {}
+
 /// A held reservation against a [`ThreadBudget`]; units return on drop.
+#[derive(Debug)]
 pub struct BudgetPermit<'a> {
     budget: &'a ThreadBudget,
     held: usize,
@@ -62,7 +94,22 @@ impl ThreadBudget {
         }
     }
 
+    /// The total capacity the budget was created with.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// A snapshot of the currently unreserved units (for reporting; the
+    /// value can be stale by the time the caller acts on it).
+    pub fn available(&self) -> usize {
+        *lock(&self.available)
+    }
+
     /// Blocks until `want` node threads are available and reserves them.
+    ///
+    /// Zero-weight requests still hold one unit (a job always occupies
+    /// at least its own thread), and oversized requests are clamped to
+    /// the capacity so they run alone instead of deadlocking.
     pub fn acquire(&self, want: usize) -> BudgetPermit<'_> {
         let want = want.clamp(1, self.capacity);
         let mut available = lock(&self.available);
@@ -77,6 +124,38 @@ impl ThreadBudget {
             budget: self,
             held: want,
         }
+    }
+
+    /// Whether a request of `want` units could ever be admitted — the
+    /// cheap pre-check admission control runs before queueing a job.
+    pub fn admits(&self, want: usize) -> Result<(), BudgetError> {
+        if want > self.capacity {
+            return Err(BudgetError::ExceedsCapacity {
+                want,
+                capacity: self.capacity,
+            });
+        }
+        Ok(())
+    }
+
+    /// Non-blocking [`ThreadBudget::acquire`]: reserves `want` units if
+    /// they are free *right now* (`Ok(Some(permit))`), reports a
+    /// momentarily full budget as `Ok(None)` (back off and retry), and
+    /// an impossible request — `want` beyond the whole capacity — as a
+    /// typed error rather than clamping, blocking, or deadlocking.
+    /// Zero-weight requests hold one unit, as in `acquire`.
+    pub fn try_acquire(&self, want: usize) -> Result<Option<BudgetPermit<'_>>, BudgetError> {
+        self.admits(want)?;
+        let want = want.max(1);
+        let mut available = lock(&self.available);
+        if *available < want {
+            return Ok(None);
+        }
+        *available -= want;
+        Ok(Some(BudgetPermit {
+            budget: self,
+            held: want,
+        }))
     }
 }
 
@@ -163,6 +242,96 @@ mod tests {
             let parallel = run_grid(&tasks, jobs, |_| 1, |&t| t * t);
             assert_eq!(parallel, serial, "jobs = {jobs}");
         }
+    }
+
+    #[test]
+    fn zero_weight_jobs_still_hold_one_unit() {
+        // A job always occupies at least its own thread: weight 0 must
+        // not create a permit that reserves nothing (acquire) nor admit
+        // unbounded concurrency (try_acquire).
+        let budget = ThreadBudget::new(1);
+        let held = budget.acquire(0);
+        assert_eq!(budget.available(), 0);
+        assert!(matches!(budget.try_acquire(0), Ok(None)));
+        drop(held);
+        assert_eq!(budget.available(), 1);
+        let held = budget.try_acquire(0).expect("within capacity");
+        assert!(held.is_some());
+        assert_eq!(budget.available(), 0);
+    }
+
+    #[test]
+    fn try_acquire_rejects_oversized_requests_as_an_error_not_a_deadlock() {
+        let budget = ThreadBudget::new(4);
+        // want > capacity can never succeed: a typed error, instantly —
+        // no clamping (that's acquire's contract) and no blocking.
+        assert_eq!(
+            budget.try_acquire(5).unwrap_err(),
+            BudgetError::ExceedsCapacity {
+                want: 5,
+                capacity: 4
+            }
+        );
+        assert_eq!(
+            budget.admits(1000).unwrap_err(),
+            BudgetError::ExceedsCapacity {
+                want: 1000,
+                capacity: 4
+            }
+        );
+        // The failed attempts reserved nothing.
+        assert_eq!(budget.available(), 4);
+        // Exactly at capacity is fine; a second full-size request backs
+        // off with None instead of waiting.
+        let all = budget.try_acquire(4).expect("at capacity");
+        assert!(all.is_some());
+        assert!(matches!(budget.try_acquire(4), Ok(None)));
+        assert!(matches!(budget.try_acquire(1), Ok(None)));
+        drop(all);
+        assert_eq!(budget.available(), 4);
+    }
+
+    #[test]
+    fn out_of_order_releases_keep_the_accounting_exact() {
+        // Permits dropped in an order unrelated to acquisition must
+        // return exactly their own units: after any release order the
+        // full capacity is acquirable again.
+        let budget = ThreadBudget::new(4);
+        let a = budget.acquire(1);
+        let b = budget.acquire(2);
+        let c = budget.acquire(1);
+        assert_eq!(budget.available(), 0);
+        drop(b); // middle first
+        assert_eq!(budget.available(), 2);
+        drop(a);
+        drop(c);
+        assert_eq!(budget.available(), 4);
+        let all = budget.acquire(4);
+        drop(all);
+    }
+
+    #[test]
+    fn concurrent_acquire_release_never_overshoots_the_budget() {
+        // 16 threads of weight 2 against a budget of 4: at most 2 run
+        // at once, every thread completes (releases wake all waiters),
+        // and the budget drains back to exactly its capacity.
+        let budget = ThreadBudget::new(4);
+        let running = AtomicUsize::new(0);
+        let peak = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..16 {
+                scope.spawn(|| {
+                    let permit = budget.acquire(2);
+                    let now = running.fetch_add(1, Ordering::SeqCst) + 1;
+                    peak.fetch_max(now, Ordering::SeqCst);
+                    std::thread::yield_now();
+                    running.fetch_sub(1, Ordering::SeqCst);
+                    drop(permit);
+                });
+            }
+        });
+        assert!(peak.load(Ordering::SeqCst) <= 2, "budget overshoot");
+        assert_eq!(budget.available(), 4);
     }
 
     #[test]

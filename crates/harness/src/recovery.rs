@@ -106,6 +106,12 @@ pub struct RecoveryReport {
     /// Total virtual backoff delay charged between attempts. Not part
     /// of any run's clock — bookkeeping for cost accounting.
     pub backoff_spent: f64,
+    /// The individual delays behind [`RecoveryReport::backoff_spent`],
+    /// one per retry in order: `delays[i]` was charged before attempt
+    /// `i + 2`. Exposes the capped exponential schedule so callers (the
+    /// CLI's verbose report, the serve deadline check) can show *when*
+    /// the virtual time went, not just how much.
+    pub backoff_delays: Vec<f64>,
     /// The fault plan the final (returned) attempt ran under.
     pub final_plan: FaultPlan,
 }
@@ -176,6 +182,7 @@ pub fn multiply_with_recovery_tol(
         attempts: 0,
         actions: Vec::new(),
         backoff_spent: 0.0,
+        backoff_delays: Vec::new(),
         final_plan: cfg.faults.clone(),
     };
     let mut backoff = policy.backoff;
@@ -242,6 +249,7 @@ pub fn multiply_with_recovery_tol(
         }
         let delay = backoff.min(policy.max_backoff);
         report.backoff_spent += delay;
+        report.backoff_delays.push(delay);
         backoff *= policy.backoff_factor;
     }
 }
@@ -320,8 +328,60 @@ mod tests {
             vec![RecoveryAction::RebootedNode { node: 2 }]
         );
         assert_eq!(report.backoff_spent, 16.0);
+        assert_eq!(report.backoff_delays, vec![16.0]);
         assert!(report.final_plan.crash_step(2).is_none());
         assert_eq!(res.c.as_slice(), gemm::reference(&a, &b).as_slice());
+    }
+
+    #[test]
+    fn two_retries_record_the_exponential_schedule() {
+        let (a, b) = (ints(6, 9), ints(6, 10));
+        // Two scheduled crashes: each attempt reboots one node, so the
+        // run converges on attempt 3 after charging 16 then 32.
+        let cfg = MachineConfig::default()
+            .with_faults(FaultPlan::new().with_crash(1, 0).with_crash(2, 1));
+        let (res, report) = multiply_with_recovery_tol(
+            Algorithm::Cannon,
+            &a,
+            &b,
+            4,
+            &cfg,
+            &RecoveryPolicy::default(),
+            Some(1e-9),
+        )
+        .expect("two reboots fit the default budget");
+        assert_eq!(report.attempts, 3);
+        assert_eq!(report.backoff_delays, vec![16.0, 32.0]);
+        assert_eq!(
+            report.backoff_spent,
+            report.backoff_delays.iter().sum::<f64>()
+        );
+        // Which crash fires first depends on host scheduling, but both
+        // nodes must end up rebooted.
+        assert_eq!(report.actions.len(), 2);
+        assert!(report.actions.iter().all(
+            |act| matches!(act, RecoveryAction::RebootedNode { node } if *node == 1 || *node == 2)
+        ));
+        assert_eq!(res.c.as_slice(), gemm::reference(&a, &b).as_slice());
+    }
+
+    #[test]
+    fn backoff_schedule_honors_the_cap() {
+        let (a, b) = (ints(6, 11), ints(6, 12));
+        let cfg = MachineConfig::default()
+            .with_faults(FaultPlan::new().with_crash(1, 0).with_crash(2, 1));
+        let policy = RecoveryPolicy {
+            max_attempts: 4,
+            backoff: 100.0,
+            backoff_factor: 10.0,
+            max_backoff: 250.0,
+        };
+        let (_, report) =
+            multiply_with_recovery_tol(Algorithm::Cannon, &a, &b, 4, &cfg, &policy, Some(1e-9))
+                .expect("two reboots fit a budget of four");
+        // Uncapped the second delay would be 1000; the cap pins it.
+        assert_eq!(report.backoff_delays, vec![100.0, 250.0]);
+        assert_eq!(report.backoff_spent, 350.0);
     }
 
     #[test]

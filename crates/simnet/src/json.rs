@@ -7,12 +7,16 @@
 //! the JSON the plan encoding produces — objects, arrays, finite
 //! numbers, strings without exotic escapes, booleans, null — which is
 //! also all that a hand-edited plan file needs.
+//!
+//! The module is `#[doc(hidden)] pub` for the benefit of the other
+//! workspace crates (the `cubemm-serve` JSON-lines protocol reuses it);
+//! it is an internal utility, not a supported public API.
 
 use std::fmt::Write as _;
 
 /// One JSON value.
 #[derive(Debug, Clone, PartialEq)]
-pub(crate) enum Json {
+pub enum Json {
     Null,
     Bool(bool),
     Num(f64),
@@ -23,36 +27,43 @@ pub(crate) enum Json {
 }
 
 impl Json {
-    pub(crate) fn get(&self, key: &str) -> Option<&Json> {
+    pub fn get(&self, key: &str) -> Option<&Json> {
         match self {
             Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
             _ => None,
         }
     }
 
-    pub(crate) fn as_arr(&self) -> Option<&[Json]> {
+    pub fn as_arr(&self) -> Option<&[Json]> {
         match self {
             Json::Arr(items) => Some(items),
             _ => None,
         }
     }
 
-    pub(crate) fn as_f64(&self) -> Option<f64> {
+    pub fn as_f64(&self) -> Option<f64> {
         match self {
             Json::Num(x) => Some(*x),
             _ => None,
         }
     }
 
-    pub(crate) fn as_bool(&self) -> Option<bool> {
+    pub fn as_bool(&self) -> Option<bool> {
         match self {
             Json::Bool(b) => Some(*b),
             _ => None,
         }
     }
 
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
     /// A non-negative integer small enough to round-trip through `f64`.
-    pub(crate) fn as_index(&self) -> Option<u64> {
+    pub fn as_index(&self) -> Option<u64> {
         let x = self.as_f64()?;
         if x >= 0.0 && x.fract() == 0.0 && x <= 2f64.powi(53) {
             Some(x as u64)
@@ -63,7 +74,7 @@ impl Json {
 
     /// Serializes the value on one line (no pretty-printing; plan files
     /// are small and diff-friendly enough as-is).
-    pub(crate) fn write(&self, out: &mut String) {
+    pub fn write(&self, out: &mut String) {
         match self {
             Json::Null => out.push_str("null"),
             Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
@@ -117,7 +128,7 @@ impl Json {
         }
     }
 
-    pub(crate) fn encode(&self) -> String {
+    pub fn encode(&self) -> String {
         let mut out = String::new();
         self.write(&mut out);
         out
@@ -125,7 +136,7 @@ impl Json {
 }
 
 /// Parses a complete JSON document (trailing garbage is an error).
-pub(crate) fn parse(text: &str) -> Result<Json, String> {
+pub fn parse(text: &str) -> Result<Json, String> {
     let bytes = text.as_bytes();
     let mut pos = 0usize;
     let value = parse_value(bytes, &mut pos)?;

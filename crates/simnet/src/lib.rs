@@ -84,7 +84,8 @@
 //! node's condvar, so a poisoned run tears down promptly.
 
 pub mod faults;
-mod json;
+#[doc(hidden)]
+pub mod json;
 mod ledger;
 mod machine;
 mod proc;
@@ -94,7 +95,7 @@ pub mod trace;
 pub use faults::{CorruptKind, Corruption, FaultPlan, LinkQuality, RetryPolicy, SendError};
 pub use machine::{
     run_machine, run_machine_traced, run_machine_with, try_run_machine_with, Blocked,
-    MachineOptions, RunError, RunOutcome,
+    MachineOptions, PreparedMachine, RunError, RunOutcome,
 };
 pub use proc::{Op, Proc};
 pub use stats::{NodeStats, RunStats};

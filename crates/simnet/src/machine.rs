@@ -187,19 +187,32 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
-/// Warns once per process if the retired watchdog knob is still set: the
-/// progress ledger detects deadlocks exactly, so the variable is
-/// accepted for compatibility but has no effect.
-fn warn_deprecated_watchdog_env() {
-    static WARN_ONCE: std::sync::Once = std::sync::Once::new();
-    if std::env::var_os("CUBEMM_DEADLOCK_TIMEOUT_MS").is_some() {
-        WARN_ONCE.call_once(|| {
-            eprintln!(
-                "warning: CUBEMM_DEADLOCK_TIMEOUT_MS is deprecated and ignored: \
-                 deadlocks are now detected exactly by the progress ledger"
-            );
-        });
+/// Whether the retired watchdog knob is present in the environment.
+///
+/// Checked once per process and cached: long-lived pools (`cubemm
+/// serve`) boot machines continuously, and the environment lookup —
+/// previously performed on every boot — is not free.
+fn watchdog_env_present() -> bool {
+    static PRESENT: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *PRESENT.get_or_init(|| std::env::var_os("CUBEMM_DEADLOCK_TIMEOUT_MS").is_some())
+}
+
+/// Warns at most once per process if the retired watchdog knob is still
+/// set: the progress ledger detects deadlocks exactly, so the variable
+/// is accepted for compatibility but has no effect. Returns whether
+/// *this* call emitted the warning, so tests can pin the
+/// once-per-process contract.
+fn warn_deprecated_watchdog_env() -> bool {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    static WARNED: AtomicBool = AtomicBool::new(false);
+    if !watchdog_env_present() || WARNED.swap(true, Ordering::Relaxed) {
+        return false;
     }
+    eprintln!(
+        "warning: CUBEMM_DEADLOCK_TIMEOUT_MS is deprecated and ignored: \
+         deadlocks are now detected exactly by the progress ledger"
+    );
+    true
 }
 
 /// Runs `program` as an SPMD job on a simulated `p`-node hypercube.
@@ -342,100 +355,162 @@ where
     O: Send,
     F: Fn(&mut Proc, I) -> O + Sync,
 {
-    let Some(dim) = log2_exact(p) else {
-        return Err(RunError::Config(format!(
-            "machine size {p} is not a power of two"
-        )));
-    };
-    if inits.len() != p {
-        return Err(RunError::Config(format!(
-            "need exactly one initial-data entry per node: got {} for p = {p}",
-            inits.len()
-        )));
+    PreparedMachine::new(p, options)?.run(inits, program)
+}
+
+/// A machine whose configuration has been validated **once**, ready to
+/// boot any number of times without re-validation.
+///
+/// One-shot runs pay the configuration checks (power-of-two size, fault
+/// plan consistency, deprecated-environment lookup) on every call to
+/// [`try_run_machine_with`]; a long-lived pool that boots machines
+/// continuously — `cubemm serve`'s reboot-after-quarantine self-test in
+/// particular — prepares the machine once and reboots it with
+/// [`PreparedMachine::run`], which goes straight to spawning node
+/// threads. Runs are independent: each boot gets a fresh progress
+/// ledger and fresh virtual clocks, so results are bit-for-bit
+/// identical from boot to boot.
+///
+/// ```
+/// use cubemm_simnet::{CostParams, MachineOptions, PortModel, PreparedMachine};
+///
+/// let options = MachineOptions::paper(PortModel::OnePort, CostParams::PAPER);
+/// let machine = PreparedMachine::new(2, options).unwrap();
+/// // Reboot twice; the validated configuration is reused as-is.
+/// let first = machine.run(vec![(), ()], |proc, ()| proc.id()).unwrap();
+/// let again = machine.run(vec![(), ()], |proc, ()| proc.id()).unwrap();
+/// assert_eq!(first.outputs, again.outputs);
+/// assert_eq!(first.stats.elapsed, again.stats.elapsed);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PreparedMachine {
+    p: usize,
+    dim: u32,
+    options: MachineOptions,
+}
+
+impl PreparedMachine {
+    /// Validates the configuration once and captures it for repeated
+    /// boots. All [`RunError::Config`] cases of [`try_run_machine_with`]
+    /// except the per-run init-count check are reported here.
+    pub fn new(p: usize, options: MachineOptions) -> Result<PreparedMachine, RunError> {
+        let Some(dim) = log2_exact(p) else {
+            return Err(RunError::Config(format!(
+                "machine size {p} is not a power of two"
+            )));
+        };
+        options.faults.validate(p).map_err(RunError::Config)?;
+        Ok(PreparedMachine { p, dim, options })
     }
-    options.faults.validate(p).map_err(RunError::Config)?;
-    warn_deprecated_watchdog_env();
 
-    let ledger = Arc::new(Ledger::new(p));
-    let faults = (!options.faults.is_empty()).then(|| Arc::new(options.faults.clone()));
-    let program = &program;
-    let options = &options;
+    /// The machine size the configuration was validated for.
+    pub fn p(&self) -> usize {
+        self.p
+    }
 
-    let mut results: Vec<Option<(O, NodeStats, Vec<crate::trace::TraceEvent>)>> =
-        Vec::with_capacity(p);
-    results.resize_with(p, || None);
+    /// The validated machine options.
+    pub fn options(&self) -> &MachineOptions {
+        &self.options
+    }
 
-    std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(p);
-        for (id, init) in inits.into_iter().enumerate() {
-            let ledger = Arc::clone(&ledger);
-            let faults = faults.clone();
-            handles.push(scope.spawn(move || {
-                let body = AssertUnwindSafe(|| {
-                    let mut proc = Proc::new(id, dim, options, faults, Arc::clone(&ledger));
-                    let out = program(&mut proc, init);
-                    let (stats, trace) = proc.into_parts();
-                    (out, stats, trace)
-                });
-                let result = match catch_unwind(body) {
-                    Ok(triple) => Some(triple),
-                    Err(payload) => {
-                        // Quiet unwinds already registered their failure
-                        // (or are cascading victims); anything else is a
-                        // genuine program panic. Trigger BEFORE finish so
-                        // the genuine failure wins the first-failure slot
-                        // even if finishing would also declare deadlock.
-                        if !payload.is::<Aborted>() {
-                            ledger.trigger(Failure::Panicked {
-                                node: id,
-                                message: panic_message(payload.as_ref()),
-                            });
+    /// Boots the machine: spawns one node thread per processor and runs
+    /// `program` to completion, skipping every already-performed
+    /// configuration check (only the init count is per-run).
+    pub fn run<I, O, F>(&self, inits: Vec<I>, program: F) -> Result<RunOutcome<O>, RunError>
+    where
+        I: Send,
+        O: Send,
+        F: Fn(&mut Proc, I) -> O + Sync,
+    {
+        let (p, dim, options) = (self.p, self.dim, &self.options);
+        if inits.len() != p {
+            return Err(RunError::Config(format!(
+                "need exactly one initial-data entry per node: got {} for p = {p}",
+                inits.len()
+            )));
+        }
+        warn_deprecated_watchdog_env();
+
+        let ledger = Arc::new(Ledger::new(p));
+        let faults = (!options.faults.is_empty()).then(|| Arc::new(options.faults.clone()));
+        let program = &program;
+
+        let mut results: Vec<Option<(O, NodeStats, Vec<crate::trace::TraceEvent>)>> =
+            Vec::with_capacity(p);
+        results.resize_with(p, || None);
+
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(p);
+            for (id, init) in inits.into_iter().enumerate() {
+                let ledger = Arc::clone(&ledger);
+                let faults = faults.clone();
+                handles.push(scope.spawn(move || {
+                    let body = AssertUnwindSafe(|| {
+                        let mut proc = Proc::new(id, dim, options, faults, Arc::clone(&ledger));
+                        let out = program(&mut proc, init);
+                        let (stats, trace) = proc.into_parts();
+                        (out, stats, trace)
+                    });
+                    let result = match catch_unwind(body) {
+                        Ok(triple) => Some(triple),
+                        Err(payload) => {
+                            // Quiet unwinds already registered their failure
+                            // (or are cascading victims); anything else is a
+                            // genuine program panic. Trigger BEFORE finish so
+                            // the genuine failure wins the first-failure slot
+                            // even if finishing would also declare deadlock.
+                            if !payload.is::<Aborted>() {
+                                ledger.trigger(Failure::Panicked {
+                                    node: id,
+                                    message: panic_message(payload.as_ref()),
+                                });
+                            }
+                            None
                         }
-                        None
-                    }
-                };
-                ledger.finish(id);
-                result
-            }));
-        }
-        for (id, handle) in handles.into_iter().enumerate() {
-            // The closure catches every unwind, so the join itself only
-            // fails on catastrophic runtime errors.
-            if let Ok(result) = handle.join() {
-                results[id] = result;
+                    };
+                    ledger.finish(id);
+                    result
+                }));
             }
-        }
-    });
-
-    let (failure, blocked) = ledger.take_outcome();
-    if let Some(failure) = failure {
-        return Err(match failure {
-            Failure::Deadlock => RunError::Deadlock { blocked },
-            Failure::Panicked { node, message } => RunError::NodePanicked { node, message },
-            Failure::Link { node, error } => RunError::LinkDead { node, error },
-            Failure::Crashed { node, step } => RunError::NodeCrashed { node, step },
+            for (id, handle) in handles.into_iter().enumerate() {
+                // The closure catches every unwind, so the join itself only
+                // fails on catastrophic runtime errors.
+                if let Ok(result) = handle.join() {
+                    results[id] = result;
+                }
+            }
         });
-    }
 
-    let mut outputs = Vec::with_capacity(p);
-    let mut nodes = Vec::with_capacity(p);
-    let mut traces = Vec::with_capacity(p);
-    for triple in results {
-        #[allow(
-            clippy::expect_used,
-            reason = "failed nodes returned RunError above; every surviving slot is Some"
-        )]
-        let (out, stats, trace) = triple.expect("every node joined");
-        outputs.push(out);
-        nodes.push(stats);
-        traces.push(trace);
+        let (failure, blocked) = ledger.take_outcome();
+        if let Some(failure) = failure {
+            return Err(match failure {
+                Failure::Deadlock => RunError::Deadlock { blocked },
+                Failure::Panicked { node, message } => RunError::NodePanicked { node, message },
+                Failure::Link { node, error } => RunError::LinkDead { node, error },
+                Failure::Crashed { node, step } => RunError::NodeCrashed { node, step },
+            });
+        }
+
+        let mut outputs = Vec::with_capacity(p);
+        let mut nodes = Vec::with_capacity(p);
+        let mut traces = Vec::with_capacity(p);
+        for triple in results {
+            #[allow(
+                clippy::expect_used,
+                reason = "failed nodes returned RunError above; every surviving slot is Some"
+            )]
+            let (out, stats, trace) = triple.expect("every node joined");
+            outputs.push(out);
+            nodes.push(stats);
+            traces.push(trace);
+        }
+        let elapsed = nodes.iter().map(|n| n.clock).fold(0.0, f64::max);
+        Ok(RunOutcome {
+            outputs,
+            stats: RunStats { elapsed, nodes },
+            traces,
+        })
     }
-    let elapsed = nodes.iter().map(|n| n.clock).fold(0.0, f64::max);
-    Ok(RunOutcome {
-        outputs,
-        stats: RunStats { elapsed, nodes },
-        traces,
-    })
 }
 
 #[cfg(test)]
@@ -640,6 +715,58 @@ mod tests {
                 proc.send(3, 0, words(1));
             }
         });
+    }
+
+    #[test]
+    fn prepared_machine_reboots_identically_without_revalidation() {
+        // Prepare once (validation happens here), then boot three times:
+        // every reboot must reproduce the same virtual numbers bit for
+        // bit — machine reuse cannot perturb determinism.
+        let options = MachineOptions::paper(PortModel::OnePort, COST);
+        let machine = PreparedMachine::new(2, options).expect("valid config");
+        assert_eq!(machine.p(), 2);
+        let boot = || {
+            machine
+                .run(vec![(), ()], |proc, ()| {
+                    let got = proc.exchange(proc.id() ^ 1, 3, words(4));
+                    (got.len(), proc.clock())
+                })
+                .expect("healthy boot")
+        };
+        let first = boot();
+        for _ in 0..2 {
+            let again = boot();
+            assert_eq!(again.outputs, first.outputs);
+            assert_eq!(again.stats.elapsed, first.stats.elapsed);
+        }
+    }
+
+    #[test]
+    fn prepared_machine_rejects_bad_configs_at_preparation() {
+        let options = MachineOptions::paper(PortModel::OnePort, COST);
+        let err = PreparedMachine::new(3, options.clone()).unwrap_err();
+        assert!(matches!(err, RunError::Config(ref m) if m.contains("power of two")));
+        let mut bad = options.clone();
+        bad.faults = crate::FaultPlan::new().with_straggler(9, 2.0);
+        let err = PreparedMachine::new(4, bad).unwrap_err();
+        assert!(matches!(err, RunError::Config(ref m) if m.contains("outside the 4-node")));
+        // The init count stays a per-run check.
+        let machine = PreparedMachine::new(4, options).expect("valid config");
+        let err = machine.run(vec![(), ()], |_, ()| ()).unwrap_err();
+        assert!(matches!(err, RunError::Config(ref m) if m.contains("one initial-data entry")));
+    }
+
+    #[test]
+    fn deprecated_watchdog_warns_at_most_once_per_process() {
+        // Two bursts of boots-worth of checks: across the whole process
+        // lifetime (other tests boot machines concurrently) the warning
+        // fires at most once, and never when the knob is absent.
+        let total = (0..64).filter(|_| warn_deprecated_watchdog_env()).count()
+            + (0..64).filter(|_| warn_deprecated_watchdog_env()).count();
+        assert!(total <= 1, "warned {total} times in one process");
+        if !watchdog_env_present() {
+            assert_eq!(total, 0, "warned with the knob absent");
+        }
     }
 
     #[test]
