@@ -6,13 +6,33 @@
 use cubemm_bench::microbench::{BenchmarkId, Criterion};
 use cubemm_bench::{criterion_group, criterion_main};
 use cubemm_collectives as coll;
-use cubemm_simnet::{run_machine, CostParams, Payload, PortModel};
+use cubemm_simnet::{CostParams, Machine, Payload, PortModel, Proc, RunOutcome};
 use cubemm_topology::Subcube;
 
 const COST: CostParams = CostParams { ts: 1.0, tw: 1.0 };
 
 fn payload(rank: usize, m: usize) -> Payload {
     (0..m).map(|x| (rank + x) as f64).collect()
+}
+
+/// Boots a healthy `p`-node machine and runs `program` on every node.
+fn run<O, F, Fut>(p: usize, port: PortModel, program: F) -> RunOutcome<O>
+where
+    O: Send,
+    F: Fn(Proc, ()) -> Fut + Sync,
+    Fut: std::future::Future<Output = O>,
+{
+    #[allow(
+        clippy::expect_used,
+        reason = "fixed, valid bench machines; a failure is a bench bug"
+    )]
+    Machine::builder(p)
+        .port(port)
+        .cost(COST)
+        .build()
+        .expect("valid bench machine")
+        .run(vec![(); p], program)
+        .expect("healthy bench run")
 }
 
 fn bench_collectives(c: &mut Criterion) {
@@ -23,10 +43,10 @@ fn bench_collectives(c: &mut Criterion) {
     for port in [PortModel::OnePort, PortModel::MultiPort] {
         group.bench_with_input(BenchmarkId::new("bcast", port), &port, |bench, &port| {
             bench.iter(|| {
-                run_machine(p, port, COST, vec![(); p], |proc, ()| {
+                run(p, port, |mut proc, ()| async move {
                     let sc = Subcube::whole(proc.dim());
                     let data = (sc.rank_of(proc.id()) == 0).then(|| payload(0, m));
-                    coll::bcast(proc, &sc, 0, 0, data, m)
+                    coll::bcast(&mut proc, &sc, 0, 0, data, m).await
                 })
             })
         });
@@ -35,21 +55,21 @@ fn bench_collectives(c: &mut Criterion) {
             &port,
             |bench, &port| {
                 bench.iter(|| {
-                    run_machine(p, port, COST, vec![(); p], |proc, ()| {
+                    run(p, port, |mut proc, ()| async move {
                         let sc = Subcube::whole(proc.dim());
                         let v = sc.rank_of(proc.id());
-                        coll::allgather(proc, &sc, 0, payload(v, m))
+                        coll::allgather(&mut proc, &sc, 0, payload(v, m)).await
                     })
                 })
             },
         );
         group.bench_with_input(BenchmarkId::new("alltoall", port), &port, |bench, &port| {
             bench.iter(|| {
-                run_machine(p, port, COST, vec![(); p], |proc, ()| {
+                run(p, port, |mut proc, ()| async move {
                     let sc = Subcube::whole(proc.dim());
                     let v = sc.rank_of(proc.id());
                     let parts: Vec<Payload> = (0..sc.size()).map(|r| payload(v + r, m)).collect();
-                    coll::alltoall_personalized(proc, &sc, 0, parts)
+                    coll::alltoall_personalized(&mut proc, &sc, 0, parts).await
                 })
             })
         });
@@ -58,12 +78,12 @@ fn bench_collectives(c: &mut Criterion) {
             &port,
             |bench, &port| {
                 bench.iter(|| {
-                    run_machine(p, port, COST, vec![(); p], |proc, ()| {
+                    run(p, port, |mut proc, ()| async move {
                         let sc = Subcube::whole(proc.dim());
                         let v = sc.rank_of(proc.id());
                         let parts: Vec<Payload> =
                             (0..sc.size()).map(|r| payload(v + r, m)).collect();
-                        coll::reduce_scatter(proc, &sc, 0, parts)
+                        coll::reduce_scatter(&mut proc, &sc, 0, parts).await
                     })
                 })
             },

@@ -6,24 +6,48 @@ use cubemm_bench::criterion_group;
 use cubemm_bench::criterion_main;
 use cubemm_bench::microbench::{black_box, BenchmarkId, Criterion};
 use cubemm_collectives::allgather;
-use cubemm_simnet::{run_machine, CostParams, PortModel};
+use cubemm_simnet::{CostParams, Engine, Machine, Proc, RunOutcome};
 use cubemm_topology::Subcube;
 
 const COST: CostParams = CostParams { ts: 10.0, tw: 2.0 };
 
-/// Machine spin-up/tear-down: `p` node threads, no communication.
+/// Boots a healthy one-port machine under `engine` and runs `program`.
+fn run<O, F, Fut>(p: usize, engine: Engine, program: F) -> RunOutcome<O>
+where
+    O: Send,
+    F: Fn(Proc, ()) -> Fut + Sync,
+    Fut: std::future::Future<Output = O>,
+{
+    #[allow(
+        clippy::expect_used,
+        reason = "fixed, valid bench machines; a failure is a bench bug"
+    )]
+    Machine::builder(p)
+        .cost(COST)
+        .engine(engine)
+        .build()
+        .expect("valid bench machine")
+        .run(vec![(); p], program)
+        .expect("healthy bench run")
+}
+
+const ENGINES: [Engine; 2] = [Engine::Threaded, Engine::Event];
+
+/// Machine spin-up/tear-down: `p` nodes, no communication. Compares the
+/// thread-per-node engine against the single-threaded event engine.
 fn bench_spinup(c: &mut Criterion) {
     let mut group = c.benchmark_group("simnet_spinup");
     group.sample_size(10);
-    for p in [8usize, 64, 256] {
-        group.bench_with_input(BenchmarkId::new("spinup", p), &p, |b, &p| {
-            b.iter(|| {
-                let out = run_machine(p, PortModel::OnePort, COST, vec![(); p], |proc, ()| {
-                    proc.id()
-                });
-                black_box(out.stats.elapsed)
-            })
-        });
+    for engine in ENGINES {
+        for p in [8usize, 64, 256] {
+            let id = format!("{engine}/{p}");
+            group.bench_with_input(BenchmarkId::new("spinup", id), &p, |b, &p| {
+                b.iter(|| {
+                    let out = run(p, engine, |proc, ()| async move { proc.id() });
+                    black_box(out.stats.elapsed)
+                })
+            });
+        }
     }
     group.finish();
 }
@@ -32,24 +56,27 @@ fn bench_spinup(c: &mut Criterion) {
 fn bench_pingpong(c: &mut Criterion) {
     let mut group = c.benchmark_group("simnet_pingpong");
     group.sample_size(10);
-    for rounds in [64u64, 512] {
-        group.bench_with_input(BenchmarkId::new("rounds", rounds), &rounds, |b, &rounds| {
-            b.iter(|| {
-                let out = run_machine(2, PortModel::OnePort, COST, vec![(); 2], |proc, ()| {
-                    let msg = vec![proc.id() as f64; 4];
-                    for r in 0..rounds {
-                        if proc.id() == 0 {
-                            proc.send(1, r, msg.clone());
-                            let _ = proc.recv(1, r);
-                        } else {
-                            let got = proc.recv(0, r);
-                            proc.send(0, r, got);
+    for engine in ENGINES {
+        for rounds in [64u64, 512] {
+            let id = format!("{engine}/{rounds}");
+            group.bench_with_input(BenchmarkId::new("rounds", id), &rounds, |b, &rounds| {
+                b.iter(|| {
+                    let out = run(2, engine, move |mut proc, ()| async move {
+                        let msg = vec![proc.id() as f64; 4];
+                        for r in 0..rounds {
+                            if proc.id() == 0 {
+                                proc.send(1, r, msg.clone());
+                                let _ = proc.recv(1, r).await;
+                            } else {
+                                let got = proc.recv(0, r).await;
+                                proc.send(0, r, got);
+                            }
                         }
-                    }
-                });
-                black_box(out.stats.elapsed)
-            })
-        });
+                    });
+                    black_box(out.stats.elapsed)
+                })
+            });
+        }
     }
     group.finish();
 }
@@ -59,18 +86,21 @@ fn bench_pingpong(c: &mut Criterion) {
 fn bench_allgather(c: &mut Criterion) {
     let mut group = c.benchmark_group("simnet_allgather");
     group.sample_size(10);
-    for p in [8usize, 64, 256] {
-        group.bench_with_input(BenchmarkId::new("allgather", p), &p, |b, &p| {
-            let dim = p.trailing_zeros();
-            b.iter(|| {
-                let out = run_machine(p, PortModel::OnePort, COST, vec![(); p], move |proc, ()| {
-                    let sc = Subcube::whole(dim);
-                    let mine: Vec<f64> = vec![proc.id() as f64; 64];
-                    allgather(proc, &sc, 0, mine.into()).len()
-                });
-                black_box(out.stats.elapsed)
-            })
-        });
+    for engine in ENGINES {
+        for p in [8usize, 64, 256] {
+            let id = format!("{engine}/{p}");
+            group.bench_with_input(BenchmarkId::new("allgather", id), &p, |b, &p| {
+                let dim = p.trailing_zeros();
+                b.iter(|| {
+                    let out = run(p, engine, move |mut proc, ()| async move {
+                        let sc = Subcube::whole(dim);
+                        let mine: Vec<f64> = vec![proc.id() as f64; 64];
+                        allgather(&mut proc, &sc, 0, mine.into()).await.len()
+                    });
+                    black_box(out.stats.elapsed)
+                })
+            });
+        }
     }
     group.finish();
 }

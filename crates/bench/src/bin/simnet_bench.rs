@@ -2,7 +2,8 @@
 //!
 //! Measures host-time cost of the simnet execution core itself — machine
 //! spin-up, neighbor ping-pong latency, and a full recursive-doubling
-//! all-gather — and writes the results as `BENCH_simnet.json` in the
+//! all-gather — under both execution engines (thread-per-node and
+//! event-driven), and writes the results as `BENCH_simnet.json` in the
 //! working directory, mirroring the `BENCH_kernels.json` format.
 //!
 //! ```text
@@ -12,18 +13,23 @@
 //!     --baseline OLD.json                                             # + speedups
 //! ```
 //!
-//! `--smoke` runs the small sizes only and cross-checks every case's
-//! virtual-time result against its closed form, exiting non-zero on
-//! mismatch — a cheap guard that keeps the engine and bench code from
-//! bit-rotting. The full run performs the same verification before
-//! timing anything. `--baseline FILE` reads a previously written
-//! `BENCH_simnet.json` and emits a `speedup_vs_baseline` column, the
-//! before/after evidence for engine changes.
+//! `--smoke` runs the small sizes only — including one event-engine case
+//! — and cross-checks every case's virtual-time result against its
+//! closed form, exiting non-zero on mismatch — a cheap guard that keeps
+//! the engines and bench code from bit-rotting. The closed forms are
+//! engine-independent (the two engines are bitwise equivalent), so the
+//! same verification covers both. The full run performs the same
+//! verification before timing anything, and includes spin-up points at
+//! p = 4096 and p = 65536 that only the event engine can host. A
+//! `--baseline FILE` reads a previously written `BENCH_simnet.json` and
+//! emits a `speedup_vs_baseline` column, the before/after evidence for
+//! engine changes (rows from pre-engine-column baselines count as
+//! threaded).
 
 use std::time::Instant;
 
 use cubemm_collectives::allgather;
-use cubemm_simnet::{run_machine, CostParams, PortModel};
+use cubemm_simnet::{CostParams, Engine, Machine, Proc, RunOutcome};
 use cubemm_topology::Subcube;
 
 const COST: CostParams = CostParams { ts: 10.0, tw: 2.0 };
@@ -39,27 +45,46 @@ const ALLGATHER_WORDS: usize = 64;
 struct Case {
     name: &'static str,
     p: usize,
+    engine: Engine,
+}
+
+/// Boots a healthy one-port machine under `engine` and runs `program`.
+fn run<O, F, Fut>(p: usize, engine: Engine, program: F) -> RunOutcome<O>
+where
+    O: Send,
+    F: Fn(Proc, ()) -> Fut + Sync,
+    Fut: std::future::Future<Output = O>,
+{
+    #[allow(
+        clippy::expect_used,
+        reason = "bench machine shapes are fixed and valid; failure is a bench bug"
+    )]
+    Machine::builder(p)
+        .cost(COST)
+        .engine(engine)
+        .build()
+        .expect("valid bench machine")
+        .run(vec![(); p], program)
+        .expect("healthy bench run")
 }
 
 /// One `p`-node machine spin-up and tear-down with no communication.
-fn spinup(p: usize) -> f64 {
-    let out = run_machine(p, PortModel::OnePort, COST, vec![(); p], |proc, ()| {
-        proc.id()
-    });
+fn spinup(p: usize, engine: Engine) -> f64 {
+    let out = run(p, engine, |proc, ()| async move { proc.id() });
     assert_eq!(out.outputs.len(), p);
     out.stats.elapsed
 }
 
 /// Two nodes volleying a 4-word message `PINGPONG_ROUNDS` times.
-fn pingpong() -> f64 {
-    let out = run_machine(2, PortModel::OnePort, COST, vec![(); 2], |proc, ()| {
+fn pingpong(engine: Engine) -> f64 {
+    let out = run(2, engine, |mut proc, ()| async move {
         let msg = vec![proc.id() as f64; 4];
         for r in 0..PINGPONG_ROUNDS as u64 {
             if proc.id() == 0 {
                 proc.send(1, r, msg.clone());
-                let _ = proc.recv(1, r);
+                let _ = proc.recv(1, r).await;
             } else {
-                let got = proc.recv(0, r);
+                let got = proc.recv(0, r).await;
                 proc.send(0, r, got);
             }
         }
@@ -70,12 +95,12 @@ fn pingpong() -> f64 {
 
 /// Full-cube recursive-doubling all-gather of `ALLGATHER_WORDS`-word
 /// contributions.
-fn allgather_run(p: usize) -> f64 {
+fn allgather_run(p: usize, engine: Engine) -> f64 {
     let dim = p.trailing_zeros();
-    let out = run_machine(p, PortModel::OnePort, COST, vec![(); p], move |proc, ()| {
+    let out = run(p, engine, move |mut proc, ()| async move {
         let sc = Subcube::whole(dim);
         let mine: Vec<f64> = vec![proc.id() as f64; ALLGATHER_WORDS];
-        let got = allgather(proc, &sc, 0, mine.into());
+        let got = allgather(&mut proc, &sc, 0, mine.into()).await;
         assert_eq!(got.len(), p);
         got[p - 1].len()
     });
@@ -84,15 +109,17 @@ fn allgather_run(p: usize) -> f64 {
 
 fn run_case(case: Case) -> f64 {
     match case.name {
-        "spinup" => spinup(case.p),
-        "pingpong" => pingpong(),
-        "allgather" => allgather_run(case.p),
+        "spinup" => spinup(case.p, case.engine),
+        "pingpong" => pingpong(case.engine),
+        "allgather" => allgather_run(case.p, case.engine),
         other => unreachable!("unknown case {other}"),
     }
 }
 
 /// Verifies each case's virtual time against its closed form — the
 /// engine must get faster without changing a single simulated number.
+/// The closed forms don't mention the engine: threaded and event runs
+/// are bitwise equivalent.
 fn verify(case: Case) -> Result<(), String> {
     let elapsed = run_case(case);
     let want = match case.name {
@@ -108,8 +135,8 @@ fn verify(case: Case) -> Result<(), String> {
     };
     if elapsed != want {
         return Err(format!(
-            "{}/p={}: virtual time {elapsed} != closed form {want}",
-            case.name, case.p
+            "{}/p={}/{}: virtual time {elapsed} != closed form {want}",
+            case.name, case.p, case.engine
         ));
     }
     Ok(())
@@ -129,10 +156,12 @@ fn time_case(case: Case, reps: usize) -> f64 {
     samples[samples.len() / 2]
 }
 
-/// Pulls `(case, p) -> seconds` rows back out of a previously written
-/// `BENCH_simnet.json` (the format this binary emits; no JSON stack in
-/// the workspace, so this is a line scanner keyed on the known shape).
-fn parse_baseline(text: &str) -> Vec<(String, usize, f64)> {
+/// Pulls `(case, p, engine) -> seconds` rows back out of a previously
+/// written `BENCH_simnet.json` (the format this binary emits; no JSON
+/// stack in the workspace, so this is a line scanner keyed on the known
+/// shape). Rows without an `engine` field — written before the event
+/// engine existed — count as threaded.
+fn parse_baseline(text: &str) -> Vec<(String, usize, String, f64)> {
     let mut rows = Vec::new();
     for line in text.lines() {
         let get = |key: &str| -> Option<&str> {
@@ -143,8 +172,9 @@ fn parse_baseline(text: &str) -> Vec<(String, usize, f64)> {
             Some(rest[..end].trim())
         };
         if let (Some(case), Some(p), Some(secs)) = (get("case"), get("p"), get("seconds")) {
+            let engine = get("engine").unwrap_or("threaded").to_string();
             if let (Ok(p), Ok(secs)) = (p.parse(), secs.parse()) {
-                rows.push((case.to_string(), p, secs));
+                rows.push((case.to_string(), p, engine, secs));
             }
         }
     }
@@ -154,7 +184,7 @@ fn parse_baseline(text: &str) -> Vec<(String, usize, f64)> {
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let smoke = args.iter().any(|a| a == "--smoke");
-    let baseline: Vec<(String, usize, f64)> = args
+    let baseline: Vec<(String, usize, String, f64)> = args
         .iter()
         .position(|a| a == "--baseline")
         .and_then(|i| args.get(i + 1))
@@ -167,51 +197,35 @@ fn main() {
         })
         .unwrap_or_default();
 
+    let case = |name: &'static str, p: usize, engine: Engine| Case { name, p, engine };
     let cases: Vec<Case> = if smoke {
         vec![
-            Case {
-                name: "spinup",
-                p: 8,
-            },
-            Case {
-                name: "pingpong",
-                p: 2,
-            },
-            Case {
-                name: "allgather",
-                p: 8,
-            },
+            case("spinup", 8, Engine::Threaded),
+            case("pingpong", 2, Engine::Threaded),
+            case("allgather", 8, Engine::Threaded),
+            // The event engine's smoke coverage: same closed forms, one
+            // host thread, plus a spin-up far past any thread budget.
+            case("allgather", 8, Engine::Event),
+            case("spinup", 4096, Engine::Event),
         ]
     } else {
         vec![
-            Case {
-                name: "spinup",
-                p: 8,
-            },
-            Case {
-                name: "spinup",
-                p: 64,
-            },
-            Case {
-                name: "spinup",
-                p: 256,
-            },
-            Case {
-                name: "pingpong",
-                p: 2,
-            },
-            Case {
-                name: "allgather",
-                p: 8,
-            },
-            Case {
-                name: "allgather",
-                p: 64,
-            },
-            Case {
-                name: "allgather",
-                p: 256,
-            },
+            case("spinup", 8, Engine::Threaded),
+            case("spinup", 64, Engine::Threaded),
+            case("spinup", 256, Engine::Threaded),
+            case("pingpong", 2, Engine::Threaded),
+            case("allgather", 8, Engine::Threaded),
+            case("allgather", 64, Engine::Threaded),
+            case("allgather", 256, Engine::Threaded),
+            case("spinup", 256, Engine::Event),
+            case("pingpong", 2, Engine::Event),
+            case("allgather", 8, Engine::Event),
+            case("allgather", 64, Engine::Event),
+            case("allgather", 256, Engine::Event),
+            // Only the event engine reaches these machine sizes: no
+            // thread-per-node engine spawns 4096+ OS threads.
+            case("spinup", 4096, Engine::Event),
+            case("spinup", 65536, Engine::Event),
         ]
     };
 
@@ -228,33 +242,44 @@ fn main() {
     let reps = if smoke { 3 } else { 9 };
     let mut rows: Vec<String> = Vec::new();
     println!(
-        "{:<12} {:>6} {:>12} {:>10}",
-        "case", "p", "seconds", "vs base"
+        "{:<12} {:>6} {:>9} {:>12} {:>10}",
+        "case", "p", "engine", "seconds", "vs base"
     );
     for &case in &cases {
         let secs = time_case(case, reps);
+        let engine = case.engine.to_string();
         let base = baseline
             .iter()
-            .find(|(n, p, _)| n == case.name && *p == case.p)
-            .map(|&(_, _, s)| s);
+            .find(|(n, p, e, _)| n == case.name && *p == case.p && *e == engine)
+            .or_else(|| {
+                // Pre-event baselines only carry threaded rows; scoring
+                // an event case against the threaded row at the same
+                // shape is exactly the engine-vs-engine comparison the
+                // file exists to record.
+                baseline
+                    .iter()
+                    .find(|(n, p, e, _)| n == case.name && *p == case.p && e == "threaded")
+            })
+            .map(|&(_, _, _, s)| s);
         let speedup = base.map_or(0.0, |b| b / secs);
         println!(
-            "{:<12} {:>6} {:>12.6} {:>10}",
+            "{:<12} {:>6} {:>9} {:>12.6} {:>10}",
             case.name,
             case.p,
+            engine,
             secs,
             base.map_or_else(|| "-".to_string(), |_| format!("{speedup:.2}x")),
         );
         rows.push(format!(
-            "    {{\"case\": \"{}\", \"p\": {}, \"seconds\": {:.6}, \"speedup_vs_baseline\": {:.3}}}",
-            case.name, case.p, secs, speedup
+            "    {{\"case\": \"{}\", \"p\": {}, \"engine\": \"{}\", \"seconds\": {:.6}, \"speedup_vs_baseline\": {:.3}}}",
+            case.name, case.p, engine, secs, speedup
         ));
     }
 
     if !smoke {
         let json = format!(
             "{{\n  \"bench\": \"simnet_engine\",\n  \"baseline\": \
-             \"thread-per-node engine with mpsc mailboxes (PR 3)\",\n  \"results\": [\n{}\n  ]\n}}\n",
+             \"thread-per-node engine with progress ledger (PR 4)\",\n  \"results\": [\n{}\n  ]\n}}\n",
             rows.join(",\n")
         );
         std::fs::write("BENCH_simnet.json", &json).expect("write BENCH_simnet.json");

@@ -7,7 +7,7 @@
 
 use cubemm_bench::{fmt, write_result, Table};
 use cubemm_collectives as coll;
-use cubemm_simnet::{run_machine, CostParams, Payload, PortModel};
+use cubemm_simnet::{CostParams, Machine, Payload, PortModel};
 use cubemm_topology::Subcube;
 
 const COST: CostParams = CostParams { ts: 1.0, tw: 1.0 };
@@ -20,30 +20,39 @@ fn payload(rank: usize, m: usize) -> Payload {
 /// returns the measured elapsed virtual time.
 fn measure(kind: &str, d: u32, m: usize, port: PortModel) -> f64 {
     let p = 1usize << d;
-    let kind = kind.to_string();
-    let out = run_machine(p, port, COST, vec![(); p], move |proc, ()| {
-        let sc = Subcube::whole(proc.dim());
-        let v = sc.rank_of(proc.id());
-        match kind.as_str() {
-            "one-to-all broadcast" => {
-                let data = (v == 0).then(|| payload(0, m));
-                let _ = coll::bcast(proc, &sc, 0, 0, data, m);
+    #[allow(
+        clippy::expect_used,
+        reason = "fixed, valid bench machines; a failure is a bench bug"
+    )]
+    let out = Machine::builder(p)
+        .port(port)
+        .cost(COST)
+        .build()
+        .expect("valid bench machine")
+        .run(vec![(); p], move |mut proc, ()| async move {
+            let sc = Subcube::whole(proc.dim());
+            let v = sc.rank_of(proc.id());
+            match kind {
+                "one-to-all broadcast" => {
+                    let data = (v == 0).then(|| payload(0, m));
+                    let _ = coll::bcast(&mut proc, &sc, 0, 0, data, m).await;
+                }
+                "one-to-all personalized" => {
+                    let parts =
+                        (v == 0).then(|| (0..sc.size()).map(|r| payload(r, m)).collect::<Vec<_>>());
+                    let _ = coll::scatter(&mut proc, &sc, 0, 0, parts, m).await;
+                }
+                "all-to-all broadcast" => {
+                    let _ = coll::allgather(&mut proc, &sc, 0, payload(v, m)).await;
+                }
+                "all-to-all personalized" => {
+                    let parts: Vec<Payload> = (0..sc.size()).map(|r| payload(r, m)).collect();
+                    let _ = coll::alltoall_personalized(&mut proc, &sc, 0, parts).await;
+                }
+                other => unreachable!("unknown collective {other}"),
             }
-            "one-to-all personalized" => {
-                let parts =
-                    (v == 0).then(|| (0..sc.size()).map(|r| payload(r, m)).collect::<Vec<_>>());
-                let _ = coll::scatter(proc, &sc, 0, 0, parts, m);
-            }
-            "all-to-all broadcast" => {
-                let _ = coll::allgather(proc, &sc, 0, payload(v, m));
-            }
-            "all-to-all personalized" => {
-                let parts: Vec<Payload> = (0..sc.size()).map(|r| payload(r, m)).collect();
-                let _ = coll::alltoall_personalized(proc, &sc, 0, parts);
-            }
-            other => unreachable!("unknown collective {other}"),
-        }
-    });
+        })
+        .expect("healthy bench run");
     out.stats.elapsed
 }
 

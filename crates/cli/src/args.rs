@@ -94,6 +94,17 @@ pub fn parse_port(s: Option<&str>) -> Result<cubemm_simnet::PortModel, String> {
     }
 }
 
+/// Parses `threaded`/`event` into an execution engine. Absent flag
+/// means the threaded default — existing invocations keep their exact
+/// behavior; `--engine event` runs the same program single-threaded
+/// under the event engine (identical results, far cheaper at large p).
+pub fn parse_engine(s: Option<&str>) -> Result<cubemm_simnet::Engine, String> {
+    match s {
+        None => Ok(cubemm_simnet::Engine::default()),
+        Some(v) => v.parse(),
+    }
+}
+
 /// Parses `naive | ikj | blocked[:TILE] | packed[:THREADS]` into a local
 /// GEMM kernel. Absent flag means the default (packed, single-threaded);
 /// `packed:0` sizes the thread count to the host automatically.
@@ -187,6 +198,15 @@ mod tests {
         assert!(parse_port(Some("multi")).is_ok());
         assert!(parse_port(None).is_ok());
         assert!(parse_port(Some("dual")).is_err());
+    }
+
+    #[test]
+    fn engine_parsing() {
+        use cubemm_simnet::Engine;
+        assert_eq!(parse_engine(None).unwrap(), Engine::Threaded);
+        assert_eq!(parse_engine(Some("threaded")).unwrap(), Engine::Threaded);
+        assert_eq!(parse_engine(Some("event")).unwrap(), Engine::Event);
+        assert!(parse_engine(Some("fiber")).is_err());
     }
 
     #[test]

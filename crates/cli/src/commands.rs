@@ -7,7 +7,7 @@ use cubemm_harness::recovery::{multiply_with_recovery, RecoveryError, RecoveryPo
 use cubemm_model::{render_ascii, RegionMap, Sweep};
 use cubemm_simnet::{ChargePolicy, CorruptKind, Corruption, CostParams, FaultPlan, RunError};
 
-use crate::args::{parse_kernel, parse_port, Args};
+use crate::args::{parse_engine, parse_kernel, parse_port, Args};
 
 /// Top-level usage text.
 pub const USAGE: &str = "\
@@ -17,7 +17,7 @@ cubemm — communication-efficient matrix multiplication on simulated hypercubes
 USAGE:
   cubemm list [n] [p]            show every algorithm and its applicability
   cubemm run --algo A --n N --p P [--port one|multi] [--ts T] [--tw W]
-             [--charge sender|symmetric]
+             [--engine threaded|event] [--charge sender|symmetric]
              [--kernel naive|ikj|blocked[:TILE]|packed[:THREADS]]
              [--fault-link A:B] [--fault-degrade A:B:TSF:TWF]
              [--fault-straggler NODE:FACTOR] [--fault-drop FROM:TO:K]
@@ -32,11 +32,12 @@ USAGE:
                                  extra virtual time against a healthy
                                  baseline re-run
   cubemm sweep --n N [--p 4,16,64,512] [--port one|multi] [--ts T] [--tw W]
-               [--kernel ...] [--jobs N]
+               [--engine threaded|event] [--kernel ...] [--jobs N]
                                  compare all applicable algorithms
   cubemm regions [--port one|multi] [--ts T] [--tw W]
                                  Figure 13/14-style best-algorithm map
-  cubemm analyze <algo|all> [--n N] [--p P] [--port one|multi|both] [--jobs N]
+  cubemm analyze <algo|all> [--n N] [--p P] [--port one|multi|both]
+                 [--engine threaded|event] [--jobs N]
                                  static schedule analysis: prove the compiled
                                  schedule deadlock-free and port/link-legal,
                                  extract its exact (a, b) Table 2 coordinates
@@ -53,7 +54,11 @@ USAGE:
 
 Defaults: n=64, p=64, port=one, ts=150, tw=3, charge=sender (the paper's
 parameters and accounting), kernel=packed (single-threaded; `packed:0`
-picks a thread count automatically).
+picks a thread count automatically), engine=threaded.
+--engine event runs the whole simulated machine on one host thread
+under a virtual-clock-ordered event scheduler instead of one OS thread
+per node. Results are bit-identical to the threaded engine; the event
+engine is the one that scales to p = 4096..65536 nodes.
 A run that cannot progress (e.g. --fault-drop on an algorithm without
 retries) is reported as a structured deadlock naming every blocked node,
 detected exactly and instantly by the engine's progress ledger (no
@@ -141,6 +146,7 @@ fn machine_from(args: &Args) -> Result<(MachineConfig, f64, f64), String> {
         .costs(CostParams { ts, tw })
         .kernel(parse_kernel(args.raw("kernel"))?)
         .charge(charge)
+        .engine(parse_engine(args.raw("engine"))?)
         .faults(faults_from(args)?)
         .build();
     Ok((cfg, ts, tw))
@@ -356,8 +362,8 @@ pub fn run(argv: &[String]) -> i32 {
     };
     let err = res.c.max_abs_diff(&gemm::reference(&a, &b));
     println!(
-        "{algo}: n = {n}, p = {p}, {} nodes, ts = {ts}, tw = {tw}",
-        cfg.port
+        "{algo}: n = {n}, p = {p}, {} nodes, {} engine, ts = {ts}, tw = {tw}",
+        cfg.port, cfg.engine
     );
     println!("  verified:              max |Δ| = {err:.2e}");
     // The same identity `cubemm serve` reports: FNV-1a 64 over the
@@ -552,7 +558,7 @@ pub fn sweep(argv: &[String]) -> i32 {
     let cells = cubemm_harness::run_grid(
         &tasks,
         jobs,
-        |&(_, p)| p,
+        |&(_, p)| cubemm_harness::node_weight(cfg.engine, p),
         |&(algo, p)| match algo.check(n, p) {
             Err(_) => Cell::Inapplicable,
             Ok(()) => match algo.multiply(&a, &b, p, &cfg) {
@@ -568,7 +574,10 @@ pub fn sweep(argv: &[String]) -> i32 {
         },
     );
 
-    println!("sweep: n = {n}, {}, ts = {ts}, tw = {tw}", cfg.port);
+    println!(
+        "sweep: n = {n}, {}, {} engine, ts = {ts}, tw = {tw}",
+        cfg.port, cfg.engine
+    );
     print!("{:<14}", "p =");
     for p in &ps {
         print!("{p:>10}");
@@ -641,6 +650,10 @@ pub fn analyze(argv: &[String]) -> i32 {
         Ok(v) => v,
         Err(e) => return fail(&e),
     };
+    let engine = match parse_engine(args.raw("engine")) {
+        Ok(v) => v,
+        Err(e) => return fail(&e),
+    };
     let selector = match args
         .positional::<String>(0)
         .or_else(|| args.raw("algo").map(str::to_string))
@@ -671,8 +684,8 @@ pub fn analyze(argv: &[String]) -> i32 {
         let results = cubemm_harness::run_grid(
             &tasks,
             jobs,
-            |&(_, _, _, p)| p,
-            |&(algo, port, n, p)| cubemm_analyze::analyze_algorithm(algo, n, p, port),
+            |&(_, _, _, p)| cubemm_harness::node_weight(engine, p),
+            |&(algo, port, n, p)| cubemm_analyze::analyze_algorithm_on(algo, n, p, port, engine),
         );
         let mut violations = 0usize;
         for (&(algo, port, n, p), result) in tasks.iter().zip(results) {
@@ -730,7 +743,7 @@ pub fn analyze(argv: &[String]) -> i32 {
     }
     let mut bad = false;
     for port in ports {
-        let r = match cubemm_analyze::analyze_algorithm(algo, n, p, port) {
+        let r = match cubemm_analyze::analyze_algorithm_on(algo, n, p, port, engine) {
             Ok(r) => r,
             Err(e) => return fail(&e),
         };
@@ -941,6 +954,21 @@ mod tests {
         assert_ne!(run(&argv("--algo 3d-all --n 15 --p 8")), 0);
         assert_ne!(run(&argv("--n 16")), 0);
         assert_ne!(run(&argv("--algo cannon --n 16 --p 16 --kernel simd")), 0);
+        assert_ne!(run(&argv("--algo cannon --n 16 --p 16 --engine fiber")), 0);
+    }
+
+    #[test]
+    fn engine_flag_selects_the_event_engine_everywhere() {
+        assert_eq!(run(&argv("--algo cannon --n 16 --p 16 --engine event")), 0);
+        assert_eq!(
+            run(&argv("--algo cannon --n 16 --p 16 --engine threaded")),
+            0
+        );
+        assert_eq!(sweep(&argv("--n 16 --p 4,8,16 --engine event --jobs 2")), 0);
+        assert_eq!(
+            analyze(&argv("cannon --n 16 --p 16 --port one --engine event")),
+            0
+        );
     }
 
     #[test]

@@ -115,9 +115,9 @@ pub fn allgather_plan(
 ///
 /// Cost (measured, equals Table 1): one-port `t_s·log N + t_w·(N−1)·M`;
 /// multi-port `t_s·log N + t_w·(N−1)·M/log N`.
-pub fn allgather(proc: &mut Proc, sc: &Subcube, base: u64, mine: Payload) -> Vec<Payload> {
+pub async fn allgather(proc: &mut Proc, sc: &Subcube, base: u64, mine: Payload) -> Vec<Payload> {
     let mut run = allgather_plan(proc.port_model(), sc, proc.id(), base, mine);
-    execute(proc, run.run_mut());
+    execute(proc, run.run_mut()).await;
     run.finish()
 }
 
@@ -226,29 +226,33 @@ pub fn reduce_scatter_plan(
 ///
 /// This is the inverse of [`allgather`] with respect to communication
 /// (paper §2); its measured cost equals the all-gather entry of Table 1.
-pub fn reduce_scatter(proc: &mut Proc, sc: &Subcube, base: u64, parts: Vec<Payload>) -> Payload {
+pub async fn reduce_scatter(
+    proc: &mut Proc,
+    sc: &Subcube,
+    base: u64,
+    parts: Vec<Payload>,
+) -> Payload {
     let mut run = reduce_scatter_plan(proc.port_model(), sc, proc.id(), base, parts);
-    execute(proc, run.run_mut());
+    execute(proc, run.run_mut()).await;
     run.finish()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cubemm_simnet::{run_machine, CostParams, PortModel};
+    use crate::testutil::run;
+    use cubemm_simnet::PortModel;
     use cubemm_topology::Subcube;
-
-    const COST: CostParams = CostParams { ts: 10.0, tw: 2.0 };
 
     fn contribution(rank: usize, m: usize) -> Payload {
         (0..m).map(|x| (rank * 1000 + x) as f64).collect()
     }
 
     fn check_allgather(p: usize, port: PortModel, m: usize) -> f64 {
-        let out = run_machine(p, port, COST, vec![(); p], move |proc, ()| {
+        let out = run(p, port, vec![(); p], move |mut proc, ()| async move {
             let sc = Subcube::whole(proc.dim());
             let v = sc.rank_of(proc.id());
-            let all = allgather(proc, &sc, 0, contribution(v, m));
+            let all = allgather(&mut proc, &sc, 0, contribution(v, m)).await;
             for (r, part) in all.iter().enumerate() {
                 assert_eq!(
                     &part[..],
@@ -281,13 +285,13 @@ mod tests {
     }
 
     fn check_reduce_scatter(p: usize, port: PortModel, m: usize) -> f64 {
-        let out = run_machine(p, port, COST, vec![(); p], move |proc, ()| {
+        let out = run(p, port, vec![(); p], move |mut proc, ()| async move {
             let sc = Subcube::whole(proc.dim());
             let v = sc.rank_of(proc.id());
             let parts: Vec<Payload> = (0..sc.size())
                 .map(|r| (0..m).map(|x| (v + r * 10 + x) as f64).collect())
                 .collect();
-            let got = reduce_scatter(proc, &sc, 0, parts);
+            let got = reduce_scatter(&mut proc, &sc, 0, parts).await;
             let n = sc.size();
             let sumv: f64 = (0..n).map(|u| u as f64).sum();
             for (x, val) in got.iter().enumerate() {

@@ -22,7 +22,7 @@ use crate::{allgather, bcast_plan, reduce_plan, reduce_scatter, TAG_SPACE};
 /// Internally uses two collective phases, so it consumes **two** tag
 /// blocks: callers must space the next collective's base by
 /// `2 * TAG_SPACE`.
-pub fn allreduce_sum(proc: &mut Proc, sc: &Subcube, base: u64, mine: Payload) -> Payload {
+pub async fn allreduce_sum(proc: &mut Proc, sc: &Subcube, base: u64, mine: Payload) -> Payload {
     let n = sc.size();
     let m = mine.len();
     if n == 1 {
@@ -34,8 +34,8 @@ pub fn allreduce_sum(proc: &mut Proc, sc: &Subcube, base: u64, mine: Payload) ->
         let parts: Vec<Payload> = (0..n)
             .map(|r| Payload::from(&mine[r * each..(r + 1) * each]))
             .collect();
-        let reduced = reduce_scatter(proc, sc, base, parts);
-        let gathered = allgather(proc, sc, base + TAG_SPACE, reduced);
+        let reduced = reduce_scatter(proc, sc, base, parts).await;
+        let gathered = allgather(proc, sc, base + TAG_SPACE, reduced).await;
         let mut out = Vec::with_capacity(m);
         for piece in gathered {
             out.extend_from_slice(&piece);
@@ -45,10 +45,10 @@ pub fn allreduce_sum(proc: &mut Proc, sc: &Subcube, base: u64, mine: Payload) ->
         // Rooted reduce at rank 0, then broadcast.
         let port = proc.port_model();
         let mut red = reduce_plan(port, sc, proc.id(), 0, base, mine);
-        execute(proc, red.run_mut());
+        execute(proc, red.run_mut()).await;
         let summed = red.finish();
         let mut bc = bcast_plan(port, sc, proc.id(), 0, base + TAG_SPACE, summed, m);
-        execute(proc, bc.run_mut());
+        execute(proc, bc.run_mut()).await;
         bc.finish()
     }
 }
@@ -61,17 +61,16 @@ pub fn allreduce_is_bandwidth_optimal(sc: &Subcube, message_len: usize) -> bool 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cubemm_simnet::{run_machine, CostParams, PortModel};
+    use crate::testutil::run;
+    use cubemm_simnet::PortModel;
     use cubemm_topology::Subcube;
 
-    const COST: CostParams = CostParams { ts: 10.0, tw: 2.0 };
-
     fn check(p: usize, port: PortModel, m: usize) -> f64 {
-        let out = run_machine(p, port, COST, vec![(); p], move |proc, ()| {
+        let out = run(p, port, vec![(); p], move |mut proc, ()| async move {
             let sc = Subcube::whole(proc.dim());
             let v = sc.rank_of(proc.id());
             let mine: Payload = (0..m).map(|x| (v * 10 + x) as f64).collect();
-            let got = allreduce_sum(proc, &sc, 0, mine);
+            let got = allreduce_sum(&mut proc, &sc, 0, mine).await;
             let n = sc.size();
             let sumv: f64 = (0..n).map(|u| (u * 10) as f64).sum();
             for (x, val) in got.iter().enumerate() {

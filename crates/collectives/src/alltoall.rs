@@ -138,24 +138,23 @@ pub fn alltoall_plan(
 ///
 /// Cost (measured, equals Table 1): one-port
 /// `t_s·log N + t_w·N·M·log N / 2`; multi-port `t_s·log N + t_w·N·M/2`.
-pub fn alltoall_personalized(
+pub async fn alltoall_personalized(
     proc: &mut Proc,
     sc: &Subcube,
     base: u64,
     parts: Vec<Payload>,
 ) -> Vec<Payload> {
     let mut run = alltoall_plan(proc.port_model(), sc, proc.id(), base, parts);
-    execute(proc, run.run_mut());
+    execute(proc, run.run_mut()).await;
     run.finish()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cubemm_simnet::{run_machine, CostParams, PortModel};
+    use crate::testutil::run;
+    use cubemm_simnet::PortModel;
     use cubemm_topology::Subcube;
-
-    const COST: CostParams = CostParams { ts: 10.0, tw: 2.0 };
 
     fn msg(from: usize, to: usize, m: usize) -> Payload {
         (0..m)
@@ -164,11 +163,11 @@ mod tests {
     }
 
     fn check(p: usize, port: PortModel, m: usize) -> f64 {
-        let out = run_machine(p, port, COST, vec![(); p], move |proc, ()| {
+        let out = run(p, port, vec![(); p], move |mut proc, ()| async move {
             let sc = Subcube::whole(proc.dim());
             let v = sc.rank_of(proc.id());
             let parts: Vec<Payload> = (0..sc.size()).map(|r| msg(v, r, m)).collect();
-            let got = alltoall_personalized(proc, &sc, 0, parts);
+            let got = alltoall_personalized(&mut proc, &sc, 0, parts).await;
             for (origin, payload) in got.iter().enumerate() {
                 assert_eq!(
                     &payload[..],
@@ -204,15 +203,20 @@ mod tests {
     #[test]
     fn works_on_proper_subcube_lines() {
         // Four disjoint 4-node "columns" (high dims) of a 16-cube.
-        let out = run_machine(16, PortModel::OnePort, COST, vec![(); 16], |proc, ()| {
-            let sc = Subcube::new(proc.id(), vec![2, 3]);
-            let v = sc.rank_of(proc.id());
-            let parts: Vec<Payload> = (0..4).map(|r| msg(v, r, 4)).collect();
-            let got = alltoall_personalized(proc, &sc, 0, parts);
-            for (origin, payload) in got.iter().enumerate() {
-                assert_eq!(&payload[..], &msg(origin, v, 4)[..]);
-            }
-        });
+        let out = run(
+            16,
+            PortModel::OnePort,
+            vec![(); 16],
+            |mut proc, ()| async move {
+                let sc = Subcube::new(proc.id(), vec![2, 3]);
+                let v = sc.rank_of(proc.id());
+                let parts: Vec<Payload> = (0..4).map(|r| msg(v, r, 4)).collect();
+                let got = alltoall_personalized(&mut proc, &sc, 0, parts).await;
+                for (origin, payload) in got.iter().enumerate() {
+                    assert_eq!(&payload[..], &msg(origin, v, 4)[..]);
+                }
+            },
+        );
         // ts*2 + tw*4*4*2/2 = 20 + 32 = 52.
         assert_eq!(out.stats.elapsed, 52.0);
     }

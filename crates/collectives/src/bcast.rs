@@ -124,7 +124,7 @@ pub fn bcast_plan(
 ///
 /// Cost (measured, equals Table 1): one-port `log N·(t_s + t_w·M)`;
 /// multi-port `t_s·log N + t_w·M`.
-pub fn bcast(
+pub async fn bcast(
     proc: &mut Proc,
     sc: &Subcube,
     root: usize,
@@ -133,7 +133,7 @@ pub fn bcast(
     len: usize,
 ) -> Payload {
     let mut run = bcast_plan(proc.port_model(), sc, proc.id(), root, base, data, len);
-    execute(proc, run.run_mut());
+    execute(proc, run.run_mut()).await;
     run.finish()
 }
 
@@ -141,20 +141,19 @@ pub fn bcast(
 mod tests {
     use super::*;
     use crate::plan::execute_fused;
-    use cubemm_simnet::{run_machine, CostParams, PortModel};
+    use crate::testutil::run;
+    use cubemm_simnet::PortModel;
     use cubemm_topology::Subcube;
-
-    const COST: CostParams = CostParams { ts: 10.0, tw: 2.0 };
 
     fn payload(n: usize) -> Payload {
         (0..n).map(|x| x as f64 + 0.5).collect()
     }
 
     fn check_bcast(p: usize, port: PortModel, root: usize, m: usize) -> f64 {
-        let out = run_machine(p, port, COST, vec![(); p], move |proc, ()| {
+        let out = run(p, port, vec![(); p], move |mut proc, ()| async move {
             let sc = Subcube::whole(proc.dim());
             let data = (sc.rank_of(proc.id()) == root).then(|| payload(m));
-            let got = bcast(proc, &sc, root, 0, data, m);
+            let got = bcast(&mut proc, &sc, root, 0, data, m).await;
             assert_eq!(&got[..], &payload(m)[..], "node {}", proc.id());
             proc.clock()
         });
@@ -191,25 +190,35 @@ mod tests {
 
     #[test]
     fn broadcast_on_proper_subcube() {
-        let out = run_machine(16, PortModel::OnePort, COST, vec![(); 16], |proc, ()| {
-            let sc = Subcube::new(proc.id(), vec![0, 1]);
-            let data = (sc.rank_of(proc.id()) == 1).then(|| payload(6));
-            let got = bcast(proc, &sc, 1, 0, data, 6);
-            assert_eq!(got.len(), 6);
-            proc.clock()
-        });
+        let out = run(
+            16,
+            PortModel::OnePort,
+            vec![(); 16],
+            |mut proc, ()| async move {
+                let sc = Subcube::new(proc.id(), vec![0, 1]);
+                let data = (sc.rank_of(proc.id()) == 1).then(|| payload(6));
+                let got = bcast(&mut proc, &sc, 1, 0, data, 6).await;
+                assert_eq!(got.len(), 6);
+                proc.clock()
+            },
+        );
         // Each row independently: 2 * (10 + 12) = 44.
         assert_eq!(out.stats.elapsed, 44.0);
     }
 
     #[test]
     fn singleton_subcube_is_a_noop() {
-        let out = run_machine(2, PortModel::OnePort, COST, vec![(); 2], |proc, ()| {
-            let sc = Subcube::new(proc.id(), vec![]);
-            let got = bcast(proc, &sc, 0, 0, Some(payload(3)), 3);
-            assert_eq!(got.len(), 3);
-            proc.clock()
-        });
+        let out = run(
+            2,
+            PortModel::OnePort,
+            vec![(); 2],
+            |mut proc, ()| async move {
+                let sc = Subcube::new(proc.id(), vec![]);
+                let got = bcast(&mut proc, &sc, 0, 0, Some(payload(3)), 3).await;
+                assert_eq!(got.len(), 3);
+                proc.clock()
+            },
+        );
         assert_eq!(out.stats.elapsed, 0.0);
     }
 
@@ -219,8 +228,8 @@ mod tests {
         // column dimensions simultaneously — the paper's "the two
         // broadcasts can occur in parallel".
         let m = 12;
-        let run = |port: PortModel| {
-            let out = run_machine(16, port, COST, vec![(); 16], move |proc, ()| {
+        let fused = |port: PortModel| {
+            let out = run(16, port, vec![(); 16], move |mut proc, ()| async move {
                 let row = Subcube::new(proc.id(), vec![0, 1]);
                 let col = Subcube::new(proc.id(), vec![2, 3]);
                 let row_data = (row.rank_of(proc.id()) == 0).then(|| payload(m));
@@ -235,7 +244,7 @@ mod tests {
                     col_data,
                     m,
                 );
-                execute_fused(proc, &mut [b1.run_mut(), b2.run_mut()]);
+                execute_fused(&mut proc, &mut [b1.run_mut(), b2.run_mut()]).await;
                 assert_eq!(&b1.finish()[..], &payload(m)[..]);
                 assert_eq!(&b2.finish()[..], &payload(m)[..]);
                 proc.clock()
@@ -243,9 +252,9 @@ mod tests {
             out.stats.elapsed
         };
         // One-port: the two broadcasts serialize: 2 * 2 * (10 + 24) = 136.
-        assert_eq!(run(PortModel::OnePort), 136.0);
+        assert_eq!(fused(PortModel::OnePort), 136.0);
         // Multi-port: they overlap fully (disjoint links):
         // ts log N + tw M = 20 + 24 = 44.
-        assert_eq!(run(PortModel::MultiPort), 44.0);
+        assert_eq!(fused(PortModel::MultiPort), 44.0);
     }
 }

@@ -41,7 +41,7 @@ use crate::plan::{CollectiveRun, RecvMode};
 /// dead edges are relayed via routed sends before the round's batch;
 /// their receives still match on the original `(peer, tag)`, because the
 /// simulator delivers relayed messages under the origin's label.
-pub fn execute_ft(proc: &mut Proc, run: &mut CollectiveRun) -> Result<(), SendError> {
+pub async fn execute_ft(proc: &mut Proc, run: &mut CollectiveRun) -> Result<(), SendError> {
     let me = proc.id();
     let policy = RetryPolicy::default();
     for r in 0..run.plan.rounds.len() {
@@ -88,7 +88,7 @@ pub fn execute_ft(proc: &mut Proc, run: &mut CollectiveRun) -> Result<(), SendEr
             });
         }
 
-        let results = proc.multi(ops);
+        let results = proc.multi(ops).await;
         let mut received = results.into_iter().flatten();
         for xi in recv_order {
             #[allow(
@@ -155,7 +155,7 @@ fn relay(
 /// a healthy machine; relays around dead tree edges (at a measured cost
 /// penalty) instead of aborting, and reports cut-off subcubes as
 /// [`SendError::Unroutable`].
-pub fn bcast_ft(
+pub async fn bcast_ft(
     proc: &mut Proc,
     sc: &Subcube,
     root: usize,
@@ -164,30 +164,28 @@ pub fn bcast_ft(
     len: usize,
 ) -> Result<Payload, SendError> {
     let mut run = bcast_plan(proc.port_model(), sc, proc.id(), root, base, data, len);
-    execute_ft(proc, run.run_mut())?;
+    execute_ft(proc, run.run_mut()).await?;
     Ok(run.finish())
 }
 
 /// Fault-tolerant [`crate::allgather`]: identical data, schedule and
 /// cost on a healthy machine; relays dead-edge exchanges instead of
 /// aborting.
-pub fn allgather_ft(
+pub async fn allgather_ft(
     proc: &mut Proc,
     sc: &Subcube,
     base: u64,
     mine: Payload,
 ) -> Result<Vec<Payload>, SendError> {
     let mut run = allgather_plan(proc.port_model(), sc, proc.id(), base, mine);
-    execute_ft(proc, run.run_mut())?;
+    execute_ft(proc, run.run_mut()).await?;
     Ok(run.finish())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cubemm_simnet::{
-        try_run_machine_with, CostParams, FaultPlan, MachineOptions, PortModel, RunError,
-    };
+    use cubemm_simnet::{CostParams, FaultPlan, Machine, PortModel, RunError};
     use cubemm_topology::Subcube;
 
     const COST: CostParams = CostParams { ts: 10.0, tw: 2.0 };
@@ -196,10 +194,13 @@ mod tests {
         (0..n).map(|x| x as f64 + 0.5).collect()
     }
 
-    fn options(port: PortModel, faults: FaultPlan) -> MachineOptions {
-        let mut o = MachineOptions::paper(port, COST);
-        o.faults = faults;
-        o
+    fn machine(port: PortModel, faults: FaultPlan) -> Machine {
+        Machine::builder(8)
+            .port(port)
+            .cost(COST)
+            .faults(faults)
+            .build()
+            .expect("valid test machine")
     }
 
     /// Runs an 8-node `bcast_ft` from rank 0 of M = 12 words under the
@@ -207,31 +208,37 @@ mod tests {
     /// returns the elapsed virtual time.
     fn ft_bcast_elapsed(port: PortModel, faults: FaultPlan) -> f64 {
         let m = 12;
-        let out = try_run_machine_with(8, options(port, faults), vec![(); 8], move |proc, ()| {
-            let sc = Subcube::whole(proc.dim());
-            let data = (sc.rank_of(proc.id()) == 0).then(|| payload(m));
-            let got = bcast_ft(proc, &sc, 0, 0, data, m).expect("degraded bcast completes");
-            assert_eq!(&got[..], &payload(m)[..], "node {}", proc.id());
-            proc.clock()
-        })
-        .expect("run completes");
+        let out = machine(port, faults)
+            .run(vec![(); 8], move |mut proc, ()| async move {
+                let sc = Subcube::whole(proc.dim());
+                let data = (sc.rank_of(proc.id()) == 0).then(|| payload(m));
+                let got = bcast_ft(&mut proc, &sc, 0, 0, data, m)
+                    .await
+                    .expect("degraded bcast completes");
+                assert_eq!(&got[..], &payload(m)[..], "node {}", proc.id());
+                proc.clock()
+            })
+            .expect("run completes");
         out.stats.elapsed
     }
 
     fn ft_allgather_elapsed(port: PortModel, faults: FaultPlan) -> f64 {
         let m = 12;
-        let out = try_run_machine_with(8, options(port, faults), vec![(); 8], move |proc, ()| {
-            let sc = Subcube::whole(proc.dim());
-            let rank = sc.rank_of(proc.id());
-            let mine: Payload = (0..m).map(|x| (rank * m + x) as f64).collect();
-            let all = allgather_ft(proc, &sc, 0, mine).expect("degraded allgather completes");
-            for (r, got) in all.iter().enumerate() {
-                let want: Payload = (0..m).map(|x| (r * m + x) as f64).collect();
-                assert_eq!(&got[..], &want[..], "node {} rank {r}", proc.id());
-            }
-            proc.clock()
-        })
-        .expect("run completes");
+        let out = machine(port, faults)
+            .run(vec![(); 8], move |mut proc, ()| async move {
+                let sc = Subcube::whole(proc.dim());
+                let rank = sc.rank_of(proc.id());
+                let mine: Payload = (0..m).map(|x| (rank * m + x) as f64).collect();
+                let all = allgather_ft(&mut proc, &sc, 0, mine)
+                    .await
+                    .expect("degraded allgather completes");
+                for (r, got) in all.iter().enumerate() {
+                    let want: Payload = (0..m).map(|x| (r * m + x) as f64).collect();
+                    assert_eq!(&got[..], &want[..], "node {} rank {r}", proc.id());
+                }
+                proc.clock()
+            })
+            .expect("run completes");
         out.stats.elapsed
     }
 
@@ -289,17 +296,13 @@ mod tests {
         // with a neighbor send and the machine reports the typed failure.
         let m = 12;
         let plan = FaultPlan::new().with_dead_link(0, 1).strict();
-        let err = try_run_machine_with(
-            8,
-            options(PortModel::OnePort, plan),
-            vec![(); 8],
-            move |proc, ()| {
+        let err = machine(PortModel::OnePort, plan)
+            .run(vec![(); 8], move |mut proc, ()| async move {
                 let sc = Subcube::whole(proc.dim());
                 let data = (sc.rank_of(proc.id()) == 0).then(|| payload(m));
-                let _ = crate::bcast(proc, &sc, 0, 0, data, m);
-            },
-        )
-        .expect_err("strict dead link must abort the plain schedule");
+                let _ = crate::bcast(&mut proc, &sc, 0, 0, data, m).await;
+            })
+            .expect_err("strict dead link must abort the plain schedule");
         match err {
             RunError::LinkDead { node: 0, error } => {
                 assert_eq!(error, SendError::LinkDead { from: 0, to: 1 });

@@ -140,7 +140,7 @@ pub fn gather_plan(
 ///
 /// Cost (measured): the inverse of the scatter row of Table 1 — one-port
 /// `t_s·log N + t_w·(N−1)·M`; multi-port `t_s·log N + t_w·(N−1)·M/log N`.
-pub fn gather(
+pub async fn gather(
     proc: &mut Proc,
     sc: &Subcube,
     root: usize,
@@ -148,27 +148,26 @@ pub fn gather(
     mine: Payload,
 ) -> Option<Vec<Payload>> {
     let mut run = gather_plan(proc.port_model(), sc, proc.id(), root, base, mine);
-    execute(proc, run.run_mut());
+    execute(proc, run.run_mut()).await;
     run.finish()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cubemm_simnet::{run_machine, CostParams, PortModel};
+    use crate::testutil::run;
+    use cubemm_simnet::PortModel;
     use cubemm_topology::Subcube;
-
-    const COST: CostParams = CostParams { ts: 10.0, tw: 2.0 };
 
     fn contribution(rank: usize, m: usize) -> Payload {
         (0..m).map(|x| (rank * 1000 + x) as f64).collect()
     }
 
     fn check(p: usize, port: PortModel, root: usize, m: usize) -> f64 {
-        let out = run_machine(p, port, COST, vec![(); p], move |proc, ()| {
+        let out = run(p, port, vec![(); p], move |mut proc, ()| async move {
             let sc = Subcube::whole(proc.dim());
             let v = sc.rank_of(proc.id());
-            let got = gather(proc, &sc, root, 0, contribution(v, m));
+            let got = gather(&mut proc, &sc, root, 0, contribution(v, m)).await;
             if v == root {
                 let got = got.expect("root gathers");
                 for (r, part) in got.iter().enumerate() {
@@ -202,11 +201,18 @@ mod tests {
 
     #[test]
     fn singleton_gather() {
-        let out = run_machine(2, PortModel::OnePort, COST, vec![(); 2], |proc, ()| {
-            let sc = Subcube::new(proc.id(), vec![]);
-            let got = gather(proc, &sc, 0, 0, contribution(0, 4)).expect("root");
-            assert_eq!(got.len(), 1);
-        });
+        let out = run(
+            2,
+            PortModel::OnePort,
+            vec![(); 2],
+            |mut proc, ()| async move {
+                let sc = Subcube::new(proc.id(), vec![]);
+                let got = gather(&mut proc, &sc, 0, 0, contribution(0, 4))
+                    .await
+                    .expect("root");
+                assert_eq!(got.len(), 1);
+            },
+        );
         assert_eq!(out.stats.elapsed, 0.0);
     }
 }

@@ -39,18 +39,21 @@
 //!
 //! ```
 //! use cubemm_collectives::bcast;
-//! use cubemm_simnet::{run_machine, CostParams, PortModel, Payload};
+//! use cubemm_simnet::{CostParams, Machine, Payload};
 //! use cubemm_topology::Subcube;
 //!
 //! // Broadcast 6 words from rank 0 over a whole 8-node hypercube.
 //! let cost = CostParams { ts: 1.0, tw: 1.0 };
-//! let out = run_machine(8, PortModel::OnePort, cost, vec![(); 8], |proc, ()| {
-//!     let sc = Subcube::whole(proc.dim());
-//!     let data = (sc.rank_of(proc.id()) == 0)
-//!         .then(|| (0..6).map(f64::from).collect::<Payload>());
-//!     let got = bcast(proc, &sc, 0, 0, data, 6);
-//!     assert_eq!(got.len(), 6);
-//! });
+//! let machine = Machine::builder(8).cost(cost).build().unwrap();
+//! let out = machine
+//!     .run(vec![(); 8], |mut proc, ()| async move {
+//!         let sc = Subcube::whole(proc.dim());
+//!         let data = (sc.rank_of(proc.id()) == 0)
+//!             .then(|| (0..6).map(f64::from).collect::<Payload>());
+//!         let got = bcast(&mut proc, &sc, 0, 0, data, 6).await;
+//!         assert_eq!(got.len(), 6);
+//!     })
+//!     .unwrap();
 //! // Table 1, one-port: log N · (t_s + t_w · M) = 3 · 7.
 //! assert_eq!(out.stats.elapsed, 21.0);
 //! ```
@@ -142,6 +145,49 @@ pub(crate) fn split_equal(bundle: &[f64], count: usize) -> Vec<Payload> {
 pub(crate) fn add_payloads(a: &[f64], b: &[f64]) -> Payload {
     assert_eq!(a.len(), b.len(), "reduction operand length mismatch");
     a.iter().zip(b).map(|(x, y)| x + y).collect()
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    //! Shared machinery for the per-module collective tests: boots a
+    //! healthy machine with the standard test cost model under both
+    //! execution engines and asserts their stats agree bitwise, so every
+    //! collective's Table 1 measurement doubles as an engine-equivalence
+    //! check.
+    use cubemm_simnet::{CostParams, Engine, Machine, PortModel, Proc, RunOutcome};
+
+    pub(crate) const COST: CostParams = CostParams { ts: 10.0, tw: 2.0 };
+
+    pub(crate) fn run<I, O, F, Fut>(
+        p: usize,
+        port: PortModel,
+        inits: Vec<I>,
+        program: F,
+    ) -> RunOutcome<O>
+    where
+        I: Clone + Send,
+        O: Send,
+        F: Fn(Proc, I) -> Fut + Sync,
+        Fut: std::future::Future<Output = O>,
+    {
+        let boot = |engine: Engine| {
+            Machine::builder(p)
+                .port(port)
+                .cost(COST)
+                .engine(engine)
+                .build()
+                .expect("valid test machine")
+                .run(inits.clone(), &program)
+                .expect("healthy run")
+        };
+        let threaded = boot(Engine::Threaded);
+        let event = boot(Engine::Event);
+        assert_eq!(
+            threaded.stats, event.stats,
+            "threaded and event engines must agree bitwise"
+        );
+        threaded
+    }
 }
 
 #[cfg(test)]

@@ -301,7 +301,7 @@ impl CollectiveRun {
 /// Executes one or more collectives *fused*: round `r` of every run is
 /// issued in a single [`Proc::multi`] batch. All participating nodes
 /// must fuse the same set of collectives in the same order.
-pub fn execute_fused(proc: &mut Proc, runs: &mut [&mut CollectiveRun]) {
+pub async fn execute_fused(proc: &mut Proc, runs: &mut [&mut CollectiveRun]) {
     // Self-check every compiled plan in debug builds: a malformed plan
     // fails here with a named round/peer instead of deep inside the
     // engine (release builds skip the scan; `cubemm-analyze` carries the
@@ -356,7 +356,7 @@ pub fn execute_fused(proc: &mut Proc, runs: &mut [&mut CollectiveRun]) {
             });
         }
 
-        let results = proc.multi(ops);
+        let results = proc.multi(ops).await;
         let mut received = results.into_iter().flatten();
         for (ri, xi) in recv_order {
             #[allow(
@@ -394,8 +394,8 @@ pub fn execute_fused(proc: &mut Proc, runs: &mut [&mut CollectiveRun]) {
 }
 
 /// Executes a single collective (the common case).
-pub fn execute(proc: &mut Proc, run: &mut CollectiveRun) {
-    execute_fused(proc, &mut [run]);
+pub async fn execute(proc: &mut Proc, run: &mut CollectiveRun) {
+    execute_fused(proc, &mut [run]).await;
 }
 
 #[cfg(test)]

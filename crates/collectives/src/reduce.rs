@@ -116,7 +116,7 @@ pub fn reduce_plan(
 ///
 /// Cost (measured): one-port `log N·(t_s + t_w·M)`; multi-port
 /// `t_s·log N + t_w·M` — the inverses of the broadcast rows of Table 1.
-pub fn reduce_sum(
+pub async fn reduce_sum(
     proc: &mut Proc,
     sc: &Subcube,
     root: usize,
@@ -124,7 +124,7 @@ pub fn reduce_sum(
     mine: Payload,
 ) -> Option<Payload> {
     let mut run = reduce_plan(proc.port_model(), sc, proc.id(), root, base, mine);
-    execute(proc, run.run_mut());
+    execute(proc, run.run_mut()).await;
     run.finish()
 }
 
@@ -162,7 +162,7 @@ impl std::error::Error for ChecksumMismatch {}
 /// Costs one extra word per message over [`reduce_sum`]
 /// (`t_w·log N` one-port) — the detection analogue of the ABFT row and
 /// column checksums, for reductions whose operands are not matrices.
-pub fn reduce_sum_checked(
+pub async fn reduce_sum_checked(
     proc: &mut Proc,
     sc: &Subcube,
     root: usize,
@@ -173,7 +173,7 @@ pub fn reduce_sum_checked(
     let mut words: Vec<f64> = mine.to_vec();
     let check: f64 = words.iter().sum();
     words.push(check);
-    match reduce_sum(proc, sc, root, base, Payload::from(words)) {
+    match reduce_sum(proc, sc, root, base, Payload::from(words)).await {
         None => Ok(None),
         Some(full) => {
             let all = full.to_vec();
@@ -192,17 +192,16 @@ pub fn reduce_sum_checked(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cubemm_simnet::{run_machine, CostParams, PortModel};
+    use crate::testutil::{run, COST};
+    use cubemm_simnet::PortModel;
     use cubemm_topology::Subcube;
 
-    const COST: CostParams = CostParams { ts: 10.0, tw: 2.0 };
-
     fn check(p: usize, port: PortModel, root: usize, m: usize) -> f64 {
-        let out = run_machine(p, port, COST, vec![(); p], move |proc, ()| {
+        let out = run(p, port, vec![(); p], move |mut proc, ()| async move {
             let sc = Subcube::whole(proc.dim());
             let v = sc.rank_of(proc.id());
             let mine: Payload = (0..m).map(|x| (v * 100 + x) as f64).collect();
-            let got = reduce_sum(proc, &sc, root, 0, mine);
+            let got = reduce_sum(&mut proc, &sc, root, 0, mine).await;
             if v == root {
                 let got = got.expect("root gets the sum");
                 let n = sc.size();
@@ -245,30 +244,35 @@ mod tests {
 
     #[test]
     fn checked_reduce_matches_plain_reduce_when_healthy() {
-        let out = run_machine(8, PortModel::OnePort, COST, vec![(); 8], |proc, ()| {
-            let sc = Subcube::whole(proc.dim());
-            let v = sc.rank_of(proc.id());
-            let mine: Payload = (0..5).map(|x| (v * 10 + x) as f64).collect();
-            let got = reduce_sum_checked(proc, &sc, 0, 0, mine, 1e-9).expect("healthy run");
-            if v == 0 {
-                let got = got.expect("root gets the sum");
-                let sumv: f64 = (0..8).map(|u| (u * 10) as f64).sum();
-                for (x, val) in got.to_vec().iter().enumerate() {
-                    assert_eq!(*val, sumv + (8 * x) as f64);
+        let out = run(
+            8,
+            PortModel::OnePort,
+            vec![(); 8],
+            |mut proc, ()| async move {
+                let sc = Subcube::whole(proc.dim());
+                let v = sc.rank_of(proc.id());
+                let mine: Payload = (0..5).map(|x| (v * 10 + x) as f64).collect();
+                let got = reduce_sum_checked(&mut proc, &sc, 0, 0, mine, 1e-9)
+                    .await
+                    .expect("healthy run");
+                if v == 0 {
+                    let got = got.expect("root gets the sum");
+                    let sumv: f64 = (0..8).map(|u| (u * 10) as f64).sum();
+                    for (x, val) in got.to_vec().iter().enumerate() {
+                        assert_eq!(*val, sumv + (8 * x) as f64);
+                    }
+                } else {
+                    assert!(got.is_none());
                 }
-            } else {
-                assert!(got.is_none());
-            }
-        });
+            },
+        );
         // One extra word per message: log N (ts + tw (M+1)) = 3*(10+12).
         assert_eq!(out.stats.elapsed, 66.0);
     }
 
     #[test]
     fn checked_reduce_detects_a_corrupted_contribution() {
-        use cubemm_simnet::{
-            try_run_machine_with, CorruptKind, Corruption, FaultPlan, MachineOptions,
-        };
+        use cubemm_simnet::{CorruptKind, Corruption, FaultPlan, Machine};
         let plan = FaultPlan::new().with_corruption(
             1,
             0,
@@ -278,15 +282,19 @@ mod tests {
                 kind: CorruptKind::Perturb { delta: 1000.0 },
             },
         );
-        let mut options = MachineOptions::paper(PortModel::OnePort, COST);
-        options.faults = plan;
-        let out = try_run_machine_with(8, options, vec![(); 8], |proc, ()| {
-            let sc = Subcube::whole(proc.dim());
-            let v = sc.rank_of(proc.id());
-            let mine: Payload = (0..5).map(|x| (v * 10 + x) as f64).collect();
-            reduce_sum_checked(proc, &sc, 0, 7, mine, 1e-9)
-        })
-        .expect("corruption does not abort the run");
+        let out = Machine::builder(8)
+            .port(PortModel::OnePort)
+            .cost(COST)
+            .faults(plan)
+            .build()
+            .expect("valid machine")
+            .run(vec![(); 8], |mut proc, ()| async move {
+                let sc = Subcube::whole(proc.dim());
+                let v = sc.rank_of(proc.id());
+                let mine: Payload = (0..5).map(|x| (v * 10 + x) as f64).collect();
+                reduce_sum_checked(&mut proc, &sc, 0, 7, mine, 1e-9).await
+            })
+            .expect("corruption does not abort the run");
         match &out.outputs[0] {
             // A data word grew by 1000 while the checksum word did not.
             Err(m) => assert_eq!(m.expected - m.got, 1000.0),
@@ -300,12 +308,19 @@ mod tests {
 
     #[test]
     fn singleton_reduce() {
-        let out = run_machine(2, PortModel::OnePort, COST, vec![(); 2], |proc, ()| {
-            let sc = Subcube::new(proc.id(), vec![]);
-            let mine: Payload = vec![1.0, 2.0].into();
-            let got = reduce_sum(proc, &sc, 0, 0, mine).expect("singleton root");
-            assert_eq!(&got[..], &[1.0, 2.0]);
-        });
+        let out = run(
+            2,
+            PortModel::OnePort,
+            vec![(); 2],
+            |mut proc, ()| async move {
+                let sc = Subcube::new(proc.id(), vec![]);
+                let mine: Payload = vec![1.0, 2.0].into();
+                let got = reduce_sum(&mut proc, &sc, 0, 0, mine)
+                    .await
+                    .expect("singleton root");
+                assert_eq!(&got[..], &[1.0, 2.0]);
+            },
+        );
         assert_eq!(out.stats.elapsed, 0.0);
     }
 }

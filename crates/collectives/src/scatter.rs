@@ -148,7 +148,7 @@ pub fn scatter_plan(
 ///
 /// Cost (measured, equals Table 1): one-port `t_s·log N + t_w·(N−1)·M`;
 /// multi-port `t_s·log N + t_w·(N−1)·M/log N`.
-pub fn scatter(
+pub async fn scatter(
     proc: &mut Proc,
     sc: &Subcube,
     root: usize,
@@ -165,28 +165,27 @@ pub fn scatter(
         parts,
         part_len,
     );
-    execute(proc, run.run_mut());
+    execute(proc, run.run_mut()).await;
     run.finish()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cubemm_simnet::{run_machine, CostParams, PortModel};
+    use crate::testutil::run;
+    use cubemm_simnet::PortModel;
     use cubemm_topology::Subcube;
-
-    const COST: CostParams = CostParams { ts: 10.0, tw: 2.0 };
 
     fn part_for(rank: usize, m: usize) -> Payload {
         (0..m).map(|x| (rank * 100 + x) as f64).collect()
     }
 
     fn check(p: usize, port: PortModel, root: usize, m: usize) -> f64 {
-        let out = run_machine(p, port, COST, vec![(); p], move |proc, ()| {
+        let out = run(p, port, vec![(); p], move |mut proc, ()| async move {
             let sc = Subcube::whole(proc.dim());
             let my_rank = sc.rank_of(proc.id());
             let parts = (my_rank == root).then(|| (0..sc.size()).map(|r| part_for(r, m)).collect());
-            let got = scatter(proc, &sc, root, 0, parts, m);
+            let got = scatter(&mut proc, &sc, root, 0, parts, m).await;
             assert_eq!(&got[..], &part_for(my_rank, m)[..], "node {}", proc.id());
             proc.clock()
         });
@@ -221,11 +220,16 @@ mod tests {
 
     #[test]
     fn singleton_scatter() {
-        let out = run_machine(2, PortModel::OnePort, COST, vec![(); 2], |proc, ()| {
-            let sc = Subcube::new(proc.id(), vec![]);
-            let got = scatter(proc, &sc, 0, 0, Some(vec![part_for(0, 4)]), 4);
-            assert_eq!(&got[..], &part_for(0, 4)[..]);
-        });
+        let out = run(
+            2,
+            PortModel::OnePort,
+            vec![(); 2],
+            |mut proc, ()| async move {
+                let sc = Subcube::new(proc.id(), vec![]);
+                let got = scatter(&mut proc, &sc, 0, 0, Some(vec![part_for(0, 4)]), 4).await;
+                assert_eq!(&got[..], &part_for(0, 4)[..]);
+            },
+        );
         assert_eq!(out.stats.elapsed, 0.0);
     }
 

@@ -65,8 +65,8 @@ pub fn multiply(
         })
         .collect();
 
-    let cfg = cfg.clone();
-    let out = crate::util::run_spmd(&cfg, p, inits, move |proc, (pa, pb)| {
+    let kernel = cfg.kernel;
+    let out = crate::util::run_spmd(cfg, p, inits, move |mut proc, (pa, pb)| async move {
         let (i, j, k) = grid.coords(proc.id());
         let me = proc.id();
         let port = proc.port_model();
@@ -79,7 +79,7 @@ pub fn multiply(
         let parts: Vec<Payload> = (0..q)
             .map(|l| bm.block(l * sub, 0, sub, wide_c).into_payload().into())
             .collect();
-        let received = alltoall_personalized(proc, &y_line, phase_tag(0), parts);
+        let received = alltoall_personalized(&mut proc, &y_line, phase_tag(0), parts).await;
 
         // Reassemble: piece from origin l is the j-th row group of
         // B_{k,f(i,l)}; side by side (l ascending) they form the Figure 9
@@ -102,7 +102,7 @@ pub fn multiply(
             phase_tag(2),
             b_tall.into_payload().into(),
         );
-        execute_fused(proc, &mut [ga.run_mut(), gb.run_mut()]);
+        execute_fused(&mut proc, &mut [ga.run_mut(), gb.run_mut()]).await;
         let a_blocks = ga.finish(); // a_blocks[l] = A_{k, f(l,j)}
         let b_blocks = gb.finish(); // b_blocks[l] = B_{f(l,j), i}
         proc.track_peak_words(2 * (q + 1) * side * wide_c + side * side);
@@ -112,7 +112,7 @@ pub fn multiply(
         for l in 0..q {
             let ab = to_matrix(side, wide_c, &a_blocks[l]);
             let bb = to_matrix(sub, side, &b_blocks[l]);
-            gemm_acc(&mut outer, &ab, &bb, cfg.kernel);
+            gemm_acc(&mut outer, &ab, &bb, kernel);
         }
 
         // Phase 3: all-to-all reduction along y (column group l to rank
@@ -120,7 +120,7 @@ pub fn multiply(
         let parts: Vec<Payload> = (0..q)
             .map(|l| partition::col_group(&outer, q, l).into_payload().into())
             .collect();
-        reduce_scatter(proc, &y_line, phase_tag(3), parts)
+        reduce_scatter(&mut proc, &y_line, phase_tag(3), parts).await
     })?;
 
     let mut c = Matrix::zeros(n, n);

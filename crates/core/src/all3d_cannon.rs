@@ -118,8 +118,8 @@ pub fn multiply_with_mesh(
         })
         .collect();
 
-    let cfg = cfg.clone();
-    let out = crate::util::run_spmd(&cfg, p, inits, move |proc, (pa, pb)| {
+    let kernel = cfg.kernel;
+    let out = crate::util::run_spmd(cfg, p, inits, move |mut proc, (pa, pb)| async move {
         let (x, y, i, j, k) = grid.coords(proc.id());
         let me = proc.id();
         let port = proc.port_model();
@@ -151,18 +151,17 @@ pub fn multiply_with_mesh(
         // column unit w' = y·g + c and row unit u' = j·qm + x.
         let u_mine = j * qm + x;
         let t_src = u_mine % g;
-        let tiles: Vec<Matrix> = (0..g)
-            .map(|c| {
-                let wp = y * g + c;
-                let src = grid.node(u_mine / g, wp % qm, i, wp / qm, k);
-                let payload = if src == proc.id() {
-                    delivered(own_tile.clone(), "own redistribution tile")
-                } else {
-                    proc.recv(src, phase_tag(4) + t_src as u64)
-                };
-                to_matrix(pc, pc, &payload)
-            })
-            .collect();
+        let mut tiles: Vec<Matrix> = Vec::with_capacity(g);
+        for c in 0..g {
+            let wp = y * g + c;
+            let src = grid.node(u_mine / g, wp % qm, i, wp / qm, k);
+            let payload = if src == proc.id() {
+                delivered(own_tile.clone(), "own redistribution tile")
+            } else {
+                proc.recv(src, phase_tag(4) + t_src as u64).await
+            };
+            tiles.push(to_matrix(pc, pc, &payload));
+        }
         // My pc-row strip of the tall slice for block l = k:
         // rows [k·n/g + j·n/g² + x·pc), cols [i·n/g + y·(g·pc)).
         let b_tall = partition::concat_cols(&tiles);
@@ -179,7 +178,7 @@ pub fn multiply_with_mesh(
             phase_tag(6),
             b_tall.into_payload().into(),
         );
-        execute_fused(proc, &mut [ga.run_mut(), gb.run_mut()]);
+        execute_fused(&mut proc, &mut [ga.run_mut(), gb.run_mut()]).await;
         let a_pieces: Vec<Matrix> = ga
             .finish()
             .iter()
@@ -199,7 +198,7 @@ pub fn multiply_with_mesh(
         // Multiply stage: Cannon inside the supernode mesh on the
         // concatenated distributed operands.
         let node_of = |mx: usize, my: usize| grid.node(mx, my, i, j, k);
-        let outer = cannon_phase(proc, &node_of, x, y, qm, a_cat, b_stack, cfg.kernel);
+        let outer = cannon_phase(&mut proc, &node_of, x, y, qm, a_cat, b_stack, kernel).await;
 
         // Phase 3: all-to-all reduction along super-y — column group l of
         // the outer-product piece to super rank l.
@@ -207,7 +206,7 @@ pub fn multiply_with_mesh(
             .map(|l| partition::col_group(&outer, g, l).into_payload().into())
             .collect();
         let y_line = grid.super_y_line(me);
-        reduce_scatter(proc, &y_line, phase_tag(7), parts)
+        reduce_scatter(&mut proc, &y_line, phase_tag(7), parts).await
     })?;
 
     // The mesh layout of C comes out row-major over (y, j): node

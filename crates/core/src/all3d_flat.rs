@@ -64,8 +64,8 @@ pub fn multiply(
         })
         .collect();
 
-    let cfg = cfg.clone();
-    let out = crate::util::run_spmd(&cfg, p, inits, move |proc, (pa, pb)| {
+    let kernel = cfg.kernel;
+    let out = crate::util::run_spmd(cfg, p, inits, move |mut proc, (pa, pb)| async move {
         let (i, j, k) = grid.coords(proc.id());
         let me = proc.id();
         let port = proc.port_model();
@@ -74,7 +74,7 @@ pub fn multiply(
         // Phase 1: gather this y line's B blocks at rank k mod g —
         // the plane that will consume row group k.
         let y_line = grid.y_line(me);
-        let gathered = gather(proc, &y_line, k % g, phase_tag(0), pb);
+        let gathered = gather(&mut proc, &y_line, k % g, phase_tag(0), pb).await;
         let bundle = gathered.map(|parts| {
             // Ascending y rank concatenates the column groups f(i,0..g):
             // B[k-rows, i-th n/g column band], a w × g·w strip.
@@ -90,7 +90,7 @@ pub fn multiply(
         if let Some(strip) = bundle {
             let z_high = grid.z_high_line(me);
             let mut gb = allgather_plan(port, &z_high, me, phase_tag(2), strip);
-            execute_fused(proc, &mut [ga.run_mut(), gb.run_mut()]);
+            execute_fused(&mut proc, &mut [ga.run_mut(), gb.run_mut()]).await;
             let strips = gb.finish(); // rank k_hi ↔ row group k_hi·g + j
                                       // Stack vertically: rows of B[S_j, i-band], a g·w × g·w tile.
             let pieces: Vec<Matrix> = strips.iter().map(|p| to_matrix(w, g * w, p)).collect();
@@ -98,22 +98,24 @@ pub fn multiply(
             // Phase 3a: broadcast the tile along the z-low subcube.
             let z_low = grid.z_low_line(me);
             let _ = cubemm_collectives::bcast(
-                proc,
+                &mut proc,
                 &z_low,
                 j,
                 phase_tag(3),
                 Some(stacked.to_payload().into()),
                 g * w * g * w,
-            );
-            finish(proc, &grid, ga, stacked, i, j, k, w, cfg.kernel)
+            )
+            .await;
+            finish(&mut proc, &grid, ga, stacked, i, j, k, w, kernel).await
         } else {
-            execute_fused(proc, &mut [ga.run_mut()]);
+            execute_fused(&mut proc, &mut [ga.run_mut()]).await;
             // Phase 3a (receiving side): the tile arrives over z-low.
             let z_low = grid.z_low_line(me);
             let tile =
-                cubemm_collectives::bcast(proc, &z_low, j, phase_tag(3), None, g * w * g * w);
+                cubemm_collectives::bcast(&mut proc, &z_low, j, phase_tag(3), None, g * w * g * w)
+                    .await;
             let stacked = to_matrix(g * w, g * w, &tile);
-            finish(proc, &grid, ga, stacked, i, j, k, w, cfg.kernel)
+            finish(&mut proc, &grid, ga, stacked, i, j, k, w, kernel).await
         }
     })?;
 
@@ -134,7 +136,7 @@ pub fn multiply(
 /// Shared tail: multiply the gathered A pieces against the stacked B
 /// tile and reduce-scatter along y.
 #[allow(clippy::too_many_arguments)]
-fn finish(
+async fn finish(
     proc: &mut cubemm_simnet::Proc,
     grid: &FlatGrid3,
     ga: cubemm_collectives::AllgatherRun,
@@ -163,7 +165,7 @@ fn finish(
     let parts: Vec<Payload> = (0..g)
         .map(|l| partition::col_group(&outer, g, l).into_payload().into())
         .collect();
-    reduce_scatter(proc, &y_line, crate::util::phase_tag(4), parts)
+    reduce_scatter(proc, &y_line, crate::util::phase_tag(4), parts).await
 }
 
 #[cfg(test)]

@@ -57,10 +57,9 @@ pub fn multiply(
         })
         .collect();
 
-    let cfg = cfg.clone();
-    let inner = cfg.clone();
-    let out = crate::util::run_spmd(&cfg, p, inits, move |proc, (pa, pb)| {
-        program(proc, &grid, pa, pb, &inner)
+    let kernel = cfg.kernel;
+    let out = crate::util::run_spmd(cfg, p, inits, move |mut proc, (pa, pb)| async move {
+        program(&mut proc, &grid, pa, pb, kernel).await
     })?;
     Ok(assemble(n, p, &grid, out))
 }
@@ -95,9 +94,8 @@ pub fn multiply_from_identical(
         })
         .collect();
 
-    let cfg = cfg.clone();
-    let inner = cfg.clone();
-    let out = crate::util::run_spmd(&cfg, p, inits, move |proc, (pa, pb)| {
+    let kernel = cfg.kernel;
+    let out = crate::util::run_spmd(cfg, p, inits, move |mut proc, (pa, pb)| async move {
         let (i, j, k) = grid.coords(proc.id());
 
         // Phase 0 — redistribution: my wide block B_{k, f(i,j)} covers
@@ -117,32 +115,31 @@ pub fn multiply_from_identical(
         }
         // Collect my tall block B_{f(i,j), k}: column chunk j' arrives
         // from p_{k, j', i} — sources mirror the destinations.
-        let pieces: Vec<Matrix> = (0..q)
-            .map(|jp| {
-                let src = grid.node(k, jp, i);
-                let payload = if src == proc.id() {
-                    delivered(own_piece.clone(), "own transpose piece")
-                } else {
-                    proc.recv(src, phase_tag(8) + j as u64)
-                };
-                to_matrix(sub, sub, &payload)
-            })
-            .collect();
+        let mut pieces: Vec<Matrix> = Vec::with_capacity(q);
+        for jp in 0..q {
+            let src = grid.node(k, jp, i);
+            let payload = if src == proc.id() {
+                delivered(own_piece.clone(), "own transpose piece")
+            } else {
+                proc.recv(src, phase_tag(8) + j as u64).await
+            };
+            pieces.push(to_matrix(sub, sub, &payload));
+        }
         let tall = partition::concat_cols(&pieces);
 
-        program(proc, &grid, pa, tall.into_payload().into(), &inner)
+        program(&mut proc, &grid, pa, tall.into_payload().into(), kernel).await
     })?;
     Ok(assemble(n, p, &grid, out))
 }
 
 /// The SPMD body shared by both entry points; `pb` is this node's
 /// Figure 9 block `B_{f(i,j),k}`.
-fn program(
+async fn program(
     proc: &mut cubemm_simnet::Proc,
     grid: &Grid3,
     pa: Payload,
     pb: Payload,
-    cfg: &MachineConfig,
+    kernel: cubemm_dense::gemm::Kernel,
 ) -> Payload {
     let q = grid.q();
     let n_over_q2 = {
@@ -163,7 +160,7 @@ fn program(
         // Phase 1: gather the B blocks of this x line at rank k
         // (p_{k,j,k}); member rank l contributed B_{f(l,j),k}.
         let x_line = grid.x_line(j, k);
-        let gathered = gather(proc, &x_line, k, phase_tag(0), pb);
+        let gathered = gather(proc, &x_line, k, phase_tag(0), pb).await;
 
         // Phase 2 (fused): all-gather A along x; broadcast the stacked B
         // bundle along z from rank i (p_{i,j,i}, a gather root).
@@ -179,7 +176,7 @@ fn program(
         let z_line = grid.z_line(i, j);
         let mut ga = allgather_plan(port, &x_line, me, phase_tag(1), pa);
         let mut bb = bcast_plan(port, &z_line, me, i, phase_tag(2), bundle, side * side);
-        execute_fused(proc, &mut [ga.run_mut(), bb.run_mut()]);
+        execute_fused(proc, &mut [ga.run_mut(), bb.run_mut()]).await;
         let a_blocks = ga.finish(); // a_blocks[l] = A_{k, f(l,j)}
         let b_bundle = to_matrix(side, side, &bb.finish()); // B_{f(*,j),i}
         proc.track_peak_words((q + 1) * side * wide_c + side * side + side * side);
@@ -190,7 +187,7 @@ fn program(
         for (l, a_block) in a_blocks.iter().enumerate() {
             let ab = to_matrix(side, wide_c, a_block);
             let bbk = b_bundle.block(l * tall_r, 0, tall_r, side);
-            gemm_acc(&mut outer, &ab, &bbk, cfg.kernel);
+            gemm_acc(&mut outer, &ab, &bbk, kernel);
         }
 
         // Phase 3: all-to-all reduction along y; destination rank l gets
@@ -199,7 +196,7 @@ fn program(
         let parts: Vec<Payload> = (0..q)
             .map(|l| partition::col_group(&outer, q, l).into_payload().into())
             .collect();
-        reduce_scatter(proc, &y_line, phase_tag(3), parts)
+        reduce_scatter(proc, &y_line, phase_tag(3), parts).await
     }
 }
 

@@ -57,8 +57,8 @@ pub fn multiply(
         })
         .collect();
 
-    let cfg = cfg.clone();
-    let out = crate::util::run_spmd(&cfg, p, inits, move |proc, (pa, pb)| {
+    let kernel = cfg.kernel;
+    let out = crate::util::run_spmd(cfg, p, inits, move |mut proc, (pa, pb)| async move {
         let (i, j, m) = grid.coords(proc.id());
         let ma = to_matrix(big, small, &pa);
         let mb = to_matrix(small, big, &pb);
@@ -67,7 +67,7 @@ pub fn multiply(
         // Cannon within the x-y plane z = m (a p^{2/3}-processor
         // subcube): yields block (i,j) of the outer product of set m.
         let node_of = |x: usize, y: usize| grid.node(x, y, m);
-        let outer = cannon_phase(proc, &node_of, i, j, q, ma, mb, cfg.kernel);
+        let outer = cannon_phase(&mut proc, &node_of, i, j, q, ma, mb, kernel).await;
 
         // All-to-all reduction along the z fibre: corresponding blocks of
         // the ∛p outer products are summed, each fibre member keeping one
@@ -76,7 +76,8 @@ pub fn multiply(
         let parts: Vec<Payload> = (0..q)
             .map(|l| partition::row_group(&outer, q, l).into_payload().into())
             .collect();
-        let strip = cubemm_collectives::reduce_scatter(proc, &fibre, phase_tag(4), parts);
+        let strip =
+            cubemm_collectives::reduce_scatter(&mut proc, &fibre, phase_tag(4), parts).await;
         proc.track_peak_words(2 * big * small + big * big + small * big);
         strip
     })?;

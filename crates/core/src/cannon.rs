@@ -38,7 +38,7 @@ pub fn check(n: usize, p: usize) -> Result<(), AlgoError> {
 /// the grid embeddings). Returns this node's accumulated `C` block of
 /// shape `a_block.rows() × b_block.cols()`.
 #[allow(clippy::too_many_arguments)]
-pub(crate) fn cannon_phase(
+pub(crate) async fn cannon_phase(
     proc: &mut Proc,
     node_of: &dyn Fn(usize, usize) -> usize,
     i: usize,
@@ -79,7 +79,7 @@ pub(crate) fn cannon_phase(
             ops.push(Op::Recv { from: partner, tag });
             want.1 = true;
         }
-        let results = proc.multi(ops);
+        let results = proc.multi(ops).await;
         let mut received = results.into_iter().flatten();
         if want.0 {
             ma = to_matrix(ar, ac, &delivered(received.next(), "skewed A"));
@@ -102,26 +102,28 @@ pub(crate) fn cannon_phase(
         let b_partner = node_of(i ^ (1 << bit), j);
         let a_tag = phase_tag(2) + k as u64;
         let b_tag = phase_tag(3) + k as u64;
-        let results = proc.multi(vec![
-            Op::Send {
-                to: a_partner,
-                tag: a_tag,
-                data: ma.to_payload().into(),
-            },
-            Op::Send {
-                to: b_partner,
-                tag: b_tag,
-                data: mb.to_payload().into(),
-            },
-            Op::Recv {
-                from: a_partner,
-                tag: a_tag,
-            },
-            Op::Recv {
-                from: b_partner,
-                tag: b_tag,
-            },
-        ]);
+        let results = proc
+            .multi(vec![
+                Op::Send {
+                    to: a_partner,
+                    tag: a_tag,
+                    data: ma.to_payload().into(),
+                },
+                Op::Send {
+                    to: b_partner,
+                    tag: b_tag,
+                    data: mb.to_payload().into(),
+                },
+                Op::Recv {
+                    from: a_partner,
+                    tag: a_tag,
+                },
+                Op::Recv {
+                    from: b_partner,
+                    tag: b_tag,
+                },
+            ])
+            .await;
         let mut received = results.into_iter().flatten();
         ma = to_matrix(ar, ac, &delivered(received.next(), "shifted A"));
         mb = to_matrix(br, bc, &delivered(received.next(), "shifted B"));
@@ -153,15 +155,15 @@ pub fn multiply(
         })
         .collect();
 
-    let cfg = cfg.clone();
-    let out = crate::util::run_spmd(&cfg, p, inits, move |proc, (pa, pb)| {
+    let kernel = cfg.kernel;
+    let out = crate::util::run_spmd(cfg, p, inits, move |mut proc, (pa, pb)| async move {
         let (i, j) = grid.coords(proc.id());
         let ma = to_matrix(bs, bs, &pa);
         let mb = to_matrix(bs, bs, &pb);
         // Constant storage: A, B, C blocks (Table 3: 3n² overall).
         proc.track_peak_words(3 * bs * bs);
         let node_of = |x: usize, y: usize| grid.node(x, y);
-        let c = cannon_phase(proc, &node_of, i, j, q, ma, mb, cfg.kernel);
+        let c = cannon_phase(&mut proc, &node_of, i, j, q, ma, mb, kernel).await;
         Payload::from(c.into_payload())
     })?;
 

@@ -70,7 +70,7 @@ pub fn multiply(
             .collect()
     };
 
-    let cfg = cfg.clone();
+    let kernel = cfg.kernel;
     let ring_coords = move |label: usize| {
         let (gi, gj) = grid.coords(label);
         (
@@ -78,7 +78,7 @@ pub fn multiply(
             cubemm_topology::gray_inverse(gj),
         )
     };
-    let out = crate::util::run_spmd(&cfg, p, inits, move |proc, (pa, pb)| {
+    let out = crate::util::run_spmd(cfg, p, inits, move |mut proc, (pa, pb)| async move {
         let (i, j) = ring_coords(proc.id());
         let mut ma = to_matrix(bs, bs, &pa);
         let mut mb = to_matrix(bs, bs, &pb);
@@ -116,7 +116,7 @@ pub fn multiply(
                     tag,
                 });
             }
-            let results = proc.multi(ops);
+            let results = proc.multi(ops).await;
             let mut received = results.into_iter().flatten();
             if shift_a {
                 ma = to_matrix(bs, bs, &delivered(received.next(), "aligned A"));
@@ -130,32 +130,34 @@ pub fn multiply(
         // exactly as on a torus.
         let mut c = Matrix::zeros(bs, bs);
         for k in 0..q {
-            gemm_acc(&mut c, &ma, &mb, cfg.kernel);
+            gemm_acc(&mut c, &ma, &mb, kernel);
             if k + 1 == q {
                 break;
             }
             let a_tag = phase_tag(2) + k as u64;
             let b_tag = phase_tag(3) + k as u64;
-            let results = proc.multi(vec![
-                Op::Send {
-                    to: ring_node(i, j + q - 1),
-                    tag: a_tag,
-                    data: ma.to_payload().into(),
-                },
-                Op::Send {
-                    to: ring_node(i + q - 1, j),
-                    tag: b_tag,
-                    data: mb.to_payload().into(),
-                },
-                Op::Recv {
-                    from: ring_node(i, j + 1),
-                    tag: a_tag,
-                },
-                Op::Recv {
-                    from: ring_node(i + 1, j),
-                    tag: b_tag,
-                },
-            ]);
+            let results = proc
+                .multi(vec![
+                    Op::Send {
+                        to: ring_node(i, j + q - 1),
+                        tag: a_tag,
+                        data: ma.to_payload().into(),
+                    },
+                    Op::Send {
+                        to: ring_node(i + q - 1, j),
+                        tag: b_tag,
+                        data: mb.to_payload().into(),
+                    },
+                    Op::Recv {
+                        from: ring_node(i, j + 1),
+                        tag: a_tag,
+                    },
+                    Op::Recv {
+                        from: ring_node(i + 1, j),
+                        tag: b_tag,
+                    },
+                ])
+                .await;
             let mut received = results.into_iter().flatten();
             ma = to_matrix(bs, bs, &delivered(received.next(), "shifted A"));
             mb = to_matrix(bs, bs, &delivered(received.next(), "shifted B"));

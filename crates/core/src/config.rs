@@ -2,7 +2,10 @@
 
 use cubemm_dense::gemm::Kernel;
 use cubemm_dense::Matrix;
-use cubemm_simnet::{ChargePolicy, CostParams, FaultPlan, LinkTopology, PortModel, RunStats};
+use cubemm_simnet::{
+    ChargePolicy, CostParams, Engine, FaultPlan, LinkTopology, Machine, MachineOptions, PortModel,
+    RunError, RunStats,
+};
 
 /// Configuration of the simulated machine a multiplication runs on.
 #[derive(Debug, Clone)]
@@ -23,6 +26,16 @@ pub struct MachineConfig {
     pub links: LinkTopology,
     /// Deterministic fault injection (empty — healthy — by default).
     pub faults: FaultPlan,
+    /// Execution engine: one host thread per node (`Threaded`) or a
+    /// single-threaded virtual-clock event loop (`Event`). Results are
+    /// bitwise identical; `Event` scales to p ≥ 4096.
+    pub engine: Engine,
+    /// A machine validated ahead of time (see [`MachineConfig::prepare`])
+    /// that runs under this config may reuse, skipping re-validation.
+    /// Safe by construction: a run only uses it when its size and
+    /// options still match what this config describes, so a stale cache
+    /// entry degrades to a fresh boot, never a wrong machine.
+    pub prepared: Option<Machine>,
 }
 
 impl Default for MachineConfig {
@@ -35,6 +48,8 @@ impl Default for MachineConfig {
             charge: ChargePolicy::SenderOnly,
             links: LinkTopology::Hypercube,
             faults: FaultPlan::new(),
+            engine: Engine::default(),
+            prepared: None,
         }
     }
 }
@@ -94,6 +109,45 @@ impl MachineConfig {
         self.faults = faults;
         self
     }
+
+    /// Selects the execution engine for runs under this config. The
+    /// event engine simulates the whole machine on one host thread and
+    /// produces bitwise-identical stats, traces, and failure verdicts.
+    pub fn with_engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// The simnet option block this configuration describes.
+    pub fn machine_options(&self) -> MachineOptions {
+        MachineOptions {
+            port: self.port,
+            cost: self.cost,
+            charge: self.charge,
+            links: self.links,
+            traced: self.traced,
+            faults: self.faults.clone(),
+            engine: self.engine,
+        }
+    }
+
+    /// Validates a reusable `p`-node [`Machine`] for this configuration
+    /// — the cacheable artifact: boot it many times with
+    /// [`Machine::run`], or attach it back with
+    /// [`MachineConfig::with_prepared`] so every `multiply` under this
+    /// config skips re-validation.
+    pub fn prepare(&self, p: usize) -> Result<Machine, RunError> {
+        Machine::new(p, self.machine_options())
+    }
+
+    /// Attaches a pre-validated machine (from [`MachineConfig::prepare`],
+    /// possibly cached across jobs) for runs under this config to reuse.
+    /// Runs ignore it — booting fresh — whenever its size or options no
+    /// longer match the config.
+    pub fn with_prepared(mut self, machine: Machine) -> Self {
+        self.prepared = Some(machine);
+        self
+    }
 }
 
 /// Fluent constructor for [`MachineConfig`]; every field starts at its
@@ -143,6 +197,12 @@ impl MachineConfigBuilder {
     /// Deterministic fault injection plan.
     pub fn faults(mut self, faults: FaultPlan) -> Self {
         self.cfg.faults = faults;
+        self
+    }
+
+    /// Execution engine (threaded or event-driven).
+    pub fn engine(mut self, engine: Engine) -> Self {
+        self.cfg.engine = engine;
         self
     }
 

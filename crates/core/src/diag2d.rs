@@ -56,8 +56,8 @@ pub fn multiply(
         })
         .collect();
 
-    let cfg = cfg.clone();
-    let out = crate::util::run_spmd(&cfg, p, inits, move |proc, init| {
+    let kernel = cfg.kernel;
+    let out = crate::util::run_spmd(cfg, p, inits, move |mut proc, init| async move {
         let (i, j) = grid.coords(proc.id());
         let me = proc.id();
         let port = proc.port_model();
@@ -79,19 +79,19 @@ pub fn multiply(
         let col = grid.col(j); // rank within the column = row coordinate i
         let mut ba = bcast_plan(port, &col, me, j, phase_tag(0), a_data, n * w);
         let mut sb = scatter_plan(port, &col, me, j, phase_tag(1), b_parts, w * w);
-        execute_fused(proc, &mut [ba.run_mut(), sb.run_mut()]);
+        execute_fused(&mut proc, &mut [ba.run_mut(), sb.run_mut()]).await;
         let a_group = to_matrix(n, w, &ba.finish()); // col group j of A
         let b_chunk = to_matrix(w, w, &sb.finish()); // cols [i·w, (i+1)w) of row group j
         proc.track_peak_words(n * w + w * w + n * w);
 
         // Local outer-product slice: columns [i·w, (i+1)·w) of A_j · B_j.
         let mut part = Matrix::zeros(n, w);
-        gemm_acc(&mut part, &a_group, &b_chunk, cfg.kernel);
+        gemm_acc(&mut part, &a_group, &b_chunk, kernel);
 
         // Phase 2: reduce along the row (y direction) to the diagonal
         // node p_{i,i}; the sum over j is column group i of C.
         let row = grid.row(i); // rank within the row = column coordinate j
-        reduce_sum(proc, &row, i, phase_tag(2), part.into_payload().into())
+        reduce_sum(&mut proc, &row, i, phase_tag(2), part.into_payload().into()).await
     })?;
 
     let mut c = Matrix::zeros(n, n);

@@ -60,8 +60,8 @@ pub fn multiply(
         })
         .collect();
 
-    let cfg = cfg.clone();
-    let out = crate::util::run_spmd(&cfg, p, inits, move |proc, init| {
+    let kernel = cfg.kernel;
+    let out = crate::util::run_spmd(cfg, p, inits, move |mut proc, init| async move {
         let (i, j, k) = grid.coords(proc.id());
         let me = proc.id();
         let port = proc.port_model();
@@ -79,7 +79,7 @@ pub fn multiply(
             }
         }
         if j == k && i != j {
-            b_holder = Some(proc.recv(grid.node(i, i, k), phase_tag(0)));
+            b_holder = Some(proc.recv(grid.node(i, i, k), phase_tag(0)).await);
         }
 
         // Phase 2 (fused): broadcast A along x (root rank j: p_{j,j,k}
@@ -89,18 +89,25 @@ pub fn multiply(
         let z_line = grid.z_line(i, j);
         let mut ba = bcast_plan(port, &x_line, me, j, phase_tag(1), a_holder, bs * bs);
         let mut bb = bcast_plan(port, &z_line, me, j, phase_tag(2), b_holder, bs * bs);
-        execute_fused(proc, &mut [ba.run_mut(), bb.run_mut()]);
+        execute_fused(&mut proc, &mut [ba.run_mut(), bb.run_mut()]).await;
         let ma = to_matrix(bs, bs, &ba.finish()); // A_{k,j}
         let mb = to_matrix(bs, bs, &bb.finish()); // B_{j,i}
         proc.track_peak_words(3 * bs * bs);
 
         let mut part = Matrix::zeros(bs, bs);
-        gemm_acc(&mut part, &ma, &mb, cfg.kernel);
+        gemm_acc(&mut part, &ma, &mb, kernel);
 
         // Phase 3: reduce along y to the diagonal plane (root rank i):
         // Σ_j A_{k,j}·B_{j,i} = C_{k,i} at p_{i,i,k}.
         let y_line = grid.y_line(i, k);
-        reduce_sum(proc, &y_line, i, phase_tag(3), part.into_payload().into())
+        reduce_sum(
+            &mut proc,
+            &y_line,
+            i,
+            phase_tag(3),
+            part.into_payload().into(),
+        )
+        .await
     })?;
 
     let c = partition::assemble_square(n, q, |k, i| {

@@ -54,8 +54,8 @@ pub fn multiply(
         })
         .collect();
 
-    let cfg = cfg.clone();
-    let out = crate::util::run_spmd(&cfg, p, inits, move |proc, init| {
+    let kernel = cfg.kernel;
+    let out = crate::util::run_spmd(cfg, p, inits, move |mut proc, init| async move {
         let (i, j, k) = grid.coords(proc.id());
         let me = proc.id();
 
@@ -78,10 +78,10 @@ pub fn multiply(
             }
         }
         if k == j && k != 0 {
-            a_holder = Some(proc.recv(grid.node(i, j, 0), phase_tag(0)));
+            a_holder = Some(proc.recv(grid.node(i, j, 0), phase_tag(0)).await);
         }
         if k == i && k != 0 {
-            b_holder = Some(proc.recv(grid.node(i, j, 0), phase_tag(1)));
+            b_holder = Some(proc.recv(grid.node(i, j, 0), phase_tag(1)).await);
         }
 
         // Phase 2: broadcast A along y (root p_{i,k,k}, rank k in the y
@@ -92,17 +92,17 @@ pub fn multiply(
         let x_line = grid.x_line(j, k);
         let mut ba = bcast_plan(port, &y_line, me, k, phase_tag(2), a_holder, bs * bs);
         let mut bb = bcast_plan(port, &x_line, me, k, phase_tag(3), b_holder, bs * bs);
-        execute_fused(proc, &mut [ba.run_mut(), bb.run_mut()]);
+        execute_fused(&mut proc, &mut [ba.run_mut(), bb.run_mut()]).await;
         let ma = to_matrix(bs, bs, &ba.finish()); // A_{i,k}
         let mb = to_matrix(bs, bs, &bb.finish()); // B_{k,j}
         proc.track_peak_words(3 * bs * bs);
 
         let mut c = Matrix::zeros(bs, bs);
-        gemm_acc(&mut c, &ma, &mb, cfg.kernel);
+        gemm_acc(&mut c, &ma, &mb, kernel);
 
         // Phase 3: all-to-one reduction along z back to the base plane.
         let z_line = grid.z_line(i, j);
-        reduce_sum(proc, &z_line, 0, phase_tag(4), c.into_payload().into())
+        reduce_sum(&mut proc, &z_line, 0, phase_tag(4), c.into_payload().into()).await
     })?;
 
     let c = partition::assemble_square(n, q, |i, j| {

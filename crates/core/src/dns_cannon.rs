@@ -104,8 +104,8 @@ pub fn multiply_with_mesh(
         })
         .collect();
 
-    let cfg = cfg.clone();
-    let out = crate::util::run_spmd(&cfg, p, inits, move |proc, init| {
+    let kernel = cfg.kernel;
+    let out = crate::util::run_spmd(cfg, p, inits, move |mut proc, init| async move {
         let (x, y, i, j, k) = grid.coords(proc.id());
         let me = proc.id();
 
@@ -127,10 +127,10 @@ pub fn multiply_with_mesh(
             }
         }
         if k == j && k != 0 {
-            a_holder = Some(proc.recv(grid.node(x, y, i, j, 0), phase_tag(4)));
+            a_holder = Some(proc.recv(grid.node(x, y, i, j, 0), phase_tag(4)).await);
         }
         if k == i && k != 0 {
-            b_holder = Some(proc.recv(grid.node(x, y, i, j, 0), phase_tag(5)));
+            b_holder = Some(proc.recv(grid.node(x, y, i, j, 0), phase_tag(5)).await);
         }
 
         // Phase 2 (fused): broadcast A along super-y (root rank k) and B
@@ -140,7 +140,7 @@ pub fn multiply_with_mesh(
         let x_line = grid.super_x_line(me);
         let mut ba = bcast_plan(port, &y_line, me, k, phase_tag(6), a_holder, sub * sub);
         let mut bb = bcast_plan(port, &x_line, me, k, phase_tag(7), b_holder, sub * sub);
-        execute_fused(proc, &mut [ba.run_mut(), bb.run_mut()]);
+        execute_fused(&mut proc, &mut [ba.run_mut(), bb.run_mut()]).await;
         let ma = to_matrix(sub, sub, &ba.finish()); // piece (x,y) of A_{ik}
         let mb = to_matrix(sub, sub, &bb.finish()); // piece (x,y) of B_{kj}
         proc.track_peak_words(3 * sub * sub);
@@ -148,11 +148,11 @@ pub fn multiply_with_mesh(
         // Phase 3: Cannon within the supernode mesh computes
         // piece (x,y) of A_{ik}·B_{kj}.
         let node_of = |mx: usize, my: usize| grid.node(mx, my, i, j, k);
-        let c = cannon_phase(proc, &node_of, x, y, qm, ma, mb, cfg.kernel);
+        let c = cannon_phase(&mut proc, &node_of, x, y, qm, ma, mb, kernel).await;
 
         // Phase 4: reduce along super-z back to the base plane.
         let z_line = grid.super_z_line(me);
-        reduce_sum(proc, &z_line, 0, phase_tag(8), c.into_payload().into())
+        reduce_sum(&mut proc, &z_line, 0, phase_tag(8), c.into_payload().into()).await
     })?;
 
     let mut c = Matrix::zeros(n, n);

@@ -61,7 +61,7 @@ pub fn multiply(
             .collect()
     };
 
-    let cfg = cfg.clone();
+    let kernel = cfg.kernel;
     let ring_coords = move |label: usize| {
         let (gi, gj) = grid.coords(label);
         (
@@ -69,7 +69,7 @@ pub fn multiply(
             cubemm_topology::gray_inverse(gj),
         )
     };
-    let out = crate::util::run_spmd(&cfg, p, inits, move |proc, (pa, pb)| {
+    let out = crate::util::run_spmd(cfg, p, inits, move |mut proc, (pa, pb)| async move {
         let (i, j) = ring_coords(proc.id());
         let a_home = to_matrix(bs, bs, &pa); // stays resident all run
         let mut mb = to_matrix(bs, bs, &pb);
@@ -83,31 +83,34 @@ pub fn multiply(
             let root_rank = gray(owner);
             let data = (owner == j).then(|| a_home.to_payload().into());
             let ak = bcast(
-                proc,
+                &mut proc,
                 &row,
                 root_rank,
                 phase_tag(2 * k as u64),
                 data,
                 bs * bs,
-            );
-            gemm_acc(&mut c, &to_matrix(bs, bs, &ak), &mb, cfg.kernel);
+            )
+            .await;
+            gemm_acc(&mut c, &to_matrix(bs, bs, &ak), &mb, kernel);
 
             // Roll B up one ring position (except after the last step).
             if k + 1 == q {
                 break;
             }
             let tag = phase_tag(2 * k as u64 + 1);
-            let results = proc.multi(vec![
-                Op::Send {
-                    to: ring_node(i + q - 1, j),
-                    tag,
-                    data: mb.to_payload().into(),
-                },
-                Op::Recv {
-                    from: ring_node(i + 1, j),
-                    tag,
-                },
-            ]);
+            let results = proc
+                .multi(vec![
+                    Op::Send {
+                        to: ring_node(i + q - 1, j),
+                        tag,
+                        data: mb.to_payload().into(),
+                    },
+                    Op::Recv {
+                        from: ring_node(i + 1, j),
+                        tag,
+                    },
+                ])
+                .await;
             let rolled = delivered(results.into_iter().flatten().next(), "rolled B");
             mb = to_matrix(bs, bs, &rolled);
         }

@@ -76,8 +76,8 @@ pub fn multiply(
         })
         .collect();
 
-    let cfg = cfg.clone();
-    let out = crate::util::run_spmd(&cfg, p, inits, move |proc, (pa, pb)| {
+    let kernel = cfg.kernel;
+    let out = crate::util::run_spmd(cfg, p, inits, move |mut proc, (pa, pb)| async move {
         let (i, j) = grid.coords(proc.id());
         let mut ma = to_matrix(bs, bs, &pa);
         let mut mb = to_matrix(bs, bs, &pb);
@@ -111,7 +111,7 @@ pub fn multiply(
                 ops.push(Op::Recv { from: partner, tag });
                 want.1 = true;
             }
-            let results = proc.multi(ops);
+            let results = proc.multi(ops).await;
             let mut received = results.into_iter().flatten();
             if want.0 {
                 ma = to_matrix(bs, bs, &delivered(received.next(), "skewed A"));
@@ -124,7 +124,7 @@ pub fn multiply(
         if d == 0 {
             // Single processor: one local multiply.
             let mut c = Matrix::zeros(bs, bs);
-            gemm_acc(&mut c, &ma, &mb, cfg.kernel);
+            gemm_acc(&mut c, &ma, &mb, kernel);
             return Payload::from(c.into_payload());
         }
 
@@ -146,7 +146,7 @@ pub fn multiply(
         let mut c = Matrix::zeros(bs, bs);
         for k in 0..q {
             for l in 0..d {
-                gemm_acc(&mut c, &a_groups[l], &b_groups[l], cfg.kernel);
+                gemm_acc(&mut c, &a_groups[l], &b_groups[l], kernel);
             }
             if k + 1 == q {
                 break;
@@ -177,7 +177,7 @@ pub fn multiply(
                     tag: b_tag,
                 });
             }
-            let results = proc.multi(ops);
+            let results = proc.multi(ops).await;
             let mut received = results.into_iter().flatten();
             for l in 0..d {
                 let (lo, hi) = group_bounds(bs, d, l);

@@ -43,8 +43,8 @@ pub fn multiply(
         })
         .collect();
 
-    let cfg = cfg.clone();
-    let out = crate::util::run_spmd(&cfg, p, inits, move |proc, (pa, pb)| {
+    let kernel = cfg.kernel;
+    let out = crate::util::run_spmd(cfg, p, inits, move |mut proc, (pa, pb)| async move {
         let (i, j) = grid.coords(proc.id());
         proc.track_peak_words(2 * bs * bs);
 
@@ -56,7 +56,7 @@ pub fn multiply(
         let col = grid.col(j); // rank within col = row index
         let mut ga = allgather_plan(port, &row, proc.id(), phase_tag(0), pa);
         let mut gb = allgather_plan(port, &col, proc.id(), phase_tag(1), pb);
-        execute_fused(proc, &mut [ga.run_mut(), gb.run_mut()]);
+        execute_fused(&mut proc, &mut [ga.run_mut(), gb.run_mut()]).await;
         let a_row = ga.finish(); // a_row[k] = A_{i,k}
         let b_col = gb.finish(); // b_col[k] = B_{k,j}
         proc.track_peak_words(2 * q * bs * bs + bs * bs);
@@ -65,7 +65,7 @@ pub fn multiply(
         for k in 0..q {
             let ak = to_matrix(bs, bs, &a_row[k]);
             let bk = to_matrix(bs, bs, &b_col[k]);
-            gemm_acc(&mut c, &ak, &bk, cfg.kernel);
+            gemm_acc(&mut c, &ak, &bk, kernel);
         }
         Payload::from(c.into_payload())
     })?;

@@ -1,7 +1,9 @@
 //! Shared helpers for the algorithm drivers.
 
+use std::future::Future;
+
 use cubemm_dense::Matrix;
-use cubemm_simnet::{try_run_machine_with, MachineOptions, Proc, RunOutcome};
+use cubemm_simnet::{Machine, Proc, RunOutcome};
 
 use crate::{AlgoError, MachineConfig};
 
@@ -60,7 +62,7 @@ pub fn delivered<T>(value: Option<T>, what: &str) -> T {
 /// panic, link faults — come back as [`AlgoError::Sim`] values rather
 /// than panics, so a faulty machine degrades a multiplication into a
 /// reportable error.
-pub fn run_spmd<I, O, F>(
+pub fn run_spmd<I, O, F, Fut>(
     cfg: &MachineConfig,
     p: usize,
     inits: Vec<I>,
@@ -69,15 +71,15 @@ pub fn run_spmd<I, O, F>(
 where
     I: Send,
     O: Send,
-    F: Fn(&mut Proc, I) -> O + Sync,
+    F: Fn(Proc, I) -> Fut + Sync,
+    Fut: Future<Output = O>,
 {
-    let options = MachineOptions {
-        port: cfg.port,
-        cost: cfg.cost,
-        charge: cfg.charge,
-        links: cfg.links,
-        traced: cfg.traced,
-        faults: cfg.faults.clone(),
+    // Reuse a pre-validated machine only when it still describes
+    // exactly this run; any mismatch (size, engine, fault plan, ...)
+    // falls back to a fresh validate-and-boot.
+    let machine = match &cfg.prepared {
+        Some(m) if m.p() == p && *m.options() == cfg.machine_options() => m.clone(),
+        _ => Machine::new(p, cfg.machine_options()).map_err(AlgoError::Sim)?,
     };
-    try_run_machine_with(p, options, inits, f).map_err(AlgoError::Sim)
+    machine.run(inits, f).map_err(AlgoError::Sim)
 }

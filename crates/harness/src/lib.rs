@@ -25,6 +25,18 @@ pub mod recovery;
 /// parallel sweep cannot pile thousands of OS threads onto the host.
 pub const DEFAULT_NODE_BUDGET: usize = 1024;
 
+/// The number of host threads a `p`-node run occupies under `engine` —
+/// the weight a [`run_grid`] caller should charge against the budget.
+/// Threaded runs spawn one OS thread per simulated node; event-driven
+/// runs multiplex every node onto the calling thread, so even a
+/// p = 65536 sweep point costs one unit.
+pub fn node_weight(engine: cubemm_simnet::Engine, p: usize) -> usize {
+    match engine {
+        cubemm_simnet::Engine::Threaded => p,
+        cubemm_simnet::Engine::Event => 1,
+    }
+}
+
 /// Locks ignoring poisoning: budget and result state stay consistent
 /// under every partial update, and a panicking grid task must not
 /// deadlock its siblings.

@@ -68,7 +68,15 @@ fn config_of(req: &JobRequest) -> MachineConfig {
         })
         .kernel(req.kernel)
         .faults(req.faults.clone())
+        .engine(req.engine)
         .build()
+}
+
+/// Validates the reusable [`Machine`](cubemm_simnet::Machine) a job of
+/// this shape boots — the artifact the pool caches across same-shape
+/// jobs.
+pub fn machine_for(req: &JobRequest) -> Result<cubemm_simnet::Machine, RunError> {
+    config_of(req).prepare(req.p)
 }
 
 fn respond(req: &JobRequest, status: JobStatus) -> JobResponse {
@@ -99,9 +107,17 @@ fn is_machine_fault(e: &AlgoError) -> bool {
     )
 }
 
-/// Runs the job to a typed response. Blocking; the caller owns
-/// scheduling and admission.
+/// Runs the job to a typed response, booting a fresh machine. Blocking;
+/// the caller owns scheduling and admission.
 pub fn execute(req: &JobRequest) -> ExecOutcome {
+    execute_on(req, None)
+}
+
+/// [`execute`], reusing a pre-validated machine when one is offered
+/// (the pool's same-shape cache). The run falls back to a fresh boot
+/// whenever the machine doesn't match the job, so a stale or mismatched
+/// cache entry can never change a response.
+pub fn execute_on(req: &JobRequest, prepared: Option<cubemm_simnet::Machine>) -> ExecOutcome {
     let algo = match req.algo {
         AlgoChoice::Named(algo) => algo,
         AlgoChoice::Auto => match resolve_auto(req) {
@@ -122,7 +138,10 @@ pub fn execute(req: &JobRequest) -> ExecOutcome {
             }
         },
     };
-    let cfg = config_of(req);
+    let mut cfg = config_of(req);
+    if let Some(machine) = prepared {
+        cfg = cfg.with_prepared(machine);
+    }
     let a = Matrix::random(req.n, req.n, req.seed);
     let b = Matrix::random(req.n, req.n, req.seed.wrapping_add(1));
     if req.abft {

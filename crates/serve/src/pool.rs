@@ -15,23 +15,34 @@
 //! Workers pull the highest-priority oldest job, gate machine spawn on
 //! the shared [`ThreadBudget`] (admission control by simulated node
 //! threads, not job count), execute, and respond through the job's own
-//! responder callback. A job whose run tripped a machine-level fault
-//! (crash, corruption, deadlock) sends its worker's machine through
-//! quarantine: the worker runs a self-test boot on its
-//! [`PreparedMachine`] — prepared once at worker start, so a reboot
-//! revalidates nothing — and only returns to the queue when the
-//! self-test passes. The queue keeps draining through other workers
-//! the whole time.
+//! responder callback.
+//!
+//! Machines are cheap to boot — a validated
+//! [`Machine`](cubemm_simnet::Machine) is pure configuration — so the
+//! pool keeps one per *job shape* (`p`, port, engine, costs) in a
+//! shared cache: same-shape jobs reuse the validated machine instead of
+//! re-validating per boot. Jobs carrying fault plans are never cached
+//! (their machine options are job-specific), and a run only honors a
+//! cached machine whose options still match the job exactly, so the
+//! cache can change cost, never answers.
+//!
+//! A job whose run tripped a machine-level fault (crash, corruption,
+//! deadlock) sends its worker's machine through quarantine: the whole
+//! machine cache is evicted (nothing validated before the fault is
+//! trusted after it), and the worker boots a self-test on its own
+//! 2-node machine — validated once at worker start — returning to the
+//! queue only when the self-test passes. The queue keeps draining
+//! through other workers the whole time.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 
 use cubemm_harness::{BudgetError, ThreadBudget, DEFAULT_NODE_BUDGET};
-use cubemm_simnet::{CostParams, MachineOptions, PortModel, PreparedMachine};
+use cubemm_simnet::{CostParams, Engine, Machine, MachineOptions, PortModel};
 
-use crate::exec::execute;
+use crate::exec::{execute_on, machine_for};
 use crate::protocol::{JobRequest, JobResponse, JobStatus};
 
 /// Where a job's answer goes (stdout writer, socket writer, test
@@ -83,6 +94,11 @@ pub struct PoolStats {
     pub quarantines: u64,
     /// Successful reboot self-tests (machines returned to service).
     pub reboots: u64,
+    /// Jobs that reused a cached same-shape machine instead of
+    /// validating a fresh one.
+    pub machine_reuses: u64,
+    /// Cached machines evicted by quarantines.
+    pub machine_evictions: u64,
 }
 
 impl PoolStats {
@@ -112,6 +128,34 @@ struct Shared {
     queue_cap: usize,
     stats: Mutex<PoolStats>,
     seq: AtomicU64,
+    /// Validated machines by job shape, reused across same-shape jobs
+    /// and evicted wholesale on quarantine.
+    machines: Mutex<HashMap<MachineKey, Machine>>,
+}
+
+/// The machine-identity of a fault-free job: every field of its
+/// [`MachineOptions`] the wire protocol can vary. Two jobs with equal
+/// keys boot byte-identical machines. Costs are keyed by bit pattern —
+/// exact, no float comparison subtleties.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct MachineKey {
+    p: usize,
+    port: PortModel,
+    engine: Engine,
+    ts_bits: u64,
+    tw_bits: u64,
+}
+
+impl MachineKey {
+    fn of(req: &JobRequest) -> MachineKey {
+        MachineKey {
+            p: req.p,
+            port: req.port,
+            engine: req.engine,
+            ts_bits: req.ts.to_bits(),
+            tw_bits: req.tw.to_bits(),
+        }
+    }
 }
 
 fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
@@ -146,6 +190,7 @@ impl ServePool {
             queue_cap: config.queue_cap.max(1),
             stats: Mutex::new(PoolStats::default()),
             seq: AtomicU64::new(0),
+            machines: Mutex::new(HashMap::new()),
         });
         let workers = (0..config.workers.max(1))
             .map(|i| {
@@ -172,12 +217,16 @@ impl ServePool {
         lock(&shared.stats).submitted += 1;
         // Jobs wider than the whole budget can never run: typed reject,
         // not a queue slot that would deadlock at the head of the line.
-        if let Err(BudgetError::ExceedsCapacity { want, capacity }) = shared.budget.admits(req.p) {
+        // Weight is host threads, not nodes — an event-engine job runs
+        // its whole machine on one thread, so it always admits.
+        let weight = cubemm_harness::node_weight(req.engine, req.p);
+        if let Err(BudgetError::ExceedsCapacity { want, capacity }) = shared.budget.admits(weight) {
             let resp = JobResponse {
                 id: req.id,
                 status: JobStatus::Rejected {
                     error: format!(
-                        "machine of {want} nodes exceeds the pool's node budget of {capacity}"
+                        "threaded machine of {want} nodes exceeds the pool's node budget of \
+                         {capacity} (an event-engine job of any size admits)"
                     ),
                 },
             };
@@ -293,10 +342,28 @@ fn pop_next(queue: &mut VecDeque<QueuedJob>) -> Option<QueuedJob> {
     queue.remove(best)
 }
 
+/// Looks up — or validates and caches — the reusable machine for this
+/// job's shape. Jobs with fault plans never hit the cache: their
+/// machine options are job-specific.
+fn cached_machine(shared: &Shared, req: &JobRequest) -> Option<Machine> {
+    if !req.faults.is_empty() {
+        return None;
+    }
+    let key = MachineKey::of(req);
+    let hit = lock(&shared.machines).get(&key).cloned();
+    if let Some(machine) = hit {
+        lock(&shared.stats).machine_reuses += 1;
+        return Some(machine);
+    }
+    let machine = machine_for(req).ok()?;
+    lock(&shared.machines).insert(key, machine.clone());
+    Some(machine)
+}
+
 fn worker_loop(shared: &Shared) {
-    // Prepared once per worker: a reboot self-test re-spawns node
-    // threads but never re-validates the configuration.
-    let self_test = PreparedMachine::new(
+    // Validated once per worker: a reboot self-test re-boots the
+    // 2-node machine but never re-validates the configuration.
+    let self_test = Machine::new(
         2,
         MachineOptions::paper(PortModel::OnePort, CostParams::PAPER),
     );
@@ -313,10 +380,15 @@ fn worker_loop(shared: &Shared) {
                 st = shared.work.wait(st).unwrap_or_else(|e| e.into_inner());
             }
         };
-        // Admission by simulated node threads: a 512-node job waits for
-        // budget while 8-node jobs stream past on other workers.
-        let permit = shared.budget.acquire(job.req.p);
-        let outcome = execute(&job.req);
+        // Admission by host threads actually spawned: a threaded
+        // 512-node job waits for budget while 8-node jobs stream past
+        // on other workers; an event-engine job multiplexes every node
+        // onto this worker's thread, so it weighs 1 whatever its `p`.
+        let permit = shared
+            .budget
+            .acquire(cubemm_harness::node_weight(job.req.engine, job.req.p));
+        let prepared = cached_machine(shared, &job.req);
+        let outcome = execute_on(&job.req, prepared);
         drop(permit);
         {
             let mut stats = lock(&shared.stats);
@@ -336,14 +408,23 @@ fn worker_loop(shared: &Shared) {
     }
 }
 
-/// Takes this worker's machine out of service and boots a self-test on
-/// the prepared configuration until it passes. The rest of the pool
-/// keeps serving the queue meanwhile.
-fn quarantine_and_reboot(
-    shared: &Shared,
-    self_test: &Result<PreparedMachine, cubemm_simnet::RunError>,
-) {
-    lock(&shared.stats).quarantines += 1;
+/// Takes this worker's machine out of service: evicts every cached
+/// machine (nothing validated before the fault is trusted after it) and
+/// boots a self-test on the worker's own pre-validated configuration
+/// until it passes. The rest of the pool keeps serving the queue
+/// meanwhile.
+fn quarantine_and_reboot(shared: &Shared, self_test: &Result<Machine, cubemm_simnet::RunError>) {
+    let evicted = {
+        let mut machines = lock(&shared.machines);
+        let n = machines.len() as u64;
+        machines.clear();
+        n
+    };
+    {
+        let mut stats = lock(&shared.stats);
+        stats.quarantines += 1;
+        stats.machine_evictions += evicted;
+    }
     let Ok(machine) = self_test else {
         // The self-test config itself failed to validate (cannot happen
         // for the fixed 2-node paper machine); count the quarantine but
@@ -352,9 +433,9 @@ fn quarantine_and_reboot(
     };
     // Two nodes exchange a token and verify it: the machine, its
     // channels, and its clocks all work.
-    let booted = machine.run(vec![1.0f64, 2.0f64], |proc, token| {
+    let booted = machine.run(vec![1.0f64, 2.0f64], |mut proc, token| async move {
         let partner = proc.id() ^ 1;
-        let got = proc.exchange(partner, 0xbeef, [token]);
+        let got = proc.exchange(partner, 0xbeef, [token]).await;
         got.first().copied().unwrap_or(f64::NAN)
     });
     if let Ok(out) = booted {
@@ -559,6 +640,99 @@ mod tests {
         assert_eq!(stats.reboots, 4, "each quarantine reboots successfully");
         let seen = lock(&seen);
         assert_eq!(seen.len(), 8);
+    }
+
+    #[test]
+    fn same_shape_jobs_reuse_one_cached_machine_bitwise_identically() {
+        let pool = ServePool::start(ServeConfig {
+            workers: 1,
+            ..ServeConfig::default()
+        });
+        let (responder, seen) = collector();
+        for i in 0..4 {
+            let line = format!(r#"{{"id":"s{i}","n":24,"p":16,"algo":"cannon","seed":7}}"#);
+            assert!(pool.submit(req(&line), Arc::clone(&responder)));
+        }
+        let stats = pool.drain();
+        assert_eq!(stats.ok, 4);
+        assert_eq!(
+            stats.machine_reuses, 3,
+            "first job validates, the rest reuse"
+        );
+        assert_eq!(stats.machine_evictions, 0);
+        // The cache must be invisible in the answers: a per-job boot of
+        // the same request fingerprints identically.
+        let direct =
+            crate::exec::execute(&req(r#"{"id":"d","n":24,"p":16,"algo":"cannon","seed":7}"#));
+        let JobStatus::Ok {
+            fingerprint: want, ..
+        } = direct.response.status
+        else {
+            panic!("per-job boot must succeed");
+        };
+        let seen = lock(&seen);
+        assert_eq!(seen.len(), 4);
+        for r in seen.iter() {
+            match &r.status {
+                JobStatus::Ok { fingerprint, .. } => assert_eq!(*fingerprint, want),
+                other => panic!("expected ok, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn quarantine_evicts_the_cached_machines() {
+        let pool = ServePool::start(ServeConfig {
+            workers: 1,
+            ..ServeConfig::default()
+        });
+        let (responder, _seen) = collector();
+        let healthy = |i: usize| format!(r#"{{"id":"h{i}","n":24,"p":16,"algo":"cannon"}}"#);
+        // h0 validates and caches the 16-node shape; the crashing job
+        // bypasses the cache (fault plans are job-specific) but its
+        // quarantine drops the cached machine; h2 re-validates; h3
+        // reuses again.
+        assert!(pool.submit(req(&healthy(0)), Arc::clone(&responder)));
+        assert!(pool.submit(
+            req(r#"{"id":"c","n":24,"p":16,"algo":"cannon","faults":{"crashes":[{"node":3,"step":1}]}}"#),
+            Arc::clone(&responder)
+        ));
+        assert!(pool.submit(req(&healthy(2)), Arc::clone(&responder)));
+        assert!(pool.submit(req(&healthy(3)), Arc::clone(&responder)));
+        let stats = pool.drain();
+        assert_eq!(stats.ok, 4);
+        assert_eq!(stats.quarantines, 1);
+        assert_eq!(stats.machine_evictions, 1);
+        assert_eq!(
+            stats.machine_reuses, 1,
+            "only the post-quarantine pair shares a boot"
+        );
+    }
+
+    #[test]
+    fn event_engine_jobs_admit_machines_beyond_the_node_budget() {
+        let pool = ServePool::start(ServeConfig {
+            workers: 1,
+            node_budget: 64,
+            ..ServeConfig::default()
+        });
+        let (responder, seen) = collector();
+        // A threaded 256-node machine can never fit 64 threads; the
+        // same job under the event engine weighs one thread and runs.
+        assert!(!pool.submit(
+            req(r#"{"id":"th","n":32,"p":256,"algo":"cannon","abft":false}"#),
+            Arc::clone(&responder)
+        ));
+        assert!(pool.submit(
+            req(r#"{"id":"ev","n":32,"p":256,"algo":"cannon","abft":false,"engine":"event"}"#),
+            Arc::clone(&responder)
+        ));
+        let stats = pool.drain();
+        assert_eq!(stats.rejected, 1);
+        assert_eq!(stats.ok, 1);
+        let seen = lock(&seen);
+        let ev = seen.iter().find(|r| r.id == "ev").expect("answered");
+        assert!(matches!(ev.status, JobStatus::Ok { .. }), "{:?}", ev.status);
     }
 
     #[test]

@@ -23,7 +23,7 @@ use cubemm_core::Algorithm;
 use cubemm_dense::gemm::Kernel;
 use cubemm_dense::Matrix;
 use cubemm_simnet::json::Json;
-use cubemm_simnet::{FaultPlan, PortModel};
+use cubemm_simnet::{Engine, FaultPlan, PortModel};
 
 /// Which algorithm a job asked for.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -49,6 +49,11 @@ pub struct JobRequest {
     pub kernel: Kernel,
     /// `"one"` (default) or `"multi"` port model.
     pub port: PortModel,
+    /// `"threaded"` (default) or `"event"` execution engine. Results
+    /// are bitwise identical; `event` jobs cost one pool thread
+    /// regardless of `p`, so they admit machines far beyond the node
+    /// budget.
+    pub engine: Engine,
     /// Message start-up cost (default: the paper's 150).
     pub ts: f64,
     /// Per-word cost (default: the paper's 3).
@@ -312,6 +317,12 @@ pub fn parse_request(line: &str) -> Result<JobRequest, (String, String)> {
             )))
         }
     };
+    let engine = match field_str(&doc, "engine").map_err(fail)? {
+        None => Engine::default(),
+        Some(s) => s
+            .parse::<Engine>()
+            .map_err(|e| fail(format!("field \"engine\": {e}")))?,
+    };
     let paper = cubemm_simnet::CostParams::PAPER;
     let ts = field_f64(&doc, "ts").map_err(fail)?.unwrap_or(paper.ts);
     let tw = field_f64(&doc, "tw").map_err(fail)?.unwrap_or(paper.tw);
@@ -354,6 +365,7 @@ pub fn parse_request(line: &str) -> Result<JobRequest, (String, String)> {
         algo,
         kernel,
         port,
+        engine,
         ts,
         tw,
         seed,
@@ -377,6 +389,7 @@ mod tests {
         assert_eq!(req.algo, AlgoChoice::Auto);
         assert_eq!(req.kernel, Kernel::default());
         assert_eq!(req.port, PortModel::OnePort);
+        assert_eq!(req.engine, Engine::Threaded);
         assert_eq!((req.ts, req.tw), (150.0, 3.0));
         assert_eq!(req.seed, 1);
         assert!(req.abft);
@@ -390,7 +403,7 @@ mod tests {
     fn full_request_round_trips_every_field() {
         let line = concat!(
             r#"{"id":"j2","n":32,"p":8,"algo":"cannon","kernel":"blocked:32","#,
-            r#""port":"multi","ts":10,"tw":1,"seed":7,"abft":false,"#,
+            r#""port":"multi","engine":"event","ts":10,"tw":1,"seed":7,"abft":false,"#,
             r#""priority":9,"deadline":5000,"attempts":2,"#,
             r#""faults":{"crashes":[{"node":3,"step":1}]}}"#
         );
@@ -398,6 +411,7 @@ mod tests {
         assert_eq!(req.algo, AlgoChoice::Named(Algorithm::Cannon));
         assert_eq!(req.kernel, Kernel::Blocked(32));
         assert_eq!(req.port, PortModel::MultiPort);
+        assert_eq!(req.engine, Engine::Event);
         assert_eq!((req.ts, req.tw), (10.0, 1.0));
         assert_eq!(req.seed, 7);
         assert!(!req.abft);

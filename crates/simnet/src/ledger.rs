@@ -36,6 +36,7 @@
 
 use std::collections::{HashMap, VecDeque};
 use std::sync::{Condvar, Mutex, MutexGuard};
+use std::task::Poll;
 
 use crate::machine::{Blocked, Failure};
 use crate::proc::Envelope;
@@ -82,25 +83,33 @@ struct State {
     failure: Option<Failure>,
     /// Parked receives recorded as nodes unwind, for the deadlock report.
     blocked: Vec<Blocked>,
+    /// Event engine only: nodes unparked by a direct handoff since the
+    /// executor last drained the list. Never grows past one entry per
+    /// poll step because the executor drains after every poll.
+    woken: Vec<usize>,
 }
 
 /// The shared scheduler structure (see module docs).
 pub(crate) struct Ledger {
     state: Mutex<State>,
     /// One condvar per node: a wakeup targets exactly one parked
-    /// receiver (aborts broadcast to all).
+    /// receiver (aborts broadcast to all). Unused — and never waited
+    /// on — under the event engine.
     signals: Vec<Condvar>,
+    /// Event engine: record handoff wakeups in `State::woken` for the
+    /// executor instead of signalling condvars (no thread is parked).
+    track_wakes: bool,
 }
 
 /// Locks ignoring poisoning: the protected state stays consistent under
 /// every partial update we perform, and panicking nodes are the normal
 /// case here.
-fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+pub(crate) fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|e| e.into_inner())
 }
 
 impl Ledger {
-    pub(crate) fn new(p: usize) -> Self {
+    pub(crate) fn new(p: usize, track_wakes: bool) -> Self {
         Ledger {
             state: Mutex::new(State {
                 mailboxes: (0..p).map(|_| HashMap::new()).collect(),
@@ -113,8 +122,16 @@ impl Ledger {
                 aborting: false,
                 failure: None,
                 blocked: Vec::new(),
+                woken: Vec::new(),
             }),
-            signals: (0..p).map(|_| Condvar::new()).collect(),
+            // The event engine never waits on a condvar; skip the
+            // allocation (p can be 65536).
+            signals: if track_wakes {
+                Vec::new()
+            } else {
+                (0..p).map(|_| Condvar::new()).collect()
+            },
+            track_wakes,
         }
     }
 
@@ -141,6 +158,12 @@ impl Ledger {
             s.handoff[to] = Some(env);
             s.parked[to] = None;
             s.parked_count -= 1;
+            if self.track_wakes {
+                // Event engine: the receiver has no thread to signal;
+                // queue it for the executor instead.
+                s.woken.push(to);
+                return Delivery::Delivered;
+            }
             drop(s);
             self.signals[to].notify_one();
             return Delivery::Delivered;
@@ -218,6 +241,90 @@ impl Ledger {
             // Woken: by a matching inject (parked[id] cleared), by an
             // abort broadcast, or spuriously (still parked — wait more).
         }
+    }
+
+    /// The event engine's [`Ledger::receive`]: one non-blocking pass of
+    /// the same check-then-park protocol. `Ready(Ok)` hands over the
+    /// matching envelope; `Pending` means the node parked (the executor
+    /// suspends its continuation until [`Ledger::drain_woken`] names it);
+    /// `Ready(Err(()))` means the machine aborted (the blocked receive
+    /// has been recorded) and the caller must unwind quietly.
+    ///
+    /// The park-after-check invariant and the `parked_count == live`
+    /// deadlock predicate are shared verbatim with the threaded path —
+    /// only the waiting mechanism differs (a suspended future instead of
+    /// a condvar wait).
+    pub(crate) fn poll_receive(
+        &self,
+        id: usize,
+        from: usize,
+        tag: u64,
+    ) -> Poll<Result<Envelope, ()>> {
+        use std::collections::hash_map::Entry;
+        let mut s = lock(&self.state);
+        loop {
+            if s.aborting {
+                s.blocked.push(Blocked {
+                    node: id,
+                    from,
+                    tag,
+                });
+                return Poll::Ready(Err(()));
+            }
+            if let Some(env) = s.handoff[id].take() {
+                debug_assert!(env.from == from && env.tag == tag);
+                return Poll::Ready(Ok(env));
+            }
+            if let Entry::Occupied(mut entry) = s.mailboxes[id].entry((from, tag)) {
+                if let Some(env) = entry.get_mut().pop_front() {
+                    if entry.get().is_empty() {
+                        entry.remove();
+                    }
+                    s.in_flight -= 1;
+                    return Poll::Ready(Ok(env));
+                }
+            }
+            if s.parked[id].is_none() {
+                s.parked[id] = Some((from, tag));
+                s.parked_count += 1;
+                if s.parked_count == s.live {
+                    self.declare_deadlock(&mut s);
+                    continue; // loop top records this node and errors out
+                }
+            }
+            return Poll::Pending;
+        }
+    }
+
+    /// Event engine: takes the nodes unparked by handoffs since the last
+    /// drain. The executor calls this after every poll step.
+    pub(crate) fn drain_woken(&self) -> Vec<usize> {
+        std::mem::take(&mut lock(&self.state).woken)
+    }
+
+    /// Whether the machine is aborting (event-engine executor check).
+    pub(crate) fn is_aborting(&self) -> bool {
+        lock(&self.state).aborting
+    }
+
+    /// Whether `id` is parked in a receive (event-engine sanity check:
+    /// a `Pending` poll from a node that is not parked means the program
+    /// awaited something that is not a simnet primitive).
+    pub(crate) fn is_parked(&self, id: usize) -> bool {
+        lock(&self.state).parked[id].is_some()
+    }
+
+    /// Every node currently parked in a receive. The event-engine
+    /// executor re-polls these once after an abort so each records its
+    /// [`Blocked`] receive and unwinds, exactly as the condvar broadcast
+    /// unblocks parked threads under the threaded engine.
+    pub(crate) fn parked_nodes(&self) -> Vec<usize> {
+        lock(&self.state)
+            .parked
+            .iter()
+            .enumerate()
+            .filter_map(|(id, key)| key.map(|_| id))
+            .collect()
     }
 
     /// Marks a node finished (normal return or unwind), releasing any

@@ -7,9 +7,12 @@
 //! simultaneously). No such machine exists today, so this crate builds one
 //! in software:
 //!
-//! * every virtual processor is a real OS thread executing the *actual*
-//!   SPMD algorithm (real data moves, so correctness is checked end to
-//!   end, not assumed);
+//! * every virtual processor executes the *actual* SPMD algorithm (real
+//!   data moves, so correctness is checked end to end, not assumed) as a
+//!   resumable async node program — run either one-OS-thread-per-node
+//!   ([`Engine::Threaded`]) or as suspended continuations on a
+//!   virtual-clock-ordered work queue ([`Engine::Event`], which scales
+//!   to `p = 65536` on one host thread);
 //! * each processor carries a **virtual clock**; communication primitives
 //!   advance the clocks according to the paper's cost model, and the
 //!   elapsed virtual time of a run is the maximum clock over all
@@ -61,9 +64,9 @@
 //! strict plan. An empty plan changes no clock arithmetic: every healthy
 //! result is bit-for-bit identical with the fault layer present.
 //!
-//! Failures surface as values through [`try_run_machine_with`], which
-//! returns a structured [`RunError`] — distinguishing configuration
-//! problems, simulated deadlocks (naming *every* blocked node with the
+//! Failures surface as values through [`Machine::run`], which returns a
+//! structured [`RunError`] — distinguishing configuration problems,
+//! simulated deadlocks (naming *every* blocked node with the
 //! `(from, tag)` it awaited), node panics, scheduled node crashes, and
 //! link faults — instead of panicking. Plans can also schedule *silent
 //! data corruption* (a bit-flip or perturbation of one word of the k-th
@@ -71,17 +74,31 @@
 //! and only the data is wrong, which is the failure mode the ABFT layer
 //! in `cubemm-core` detects and corrects.
 //!
-//! # Execution engine
+//! # Execution engines
 //!
-//! Node threads are scheduled by a central **progress ledger** (see
-//! `ledger.rs` and DESIGN.md §11): per-node mailboxes indexed by
-//! `(from, tag)`, a record of which nodes are parked in receives, and
-//! live/in-flight counts. A blocked receive is woken *exactly* when its
-//! message is injected; the moment every live node is parked the run is
-//! provably deadlocked and aborts instantly — there is no host-time
-//! watchdog, and host scheduling can never influence virtual clocks.
-//! When any node fails, the ledger broadcasts the abort over every
-//! node's condvar, so a poisoned run tears down promptly.
+//! Machines are built with [`Machine::builder`] and booted with
+//! [`Machine::run`]; node programs are async functions over an owned
+//! [`Proc`] (see the `machine` module docs for the resumable-step
+//! contract). Two engines drive the same programs:
+//!
+//! * [`Engine::Threaded`] (default): one OS thread per node, blocking
+//!   primitives park on per-node condvars. Real host concurrency, but
+//!   `p` is capped by the OS thread limit.
+//! * [`Engine::Event`]: a single-threaded discrete-event executor
+//!   resumes suspended node continuations in virtual-clock order,
+//!   removing the cap — `p = 4096–65536` sweeps run on a laptop core.
+//!
+//! Either way, scheduling decisions come from a central **progress
+//! ledger** (see `ledger.rs` and DESIGN.md §11/§14): per-node mailboxes
+//! indexed by `(from, tag)`, a record of which nodes are parked in
+//! receives, and live/in-flight counts. A blocked receive is woken
+//! *exactly* when its message is injected; the moment every live node is
+//! parked the run is provably deadlocked and aborts instantly — there is
+//! no host-time watchdog, and host scheduling can never influence
+//! virtual clocks. When any node fails, the ledger aborts the whole run
+//! promptly (condvar broadcast or work-queue sweep). Results — stats,
+//! traces, outputs, failure reports — are bitwise identical across
+//! engines.
 
 pub mod faults;
 #[doc(hidden)]
@@ -93,10 +110,7 @@ mod stats;
 pub mod trace;
 
 pub use faults::{CorruptKind, Corruption, FaultPlan, LinkQuality, RetryPolicy, SendError};
-pub use machine::{
-    run_machine, run_machine_traced, run_machine_with, try_run_machine_with, Blocked,
-    MachineOptions, PreparedMachine, RunError, RunOutcome,
-};
+pub use machine::{Blocked, Engine, Machine, MachineBuilder, MachineOptions, RunError, RunOutcome};
 pub use proc::{Op, Proc};
 pub use stats::{NodeStats, RunStats};
 pub use trace::{TraceEvent, TraceKind};

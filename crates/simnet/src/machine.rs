@@ -1,18 +1,93 @@
-//! Spawning and joining a simulated machine run.
+//! Building and booting a simulated machine: the [`Machine::builder`]
+//! surface, the two execution engines, and the run outcome types.
+//!
+//! # Node programs are resumable step functions
+//!
+//! A node program is an async function `Fn(Proc, I) -> Future<Output = O>`:
+//! the compiler turns it into a state machine whose suspension points are
+//! exactly the simulator's blocking primitives ([`Proc::recv`],
+//! [`Proc::multi`], [`Proc::exchange`]). Both engines drive the *same*
+//! program values:
+//!
+//! * [`Engine::Threaded`] spawns one OS thread per node; a blocking
+//!   primitive parks the thread on the progress ledger's condvars, so each
+//!   node future completes in a single poll. This is the PR 4 engine,
+//!   preserved verbatim.
+//! * [`Engine::Event`] runs every node on the calling thread: a blocking
+//!   primitive parks the *continuation* as a per-node work item, and a
+//!   virtual-clock-ordered work queue resumes whichever runnable node has
+//!   the smallest clock. This removes the OS-thread cap on `p` — machines
+//!   of 4096–65536 nodes boot in milliseconds.
+//!
+//! Both engines share one progress ledger, so the exact `(from, tag)` FIFO
+//! matching, first-failure-wins abort, and instant deadlock detection are
+//! byte-for-byte the same code path; and because clock arithmetic depends
+//! only on per-sender program order and matched receives (crate docs,
+//! *Determinism*), the two engines produce bitwise-identical stats and
+//! traces.
 
+use std::collections::BinaryHeap;
+use std::future::Future;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::Arc;
+use std::pin::Pin;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::task::{Context, Poll, Waker};
 
 use cubemm_topology::log2_exact;
 
 use crate::faults::{FaultPlan, SendError};
-use crate::ledger::Ledger;
+use crate::ledger::{lock, Ledger};
 use crate::stats::{NodeStats, RunStats};
+use crate::trace::TraceEvent;
 use crate::{ChargePolicy, CostParams, LinkTopology, PortModel, Proc};
 
-/// Full machine configuration for [`run_machine_with`] and
-/// [`try_run_machine_with`].
-#[derive(Debug, Clone)]
+/// Which execution engine boots the node programs (see module docs).
+///
+/// Engine choice never changes results: stats, traces, outputs, and
+/// failure reports are bitwise identical (pinned by the
+/// `engine_equivalence` test suite). It only changes *how* the host
+/// executes the simulation: `Threaded` burns one OS thread per node and
+/// exercises real concurrency; `Event` runs any `p` on one thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Engine {
+    /// One OS thread per virtual node (the PR 4 engine; default).
+    #[default]
+    Threaded,
+    /// Single-threaded discrete-event execution ordered by virtual
+    /// clock: node programs suspend at blocking primitives and resume
+    /// from a work queue. Required for `p` beyond a few hundred.
+    Event,
+}
+
+impl std::fmt::Display for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Engine::Threaded => write!(f, "threaded"),
+            Engine::Event => write!(f, "event"),
+        }
+    }
+}
+
+impl std::str::FromStr for Engine {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "threaded" => Ok(Engine::Threaded),
+            "event" => Ok(Engine::Event),
+            other => Err(format!(
+                "unknown engine {other:?} (expected threaded or event)"
+            )),
+        }
+    }
+}
+
+/// Full machine configuration (see [`Machine::builder`] for the
+/// ergonomic construction surface). Equality is field-wise, which is
+/// what lets callers check a cached [`Machine`] still matches the
+/// options a job asks for.
+#[derive(Debug, Clone, PartialEq)]
 pub struct MachineOptions {
     /// One-port or multi-port nodes.
     pub port: PortModel,
@@ -27,11 +102,13 @@ pub struct MachineOptions {
     /// Deterministic fault injection (empty — a healthy machine — by
     /// default; an empty plan changes no clock arithmetic).
     pub faults: FaultPlan,
+    /// Execution engine (threaded by default; results are identical).
+    pub engine: Engine,
 }
 
 impl MachineOptions {
     /// The paper's machine: given port model and costs, sender-charged,
-    /// full hypercube, untraced, fault-free.
+    /// full hypercube, untraced, fault-free, threaded engine.
     pub fn paper(port: PortModel, cost: CostParams) -> Self {
         MachineOptions {
             port,
@@ -40,6 +117,7 @@ impl MachineOptions {
             links: LinkTopology::Hypercube,
             traced: false,
             faults: FaultPlan::new(),
+            engine: Engine::Threaded,
         }
     }
 }
@@ -67,7 +145,7 @@ pub struct Blocked {
     pub tag: u64,
 }
 
-/// Why a simulated run failed ([`try_run_machine_with`]).
+/// Why a simulated run failed ([`Machine::run`]).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RunError {
     /// The machine could not be constructed (bad size, bad init count,
@@ -145,7 +223,7 @@ impl std::error::Error for RunError {}
 /// The unwind payload of a node that aborts *quietly* because the run is
 /// already failing elsewhere (or because its own failure was recorded as
 /// a typed [`Failure`]): carries no message and is swallowed by the
-/// join, unlike a genuine program panic.
+/// engine, unlike a genuine program panic.
 pub(crate) struct Aborted;
 
 /// Why the run is aborting — the first failure wins the slot; later ones
@@ -187,220 +265,167 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
-/// Whether the retired watchdog knob is present in the environment.
+/// Per-node channel between a [`Proc`] and its engine, shared by `Arc`.
 ///
-/// Checked once per process and cached: long-lived pools (`cubemm
-/// serve`) boot machines continuously, and the environment lookup —
-/// previously performed on every boot — is not free.
-fn watchdog_env_present() -> bool {
-    static PRESENT: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
-    *PRESENT.get_or_init(|| std::env::var_os("CUBEMM_DEADLOCK_TIMEOUT_MS").is_some())
+/// * `clock_bits` mirrors the node's virtual clock (as `f64::to_bits`,
+///   monotone for non-negative clocks) so the event executor can order
+///   its work queue without touching the `Proc` that owns the clock. The
+///   mirror is refreshed every time the node is about to suspend.
+/// * `parts` carries the node's final statistics and trace out of the
+///   program: [`Proc`]'s `Drop` impl fills it whether the async body
+///   returned normally or unwound, so the engine reads it after the node
+///   future is dropped.
+#[derive(Debug, Default)]
+pub(crate) struct NodeSlot {
+    pub(crate) clock_bits: AtomicU64,
+    pub(crate) parts: Mutex<Option<(NodeStats, Vec<TraceEvent>)>>,
 }
 
-/// Warns at most once per process if the retired watchdog knob is still
-/// set: the progress ledger detects deadlocks exactly, so the variable
-/// is accepted for compatibility but has no effect. Returns whether
-/// *this* call emitted the warning, so tests can pin the
-/// once-per-process contract.
-fn warn_deprecated_watchdog_env() -> bool {
-    use std::sync::atomic::{AtomicBool, Ordering};
-    static WARNED: AtomicBool = AtomicBool::new(false);
-    if !watchdog_env_present() || WARNED.swap(true, Ordering::Relaxed) {
-        return false;
+/// Drives a node future to completion on the current thread. Blocking
+/// primitives under the threaded engine wait on ledger condvars *inside*
+/// `poll`, so a healthy node completes in exactly one poll; `Pending` is
+/// only reachable by awaiting something that is not a simnet primitive,
+/// which the node-program contract forbids.
+fn block_on<Fut: Future>(fut: Fut) -> Fut::Output {
+    let mut fut = std::pin::pin!(fut);
+    let mut cx = Context::from_waker(Waker::noop());
+    match fut.as_mut().poll(&mut cx) {
+        Poll::Ready(out) => out,
+        Poll::Pending => panic!(
+            "node program suspended on a non-simnet future \
+             (only Proc primitives may be awaited)"
+        ),
     }
-    eprintln!(
-        "warning: CUBEMM_DEADLOCK_TIMEOUT_MS is deprecated and ignored: \
-         deadlocks are now detected exactly by the progress ledger"
-    );
-    true
-}
-
-/// Runs `program` as an SPMD job on a simulated `p`-node hypercube.
-///
-/// `inits[i]` is handed to node `i` as its initial local data — the
-/// paper's algorithms all start from an *assumed* initial distribution, so
-/// placing the blocks is free, exactly as in the paper's accounting. The
-/// per-node return values are collected in label order.
-///
-/// Every node runs on its own OS thread; blocking receives park on the
-/// progress ledger and are woken exactly when their message is injected.
-/// A cyclic wait aborts the run immediately (see [`RunError::Deadlock`])
-/// with a panic identifying every blocked node.
-///
-/// # Example
-///
-/// ```
-/// use cubemm_simnet::{run_machine, CostParams, PortModel, Payload};
-///
-/// // Two nodes: node 0 sends 4 words to node 1.
-/// let cost = CostParams { ts: 10.0, tw: 2.0 };
-/// let out = run_machine(2, PortModel::OnePort, cost, vec![(), ()], |proc, ()| {
-///     if proc.id() == 0 {
-///         proc.send(1, 0, (0..4).map(f64::from).collect::<Payload>());
-///     } else {
-///         let data = proc.recv(0, 0);
-///         assert_eq!(data.len(), 4);
-///     }
-/// });
-/// assert_eq!(out.stats.elapsed, 10.0 + 2.0 * 4.0);
-/// ```
-///
-/// # Panics
-///
-/// Panics if `p` is not a power of two, if `inits.len() != p`, or if the
-/// SPMD program itself panics on any node. Use [`try_run_machine_with`]
-/// to observe failures as values instead.
-pub fn run_machine<I, O, F>(
-    p: usize,
-    port: PortModel,
-    cost: CostParams,
-    inits: Vec<I>,
-    program: F,
-) -> RunOutcome<O>
-where
-    I: Send,
-    O: Send,
-    F: Fn(&mut Proc, I) -> O + Sync,
-{
-    run_machine_with(p, MachineOptions::paper(port, cost), inits, program)
-}
-
-/// Like [`run_machine`], but records a [`crate::trace::TraceEvent`] for
-/// every transfer (see `RunOutcome::traces`). Tracing costs host memory
-/// proportional to the message count; virtual times are unaffected.
-pub fn run_machine_traced<I, O, F>(
-    p: usize,
-    port: PortModel,
-    cost: CostParams,
-    inits: Vec<I>,
-    program: F,
-) -> RunOutcome<O>
-where
-    I: Send,
-    O: Send,
-    F: Fn(&mut Proc, I) -> O + Sync,
-{
-    run_machine_with(
-        p,
-        MachineOptions {
-            traced: true,
-            ..MachineOptions::paper(port, cost)
-        },
-        inits,
-        program,
-    )
-}
-
-/// Runs `program` with full control over the machine options, including
-/// the port-charging policy ablation and fault injection.
-///
-/// This is the legacy panicking wrapper around [`try_run_machine_with`]:
-/// any [`RunError`] becomes a panic carrying its `Display` rendering.
-/// Thanks to the ledger's abort broadcast, a failed run still tears down
-/// promptly — every parked sibling is woken the instant the failure is
-/// recorded.
-pub fn run_machine_with<I, O, F>(
-    p: usize,
-    options: MachineOptions,
-    inits: Vec<I>,
-    program: F,
-) -> RunOutcome<O>
-where
-    I: Send,
-    O: Send,
-    F: Fn(&mut Proc, I) -> O + Sync,
-{
-    match try_run_machine_with(p, options, inits, program) {
-        Ok(outcome) => outcome,
-        Err(e) => panic!("{e}"),
-    }
-}
-
-/// Runs `program`, reporting failure as a structured [`RunError`] instead
-/// of panicking: configuration problems, simulated deadlocks (naming
-/// every blocked node and the `(from, tag)` it awaited), node panics, and
-/// typed link faults are all values. When any node fails, the progress
-/// ledger broadcasts the abort over each node's condvar, unblocking the
-/// remaining nodes immediately.
-///
-/// # Example
-///
-/// ```
-/// use cubemm_simnet::{
-///     try_run_machine_with, CostParams, FaultPlan, MachineOptions, PortModel, RunError,
-/// };
-///
-/// // Node 0's only link in a 2-node machine is dead and the plan is
-/// // strict: the run reports the failure instead of panicking.
-/// let mut options = MachineOptions::paper(PortModel::OnePort, CostParams::PAPER);
-/// options.faults = FaultPlan::new().with_dead_link(0, 1).strict();
-/// let err = try_run_machine_with(2, options, vec![(), ()], |proc, ()| {
-///     if proc.id() == 0 {
-///         proc.send(1, 0, vec![1.0]);
-///     } else {
-///         let _ = proc.recv(0, 0);
-///     }
-/// })
-/// .unwrap_err();
-/// assert!(matches!(err, RunError::LinkDead { node: 0, .. }));
-/// ```
-pub fn try_run_machine_with<I, O, F>(
-    p: usize,
-    options: MachineOptions,
-    inits: Vec<I>,
-    program: F,
-) -> Result<RunOutcome<O>, RunError>
-where
-    I: Send,
-    O: Send,
-    F: Fn(&mut Proc, I) -> O + Sync,
-{
-    PreparedMachine::new(p, options)?.run(inits, program)
 }
 
 /// A machine whose configuration has been validated **once**, ready to
 /// boot any number of times without re-validation.
 ///
-/// One-shot runs pay the configuration checks (power-of-two size, fault
-/// plan consistency, deprecated-environment lookup) on every call to
-/// [`try_run_machine_with`]; a long-lived pool that boots machines
-/// continuously — `cubemm serve`'s reboot-after-quarantine self-test in
-/// particular — prepares the machine once and reboots it with
-/// [`PreparedMachine::run`], which goes straight to spawning node
-/// threads. Runs are independent: each boot gets a fresh progress
-/// ledger and fresh virtual clocks, so results are bit-for-bit
-/// identical from boot to boot.
+/// Construct through [`Machine::builder`] (or [`Machine::new`] when an
+/// assembled [`MachineOptions`] is at hand), then boot with
+/// [`Machine::run`]. Runs are independent: each boot gets a fresh
+/// progress ledger and fresh virtual clocks, so results are bit-for-bit
+/// identical from boot to boot — long-lived pools (`cubemm serve`)
+/// prepare once and reboot continuously.
 ///
 /// ```
-/// use cubemm_simnet::{CostParams, MachineOptions, PortModel, PreparedMachine};
+/// use cubemm_simnet::{CostParams, Machine, PortModel};
 ///
-/// let options = MachineOptions::paper(PortModel::OnePort, CostParams::PAPER);
-/// let machine = PreparedMachine::new(2, options).unwrap();
-/// // Reboot twice; the validated configuration is reused as-is.
-/// let first = machine.run(vec![(), ()], |proc, ()| proc.id()).unwrap();
-/// let again = machine.run(vec![(), ()], |proc, ()| proc.id()).unwrap();
-/// assert_eq!(first.outputs, again.outputs);
-/// assert_eq!(first.stats.elapsed, again.stats.elapsed);
+/// let machine = Machine::builder(2)
+///     .port(PortModel::OnePort)
+///     .cost(CostParams { ts: 10.0, tw: 2.0 })
+///     .build()
+///     .unwrap();
+/// let out = machine
+///     .run(vec![(), ()], |mut proc, ()| async move {
+///         let other = proc.id() ^ 1;
+///         let got = proc.exchange(other, 3, [1.0, 2.0]).await;
+///         got.len()
+///     })
+///     .unwrap();
+/// assert_eq!(out.outputs, vec![2, 2]);
 /// ```
 #[derive(Debug, Clone)]
-pub struct PreparedMachine {
+pub struct Machine {
     p: usize,
     dim: u32,
     options: MachineOptions,
 }
 
-impl PreparedMachine {
-    /// Validates the configuration once and captures it for repeated
-    /// boots. All [`RunError::Config`] cases of [`try_run_machine_with`]
-    /// except the per-run init-count check are reported here.
-    pub fn new(p: usize, options: MachineOptions) -> Result<PreparedMachine, RunError> {
+/// Typed construction surface for [`Machine`]: engine selection,
+/// tracing, fault plan, charging policy, link topology.
+///
+/// Every knob defaults to the paper's machine (one-port,
+/// [`CostParams::PAPER`], sender-charged, full hypercube, untraced,
+/// fault-free, threaded engine); set what differs and [`build`].
+///
+/// [`build`]: MachineBuilder::build
+#[derive(Debug, Clone)]
+pub struct MachineBuilder {
+    p: usize,
+    options: MachineOptions,
+}
+
+impl MachineBuilder {
+    /// Port model (default [`PortModel::OnePort`]).
+    pub fn port(mut self, port: PortModel) -> Self {
+        self.options.port = port;
+        self
+    }
+
+    /// Message cost parameters (default [`CostParams::PAPER`]).
+    pub fn cost(mut self, cost: CostParams) -> Self {
+        self.options.cost = cost;
+        self
+    }
+
+    /// Port-charging policy (default [`ChargePolicy::SenderOnly`]).
+    pub fn charge(mut self, charge: ChargePolicy) -> Self {
+        self.options.charge = charge;
+        self
+    }
+
+    /// Link topology (default [`LinkTopology::Hypercube`]).
+    pub fn links(mut self, links: LinkTopology) -> Self {
+        self.options.links = links;
+        self
+    }
+
+    /// Record per-message event traces (default off). Tracing costs host
+    /// memory proportional to the message count; virtual times are
+    /// unaffected.
+    pub fn traced(mut self, traced: bool) -> Self {
+        self.options.traced = traced;
+        self
+    }
+
+    /// Deterministic fault plan (default empty/healthy).
+    pub fn faults(mut self, faults: FaultPlan) -> Self {
+        self.options.faults = faults;
+        self
+    }
+
+    /// Execution engine (default [`Engine::Threaded`]; results are
+    /// identical either way — see [`Engine`]).
+    pub fn engine(mut self, engine: Engine) -> Self {
+        self.options.engine = engine;
+        self
+    }
+
+    /// Replaces the whole option block at once (callers that assemble a
+    /// [`MachineOptions`] elsewhere, e.g. from a `MachineConfig`).
+    pub fn options(mut self, options: MachineOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Validates the configuration and produces the bootable machine.
+    /// All [`RunError::Config`] cases except the per-run init-count
+    /// check are reported here.
+    pub fn build(self) -> Result<Machine, RunError> {
+        Machine::new(self.p, self.options)
+    }
+}
+
+impl Machine {
+    /// Starts building a `p`-node machine with the paper's defaults.
+    pub fn builder(p: usize) -> MachineBuilder {
+        MachineBuilder {
+            p,
+            options: MachineOptions::paper(PortModel::OnePort, CostParams::PAPER),
+        }
+    }
+
+    /// Validates an assembled [`MachineOptions`] once and captures it
+    /// for repeated boots (the non-builder construction path).
+    pub fn new(p: usize, options: MachineOptions) -> Result<Machine, RunError> {
         let Some(dim) = log2_exact(p) else {
             return Err(RunError::Config(format!(
                 "machine size {p} is not a power of two"
             )));
         };
         options.faults.validate(p).map_err(RunError::Config)?;
-        Ok(PreparedMachine { p, dim, options })
+        Ok(Machine { p, dim, options })
     }
 
     /// The machine size the configuration was validated for.
@@ -413,46 +438,97 @@ impl PreparedMachine {
         &self.options
     }
 
-    /// Boots the machine: spawns one node thread per processor and runs
-    /// `program` to completion, skipping every already-performed
+    /// Boots the machine: runs `program` as an SPMD job on every node
+    /// under the configured [`Engine`], skipping every already-performed
     /// configuration check (only the init count is per-run).
-    pub fn run<I, O, F>(&self, inits: Vec<I>, program: F) -> Result<RunOutcome<O>, RunError>
+    ///
+    /// `inits[i]` is handed to node `i` as its initial local data — the
+    /// paper's algorithms all start from an *assumed* initial
+    /// distribution, so placing the blocks is free, exactly as in the
+    /// paper's accounting. Per-node return values are collected in label
+    /// order.
+    ///
+    /// Failure is a structured [`RunError`]: simulated deadlocks (naming
+    /// every blocked node and the `(from, tag)` it awaited), node
+    /// panics, typed link faults, and scheduled crashes are all values.
+    /// When any node fails, the progress ledger aborts the whole run
+    /// promptly under either engine.
+    ///
+    /// ```
+    /// use cubemm_simnet::{FaultPlan, Machine, RunError};
+    ///
+    /// // Node 0's only link in a 2-node machine is dead and the plan is
+    /// // strict: the run reports the failure instead of panicking.
+    /// let machine = Machine::builder(2)
+    ///     .faults(FaultPlan::new().with_dead_link(0, 1).strict())
+    ///     .build()
+    ///     .unwrap();
+    /// let err = machine
+    ///     .run(vec![(), ()], |mut proc, ()| async move {
+    ///         if proc.id() == 0 {
+    ///             proc.send(1, 0, vec![1.0]);
+    ///         } else {
+    ///             let _ = proc.recv(0, 0).await;
+    ///         }
+    ///     })
+    ///     .unwrap_err();
+    /// assert!(matches!(err, RunError::LinkDead { node: 0, .. }));
+    /// ```
+    pub fn run<I, O, F, Fut>(&self, inits: Vec<I>, program: F) -> Result<RunOutcome<O>, RunError>
     where
         I: Send,
         O: Send,
-        F: Fn(&mut Proc, I) -> O + Sync,
+        F: Fn(Proc, I) -> Fut + Sync,
+        Fut: Future<Output = O>,
     {
-        let (p, dim, options) = (self.p, self.dim, &self.options);
-        if inits.len() != p {
+        if inits.len() != self.p {
             return Err(RunError::Config(format!(
-                "need exactly one initial-data entry per node: got {} for p = {p}",
-                inits.len()
+                "need exactly one initial-data entry per node: got {} for p = {}",
+                inits.len(),
+                self.p
             )));
         }
-        warn_deprecated_watchdog_env();
+        match self.options.engine {
+            Engine::Threaded => self.run_threaded(inits, &program),
+            Engine::Event => self.run_event(inits, &program),
+        }
+    }
 
-        let ledger = Arc::new(Ledger::new(p));
+    /// The PR 4 engine: one scoped OS thread per node; node futures
+    /// complete in a single poll because blocking primitives wait on the
+    /// ledger's condvars inside `poll`.
+    fn run_threaded<I, O, F, Fut>(
+        &self,
+        inits: Vec<I>,
+        program: &F,
+    ) -> Result<RunOutcome<O>, RunError>
+    where
+        I: Send,
+        O: Send,
+        F: Fn(Proc, I) -> Fut + Sync,
+        Fut: Future<Output = O>,
+    {
+        let (p, dim, options) = (self.p, self.dim, &self.options);
+        let ledger = Arc::new(Ledger::new(p, false));
+        let slots: Vec<Arc<NodeSlot>> = (0..p).map(|_| Arc::new(NodeSlot::default())).collect();
         let faults = (!options.faults.is_empty()).then(|| Arc::new(options.faults.clone()));
-        let program = &program;
 
-        let mut results: Vec<Option<(O, NodeStats, Vec<crate::trace::TraceEvent>)>> =
-            Vec::with_capacity(p);
-        results.resize_with(p, || None);
+        let mut outputs: Vec<Option<O>> = Vec::with_capacity(p);
+        outputs.resize_with(p, || None);
 
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(p);
             for (id, init) in inits.into_iter().enumerate() {
                 let ledger = Arc::clone(&ledger);
+                let slot = Arc::clone(&slots[id]);
                 let faults = faults.clone();
                 handles.push(scope.spawn(move || {
                     let body = AssertUnwindSafe(|| {
-                        let mut proc = Proc::new(id, dim, options, faults, Arc::clone(&ledger));
-                        let out = program(&mut proc, init);
-                        let (stats, trace) = proc.into_parts();
-                        (out, stats, trace)
+                        let proc = Proc::new(id, dim, options, faults, Arc::clone(&ledger), slot);
+                        block_on(program(proc, init))
                     });
                     let result = match catch_unwind(body) {
-                        Ok(triple) => Some(triple),
+                        Ok(out) => Some(out),
                         Err(payload) => {
                             // Quiet unwinds already registered their failure
                             // (or are cascading victims); anything else is a
@@ -476,41 +552,152 @@ impl PreparedMachine {
                 // The closure catches every unwind, so the join itself only
                 // fails on catastrophic runtime errors.
                 if let Ok(result) = handle.join() {
-                    results[id] = result;
+                    outputs[id] = result;
                 }
             }
         });
 
-        let (failure, blocked) = ledger.take_outcome();
-        if let Some(failure) = failure {
-            return Err(match failure {
-                Failure::Deadlock => RunError::Deadlock { blocked },
-                Failure::Panicked { node, message } => RunError::NodePanicked { node, message },
-                Failure::Link { node, error } => RunError::LinkDead { node, error },
-                Failure::Crashed { node, step } => RunError::NodeCrashed { node, step },
-            });
+        finish_outcome(&ledger, outputs, &slots)
+    }
+
+    /// The discrete-event engine: all node futures live on the calling
+    /// thread; a work queue ordered by `(virtual clock, node id)` picks
+    /// the next runnable continuation. A poll runs the node until it
+    /// completes or parks in the ledger; handoff injections unpark their
+    /// target, which re-enters the queue at its park-time clock.
+    fn run_event<I, O, F, Fut>(&self, inits: Vec<I>, program: &F) -> Result<RunOutcome<O>, RunError>
+    where
+        F: Fn(Proc, I) -> Fut,
+        Fut: Future<Output = O>,
+    {
+        use std::cmp::Reverse;
+
+        let (p, dim, options) = (self.p, self.dim, &self.options);
+        let ledger = Arc::new(Ledger::new(p, true));
+        let slots: Vec<Arc<NodeSlot>> = (0..p).map(|_| Arc::new(NodeSlot::default())).collect();
+        let faults = (!options.faults.is_empty()).then(|| Arc::new(options.faults.clone()));
+
+        let mut outputs: Vec<Option<O>> = Vec::with_capacity(p);
+        outputs.resize_with(p, || None);
+        let mut futures: Vec<Option<Pin<Box<Fut>>>> = Vec::with_capacity(p);
+        for (id, init) in inits.into_iter().enumerate() {
+            let proc = Proc::new(
+                id,
+                dim,
+                options,
+                faults.clone(),
+                Arc::clone(&ledger),
+                Arc::clone(&slots[id]),
+            );
+            futures.push(Some(Box::pin(program(proc, init))));
         }
 
-        let mut outputs = Vec::with_capacity(p);
-        let mut nodes = Vec::with_capacity(p);
-        let mut traces = Vec::with_capacity(p);
-        for triple in results {
-            #[allow(
-                clippy::expect_used,
-                reason = "failed nodes returned RunError above; every surviving slot is Some"
-            )]
-            let (out, stats, trace) = triple.expect("every node joined");
-            outputs.push(out);
+        // Min-queue on (clock bits, node id): non-negative f64 bit
+        // patterns order like the floats, and the id tiebreak keeps the
+        // schedule deterministic. A node appears at most once: it is
+        // enqueued at creation, when a handoff unparks it, or (once) when
+        // an abort must unblock it — each strictly after it left the
+        // queue and parked.
+        let mut ready: BinaryHeap<Reverse<(u64, usize)>> =
+            (0..p).map(|id| Reverse((0, id))).collect();
+        let mut cx = Context::from_waker(Waker::noop());
+        let mut abort_seen = false;
+
+        while let Some(Reverse((_, id))) = ready.pop() {
+            let Some(fut) = futures[id].as_mut() else {
+                continue;
+            };
+            match catch_unwind(AssertUnwindSafe(|| fut.as_mut().poll(&mut cx))) {
+                Ok(Poll::Ready(out)) => {
+                    outputs[id] = Some(out);
+                    futures[id] = None;
+                    ledger.finish(id);
+                }
+                Ok(Poll::Pending) => {
+                    // Suspended inside a ledger receive; the queue will
+                    // see it again via drain_woken (or the abort sweep).
+                    assert!(
+                        ledger.is_parked(id),
+                        "node program suspended on a non-simnet future \
+                         (only Proc primitives may be awaited)"
+                    );
+                }
+                Err(payload) => {
+                    // Same first-failure protocol as the threaded join.
+                    if !payload.is::<Aborted>() {
+                        ledger.trigger(Failure::Panicked {
+                            node: id,
+                            message: panic_message(payload.as_ref()),
+                        });
+                    }
+                    futures[id] = None;
+                    ledger.finish(id);
+                }
+            }
+            for woken in ledger.drain_woken() {
+                let clock = slots[woken].clock_bits.load(Ordering::Relaxed);
+                ready.push(Reverse((clock, woken)));
+            }
+            if !abort_seen && ledger.is_aborting() {
+                abort_seen = true;
+                // Mirror the condvar broadcast: every parked node gets
+                // one more poll to record its Blocked receive and unwind.
+                for parked in ledger.parked_nodes() {
+                    let clock = slots[parked].clock_bits.load(Ordering::Relaxed);
+                    ready.push(Reverse((clock, parked)));
+                }
+            }
+        }
+        debug_assert!(
+            futures.iter().all(Option::is_none),
+            "event executor drained its queue with a node still suspended"
+        );
+
+        finish_outcome(&ledger, outputs, &slots)
+    }
+}
+
+/// Shared run epilogue: converts the ledger's failure record into a
+/// [`RunError`], or assembles the [`RunOutcome`] from per-node outputs
+/// and the stats/trace parts each [`Proc`] deposited in its slot.
+fn finish_outcome<O>(
+    ledger: &Ledger,
+    outputs: Vec<Option<O>>,
+    slots: &[Arc<NodeSlot>],
+) -> Result<RunOutcome<O>, RunError> {
+    let (failure, blocked) = ledger.take_outcome();
+    if let Some(failure) = failure {
+        return Err(match failure {
+            Failure::Deadlock => RunError::Deadlock { blocked },
+            Failure::Panicked { node, message } => RunError::NodePanicked { node, message },
+            Failure::Link { node, error } => RunError::LinkDead { node, error },
+            Failure::Crashed { node, step } => RunError::NodeCrashed { node, step },
+        });
+    }
+
+    let p = slots.len();
+    let mut outs = Vec::with_capacity(p);
+    let mut nodes = Vec::with_capacity(p);
+    let mut traces = Vec::with_capacity(p);
+    for (out, slot) in outputs.into_iter().zip(slots) {
+        #[allow(
+            clippy::expect_used,
+            reason = "failed nodes returned RunError above; every surviving output is Some \
+                      and every dropped Proc filled its slot"
+        )]
+        {
+            outs.push(out.expect("every node completed"));
+            let (stats, trace) = lock(&slot.parts).take().expect("node slot filled on drop");
             nodes.push(stats);
             traces.push(trace);
         }
-        let elapsed = nodes.iter().map(|n| n.clock).fold(0.0, f64::max);
-        Ok(RunOutcome {
-            outputs,
-            stats: RunStats { elapsed, nodes },
-            traces,
-        })
     }
+    let elapsed = nodes.iter().map(|n| n.clock).fold(0.0, f64::max);
+    Ok(RunOutcome {
+        outputs: outs,
+        stats: RunStats { elapsed, nodes },
+        traces,
+    })
 }
 
 #[cfg(test)]
@@ -524,295 +711,330 @@ mod tests {
 
     const COST: CostParams = CostParams { ts: 10.0, tw: 2.0 };
 
+    /// Both-engine test driver: the paper's machine at test costs.
+    fn machine(p: usize, port: PortModel, engine: Engine) -> Machine {
+        Machine::builder(p)
+            .port(port)
+            .cost(COST)
+            .engine(engine)
+            .build()
+            .expect("valid test machine")
+    }
+
+    const ENGINES: [Engine; 2] = [Engine::Threaded, Engine::Event];
+
     #[test]
     fn neighbor_send_recv_costs_one_hop() {
         // Node 0 sends 5 words to node 1; both clocks end at ts + 5 tw.
-        let out = run_machine(2, PortModel::OnePort, COST, vec![(), ()], |proc, ()| {
-            if proc.id() == 0 {
-                proc.send(1, 7, words(5));
-            } else {
-                let got = proc.recv(0, 7);
-                assert_eq!(got.len(), 5);
-            }
-            proc.clock()
-        });
-        let expect = 10.0 + 2.0 * 5.0;
-        assert_eq!(out.outputs, vec![expect, expect]);
-        assert_eq!(out.stats.elapsed, expect);
-        assert_eq!(out.stats.total_messages(), 1);
-        assert_eq!(out.stats.total_word_hops(), 5);
+        for engine in ENGINES {
+            let out = machine(2, PortModel::OnePort, engine)
+                .run(vec![(), ()], |mut proc, ()| async move {
+                    if proc.id() == 0 {
+                        proc.send(1, 7, words(5));
+                    } else {
+                        let got = proc.recv(0, 7).await;
+                        assert_eq!(got.len(), 5);
+                    }
+                    proc.clock()
+                })
+                .expect("healthy run");
+            let expect = 10.0 + 2.0 * 5.0;
+            assert_eq!(out.outputs, vec![expect, expect]);
+            assert_eq!(out.stats.elapsed, expect);
+            assert_eq!(out.stats.total_messages(), 1);
+            assert_eq!(out.stats.total_word_hops(), 5);
+        }
     }
 
     #[test]
     fn receive_is_passive_for_busy_receiver() {
         // Node 1 first performs its own send (port busy until 20), then
         // receives a message that arrived at t=20; its clock stays 20.
-        let out = run_machine(2, PortModel::OnePort, COST, vec![(), ()], |proc, ()| {
-            match proc.id() {
-                0 => {
-                    proc.send(1, 1, words(5)); // arrives at 20
-                    let _ = proc.recv(1, 2);
-                }
-                _ => {
-                    proc.send(0, 2, words(5)); // port busy [0, 20]
-                    let _ = proc.recv(0, 1); // arrival 20 <= clock 20
-                }
-            }
-            proc.clock()
-        });
-        assert_eq!(out.outputs, vec![20.0, 20.0]);
+        for engine in ENGINES {
+            let out = machine(2, PortModel::OnePort, engine)
+                .run(vec![(), ()], |mut proc, ()| async move {
+                    match proc.id() {
+                        0 => {
+                            proc.send(1, 1, words(5)); // arrives at 20
+                            let _ = proc.recv(1, 2).await;
+                        }
+                        _ => {
+                            proc.send(0, 2, words(5)); // port busy [0, 20]
+                            let _ = proc.recv(0, 1).await; // arrival 20 <= clock 20
+                        }
+                    }
+                    proc.clock()
+                })
+                .expect("healthy run");
+            assert_eq!(out.outputs, vec![20.0, 20.0]);
+        }
     }
 
     #[test]
     fn one_port_serializes_multi_sends() {
-        let out = run_machine(4, PortModel::OnePort, COST, vec![(); 4], |proc, ()| {
-            if proc.id() == 0 {
-                proc.multi(vec![
-                    Op::Send {
-                        to: 1,
-                        tag: 0,
-                        data: words(5),
-                    },
-                    Op::Send {
-                        to: 2,
-                        tag: 0,
-                        data: words(5),
-                    },
-                ]);
-            } else if proc.id() != 3 {
-                let _ = proc.recv(0, 0);
-            }
-            proc.clock()
-        });
-        // Two serialized 20-unit sends.
-        assert_eq!(out.outputs[0], 40.0);
-        assert_eq!(out.outputs[1], 20.0); // first arrival
-        assert_eq!(out.outputs[2], 40.0); // second arrival
+        for engine in ENGINES {
+            let out = machine(4, PortModel::OnePort, engine)
+                .run(vec![(); 4], |mut proc, ()| async move {
+                    if proc.id() == 0 {
+                        proc.multi(vec![
+                            Op::Send {
+                                to: 1,
+                                tag: 0,
+                                data: words(5),
+                            },
+                            Op::Send {
+                                to: 2,
+                                tag: 0,
+                                data: words(5),
+                            },
+                        ])
+                        .await;
+                    } else if proc.id() != 3 {
+                        let _ = proc.recv(0, 0).await;
+                    }
+                    proc.clock()
+                })
+                .expect("healthy run");
+            // Two serialized 20-unit sends.
+            assert_eq!(out.outputs[0], 40.0);
+            assert_eq!(out.outputs[1], 20.0); // first arrival
+            assert_eq!(out.outputs[2], 40.0); // second arrival
+        }
     }
 
     #[test]
     fn multi_port_overlaps_distinct_links() {
-        let out = run_machine(4, PortModel::MultiPort, COST, vec![(); 4], |proc, ()| {
-            if proc.id() == 0 {
-                proc.multi(vec![
-                    Op::Send {
-                        to: 1,
-                        tag: 0,
-                        data: words(5),
-                    },
-                    Op::Send {
-                        to: 2,
-                        tag: 0,
-                        data: words(5),
-                    },
-                ]);
-            } else if proc.id() != 3 {
-                let _ = proc.recv(0, 0);
-            }
-            proc.clock()
-        });
-        assert_eq!(out.outputs[0], 20.0);
-        assert_eq!(out.outputs[1], 20.0);
-        assert_eq!(out.outputs[2], 20.0);
+        for engine in ENGINES {
+            let out = machine(4, PortModel::MultiPort, engine)
+                .run(vec![(); 4], |mut proc, ()| async move {
+                    if proc.id() == 0 {
+                        proc.multi(vec![
+                            Op::Send {
+                                to: 1,
+                                tag: 0,
+                                data: words(5),
+                            },
+                            Op::Send {
+                                to: 2,
+                                tag: 0,
+                                data: words(5),
+                            },
+                        ])
+                        .await;
+                    } else if proc.id() != 3 {
+                        let _ = proc.recv(0, 0).await;
+                    }
+                    proc.clock()
+                })
+                .expect("healthy run");
+            assert_eq!(out.outputs[0], 20.0);
+            assert_eq!(out.outputs[1], 20.0);
+            assert_eq!(out.outputs[2], 20.0);
+        }
     }
 
     #[test]
     fn multi_port_serializes_same_link() {
-        let out = run_machine(2, PortModel::MultiPort, COST, vec![(); 2], |proc, ()| {
-            if proc.id() == 0 {
-                proc.multi(vec![
-                    Op::Send {
-                        to: 1,
-                        tag: 0,
-                        data: words(5),
-                    },
-                    Op::Send {
-                        to: 1,
-                        tag: 1,
-                        data: words(5),
-                    },
-                ]);
-            } else {
-                let _ = proc.recv(0, 0);
-                let _ = proc.recv(0, 1);
-            }
-            proc.clock()
-        });
-        assert_eq!(out.outputs[0], 40.0);
-        assert_eq!(out.outputs[1], 40.0);
+        for engine in ENGINES {
+            let out = machine(2, PortModel::MultiPort, engine)
+                .run(vec![(); 2], |mut proc, ()| async move {
+                    if proc.id() == 0 {
+                        proc.multi(vec![
+                            Op::Send {
+                                to: 1,
+                                tag: 0,
+                                data: words(5),
+                            },
+                            Op::Send {
+                                to: 1,
+                                tag: 1,
+                                data: words(5),
+                            },
+                        ])
+                        .await;
+                    } else {
+                        let _ = proc.recv(0, 0).await;
+                        let _ = proc.recv(0, 1).await;
+                    }
+                    proc.clock()
+                })
+                .expect("healthy run");
+            assert_eq!(out.outputs[0], 40.0);
+            assert_eq!(out.outputs[1], 40.0);
+        }
     }
 
     #[test]
     fn exchange_costs_one_unit_on_the_critical_path() {
         // Recursive-doubling style pairwise exchange: both nodes send and
         // receive; the paper charges t_s + t_w m per step.
-        let out = run_machine(2, PortModel::OnePort, COST, vec![(), ()], |proc, ()| {
-            let other = proc.id() ^ 1;
-            let got = proc.exchange(other, 9, words(5));
-            assert_eq!(got.len(), 5);
-            proc.clock()
-        });
-        assert_eq!(out.outputs, vec![20.0, 20.0]);
+        for engine in ENGINES {
+            let out = machine(2, PortModel::OnePort, engine)
+                .run(vec![(), ()], |mut proc, ()| async move {
+                    let other = proc.id() ^ 1;
+                    let got = proc.exchange(other, 9, words(5)).await;
+                    assert_eq!(got.len(), 5);
+                    proc.clock()
+                })
+                .expect("healthy run");
+            assert_eq!(out.outputs, vec![20.0, 20.0]);
+        }
     }
 
     #[test]
     fn routed_send_charges_hamming_distance() {
-        let out = run_machine(8, PortModel::OnePort, COST, vec![(); 8], |proc, ()| {
-            if proc.id() == 0 {
-                proc.send_routed(0b111, 3, words(5)); // distance 3
-            } else if proc.id() == 0b111 {
-                let _ = proc.recv(0, 3);
-            }
-            proc.clock()
-        });
-        assert_eq!(out.outputs[0], 60.0);
-        assert_eq!(out.outputs[0b111], 60.0);
-        assert_eq!(out.stats.total_messages(), 3);
-        assert_eq!(out.stats.total_word_hops(), 15);
+        for engine in ENGINES {
+            let out = machine(8, PortModel::OnePort, engine)
+                .run(vec![(); 8], |mut proc, ()| async move {
+                    if proc.id() == 0 {
+                        proc.send_routed(0b111, 3, words(5)); // distance 3
+                    } else if proc.id() == 0b111 {
+                        let _ = proc.recv(0, 3).await;
+                    }
+                    proc.clock()
+                })
+                .expect("healthy run");
+            assert_eq!(out.outputs[0], 60.0);
+            assert_eq!(out.outputs[0b111], 60.0);
+            assert_eq!(out.stats.total_messages(), 3);
+            assert_eq!(out.stats.total_word_hops(), 15);
+        }
     }
 
     #[test]
     fn out_of_order_tags_are_buffered() {
-        let out = run_machine(2, PortModel::OnePort, COST, vec![(), ()], |proc, ()| {
-            if proc.id() == 0 {
-                proc.send(1, 1, words(1));
-                proc.send(1, 2, words(2));
-            } else {
-                // Receive in reverse tag order.
-                let b = proc.recv(0, 2);
-                let a = proc.recv(0, 1);
-                assert_eq!(b.len(), 2);
-                assert_eq!(a.len(), 1);
-            }
-            proc.clock()
-        });
-        // Node 0: two serialized sends: 12 + 14 = 26.
-        assert_eq!(out.outputs[0], 26.0);
-        assert_eq!(out.outputs[1], 26.0);
+        for engine in ENGINES {
+            let out = machine(2, PortModel::OnePort, engine)
+                .run(vec![(), ()], |mut proc, ()| async move {
+                    if proc.id() == 0 {
+                        proc.send(1, 1, words(1));
+                        proc.send(1, 2, words(2));
+                    } else {
+                        // Receive in reverse tag order.
+                        let b = proc.recv(0, 2).await;
+                        let a = proc.recv(0, 1).await;
+                        assert_eq!(b.len(), 2);
+                        assert_eq!(a.len(), 1);
+                    }
+                    proc.clock()
+                })
+                .expect("healthy run");
+            // Node 0: two serialized sends: 12 + 14 = 26.
+            assert_eq!(out.outputs[0], 26.0);
+            assert_eq!(out.outputs[1], 26.0);
+        }
     }
 
     #[test]
     fn peak_words_tracked() {
-        let out = run_machine(2, PortModel::OnePort, COST, vec![(), ()], |proc, ()| {
-            proc.track_peak_words(100);
-            proc.track_peak_words(40);
-        });
-        assert_eq!(out.stats.max_peak_words(), 100);
-        assert_eq!(out.stats.total_peak_words(), 200);
-    }
-
-    #[test]
-    #[should_panic(expected = "not a power of two")]
-    fn non_power_of_two_rejected() {
-        let _ = run_machine(3, PortModel::OnePort, COST, vec![(), (), ()], |_, ()| ());
-    }
-
-    #[test]
-    #[should_panic(expected = "not a hypercube neighbor")]
-    fn non_neighbor_send_rejected() {
-        let _ = run_machine(4, PortModel::OnePort, COST, vec![(); 4], |proc, ()| {
-            if proc.id() == 0 {
-                proc.send(3, 0, words(1));
-            }
-        });
-    }
-
-    #[test]
-    fn prepared_machine_reboots_identically_without_revalidation() {
-        // Prepare once (validation happens here), then boot three times:
-        // every reboot must reproduce the same virtual numbers bit for
-        // bit — machine reuse cannot perturb determinism.
-        let options = MachineOptions::paper(PortModel::OnePort, COST);
-        let machine = PreparedMachine::new(2, options).expect("valid config");
-        assert_eq!(machine.p(), 2);
-        let boot = || {
-            machine
-                .run(vec![(), ()], |proc, ()| {
-                    let got = proc.exchange(proc.id() ^ 1, 3, words(4));
-                    (got.len(), proc.clock())
+        for engine in ENGINES {
+            let out = machine(2, PortModel::OnePort, engine)
+                .run(vec![(), ()], |mut proc, ()| async move {
+                    proc.track_peak_words(100);
+                    proc.track_peak_words(40);
                 })
-                .expect("healthy boot")
-        };
-        let first = boot();
-        for _ in 0..2 {
-            let again = boot();
-            assert_eq!(again.outputs, first.outputs);
-            assert_eq!(again.stats.elapsed, first.stats.elapsed);
+                .expect("healthy run");
+            assert_eq!(out.stats.max_peak_words(), 100);
+            assert_eq!(out.stats.total_peak_words(), 200);
         }
     }
 
     #[test]
-    fn prepared_machine_rejects_bad_configs_at_preparation() {
-        let options = MachineOptions::paper(PortModel::OnePort, COST);
-        let err = PreparedMachine::new(3, options.clone()).unwrap_err();
+    fn non_power_of_two_rejected_at_build() {
+        let err = Machine::builder(3).build().unwrap_err();
         assert!(matches!(err, RunError::Config(ref m) if m.contains("power of two")));
-        let mut bad = options.clone();
-        bad.faults = crate::FaultPlan::new().with_straggler(9, 2.0);
-        let err = PreparedMachine::new(4, bad).unwrap_err();
+    }
+
+    #[test]
+    fn non_neighbor_send_rejected() {
+        for engine in ENGINES {
+            let err = machine(4, PortModel::OnePort, engine)
+                .run(vec![(); 4], |mut proc, ()| async move {
+                    if proc.id() == 0 {
+                        proc.send(3, 0, words(1));
+                    }
+                })
+                .unwrap_err();
+            match err {
+                RunError::NodePanicked { node: 0, message } => {
+                    assert!(message.contains("not a hypercube neighbor"));
+                }
+                other => panic!("expected NodePanicked, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn machine_reboots_identically_without_revalidation() {
+        // Prepare once (validation happens here), then boot three times
+        // per engine: every reboot must reproduce the same virtual
+        // numbers bit for bit — machine reuse cannot perturb determinism.
+        for engine in ENGINES {
+            let machine = machine(2, PortModel::OnePort, engine);
+            assert_eq!(machine.p(), 2);
+            let boot = || {
+                machine
+                    .run(vec![(), ()], |mut proc, ()| async move {
+                        let got = proc.exchange(proc.id() ^ 1, 3, words(4)).await;
+                        (got.len(), proc.clock())
+                    })
+                    .expect("healthy boot")
+            };
+            let first = boot();
+            for _ in 0..2 {
+                let again = boot();
+                assert_eq!(again.outputs, first.outputs);
+                assert_eq!(again.stats.elapsed, first.stats.elapsed);
+            }
+        }
+    }
+
+    #[test]
+    fn builder_rejects_bad_configs_at_build() {
+        let err = Machine::builder(3).build().unwrap_err();
+        assert!(matches!(err, RunError::Config(ref m) if m.contains("power of two")));
+        let err = Machine::builder(4)
+            .faults(crate::FaultPlan::new().with_straggler(9, 2.0))
+            .build()
+            .unwrap_err();
         assert!(matches!(err, RunError::Config(ref m) if m.contains("outside the 4-node")));
         // The init count stays a per-run check.
-        let machine = PreparedMachine::new(4, options).expect("valid config");
-        let err = machine.run(vec![(), ()], |_, ()| ()).unwrap_err();
+        let machine = Machine::builder(4).build().expect("valid config");
+        let err = machine.run(vec![(), ()], |_, ()| async {}).unwrap_err();
         assert!(matches!(err, RunError::Config(ref m) if m.contains("one initial-data entry")));
     }
 
     #[test]
-    fn deprecated_watchdog_warns_at_most_once_per_process() {
-        // Two bursts of boots-worth of checks: across the whole process
-        // lifetime (other tests boot machines concurrently) the warning
-        // fires at most once, and never when the knob is absent.
-        let total = (0..64).filter(|_| warn_deprecated_watchdog_env()).count()
-            + (0..64).filter(|_| warn_deprecated_watchdog_env()).count();
-        assert!(total <= 1, "warned {total} times in one process");
-        if !watchdog_env_present() {
-            assert_eq!(total, 0, "warned with the knob absent");
+    fn run_reports_node_panics_with_label_and_message() {
+        for engine in ENGINES {
+            let err = machine(4, PortModel::OnePort, engine)
+                .run(vec![(); 4], |proc, ()| async move {
+                    if proc.id() == 2 {
+                        panic!("kaboom on node two");
+                    }
+                })
+                .unwrap_err();
+            match err {
+                RunError::NodePanicked { node, message } => {
+                    assert_eq!(node, 2);
+                    assert!(message.contains("kaboom"), "message was {message:?}");
+                }
+                other => panic!("expected NodePanicked, got {other:?}"),
+            }
         }
     }
 
-    #[test]
-    fn try_run_reports_config_errors() {
-        let options = MachineOptions::paper(PortModel::OnePort, COST);
-        let err =
-            try_run_machine_with(3, options.clone(), vec![(), (), ()], |_, ()| ()).unwrap_err();
-        assert!(matches!(err, RunError::Config(ref m) if m.contains("power of two")));
-        let err = try_run_machine_with(4, options.clone(), vec![(), ()], |_, ()| ()).unwrap_err();
-        assert!(matches!(err, RunError::Config(ref m) if m.contains("one initial-data entry")));
-        let mut bad = options;
-        bad.faults = crate::FaultPlan::new().with_straggler(9, 2.0);
-        let err = try_run_machine_with(4, bad, vec![(); 4], |_, ()| ()).unwrap_err();
-        assert!(matches!(err, RunError::Config(ref m) if m.contains("outside the 4-node")));
-    }
-
-    #[test]
-    fn try_run_reports_node_panics_with_label_and_message() {
-        let options = MachineOptions::paper(PortModel::OnePort, COST);
-        let err = try_run_machine_with(4, options, vec![(); 4], |proc, ()| {
-            if proc.id() == 2 {
-                panic!("kaboom on node two");
-            }
-        })
-        .unwrap_err();
-        match err {
-            RunError::NodePanicked { node, message } => {
-                assert_eq!(node, 2);
-                assert!(message.contains("kaboom"), "message was {message:?}");
-            }
-            other => panic!("expected NodePanicked, got {other:?}"),
-        }
-    }
-
-    #[test]
-    fn two_node_cyclic_wait_is_detected_exactly_and_instantly() {
-        // Both nodes immediately receive from each other: a textbook
-        // cyclic wait. The ledger must prove the deadlock the moment the
-        // second node parks — no watchdog, well under a second.
+    /// The two deadlock-exactness contracts from PR 4, pinned under
+    /// *both* engines: the ledger proves the deadlock the instant the
+    /// last live node parks (or finishes) — no watchdog, no timeout.
+    fn check_two_node_cyclic_wait(engine: Engine) {
         let wall = std::time::Instant::now();
-        let options = MachineOptions::paper(PortModel::OnePort, COST);
-        let err = try_run_machine_with(2, options, vec![(), ()], |proc, ()| {
-            let other = proc.id() ^ 1;
-            let _ = proc.recv(other, 77);
-        })
-        .unwrap_err();
+        let err = machine(2, PortModel::OnePort, engine)
+            .run(vec![(), ()], |mut proc, ()| async move {
+                let other = proc.id() ^ 1;
+                let _ = proc.recv(other, 77).await;
+            })
+            .unwrap_err();
         assert!(
             wall.elapsed() < std::time::Duration::from_secs(1),
             "exact deadlock detection took {:?}",
@@ -840,19 +1062,18 @@ mod tests {
         }
     }
 
-    #[test]
-    fn finished_sender_leaves_receiver_deadlocked_not_hung() {
+    fn check_finished_sender_deadlock(engine: Engine) {
         // Node 0 exits without sending; node 1 waits forever. The last
         // live node is parked, so the ledger declares deadlock from the
         // finish path (not only the park path).
         let wall = std::time::Instant::now();
-        let options = MachineOptions::paper(PortModel::OnePort, COST);
-        let err = try_run_machine_with(2, options, vec![(), ()], |proc, ()| {
-            if proc.id() == 1 {
-                let _ = proc.recv(0, 5);
-            }
-        })
-        .unwrap_err();
+        let err = machine(2, PortModel::OnePort, engine)
+            .run(vec![(), ()], |mut proc, ()| async move {
+                if proc.id() == 1 {
+                    let _ = proc.recv(0, 5).await;
+                }
+            })
+            .unwrap_err();
         assert!(
             wall.elapsed() < std::time::Duration::from_secs(1),
             "exact deadlock detection took {:?}",
@@ -868,5 +1089,82 @@ mod tests {
                 }]
             }
         );
+    }
+
+    #[test]
+    fn two_node_cyclic_wait_is_detected_exactly_and_instantly() {
+        check_two_node_cyclic_wait(Engine::Threaded);
+    }
+
+    #[test]
+    fn event_engine_two_node_cyclic_wait_is_detected_exactly_and_instantly() {
+        check_two_node_cyclic_wait(Engine::Event);
+    }
+
+    #[test]
+    fn finished_sender_leaves_receiver_deadlocked_not_hung() {
+        check_finished_sender_deadlock(Engine::Threaded);
+    }
+
+    #[test]
+    fn event_engine_finished_sender_leaves_receiver_deadlocked_not_hung() {
+        check_finished_sender_deadlock(Engine::Event);
+    }
+
+    #[test]
+    fn engine_parses_and_displays() {
+        assert_eq!("threaded".parse::<Engine>(), Ok(Engine::Threaded));
+        assert_eq!("event".parse::<Engine>(), Ok(Engine::Event));
+        assert!("both".parse::<Engine>().is_err());
+        assert_eq!(Engine::Threaded.to_string(), "threaded");
+        assert_eq!(Engine::Event.to_string(), "event");
+        assert_eq!(Engine::default(), Engine::Threaded);
+    }
+
+    #[test]
+    fn event_engine_scales_past_the_thread_limit() {
+        // A 4096-node all-to-nearest exchange: impossible thread-per-node
+        // on a default host, routine for the event engine.
+        let out = machine(4096, PortModel::OnePort, Engine::Event)
+            .run(vec![(); 4096], |mut proc, ()| async move {
+                let other = proc.id() ^ 1;
+                let got = proc.exchange(other, 1, [proc.id() as f64]).await;
+                got[0] as usize
+            })
+            .expect("healthy run");
+        assert_eq!(out.stats.elapsed, 10.0 + 2.0);
+        for (id, partner) in out.outputs.iter().enumerate() {
+            assert_eq!(*partner, id ^ 1);
+        }
+    }
+
+    #[test]
+    fn engines_agree_bitwise_on_a_traced_run() {
+        // Same program, both engines, traced: outputs, stats, and traces
+        // must match bitwise.
+        let run = |engine: Engine| {
+            Machine::builder(8)
+                .cost(COST)
+                .traced(true)
+                .engine(engine)
+                .build()
+                .expect("valid machine")
+                .run(vec![(); 8], |mut proc, ()| async move {
+                    // Recursive doubling over all 3 dimensions.
+                    let mut acc = vec![proc.id() as f64];
+                    for d in 0..proc.dim() {
+                        let partner = proc.id() ^ (1 << d);
+                        let got = proc.exchange(partner, u64::from(d), acc.clone()).await;
+                        acc.extend(got.iter());
+                    }
+                    acc.iter().sum::<f64>()
+                })
+                .expect("healthy run")
+        };
+        let threaded = run(Engine::Threaded);
+        let event = run(Engine::Event);
+        assert_eq!(threaded.outputs, event.outputs);
+        assert_eq!(threaded.stats, event.stats);
+        assert_eq!(threaded.traces, event.traces);
     }
 }

@@ -1,13 +1,14 @@
 //! The per-processor handle: virtual clock, message primitives, counters.
 
 use std::collections::HashMap;
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 use cubemm_topology::bits::hamming;
 
 use crate::faults::{FaultPlan, LinkQuality, RetryPolicy, SendError};
-use crate::ledger::{Delivery, Ledger};
-use crate::machine::{Failure, MachineOptions};
+use crate::ledger::{lock, Delivery, Ledger};
+use crate::machine::{Engine, Failure, MachineOptions, NodeSlot};
 use crate::stats::NodeStats;
 use crate::trace::{TraceEvent, TraceKind};
 use crate::{ChargePolicy, CostParams, LinkTopology, Payload, PortModel};
@@ -45,6 +46,15 @@ pub enum Op {
 
 /// Handle through which a virtual processor's SPMD program communicates.
 ///
+/// A node program receives its `Proc` by value and communicates through
+/// it; the blocking primitives ([`Proc::recv`], [`Proc::multi`],
+/// [`Proc::exchange`]) are `async` — they suspend the node's
+/// continuation until the awaited message exists. Under the threaded
+/// engine the suspension is a condvar park (the future still completes
+/// in one poll); under the event engine it hands control back to the
+/// virtual-clock work queue. Only `Proc` futures may be awaited inside a
+/// node program.
+///
 /// See the crate-level documentation for the cost semantics and the
 /// [`crate::faults`] module for the fault model.
 pub struct Proc {
@@ -63,6 +73,13 @@ pub struct Proc {
     /// The machine's progress ledger: mailboxes, parked receives,
     /// liveness, and the abort/failure channel.
     ledger: Arc<Ledger>,
+    /// Which engine drives this node (selects the waiting mechanism of
+    /// the blocking primitives; clock arithmetic is engine-independent).
+    engine: Engine,
+    /// Channel back to the engine: the clock mirror the event executor
+    /// orders its queue by, and the slot `Drop` deposits the final
+    /// stats/trace into.
+    slot: Arc<NodeSlot>,
     /// Per-destination injection counters driving the drop schedules.
     seq: HashMap<usize, u64>,
     /// Per-directed-edge crossing counters driving the corruption
@@ -85,6 +102,7 @@ impl Proc {
         options: &MachineOptions,
         faults: Option<Arc<FaultPlan>>,
         ledger: Arc<Ledger>,
+        slot: Arc<NodeSlot>,
     ) -> Self {
         let slow = faults.as_ref().map_or(1.0, |plan| plan.slowdown(id));
         Proc {
@@ -98,6 +116,8 @@ impl Proc {
             slow,
             faults,
             ledger,
+            engine: options.engine,
+            slot,
             seq: HashMap::new(),
             crossings: HashMap::new(),
             stats: NodeStats::default(),
@@ -290,7 +310,7 @@ impl Proc {
     /// payload in flight — use [`Proc::send_with_retry`] to model
     /// recovery, or [`Proc::try_send`] to observe delivery. Failures
     /// abort the run with a structured [`crate::RunError`] when driven
-    /// through [`crate::try_run_machine_with`].
+    /// through [`crate::Machine::run`].
     pub fn send(&mut self, to: usize, tag: u64, data: impl Into<Payload>) {
         self.begin_round();
         if let Err(e) = self.transmit(to, tag, data.into()) {
@@ -482,10 +502,13 @@ impl Proc {
     /// Receives the message tagged `tag` from `from`, advancing the clock
     /// to its arrival time if it has not yet arrived. Receives are
     /// passive: they do not occupy the port (crate docs).
-    pub fn recv(&mut self, from: usize, tag: u64) -> Payload {
+    ///
+    /// Blocking point: awaiting suspends the node until the message is
+    /// available (see the type-level docs).
+    pub async fn recv(&mut self, from: usize, tag: u64) -> Payload {
         self.begin_round();
         let start = self.clock;
-        let env = self.take_matching(from, tag);
+        let env = self.take_matching(from, tag).await;
         self.clock = match self.charge {
             ChargePolicy::SenderOnly => self.clock.max(env.arrive),
             // Symmetric: pulling the message occupies this port too.
@@ -513,7 +536,10 @@ impl Proc {
     /// `Recv`, `None` for each `Send`. Sends over dead links re-route
     /// exactly as [`Proc::send`] does (detours occupy the first-hop
     /// link); under a strict plan they abort the run.
-    pub fn multi(&mut self, ops: Vec<Op>) -> Vec<Option<Payload>> {
+    ///
+    /// Blocking point: awaiting suspends the node at each batched
+    /// receive whose message has not been injected yet.
+    pub async fn multi(&mut self, ops: Vec<Op>) -> Vec<Option<Payload>> {
         self.begin_round();
         let batch_start = self.clock;
         let mut link_busy: HashMap<usize, f64> = HashMap::new();
@@ -605,7 +631,7 @@ impl Proc {
             match op {
                 Op::Send { .. } => results.push(None),
                 Op::Recv { from, tag } => {
-                    let env = self.take_matching(from, tag);
+                    let env = self.take_matching(from, tag).await;
                     let end = match self.charge {
                         ChargePolicy::SenderOnly => env.arrive,
                         ChargePolicy::Symmetric => match self.port {
@@ -646,15 +672,25 @@ impl Proc {
     /// machines this is one charged send plus a passive receive, i.e. one
     /// `t_s + t_w·m` on the critical path when both sides exchange — the
     /// cost the paper assigns to a recursive-doubling step.
-    pub fn exchange(&mut self, partner: usize, tag: u64, data: impl Into<Payload>) -> Payload {
-        let out = self.multi(vec![
-            Op::Send {
-                to: partner,
-                tag,
-                data: data.into(),
-            },
-            Op::Recv { from: partner, tag },
-        ]);
+    ///
+    /// Blocking point: awaiting suspends the node until the partner's
+    /// message arrives.
+    pub async fn exchange(
+        &mut self,
+        partner: usize,
+        tag: u64,
+        data: impl Into<Payload>,
+    ) -> Payload {
+        let out = self
+            .multi(vec![
+                Op::Send {
+                    to: partner,
+                    tag,
+                    data: data.into(),
+                },
+                Op::Recv { from: partner, tag },
+            ])
+            .await;
         #[allow(
             clippy::expect_used,
             reason = "engine contract: multi returns one Some per Op::Recv; a miss is an engine bug"
@@ -662,16 +698,9 @@ impl Proc {
         out.into_iter().flatten().next().expect("exchange recv")
     }
 
-    /// Consumes the processor handle, returning its final statistics and
-    /// (if tracing was enabled) the event trace.
-    pub(crate) fn into_parts(mut self) -> (NodeStats, Vec<TraceEvent>) {
-        self.stats.clock = self.clock;
-        (self.stats, self.trace.unwrap_or_default())
-    }
-
     /// Registers the typed failure as the run's outcome and unwinds this
     /// node quietly (no panic hook, no message: the failure is reported
-    /// by [`crate::try_run_machine_with`]).
+    /// by [`crate::Machine::run`]).
     fn fail_link(&self, error: SendError) -> ! {
         self.ledger.trigger(Failure::Link {
             node: self.id,
@@ -718,13 +747,47 @@ impl Proc {
         }
     }
 
-    fn take_matching(&mut self, from: usize, tag: u64) -> Envelope {
-        match self.ledger.receive(self.id, from, tag) {
+    /// The shared blocking receive behind [`Proc::recv`] and
+    /// [`Proc::multi`]: waits until the `(from, tag)` message is
+    /// available, engine-appropriately.
+    async fn take_matching(&mut self, from: usize, tag: u64) -> Envelope {
+        let taken = match self.engine {
+            // Threaded: park this node's OS thread on the ledger's
+            // condvar; the future never observes Pending.
+            Engine::Threaded => self.ledger.receive(self.id, from, tag),
+            // Event: suspend the continuation. Publish the park-time
+            // clock first so the executor re-enqueues this node at the
+            // right virtual time, then poll the ledger's non-blocking
+            // receive until a handoff or abort resolves it.
+            Engine::Event => {
+                self.slot
+                    .clock_bits
+                    .store(self.clock.to_bits(), Ordering::Relaxed);
+                let ledger = Arc::clone(&self.ledger);
+                let id = self.id;
+                std::future::poll_fn(move |_cx| ledger.poll_receive(id, from, tag)).await
+            }
+        };
+        match taken {
             Ok(env) => env,
             // The run aborted while this node was parked; the ledger has
             // already recorded the blocked receive for the post-mortem
             // report, so unwind quietly.
             Err(()) => self.quiet_abort(),
         }
+    }
+}
+
+impl Drop for Proc {
+    /// Deposits the node's final statistics and trace in its engine
+    /// slot. Runs on every exit path — normal completion of the async
+    /// body, quiet abort, or a genuine panic — so the engine can always
+    /// read the parts after the node future is gone (they are only
+    /// *used* when the run succeeds).
+    fn drop(&mut self) {
+        self.stats.clock = self.clock;
+        let stats = std::mem::take(&mut self.stats);
+        let trace = self.trace.take().unwrap_or_default();
+        *lock(&self.slot.parts) = Some((stats, trace));
     }
 }

@@ -1,6 +1,6 @@
 //! Optional per-message event tracing.
 //!
-//! When enabled (see [`crate::run_machine_traced`]), every transfer is
+//! When enabled (see [`crate::MachineBuilder::traced`]), every transfer is
 //! recorded with its virtual start/end times, producing a timeline that
 //! can be rendered as a Gantt chart of the algorithm's phases (see the
 //! `phase_trace` example).

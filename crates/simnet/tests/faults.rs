@@ -5,32 +5,39 @@
 use std::time::{Duration, Instant};
 
 use cubemm_simnet::{
-    run_machine, try_run_machine_with, Blocked, CorruptKind, Corruption, CostParams, FaultPlan,
-    MachineOptions, PortModel, RetryPolicy, RunError, SendError,
+    Blocked, CorruptKind, Corruption, CostParams, FaultPlan, Machine, PortModel, Proc, RetryPolicy,
+    RunError, SendError,
 };
 
 const COST: CostParams = CostParams { ts: 10.0, tw: 2.0 };
 
-fn options(port: PortModel, faults: FaultPlan) -> MachineOptions {
-    let mut o = MachineOptions::paper(port, COST);
-    o.faults = faults;
-    o
+#[allow(
+    clippy::expect_used,
+    reason = "fixed, valid test machines; a failure is a test bug"
+)]
+fn machine(p: usize, port: PortModel, faults: FaultPlan) -> Machine {
+    Machine::builder(p)
+        .port(port)
+        .cost(COST)
+        .faults(faults)
+        .build()
+        .expect("valid test machine")
 }
 
 /// A poisoned run must be released by the ledger's abort broadcast: a
 /// node panic unblocks every sibling receive almost immediately.
 #[test]
 fn node_panic_releases_blocked_siblings_immediately() {
-    let o = options(PortModel::OnePort, FaultPlan::new());
     let started = Instant::now();
-    let err = try_run_machine_with(8, o, vec![(); 8], |proc, ()| {
-        if proc.id() == 3 {
-            panic!("injected failure");
-        }
-        // Everyone else waits for a message node 3 will never send.
-        let _ = proc.recv(3, 1);
-    })
-    .expect_err("the poisoned run must fail");
+    let err = machine(8, PortModel::OnePort, FaultPlan::new())
+        .run(vec![(); 8], |mut proc, ()| async move {
+            if proc.id() == 3 {
+                panic!("injected failure");
+            }
+            // Everyone else waits for a message node 3 will never send.
+            let _ = proc.recv(3, 1).await;
+        })
+        .expect_err("the poisoned run must fail");
     let wall = started.elapsed();
     match err {
         RunError::NodePanicked { node, message } => {
@@ -51,15 +58,15 @@ fn node_panic_releases_blocked_siblings_immediately() {
 /// the last node parks, in well under a second of host time.
 #[test]
 fn deadlock_report_names_all_blocked_nodes_with_their_awaited_receives() {
-    let o = options(PortModel::OnePort, FaultPlan::new());
     let started = Instant::now();
-    let err = try_run_machine_with(4, o, vec![(); 4], |proc, ()| {
-        // A cycle of receives nobody ever feeds: node i waits on its
-        // successor with a tag unique to i.
-        let from = (proc.id() + 1) % 4;
-        let _ = proc.recv(from, 40 + proc.id() as u64);
-    })
-    .expect_err("the cycle must deadlock");
+    let err = machine(4, PortModel::OnePort, FaultPlan::new())
+        .run(vec![(); 4], |mut proc, ()| async move {
+            // A cycle of receives nobody ever feeds: node i waits on its
+            // successor with a tag unique to i.
+            let from = (proc.id() + 1) % 4;
+            let _ = proc.recv(from, 40 + proc.id() as u64).await;
+        })
+        .expect_err("the cycle must deadlock");
     assert!(
         started.elapsed() < Duration::from_secs(1),
         "exact deadlock detection took {:?}",
@@ -94,43 +101,36 @@ fn deadlock_report_names_all_blocked_nodes_with_their_awaited_receives() {
 #[test]
 fn dead_link_rerouting_completes_with_strictly_higher_elapsed() {
     let m = 4;
-    let program = move |proc: &mut cubemm_simnet::Proc, ()| {
+    let program = move |mut proc: Proc, ()| async move {
         if proc.id() == 0 {
             proc.send(1, 9, (0..m).map(f64::from).collect::<Vec<_>>());
             0.0
         } else if proc.id() == 1 {
-            let got = proc.recv(0, 9);
+            let got = proc.recv(0, 9).await;
             assert_eq!(&got[..], &[0.0, 1.0, 2.0, 3.0]);
             proc.clock()
         } else {
             0.0
         }
     };
-    let healthy = try_run_machine_with(
-        4,
-        options(PortModel::OnePort, FaultPlan::new()),
-        vec![(); 4],
-        program,
-    )
-    .unwrap();
+    let healthy = machine(4, PortModel::OnePort, FaultPlan::new())
+        .run(vec![(); 4], program)
+        .unwrap();
     assert_eq!(healthy.stats.elapsed, 18.0); // ts + tw·m
 
     let plan = FaultPlan::new().with_dead_link(0, 1);
-    let faulty = try_run_machine_with(
-        4,
-        options(PortModel::OnePort, plan.clone()),
-        vec![(); 4],
-        program,
-    )
-    .unwrap();
+    let faulty = machine(4, PortModel::OnePort, plan.clone())
+        .run(vec![(); 4], program)
+        .unwrap();
     // Store-and-forward over the 3-hop detour: 3 (ts + tw·m).
     assert_eq!(faulty.stats.elapsed, 54.0);
     assert!(faulty.stats.elapsed > healthy.stats.elapsed);
     assert_eq!(faulty.stats.total_detour_hops(), 2);
 
     // Multi-port pipelines the detour: 3·ts + tw·m.
-    let mp =
-        try_run_machine_with(4, options(PortModel::MultiPort, plan), vec![(); 4], program).unwrap();
+    let mp = machine(4, PortModel::MultiPort, plan)
+        .run(vec![(); 4], program)
+        .unwrap();
     assert_eq!(mp.stats.elapsed, 38.0);
 }
 
@@ -138,19 +138,15 @@ fn dead_link_rerouting_completes_with_strictly_higher_elapsed() {
 #[test]
 fn strict_plan_turns_the_dead_link_into_a_structured_error() {
     let plan = FaultPlan::new().with_dead_link(0, 1).strict();
-    let err = try_run_machine_with(
-        4,
-        options(PortModel::OnePort, plan),
-        vec![(); 4],
-        |proc, ()| {
+    let err = machine(4, PortModel::OnePort, plan)
+        .run(vec![(); 4], |mut proc, ()| async move {
             if proc.id() == 0 {
                 proc.send(1, 9, [1.0]);
             } else if proc.id() == 1 {
-                let _ = proc.recv(0, 9);
+                let _ = proc.recv(0, 9).await;
             }
-        },
-    )
-    .expect_err("strict dead link must abort");
+        })
+        .expect_err("strict dead link must abort");
     assert_eq!(
         err,
         RunError::LinkDead {
@@ -167,19 +163,15 @@ fn cut_off_destination_is_reported_unroutable() {
     let plan = (0..2u32).fold(FaultPlan::new(), |plan, d| {
         plan.with_dead_link(1, 1 ^ (1 << d))
     });
-    let err = try_run_machine_with(
-        4,
-        options(PortModel::OnePort, plan),
-        vec![(); 4],
-        |proc, ()| {
+    let err = machine(4, PortModel::OnePort, plan)
+        .run(vec![(); 4], |mut proc, ()| async move {
             if proc.id() == 0 {
                 proc.send(1, 9, [1.0]);
             } else if proc.id() == 1 {
-                let _ = proc.recv(0, 9);
+                let _ = proc.recv(0, 9).await;
             }
-        },
-    )
-    .expect_err("cut-off node must be unroutable");
+        })
+        .expect_err("cut-off node must be unroutable");
     assert_eq!(
         err,
         RunError::LinkDead {
@@ -194,11 +186,8 @@ fn cut_off_destination_is_reported_unroutable() {
 #[test]
 fn scheduled_drop_is_recovered_by_retry_with_backoff() {
     let plan = FaultPlan::new().with_drop(0, 1, 0);
-    let out = try_run_machine_with(
-        2,
-        options(PortModel::OnePort, plan),
-        vec![(); 2],
-        |proc, ()| {
+    let out = machine(2, PortModel::OnePort, plan)
+        .run(vec![(); 2], |mut proc, ()| async move {
             if proc.id() == 0 {
                 let attempts = proc
                     .send_with_retry(1, 9, [5.0, 6.0], RetryPolicy::default())
@@ -206,13 +195,12 @@ fn scheduled_drop_is_recovered_by_retry_with_backoff() {
                 assert_eq!(attempts, 2);
                 proc.clock()
             } else {
-                let got = proc.recv(0, 9);
+                let got = proc.recv(0, 9).await;
                 assert_eq!(&got[..], &[5.0, 6.0]);
                 proc.clock()
             }
-        },
-    )
-    .unwrap();
+        })
+        .unwrap();
     // Two charged transmissions (ts + 2·tw each) plus the 1.0 backoff.
     assert_eq!(out.outputs[0], 29.0);
     assert_eq!(out.stats.total_retries(), 1);
@@ -224,19 +212,15 @@ fn scheduled_drop_is_recovered_by_retry_with_backoff() {
 #[test]
 fn exhausted_retries_surface_as_a_value_not_an_abort() {
     let plan = (0..4u64).fold(FaultPlan::new(), |plan, k| plan.with_drop(0, 1, k));
-    let out = try_run_machine_with(
-        2,
-        options(PortModel::OnePort, plan),
-        vec![(); 2],
-        |proc, ()| {
+    let out = machine(2, PortModel::OnePort, plan)
+        .run(vec![(); 2], |mut proc, ()| async move {
             if proc.id() == 0 {
                 Some(proc.send_with_retry(1, 9, [1.0], RetryPolicy::default()))
             } else {
                 None // the receiver never posts a receive
             }
-        },
-    )
-    .unwrap();
+        })
+        .unwrap();
     assert_eq!(
         out.outputs[0],
         Some(Err(SendError::RetriesExhausted {
@@ -262,19 +246,15 @@ fn retry_total_backoff_cap_bounds_virtual_time() {
         backoff_factor: 2.0,
         max_total_backoff: 100.0,
     };
-    let out = try_run_machine_with(
-        2,
-        options(PortModel::OnePort, plan),
-        vec![(); 2],
-        move |proc, ()| {
+    let out = machine(2, PortModel::OnePort, plan)
+        .run(vec![(); 2], move |mut proc, ()| async move {
             if proc.id() == 0 {
                 Some((proc.send_with_retry(1, 9, [1.0], policy), proc.clock()))
             } else {
                 None
             }
-        },
-    )
-    .unwrap();
+        })
+        .unwrap();
     let (result, clock) = out.outputs[0].expect("sender output");
     // Backoffs 1 + 2 + 4 + 8 + 16 + 32 = 63 fit the cap; the next (64)
     // would not, so the call stops after its 7th transmission.
@@ -304,45 +284,41 @@ fn scheduled_corruption_mangles_exactly_the_targeted_payload() {
             kind: CorruptKind::Perturb { delta: 100.0 },
         },
     );
-    let program = |proc: &mut cubemm_simnet::Proc, ()| {
-        if proc.id() == 0 {
-            proc.send(1, 7, [1.0, 2.0, 3.0]);
-            proc.send(1, 8, [4.0, 5.0, 6.0]);
-            proc.clock()
-        } else if proc.id() == 1 {
-            let first = proc.recv(0, 7);
-            let second = proc.recv(0, 8);
-            assert_eq!(&first[..], &[1.0, 2.0, 3.0], "crossing 0 is clean");
-            assert_eq!(
-                &second[..],
-                &[4.0, 5.0, 106.0],
-                "crossing 1, word 2 carries the delta"
-            );
-            proc.clock()
-        } else {
-            0.0
-        }
-    };
-    let faulty =
-        try_run_machine_with(2, options(PortModel::OnePort, plan), vec![(); 2], program).unwrap();
+    let faulty = machine(2, PortModel::OnePort, plan)
+        .run(vec![(); 2], |mut proc: Proc, ()| async move {
+            if proc.id() == 0 {
+                proc.send(1, 7, [1.0, 2.0, 3.0]);
+                proc.send(1, 8, [4.0, 5.0, 6.0]);
+                proc.clock()
+            } else if proc.id() == 1 {
+                let first = proc.recv(0, 7).await;
+                let second = proc.recv(0, 8).await;
+                assert_eq!(&first[..], &[1.0, 2.0, 3.0], "crossing 0 is clean");
+                assert_eq!(
+                    &second[..],
+                    &[4.0, 5.0, 106.0],
+                    "crossing 1, word 2 carries the delta"
+                );
+                proc.clock()
+            } else {
+                0.0
+            }
+        })
+        .unwrap();
     assert_eq!(faulty.stats.total_corrupted(), 1);
     // Timing is identical to the healthy run: corruption is silent.
-    let healthy = try_run_machine_with(
-        2,
-        options(PortModel::OnePort, FaultPlan::new()),
-        vec![(); 2],
-        |proc, ()| {
+    let healthy = machine(2, PortModel::OnePort, FaultPlan::new())
+        .run(vec![(); 2], |mut proc, ()| async move {
             if proc.id() == 0 {
                 proc.send(1, 7, [1.0, 2.0, 3.0]);
                 proc.send(1, 8, [4.0, 5.0, 6.0]);
             } else {
-                let _ = proc.recv(0, 7);
-                let _ = proc.recv(0, 8);
+                let _ = proc.recv(0, 7).await;
+                let _ = proc.recv(0, 8).await;
             }
             proc.clock()
-        },
-    )
-    .unwrap();
+        })
+        .unwrap();
     assert_eq!(
         faulty.stats.elapsed.to_bits(),
         healthy.stats.elapsed.to_bits()
@@ -365,20 +341,16 @@ fn corruption_follows_the_routed_path() {
             kind: CorruptKind::BitFlip { bit: 63 },
         },
     );
-    let out = try_run_machine_with(
-        4,
-        options(PortModel::OnePort, plan),
-        vec![(); 4],
-        |proc, ()| {
+    let out = machine(4, PortModel::OnePort, plan)
+        .run(vec![(); 4], |mut proc, ()| async move {
             if proc.id() == 0 {
                 proc.send(1, 9, [8.0]);
             } else if proc.id() == 1 {
-                let got = proc.recv(0, 9);
+                let got = proc.recv(0, 9).await;
                 assert_eq!(&got[..], &[-8.0], "sign flipped on the detour edge");
             }
-        },
-    )
-    .unwrap();
+        })
+        .unwrap();
     assert_eq!(out.stats.total_corrupted(), 1);
 }
 
@@ -388,20 +360,16 @@ fn corruption_follows_the_routed_path() {
 #[test]
 fn scheduled_crash_surfaces_as_node_crashed() {
     let plan = FaultPlan::new().with_crash(2, 1);
-    let err = try_run_machine_with(
-        4,
-        options(PortModel::OnePort, plan),
-        vec![(); 4],
-        |proc, ()| {
+    let err = machine(4, PortModel::OnePort, plan)
+        .run(vec![(); 4], |mut proc, ()| async move {
             // Ring: everyone sends right, receives from the left. Node 2
             // dies beginning its second call (the receive).
             let right = (proc.id() + 1) % 4;
             let left = (proc.id() + 3) % 4;
             proc.send_routed(right, 9, [proc.id() as f64]);
-            let _ = proc.recv(left, 9);
-        },
-    )
-    .expect_err("the crash must abort the run");
+            let _ = proc.recv(left, 9).await;
+        })
+        .expect_err("the crash must abort the run");
     assert_eq!(err, RunError::NodeCrashed { node: 2, step: 1 });
     assert_eq!(
         err.to_string(),
@@ -425,38 +393,26 @@ fn corruption_and_crash_plans_are_deterministic_and_reboot_clears_crashes() {
             },
         )
         .with_crash(3, 0);
-    let program = |proc: &mut cubemm_simnet::Proc, ()| {
+    let program = |mut proc: Proc, ()| async move {
         // Everyone communicates, so the crash (which fires at the start
         // of a communication call) has a step to fire on at node 3.
         let partner = proc.id() ^ 1;
         proc.send(partner, 9, [proc.id() as f64, 2.0]);
-        let got = proc.recv(partner, 9);
+        let got = proc.recv(partner, 9).await;
         got[1]
     };
-    let a = try_run_machine_with(
-        4,
-        options(PortModel::OnePort, plan.clone()),
-        vec![(); 4],
-        program,
-    )
-    .expect_err("node 3 crashes immediately");
-    let b = try_run_machine_with(
-        4,
-        options(PortModel::OnePort, plan.clone()),
-        vec![(); 4],
-        program,
-    )
-    .expect_err("deterministically");
+    let a = machine(4, PortModel::OnePort, plan.clone())
+        .run(vec![(); 4], program)
+        .expect_err("node 3 crashes immediately");
+    let b = machine(4, PortModel::OnePort, plan.clone())
+        .run(vec![(); 4], program)
+        .expect_err("deterministically");
     assert_eq!(a, b);
     assert_eq!(a, RunError::NodeCrashed { node: 3, step: 0 });
     // Reboot node 3: the corruption still fires, but the run completes.
-    let rebooted = try_run_machine_with(
-        4,
-        options(PortModel::OnePort, plan.without_crash(3)),
-        vec![(); 4],
-        program,
-    )
-    .unwrap();
+    let rebooted = machine(4, PortModel::OnePort, plan.without_crash(3))
+        .run(vec![(); 4], program)
+        .unwrap();
     assert_eq!(rebooted.outputs[1], -1.5);
     assert_eq!(rebooted.stats.total_corrupted(), 1);
 }
@@ -464,69 +420,64 @@ fn corruption_and_crash_plans_are_deterministic_and_reboot_clears_crashes() {
 /// Stragglers and degraded links price exactly as configured.
 #[test]
 fn stragglers_and_degraded_links_scale_costs_exactly() {
-    let program = |proc: &mut cubemm_simnet::Proc, ()| {
+    let program = |mut proc: Proc, ()| async move {
         if proc.id() == 0 {
             proc.send(1, 9, [1.0, 2.0, 3.0, 4.0]);
         } else {
-            let _ = proc.recv(0, 9);
+            let _ = proc.recv(0, 9).await;
         }
         proc.clock()
     };
     // Healthy: ts + tw·4 = 18.
-    let healthy = try_run_machine_with(
-        2,
-        options(PortModel::OnePort, FaultPlan::new()),
-        vec![(); 2],
-        program,
-    )
-    .unwrap();
+    let healthy = machine(2, PortModel::OnePort, FaultPlan::new())
+        .run(vec![(); 2], program)
+        .unwrap();
     assert_eq!(healthy.stats.elapsed, 18.0);
     // A 2x straggler sender doubles it.
     let slow = FaultPlan::new().with_straggler(0, 2.0);
-    let out =
-        try_run_machine_with(2, options(PortModel::OnePort, slow), vec![(); 2], program).unwrap();
+    let out = machine(2, PortModel::OnePort, slow)
+        .run(vec![(); 2], program)
+        .unwrap();
     assert_eq!(out.stats.elapsed, 36.0);
     // Degradation multiplies the per-edge terms: 2·ts + 3·tw·4 = 44.
     let degraded = FaultPlan::new().with_degraded_link(0, 1, 2.0, 3.0);
-    let out = try_run_machine_with(
-        2,
-        options(PortModel::OnePort, degraded),
-        vec![(); 2],
-        program,
-    )
-    .unwrap();
+    let out = machine(2, PortModel::OnePort, degraded)
+        .run(vec![(); 2], program)
+        .unwrap();
     assert_eq!(out.stats.elapsed, 44.0);
 }
 
-/// An empty fault plan is bit-for-bit identical to the legacy fault-free
-/// entry point, including routed sends and batched exchanges.
+/// An empty fault plan is bit-for-bit identical to the fault-free
+/// machine, including routed sends and batched exchanges.
 #[test]
-fn empty_plan_is_bit_identical_to_the_legacy_run() {
-    let program = |proc: &mut cubemm_simnet::Proc, ()| {
+fn empty_plan_is_bit_identical_to_the_fault_free_machine() {
+    let program = |mut proc: Proc, ()| async move {
         let partner = proc.id() ^ 1;
-        let got = proc.exchange(partner, 5, vec![proc.id() as f64; 3]);
+        let got = proc.exchange(partner, 5, vec![proc.id() as f64; 3]).await;
         assert_eq!(&got[..], &[partner as f64; 3]);
         // A 2-hop routed send with a disjoint tag pattern.
         let far = proc.id() ^ 0b11;
         proc.send_routed(far, 6, [proc.clock()]);
-        let _ = proc.recv(far, 6);
+        let _ = proc.recv(far, 6).await;
         proc.clock()
     };
-    let legacy = run_machine(8, PortModel::OnePort, COST, vec![(); 8], program);
-    let with_empty_plan = try_run_machine_with(
-        8,
-        options(PortModel::OnePort, FaultPlan::new()),
-        vec![(); 8],
-        program,
-    )
-    .unwrap();
+    let fault_free = Machine::builder(8)
+        .port(PortModel::OnePort)
+        .cost(COST)
+        .build()
+        .expect("valid machine")
+        .run(vec![(); 8], program)
+        .unwrap();
+    let with_empty_plan = machine(8, PortModel::OnePort, FaultPlan::new())
+        .run(vec![(); 8], program)
+        .unwrap();
     assert_eq!(
-        legacy.stats.elapsed.to_bits(),
+        fault_free.stats.elapsed.to_bits(),
         with_empty_plan.stats.elapsed.to_bits()
     );
-    assert_eq!(legacy.outputs, with_empty_plan.outputs);
+    assert_eq!(fault_free.outputs, with_empty_plan.outputs);
     assert_eq!(
-        legacy.stats.total_messages(),
+        fault_free.stats.total_messages(),
         with_empty_plan.stats.total_messages()
     );
 }
@@ -540,15 +491,15 @@ fn degraded_runs_are_deterministic() {
         .with_straggler(2, 1.5)
         .with_degraded_link(4, 5, 2.0, 2.0)
         .with_drop(3, 2, 0);
-    let program = |proc: &mut cubemm_simnet::Proc, ()| {
+    let program = |mut proc: Proc, ()| async move {
         let partner = proc.id() ^ 1;
         if proc.id() < partner {
             proc.send(partner, 9, vec![proc.id() as f64; 5]);
             if proc.id() == 2 {
-                let _ = proc.recv(3, 10);
+                let _ = proc.recv(3, 10).await;
             }
         } else {
-            let _ = proc.recv(partner, 9);
+            let _ = proc.recv(partner, 9).await;
             if proc.id() == 3 {
                 // The dropped first injection toward node 2: retry.
                 let _ = proc.send_with_retry(2, 10, [9.0], RetryPolicy::default());
@@ -556,15 +507,12 @@ fn degraded_runs_are_deterministic() {
         }
         proc.clock()
     };
-    let a = try_run_machine_with(
-        8,
-        options(PortModel::OnePort, plan.clone()),
-        vec![(); 8],
-        program,
-    )
-    .unwrap();
-    let b =
-        try_run_machine_with(8, options(PortModel::OnePort, plan), vec![(); 8], program).unwrap();
+    let a = machine(8, PortModel::OnePort, plan.clone())
+        .run(vec![(); 8], program)
+        .unwrap();
+    let b = machine(8, PortModel::OnePort, plan)
+        .run(vec![(); 8], program)
+        .unwrap();
     assert_eq!(a.stats.elapsed.to_bits(), b.stats.elapsed.to_bits());
     assert_eq!(a.outputs, b.outputs);
 }

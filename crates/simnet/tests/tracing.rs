@@ -1,6 +1,6 @@
 //! Tests for the optional event tracing.
 
-use cubemm_simnet::{run_machine, run_machine_traced, CostParams, Payload, PortModel, TraceKind};
+use cubemm_simnet::{CostParams, Machine, Payload, PortModel, TraceKind};
 
 const COST: CostParams = CostParams { ts: 10.0, tw: 2.0 };
 
@@ -8,27 +8,44 @@ fn words(n: usize) -> Payload {
     (0..n).map(|x| x as f64).collect()
 }
 
+#[allow(
+    clippy::expect_used,
+    reason = "fixed, valid test machines; a failure is a test bug"
+)]
+fn machine(p: usize, traced: bool) -> Machine {
+    Machine::builder(p)
+        .port(PortModel::OnePort)
+        .cost(COST)
+        .traced(traced)
+        .build()
+        .expect("valid test machine")
+}
+
 #[test]
 fn untraced_runs_have_empty_traces() {
-    let out = run_machine(2, PortModel::OnePort, COST, vec![(), ()], |proc, ()| {
-        if proc.id() == 0 {
-            proc.send(1, 1, words(4));
-        } else {
-            let _ = proc.recv(0, 1);
-        }
-    });
+    let out = machine(2, false)
+        .run(vec![(), ()], |mut proc, ()| async move {
+            if proc.id() == 0 {
+                proc.send(1, 1, words(4));
+            } else {
+                let _ = proc.recv(0, 1).await;
+            }
+        })
+        .expect("healthy run");
     assert!(out.traces.iter().all(Vec::is_empty));
 }
 
 #[test]
 fn traced_run_records_send_and_recv_with_times() {
-    let out = run_machine_traced(2, PortModel::OnePort, COST, vec![(), ()], |proc, ()| {
-        if proc.id() == 0 {
-            proc.send(1, 7, words(5));
-        } else {
-            let _ = proc.recv(0, 7);
-        }
-    });
+    let out = machine(2, true)
+        .run(vec![(), ()], |mut proc, ()| async move {
+            if proc.id() == 0 {
+                proc.send(1, 7, words(5));
+            } else {
+                let _ = proc.recv(0, 7).await;
+            }
+        })
+        .expect("healthy run");
     let send = &out.traces[0][0];
     assert_eq!(send.node, 0);
     assert_eq!(send.tag, 7);
@@ -45,13 +62,15 @@ fn traced_run_records_send_and_recv_with_times() {
 
 #[test]
 fn traced_routed_send_records_hops() {
-    let out = run_machine_traced(8, PortModel::OnePort, COST, vec![(); 8], |proc, ()| {
-        if proc.id() == 0 {
-            proc.send_routed(0b111, 3, words(2));
-        } else if proc.id() == 0b111 {
-            let _ = proc.recv(0, 3);
-        }
-    });
+    let out = machine(8, true)
+        .run(vec![(); 8], |mut proc, ()| async move {
+            if proc.id() == 0 {
+                proc.send_routed(0b111, 3, words(2));
+            } else if proc.id() == 0b111 {
+                let _ = proc.recv(0, 3).await;
+            }
+        })
+        .expect("healthy run");
     let send = &out.traces[0][0];
     assert!(matches!(send.kind, TraceKind::Send { to: 7, hops: 3 }));
     assert_eq!(send.end, 3.0 * (10.0 + 4.0));
@@ -60,19 +79,14 @@ fn traced_routed_send_records_hops() {
 #[test]
 fn tracing_does_not_change_virtual_time() {
     let run = |traced: bool| {
-        let body = |proc: &mut cubemm_simnet::Proc, ()| {
-            let _ = proc.exchange(proc.id() ^ 1, 1, words(16));
-            let _ = proc.exchange(proc.id() ^ 2, 2, words(8));
-        };
-        if traced {
-            run_machine_traced(4, PortModel::OnePort, COST, vec![(); 4], body)
-                .stats
-                .elapsed
-        } else {
-            run_machine(4, PortModel::OnePort, COST, vec![(); 4], body)
-                .stats
-                .elapsed
-        }
+        machine(4, traced)
+            .run(vec![(); 4], |mut proc, ()| async move {
+                let _ = proc.exchange(proc.id() ^ 1, 1, words(16)).await;
+                let _ = proc.exchange(proc.id() ^ 2, 2, words(8)).await;
+            })
+            .expect("healthy run")
+            .stats
+            .elapsed
     };
     assert_eq!(run(false), run(true));
 }

@@ -10,9 +10,7 @@
 
 use cubemm_core::prelude::*;
 use cubemm_dense::gemm;
-use cubemm_simnet::{
-    try_run_machine_with, CostParams, FaultPlan, MachineOptions, PortModel, RunError,
-};
+use cubemm_simnet::{CostParams, FaultPlan, Machine, MachineOptions, PortModel, RunError};
 
 fn main() {
     let n = 32;
@@ -65,15 +63,17 @@ fn main() {
     println!("  node 1 cut off entirely:   {err}");
 
     // The same structured outcomes are available below the algorithm
-    // layer: `try_run_machine_with` never panics on simulated failures.
+    // layer: `Machine::run` never panics on simulated failures.
     let mut options = MachineOptions::paper(PortModel::OnePort, CostParams::PAPER);
     options.faults = FaultPlan::new().with_dead_link(0, 1).strict();
-    let outcome = try_run_machine_with(2, options, vec![(), ()], |proc, ()| {
-        if proc.id() == 0 {
-            proc.send(1, 7, [1.0, 2.0]); // strict plan: no silent detour
-        } else {
-            let _ = proc.recv(0, 7);
-        }
+    let outcome = Machine::new(2, options).and_then(|machine| {
+        machine.run(vec![(), ()], |mut proc, ()| async move {
+            if proc.id() == 0 {
+                proc.send(1, 7, [1.0, 2.0]); // strict plan: no silent detour
+            } else {
+                let _ = proc.recv(0, 7).await;
+            }
+        })
     });
     match outcome {
         Err(RunError::LinkDead { node, error }) => {

@@ -1,0 +1,153 @@
+//! Engine equivalence: the event-driven engine must reproduce the
+//! thread-per-node engine bit for bit — same products, same virtual
+//! clocks, same per-node stats, same traces, same analyzer verdicts.
+//!
+//! This is the regression gate for the event engine's core claim: the
+//! virtual-clock event ordering executes exactly the schedule the
+//! progress ledger admits, so nothing observable may depend on which
+//! engine ran the program.
+
+use cubemm_core::{Algorithm, MachineConfig};
+use cubemm_dense::Matrix;
+use cubemm_simnet::{CostParams, Engine, FaultPlan, PortModel, RunError};
+
+/// The sweep grid the two engines are diffed over: every registry
+/// algorithm at every applicable point of a small (n, p) grid, both
+/// port models.
+fn grid() -> Vec<(Algorithm, PortModel, usize)> {
+    let mut tasks = Vec::new();
+    for algo in Algorithm::ALL.into_iter().chain(Algorithm::EXTENSIONS) {
+        for port in [PortModel::OnePort, PortModel::MultiPort] {
+            for p in [4, 8, 16, 64] {
+                if algo.check(24, p).is_ok() {
+                    tasks.push((algo, port, p));
+                }
+            }
+        }
+    }
+    tasks
+}
+
+fn cfg(port: PortModel, engine: Engine) -> MachineConfig {
+    MachineConfig::builder()
+        .port(port)
+        .costs(CostParams::PAPER)
+        .engine(engine)
+        .build()
+}
+
+#[test]
+fn sweep_grid_is_bitwise_identical_under_both_engines() {
+    let n = 24;
+    let a = Matrix::random(n, n, 1);
+    let b = Matrix::random(n, n, 2);
+    for (algo, port, p) in grid() {
+        let threaded = algo.multiply(&a, &b, p, &cfg(port, Engine::Threaded));
+        let event = algo.multiply(&a, &b, p, &cfg(port, Engine::Event));
+        let (t, e) = (threaded.unwrap(), event.unwrap());
+        let what = format!("{algo} {port} p={p}");
+        assert_eq!(
+            t.stats.elapsed.to_bits(),
+            e.stats.elapsed.to_bits(),
+            "{what}: elapsed diverged across engines"
+        );
+        assert_eq!(
+            t.stats.nodes, e.stats.nodes,
+            "{what}: node stats diverged across engines"
+        );
+        assert_eq!(t.c, e.c, "{what}: product diverged across engines");
+    }
+}
+
+#[test]
+fn traces_are_bitwise_identical_under_both_engines() {
+    // The analyzer consumes traces, so trace equality is what makes the
+    // per-engine `analyze` certifications interchangeable.
+    let n = 24;
+    let a = Matrix::random(n, n, 3);
+    let b = Matrix::random(n, n, 4);
+    for (algo, p) in [
+        (Algorithm::Cannon, 16),
+        (Algorithm::Diag3d, 8),
+        (Algorithm::All3d, 8),
+    ] {
+        for port in [PortModel::OnePort, PortModel::MultiPort] {
+            let traced = |engine| {
+                let cfg = MachineConfig::builder()
+                    .port(port)
+                    .costs(CostParams::PAPER)
+                    .engine(engine)
+                    .traced(true)
+                    .build();
+                algo.multiply(&a, &b, p, &cfg).unwrap().traces
+            };
+            assert_eq!(
+                traced(Engine::Threaded),
+                traced(Engine::Event),
+                "{algo} {port}: traces diverged across engines"
+            );
+        }
+    }
+}
+
+#[test]
+fn analyzer_verdicts_are_identical_under_both_engines() {
+    // The `cubemm analyze all` sweep, at the library layer: capture each
+    // registry schedule under each engine and diff the full analysis —
+    // verdict, soundness, and the replayed (a, b) coordinates bit for
+    // bit.
+    for algo in Algorithm::ALL.into_iter().chain(Algorithm::EXTENSIONS) {
+        for port in [PortModel::OnePort, PortModel::MultiPort] {
+            for (n, p) in cubemm_analyze::applicable_grid(algo) {
+                let analyzed = |engine| {
+                    let r = cubemm_analyze::analyze_algorithm_on(algo, n, p, port, engine).unwrap();
+                    let cost = r.analysis.cost.map(|c| (c.a.to_bits(), c.b.to_bits()));
+                    (r.verdict, r.analysis.is_sound(), cost)
+                };
+                assert_eq!(
+                    analyzed(Engine::Threaded),
+                    analyzed(Engine::Event),
+                    "{algo} {port} n={n} p={p}: analyzer outcome diverged across engines"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn fault_verdicts_are_identical_under_both_engines() {
+    // Structured failure outcomes must agree too: a dropped message
+    // deadlocks identically (same blocked-node diagnosis), and a faulty
+    // but routable run prices its detours identically.
+    let n = 16;
+    let p = 16;
+    let a = Matrix::random(n, n, 1);
+    let b = Matrix::random(n, n, 2);
+    let run = |faults: FaultPlan, engine| {
+        let cfg = MachineConfig::builder()
+            .port(PortModel::OnePort)
+            .costs(CostParams::PAPER)
+            .engine(engine)
+            .faults(faults)
+            .build();
+        Algorithm::Cannon.multiply(&a, &b, p, &cfg)
+    };
+
+    let detoured = FaultPlan::new().with_dead_link(0, 1).with_straggler(5, 2.0);
+    let t = run(detoured.clone(), Engine::Threaded).unwrap();
+    let e = run(detoured, Engine::Event).unwrap();
+    assert_eq!(t.stats.elapsed.to_bits(), e.stats.elapsed.to_bits());
+    assert_eq!(t.stats.total_detour_hops(), e.stats.total_detour_hops());
+    assert_eq!(t.c, e.c);
+
+    let dropped = FaultPlan::new().with_drop(0, 1, 0);
+    let diagnose = |engine| match run(dropped.clone(), engine) {
+        Err(cubemm_core::AlgoError::Sim(RunError::Deadlock { blocked, .. })) => blocked,
+        other => panic!("{engine}: expected a deadlock, got {other:?}"),
+    };
+    assert_eq!(
+        diagnose(Engine::Threaded),
+        diagnose(Engine::Event),
+        "deadlock diagnosis diverged across engines"
+    );
+}

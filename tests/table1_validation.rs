@@ -4,7 +4,7 @@
 //! the slicing-granularity bound otherwise).
 
 use cubemm_collectives as coll;
-use cubemm_simnet::{run_machine, CostParams, Payload, PortModel};
+use cubemm_simnet::{CostParams, Engine, Machine, Payload, PortModel};
 use cubemm_topology::Subcube;
 
 const TS: f64 = 5.0;
@@ -15,42 +15,63 @@ fn payload(rank: usize, m: usize) -> Payload {
     (0..m).map(|x| (rank * 1000 + x) as f64).collect()
 }
 
-fn run(kind: &'static str, d: u32, m: usize, port: PortModel) -> f64 {
+/// Measures one collective under `engine`.
+fn run_on(kind: &'static str, d: u32, m: usize, port: PortModel, engine: Engine) -> f64 {
     let p = 1usize << d;
-    let out = run_machine(p, port, COST, vec![(); p], move |proc, ()| {
-        let sc = Subcube::whole(proc.dim());
-        let v = sc.rank_of(proc.id());
-        match kind {
-            "bcast" => {
-                let data = (v == 0).then(|| payload(0, m));
-                let _ = coll::bcast(proc, &sc, 0, 0, data, m);
+    let out = Machine::builder(p)
+        .port(port)
+        .cost(COST)
+        .engine(engine)
+        .build()
+        .expect("valid machine")
+        .run(vec![(); p], move |mut proc, ()| async move {
+            let sc = Subcube::whole(proc.dim());
+            let v = sc.rank_of(proc.id());
+            match kind {
+                "bcast" => {
+                    let data = (v == 0).then(|| payload(0, m));
+                    let _ = coll::bcast(&mut proc, &sc, 0, 0, data, m).await;
+                }
+                "scatter" => {
+                    let parts =
+                        (v == 0).then(|| (0..sc.size()).map(|r| payload(r, m)).collect::<Vec<_>>());
+                    let _ = coll::scatter(&mut proc, &sc, 0, 0, parts, m).await;
+                }
+                "gather" => {
+                    let _ = coll::gather(&mut proc, &sc, 0, 0, payload(v, m)).await;
+                }
+                "allgather" => {
+                    let _ = coll::allgather(&mut proc, &sc, 0, payload(v, m)).await;
+                }
+                "alltoall" => {
+                    let parts: Vec<Payload> = (0..sc.size()).map(|r| payload(r, m)).collect();
+                    let _ = coll::alltoall_personalized(&mut proc, &sc, 0, parts).await;
+                }
+                "reduce" => {
+                    let _ = coll::reduce_sum(&mut proc, &sc, 0, 0, payload(v, m)).await;
+                }
+                "reduce_scatter" => {
+                    let parts: Vec<Payload> = (0..sc.size()).map(|r| payload(r, m)).collect();
+                    let _ = coll::reduce_scatter(&mut proc, &sc, 0, parts).await;
+                }
+                other => unreachable!("{other}"),
             }
-            "scatter" => {
-                let parts =
-                    (v == 0).then(|| (0..sc.size()).map(|r| payload(r, m)).collect::<Vec<_>>());
-                let _ = coll::scatter(proc, &sc, 0, 0, parts, m);
-            }
-            "gather" => {
-                let _ = coll::gather(proc, &sc, 0, 0, payload(v, m));
-            }
-            "allgather" => {
-                let _ = coll::allgather(proc, &sc, 0, payload(v, m));
-            }
-            "alltoall" => {
-                let parts: Vec<Payload> = (0..sc.size()).map(|r| payload(r, m)).collect();
-                let _ = coll::alltoall_personalized(proc, &sc, 0, parts);
-            }
-            "reduce" => {
-                let _ = coll::reduce_sum(proc, &sc, 0, 0, payload(v, m));
-            }
-            "reduce_scatter" => {
-                let parts: Vec<Payload> = (0..sc.size()).map(|r| payload(r, m)).collect();
-                let _ = coll::reduce_scatter(proc, &sc, 0, parts);
-            }
-            other => unreachable!("{other}"),
-        }
-    });
+        })
+        .expect("healthy run");
     out.stats.elapsed
+}
+
+/// Measures one collective, asserting both engines agree bit-for-bit on
+/// the virtual time before returning it.
+fn run(kind: &'static str, d: u32, m: usize, port: PortModel) -> f64 {
+    let threaded = run_on(kind, d, m, port, Engine::Threaded);
+    let event = run_on(kind, d, m, port, Engine::Event);
+    assert_eq!(
+        threaded.to_bits(),
+        event.to_bits(),
+        "{kind} d={d} m={m} {port}: engines disagree ({threaded} vs {event})"
+    );
+    threaded
 }
 
 /// Message sizes divisible by every subcube dimension used below, so the
