@@ -39,7 +39,7 @@ pub const GRANULARITY_SLACK: f64 = 0.2;
 
 /// How a measured `(a, b)` is compared against the model.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Policy {
+pub(crate) enum Policy {
     /// Compare against this row: `a` exact, `b` exact or within
     /// [`GRANULARITY_SLACK`].
     Table(ModelAlgo),
@@ -55,7 +55,7 @@ enum Policy {
 /// one-port overlap).
 pub const DIAG3D_ONE_PORT_FACTOR: f64 = 0.75;
 
-fn policy(algo: Algorithm, port: PortModel) -> Policy {
+pub(crate) fn policy(algo: Algorithm, port: PortModel) -> Policy {
     match (algo, port) {
         (Algorithm::Simple, _) => Policy::Table(ModelAlgo::Simple),
         (Algorithm::Cannon, _) => Policy::Table(ModelAlgo::Cannon),

@@ -37,6 +37,7 @@ pub mod collectives;
 pub mod conformance;
 pub mod ir;
 pub mod report;
+pub mod symbolic;
 
 pub use check::{
     analyze, replay_elapsed, Analysis, Diagnostic, Extracted, PhaseSummary, Strictness, WaitLink,
@@ -48,3 +49,8 @@ pub use conformance::{
 };
 pub use ir::{Event, Round, Schedule};
 pub use report::{render, render_analysis};
+pub use symbolic::{
+    algo_cost_sym, captured_collective, certify_algorithm, certify_all_algorithms,
+    certify_all_collectives, certify_collective, coll_cost_sym, diff_schedules, expand_collective,
+    table1_sym, AlgoCertificate, CollCertificate, Obligation, SymCost,
+};

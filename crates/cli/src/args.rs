@@ -95,9 +95,9 @@ pub fn parse_port(s: Option<&str>) -> Result<cubemm_simnet::PortModel, String> {
 }
 
 /// Parses `threaded`/`event` into an execution engine. Absent flag
-/// means the threaded default — existing invocations keep their exact
-/// behavior; `--engine event` runs the same program single-threaded
-/// under the event engine (identical results, far cheaper at large p).
+/// means the event default (single-threaded virtual-clock scheduler —
+/// identical results to threaded, and the engine that scales to large
+/// p); `--engine threaded` opts back into one OS thread per node.
 pub fn parse_engine(s: Option<&str>) -> Result<cubemm_simnet::Engine, String> {
     match s {
         None => Ok(cubemm_simnet::Engine::default()),
@@ -203,7 +203,7 @@ mod tests {
     #[test]
     fn engine_parsing() {
         use cubemm_simnet::Engine;
-        assert_eq!(parse_engine(None).unwrap(), Engine::Threaded);
+        assert_eq!(parse_engine(None).unwrap(), Engine::Event);
         assert_eq!(parse_engine(Some("threaded")).unwrap(), Engine::Threaded);
         assert_eq!(parse_engine(Some("event")).unwrap(), Engine::Event);
         assert!(parse_engine(Some("fiber")).is_err());

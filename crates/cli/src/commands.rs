@@ -37,14 +37,20 @@ USAGE:
   cubemm regions [--port one|multi] [--ts T] [--tw W]
                                  Figure 13/14-style best-algorithm map
   cubemm analyze <algo|all> [--n N] [--p P] [--port one|multi|both]
-                 [--engine threaded|event] [--jobs N]
+                 [--engine threaded|event] [--jobs N] [--symbolic]
                                  static schedule analysis: prove the compiled
                                  schedule deadlock-free and port/link-legal,
                                  extract its exact (a, b) Table 2 coordinates
                                  by replay, and report per-phase traffic;
                                  `analyze all` sweeps every algorithm over
                                  the default (n, p) grid and fails on any
-                                 violation
+                                 violation. --symbolic certifies the closed
+                                 forms instead: collective schemas and
+                                 algorithm compositions are proven against
+                                 Tables 1/2 as polynomial identities in n
+                                 and 2^d, valid for every p = 2^d at once
+                                 (grid replay remains as a spot-check
+                                 inside each certificate)
   cubemm serve [--workers N] [--queue N] [--node-budget N] [--socket PATH]
                                  long-lived multiply service: JSON-lines
                                  requests on stdin (or a Unix socket),
@@ -54,11 +60,12 @@ USAGE:
 
 Defaults: n=64, p=64, port=one, ts=150, tw=3, charge=sender (the paper's
 parameters and accounting), kernel=packed (single-threaded; `packed:0`
-picks a thread count automatically), engine=threaded.
---engine event runs the whole simulated machine on one host thread
-under a virtual-clock-ordered event scheduler instead of one OS thread
-per node. Results are bit-identical to the threaded engine; the event
-engine is the one that scales to p = 4096..65536 nodes.
+picks a thread count automatically), engine=event.
+The default event engine runs the whole simulated machine on one host
+thread under a virtual-clock-ordered scheduler and scales to
+p = 4096..65536 nodes. --engine threaded opts into one OS thread per
+node (real host concurrency; p capped by the OS thread limit). Results
+are bit-identical between the two engines.
 A run that cannot progress (e.g. --fault-drop on an algorithm without
 retries) is reported as a structured deadlock naming every blocked node,
 detected exactly and instantly by the engine's progress ledger (no
@@ -642,7 +649,7 @@ fn analyze_ports(raw: Option<&str>) -> Result<Vec<cubemm_simnet::PortModel>, Str
 
 /// `cubemm analyze <algo|all> ...`.
 pub fn analyze(argv: &[String]) -> i32 {
-    let args = match Args::parse(argv) {
+    let args = match Args::parse_with_bools(argv, &["symbolic"]) {
         Ok(a) => a,
         Err(e) => return fail(&e),
     };
@@ -661,6 +668,10 @@ pub fn analyze(argv: &[String]) -> i32 {
         Some(s) => s,
         None => return fail("analyze needs an algorithm name or `all`"),
     };
+
+    if args.has("symbolic") {
+        return analyze_symbolic(&selector, &ports);
+    }
 
     if selector == "all" {
         // Registry sweep over the default grid: one summary line per
@@ -753,6 +764,51 @@ pub fn analyze(argv: &[String]) -> i32 {
     if bad {
         return fail("schedule failed analysis");
     }
+    0
+}
+
+/// `cubemm analyze ... --symbolic`: the parametric certification gate.
+///
+/// Instead of replaying schedules at enumerated `(n, p)` grid points,
+/// this certifies the *closed forms*: every collective schema and every
+/// algorithm composition is proven against Tables 1/2 as polynomial
+/// identities in `n` and `2^d`, valid for every hypercube size at once.
+/// Grid replay survives only as the grounding spot-check inside each
+/// certificate. Non-zero exit if any obligation fails.
+fn analyze_symbolic(selector: &str, ports: &[cubemm_simnet::PortModel]) -> i32 {
+    let mut bad = 0usize;
+    let mut total = 0usize;
+    if selector == "all" {
+        for cert in cubemm_analyze::certify_all_collectives() {
+            total += 1;
+            bad += usize::from(!cert.ok());
+            print!("{cert}");
+        }
+        println!();
+        for cert in cubemm_analyze::certify_all_algorithms() {
+            total += 1;
+            bad += usize::from(!cert.ok());
+            print!("{cert}");
+        }
+    } else {
+        let algo: Algorithm = match selector
+            .parse::<Algorithm>()
+            .map_err(|e| format!("{e} (see `cubemm help` for the list)"))
+        {
+            Ok(a) => a,
+            Err(e) => return fail(&e),
+        };
+        for &port in ports {
+            total += 1;
+            let cert = cubemm_analyze::certify_algorithm(algo, port);
+            bad += usize::from(!cert.ok());
+            print!("{cert}");
+        }
+    }
+    if bad > 0 {
+        return fail(&format!("{bad}/{total} symbolic certificate(s) failed"));
+    }
+    println!("{total}/{total} symbolic certificates hold for all p = 2^d");
     0
 }
 

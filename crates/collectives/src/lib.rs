@@ -67,6 +67,7 @@ mod gather;
 pub mod plan;
 mod reduce;
 mod scatter;
+pub mod schema;
 
 pub use allgather::{
     allgather, allgather_plan, reduce_scatter, reduce_scatter_plan, AllgatherRun, ReduceScatterRun,
@@ -81,6 +82,7 @@ pub use plan::{
 };
 pub use reduce::{reduce_plan, reduce_sum, reduce_sum_checked, ChecksumMismatch, ReduceRun};
 pub use scatter::{scatter, scatter_plan, ScatterRun};
+pub use schema::{CollKind, CollSchema, RoundSpec, VolSchema, WireSpec};
 
 use cubemm_simnet::Payload;
 

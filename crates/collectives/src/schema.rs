@@ -1,0 +1,389 @@
+//! Declarative *schedule schemas* for the seven Johnsson–Ho
+//! collectives, parametric in the cube dimension.
+//!
+//! A [`CollSchema`] states, for one collective, the facts the symbolic
+//! certifier needs about the schedule family `{plan(d) : d ≥ 1}`:
+//! which tree/exchange *shape* each round follows, how many rounds the
+//! family runs per copy (always the subcube dimension `δ` for the
+//! reference schemas; negative tests skew it), and the per-round send
+//! volume as an exponential schema `coef · (m/nc) · 2^(aδ + br + c)`.
+//!
+//! The schema is also *executable*: [`CollSchema::expand_node`]
+//! enumerates the exact per-round sends and receives of any node at a
+//! concrete `d`, independently of the plan generators in this crate —
+//! same guard algebra, separate code path driven by the declarative
+//! shape. `cubemm-analyze` diffs that expansion message-for-message
+//! against the compiled plans and against traced real runs; the
+//! polynomial claims are then the bridge from "correct at sampled d"
+//! to "correct for all d" (see DESIGN.md §15).
+
+use cubemm_simnet::PortModel;
+
+use crate::{chunk_bounds, round_tag};
+
+/// The seven collective kinds of the paper's Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CollKind {
+    /// One-to-all broadcast (spanning binomial tree, root down).
+    Bcast,
+    /// One-to-all personalized (scatter: SBT down, personalized).
+    Scatter,
+    /// All-to-one personalized (gather: SBT up).
+    Gather,
+    /// All-to-one reduction (SBT up, accumulating).
+    Reduce,
+    /// All-to-all broadcast (recursive doubling).
+    Allgather,
+    /// All-to-all reduction (recursive halving).
+    ReduceScatter,
+    /// All-to-all personalized (dimension exchange).
+    Alltoall,
+}
+
+impl CollKind {
+    /// Every kind, for exhaustive sweeps.
+    pub const ALL: [CollKind; 7] = [
+        CollKind::Bcast,
+        CollKind::Scatter,
+        CollKind::Gather,
+        CollKind::Reduce,
+        CollKind::Allgather,
+        CollKind::ReduceScatter,
+        CollKind::Alltoall,
+    ];
+
+    /// Short display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CollKind::Bcast => "bcast",
+            CollKind::Scatter => "scatter",
+            CollKind::Gather => "gather",
+            CollKind::Reduce => "reduce",
+            CollKind::Allgather => "allgather",
+            CollKind::ReduceScatter => "reduce-scatter",
+            CollKind::Alltoall => "alltoall",
+        }
+    }
+
+    /// Does copy `c` peel dimensions in reverse rotated order
+    /// (`o_r = (c + δ − 1 − r) mod δ`, the "up" trees) rather than
+    /// forward (`o_r = (c + r) mod δ`)?
+    pub fn reverse_order(&self) -> bool {
+        matches!(
+            self,
+            CollKind::Gather | CollKind::Reduce | CollKind::ReduceScatter
+        )
+    }
+}
+
+/// Per-round send volume as an exponential schema: round `r` of copy
+/// `c` moves `coef · 2^(pow2_delta·δ + pow2_r·r + pow2_const)` packets
+/// of `chunk(m, nc, c)` words each (the copy's slice of the `m`-word
+/// unit). The reference schemas all have `coef = 1`; the field exists
+/// so tests can state a *wrong* claim and watch the certifier reject
+/// it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VolSchema {
+    /// Rational coefficient `num/den` on the packet count.
+    pub coef: (i64, i64),
+    /// Coefficient of `δ` in the packet-count exponent.
+    pub pow2_delta: i32,
+    /// Coefficient of the round index `r` in the exponent.
+    pub pow2_r: i32,
+    /// Constant part of the exponent.
+    pub pow2_const: i32,
+}
+
+impl VolSchema {
+    /// Constant one packet per round.
+    pub const ONE: VolSchema = VolSchema {
+        coef: (1, 1),
+        pow2_delta: 0,
+        pow2_r: 0,
+        pow2_const: 0,
+    };
+
+    /// The exact packet count this schema claims for round `r` of a
+    /// `δ`-dimensional run, or `None` if the claim is not an integer
+    /// (possible only for skewed test schemas).
+    pub fn packets(&self, delta: u32, r: u32) -> Option<u64> {
+        let e = i64::from(self.pow2_delta) * i64::from(delta)
+            + i64::from(self.pow2_r) * i64::from(r)
+            + i64::from(self.pow2_const);
+        if !(0..63).contains(&e) {
+            return None;
+        }
+        let count = self.coef.0.checked_mul(1i64 << e)?;
+        if self.coef.1 == 0 || count % self.coef.1 != 0 || count < 0 {
+            return None;
+        }
+        Some((count / self.coef.1) as u64)
+    }
+}
+
+/// One send or receive of a schema expansion, in *relative rank* space
+/// (`v = rank ⊕ root`): the caller maps `v` back through the subcube.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireSpec {
+    /// Peer, as a relative rank.
+    pub peer_v: usize,
+    /// Message tag (`round_tag` of the base tag, round, and copy).
+    pub tag: u64,
+    /// Exact message length in words.
+    pub words: usize,
+}
+
+/// One round of a node's expansion: the sends it issues, then the
+/// receives it posts — the same intra-round order the plan executor
+/// uses.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RoundSpec {
+    /// Sends issued this round, in copy order.
+    pub sends: Vec<WireSpec>,
+    /// Receives posted this round, in copy order.
+    pub recvs: Vec<WireSpec>,
+}
+
+/// A collective's declarative schedule schema. See the module docs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CollSchema {
+    /// Which collective this describes.
+    pub kind: CollKind,
+    /// Declared rounds per copy, as an offset from the structural `δ`
+    /// (`0` for every reference schema; e.g. `+1` states an off-by-one
+    /// round count for the checker to refute).
+    pub rounds_skew: i32,
+    /// Declared per-round send volume.
+    pub vol: VolSchema,
+}
+
+impl CollSchema {
+    /// The reference schema of `kind` — the claims Table 1 makes.
+    pub fn reference(kind: CollKind) -> CollSchema {
+        let vol = match kind {
+            CollKind::Bcast | CollKind::Reduce => VolSchema::ONE,
+            // SBT-down personalized and recursive halving shrink as the
+            // tree descends: 2^(δ−1−r) packets.
+            CollKind::Scatter | CollKind::ReduceScatter => VolSchema {
+                coef: (1, 1),
+                pow2_delta: 1,
+                pow2_r: -1,
+                pow2_const: -1,
+            },
+            // SBT-up personalized and recursive doubling grow with the
+            // round: 2^r packets.
+            CollKind::Gather | CollKind::Allgather => VolSchema {
+                coef: (1, 1),
+                pow2_delta: 0,
+                pow2_r: 1,
+                pow2_const: 0,
+            },
+            // Dimension exchange always moves half the address space.
+            CollKind::Alltoall => VolSchema {
+                coef: (1, 1),
+                pow2_delta: 1,
+                pow2_r: 0,
+                pow2_const: -1,
+            },
+        };
+        CollSchema {
+            kind,
+            rounds_skew: 0,
+            vol,
+        }
+    }
+
+    /// Copies under `port` on a `δ`-cube: one, or `δ` rotated
+    /// link-disjoint copies (multi-port).
+    pub fn ncopies(&self, port: PortModel, delta: u32) -> usize {
+        match port {
+            PortModel::OnePort => 1,
+            PortModel::MultiPort => (delta as usize).max(1),
+        }
+    }
+
+    /// Declared rounds per copy at dimension `δ`.
+    pub fn rounds(&self, delta: u32) -> usize {
+        (i64::from(delta) + i64::from(self.rounds_skew)).max(0) as usize
+    }
+
+    /// Expands this schema for the node with relative rank `v` on a
+    /// `δ`-cube: the exact sends and receives of every round, with
+    /// peers in relative-rank space and exact chunked lengths. `m` is
+    /// the Table 1 unit (full message for the broadcast/reduce shapes,
+    /// per-part length for the personalized ones) and `base` the tag
+    /// base.
+    pub fn expand_node(
+        &self,
+        port: PortModel,
+        delta: u32,
+        m: usize,
+        base: u64,
+        v: usize,
+    ) -> Vec<RoundSpec> {
+        let d = delta as usize;
+        let nc = self.ncopies(port, delta);
+        let chunklen = |c: usize| {
+            let (lo, hi) = chunk_bounds(m, nc, c);
+            hi - lo
+        };
+        let rounds = self.rounds(delta);
+        let mut out: Vec<RoundSpec> = vec![RoundSpec::default(); rounds];
+        if d == 0 {
+            return out;
+        }
+        for (r, round) in out.iter_mut().enumerate() {
+            for c in 0..nc {
+                let tag = round_tag(base, r as u32, c as u32);
+                // Rotated dimension and processed mask for this round;
+                // rounds past the structural δ (skewed schemas only)
+                // saturate the mask and fall out of every guard.
+                let (dim, processed) = if self.kind.reverse_order() {
+                    let dim = (c + d - 1 - r % d) % d;
+                    let processed: usize =
+                        (0..r.min(d)).map(|i| 1usize << ((c + d - 1 - i) % d)).sum();
+                    (dim, processed)
+                } else {
+                    let dim = (c + r) % d;
+                    let processed: usize = (0..r.min(d)).map(|i| 1usize << ((c + i) % d)).sum();
+                    (dim, processed)
+                };
+                if r >= d {
+                    continue; // skewed extra rounds are structurally empty
+                }
+                let bit = 1usize << dim;
+                let spec = |peer_v: usize, words: usize| WireSpec { peer_v, tag, words };
+                match self.kind {
+                    CollKind::Bcast => {
+                        if v & !processed == 0 {
+                            round.sends.push(spec(v | bit, chunklen(c)));
+                        } else if v & !(processed | bit) == 0 && v & bit != 0 {
+                            round.recvs.push(spec(v ^ bit, chunklen(c)));
+                        }
+                    }
+                    CollKind::Scatter => {
+                        // Holders forward the subtree hanging off the
+                        // peeled dimension: 2^(δ−1−r) parts.
+                        let parts = 1usize << (d - 1 - r);
+                        if v & !processed == 0 {
+                            round.sends.push(spec(v | bit, parts * chunklen(c)));
+                        } else if v & !(processed | bit) == 0 && v & bit != 0 {
+                            round.recvs.push(spec(v ^ bit, parts * chunklen(c)));
+                        }
+                    }
+                    CollKind::Gather | CollKind::Reduce => {
+                        // SBT up: leaves of the current frontier push
+                        // toward the root; gather carries the 2^r-part
+                        // subtree, reduce one accumulated packet.
+                        let parts = match self.kind {
+                            CollKind::Gather => 1usize << r,
+                            _ => 1,
+                        };
+                        if v & processed == 0 && v & bit != 0 {
+                            round.sends.push(spec(v ^ bit, parts * chunklen(c)));
+                        } else if v & (processed | bit) == 0 {
+                            round.recvs.push(spec(v | bit, parts * chunklen(c)));
+                        }
+                    }
+                    CollKind::Allgather => {
+                        // Recursive doubling: everyone swaps its 2^r
+                        // accumulated parts across the peeled dimension.
+                        let parts = 1usize << r;
+                        round.sends.push(spec(v ^ bit, parts * chunklen(c)));
+                        round.recvs.push(spec(v ^ bit, parts * chunklen(c)));
+                    }
+                    CollKind::ReduceScatter => {
+                        // Recursive halving: the alive half-lattice
+                        // splits; each side ships the parts whose
+                        // destination lies on the other side.
+                        let parts = 1usize << (d - 1 - r);
+                        round.sends.push(spec(v ^ bit, parts * chunklen(c)));
+                        round.recvs.push(spec(v ^ bit, parts * chunklen(c)));
+                    }
+                    CollKind::Alltoall => {
+                        // Dimension exchange: half the (dest, origin)
+                        // address space crosses the peeled dimension.
+                        let parts = 1usize << (d - 1);
+                        round.sends.push(spec(v ^ bit, parts * chunklen(c)));
+                        round.recvs.push(spec(v ^ bit, parts * chunklen(c)));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// The rotated dimensions `{o_r(c) : c < ncopies}` used by round
+    /// `r` at dimension `δ` — the link-disjointness certificate checks
+    /// these are pairwise distinct for every `r < δ`, which holds for
+    /// all `δ` by the residue argument (see `cubemm-analyze`).
+    pub fn round_dims(&self, delta: u32, port: PortModel, r: u32) -> Vec<u32> {
+        let d = delta.max(1);
+        let nc = self.ncopies(port, delta) as u32;
+        (0..nc)
+            .map(|c| {
+                if self.kind.reverse_order() {
+                    (c + d - 1 - r % d) % d
+                } else {
+                    (c + r) % d
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_packet_counts() {
+        let s = CollSchema::reference(CollKind::Scatter);
+        // δ = 4: rounds carry 8, 4, 2, 1 packets.
+        let got: Vec<u64> = (0..4).map(|r| s.vol.packets(4, r).unwrap()).collect();
+        assert_eq!(got, vec![8, 4, 2, 1]);
+        let g = CollSchema::reference(CollKind::Gather);
+        let got: Vec<u64> = (0..4).map(|r| g.vol.packets(4, r).unwrap()).collect();
+        assert_eq!(got, vec![1, 2, 4, 8]);
+        let a = CollSchema::reference(CollKind::Alltoall);
+        assert_eq!(a.vol.packets(4, 2), Some(8));
+    }
+
+    #[test]
+    fn bcast_expansion_shape() {
+        // d = 3, one-port, root-relative: node 0 sends every round;
+        // node 7 receives only in the last round.
+        let s = CollSchema::reference(CollKind::Bcast);
+        let rounds0 = s.expand_node(PortModel::OnePort, 3, 10, 0, 0);
+        assert_eq!(rounds0.len(), 3);
+        assert!(rounds0.iter().all(|r| r.sends.len() == 1));
+        let rounds7 = s.expand_node(PortModel::OnePort, 3, 10, 0, 7);
+        assert_eq!(rounds7[0].sends.len() + rounds7[0].recvs.len(), 0);
+        assert_eq!(rounds7[2].recvs.len(), 1);
+        assert_eq!(rounds7[2].recvs[0].peer_v, 3);
+    }
+
+    #[test]
+    fn multi_port_round_dims_are_distinct() {
+        for kind in CollKind::ALL {
+            let s = CollSchema::reference(kind);
+            for delta in 1..=8u32 {
+                for r in 0..delta {
+                    let mut dims = s.round_dims(delta, PortModel::MultiPort, r);
+                    dims.sort_unstable();
+                    dims.dedup();
+                    assert_eq!(dims.len(), delta as usize, "{kind:?} δ={delta} r={r}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn skewed_schema_adds_empty_rounds() {
+        let mut s = CollSchema::reference(CollKind::Bcast);
+        s.rounds_skew = 1;
+        let rounds = s.expand_node(PortModel::OnePort, 3, 10, 0, 0);
+        assert_eq!(rounds.len(), 4);
+        assert!(rounds[3].sends.is_empty() && rounds[3].recvs.is_empty());
+    }
+}

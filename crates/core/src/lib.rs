@@ -66,6 +66,7 @@ pub mod error;
 pub mod fox;
 pub mod hje;
 pub mod registry;
+pub mod schema;
 pub mod simple;
 pub(crate) mod util;
 
@@ -73,6 +74,7 @@ pub use abft::{AbftOutcome, AbftResult};
 pub use config::{MachineConfig, MachineConfigBuilder, RunResult};
 pub use error::AlgoError;
 pub use registry::{AlgoDescriptor, AlgoGroup, Algorithm};
+pub use schema::{AlgoSchema, CollPhase, Phase, SchemaForm};
 
 /// One-line import for the common driver surface:
 ///

@@ -75,6 +75,10 @@ pub struct AlgoDescriptor {
     pub group: AlgoGroup,
     /// Whether the paper's §5 analysis (Figures 13/14) compares it.
     pub compared: bool,
+    /// Constructor of the phase-level symbolic schema certified by
+    /// `cubemm-analyze`'s parametric pass (every row must have one —
+    /// enforced by the registry-coverage lint).
+    pub schema: fn() -> crate::schema::AlgoSchema,
 }
 
 /// Applicability wrapper for the supernode combinations, whose natural
@@ -113,6 +117,7 @@ pub const DESCRIPTORS: [AlgoDescriptor; 14] = [
         multiply: crate::simple::multiply,
         group: AlgoGroup::Paper,
         compared: false,
+        schema: || crate::schema::schema(Algorithm::Simple),
     },
     AlgoDescriptor {
         algo: Algorithm::Cannon,
@@ -121,6 +126,7 @@ pub const DESCRIPTORS: [AlgoDescriptor; 14] = [
         multiply: crate::cannon::multiply,
         group: AlgoGroup::Paper,
         compared: true,
+        schema: || crate::schema::schema(Algorithm::Cannon),
     },
     AlgoDescriptor {
         algo: Algorithm::Hje,
@@ -129,6 +135,7 @@ pub const DESCRIPTORS: [AlgoDescriptor; 14] = [
         multiply: crate::hje::multiply,
         group: AlgoGroup::Paper,
         compared: true,
+        schema: || crate::schema::schema(Algorithm::Hje),
     },
     AlgoDescriptor {
         algo: Algorithm::Berntsen,
@@ -137,6 +144,7 @@ pub const DESCRIPTORS: [AlgoDescriptor; 14] = [
         multiply: crate::berntsen::multiply,
         group: AlgoGroup::Paper,
         compared: true,
+        schema: || crate::schema::schema(Algorithm::Berntsen),
     },
     AlgoDescriptor {
         algo: Algorithm::Dns,
@@ -145,6 +153,7 @@ pub const DESCRIPTORS: [AlgoDescriptor; 14] = [
         multiply: crate::dns::multiply,
         group: AlgoGroup::Paper,
         compared: false,
+        schema: || crate::schema::schema(Algorithm::Dns),
     },
     AlgoDescriptor {
         algo: Algorithm::Diag2d,
@@ -153,6 +162,7 @@ pub const DESCRIPTORS: [AlgoDescriptor; 14] = [
         multiply: crate::diag2d::multiply,
         group: AlgoGroup::Paper,
         compared: false,
+        schema: || crate::schema::schema(Algorithm::Diag2d),
     },
     AlgoDescriptor {
         algo: Algorithm::Diag3d,
@@ -161,6 +171,7 @@ pub const DESCRIPTORS: [AlgoDescriptor; 14] = [
         multiply: crate::diag3d::multiply,
         group: AlgoGroup::Paper,
         compared: true,
+        schema: || crate::schema::schema(Algorithm::Diag3d),
     },
     AlgoDescriptor {
         algo: Algorithm::AllTrans3d,
@@ -169,6 +180,7 @@ pub const DESCRIPTORS: [AlgoDescriptor; 14] = [
         multiply: crate::all_trans3d::multiply,
         group: AlgoGroup::Paper,
         compared: false,
+        schema: || crate::schema::schema(Algorithm::AllTrans3d),
     },
     AlgoDescriptor {
         algo: Algorithm::All3d,
@@ -177,6 +189,7 @@ pub const DESCRIPTORS: [AlgoDescriptor; 14] = [
         multiply: crate::all3d::multiply,
         group: AlgoGroup::Paper,
         compared: true,
+        schema: || crate::schema::schema(Algorithm::All3d),
     },
     AlgoDescriptor {
         algo: Algorithm::DnsCannon,
@@ -185,6 +198,7 @@ pub const DESCRIPTORS: [AlgoDescriptor; 14] = [
         multiply: crate::dns_cannon::multiply,
         group: AlgoGroup::Extension,
         compared: false,
+        schema: || crate::schema::schema(Algorithm::DnsCannon),
     },
     AlgoDescriptor {
         algo: Algorithm::All3dCannon,
@@ -193,6 +207,7 @@ pub const DESCRIPTORS: [AlgoDescriptor; 14] = [
         multiply: crate::all3d_cannon::multiply,
         group: AlgoGroup::Extension,
         compared: false,
+        schema: || crate::schema::schema(Algorithm::All3dCannon),
     },
     AlgoDescriptor {
         algo: Algorithm::All3dFlat,
@@ -201,6 +216,7 @@ pub const DESCRIPTORS: [AlgoDescriptor; 14] = [
         multiply: crate::all3d_flat::multiply,
         group: AlgoGroup::Extension,
         compared: false,
+        schema: || crate::schema::schema(Algorithm::All3dFlat),
     },
     AlgoDescriptor {
         algo: Algorithm::CannonTorus,
@@ -209,6 +225,7 @@ pub const DESCRIPTORS: [AlgoDescriptor; 14] = [
         multiply: crate::cannon_torus::multiply,
         group: AlgoGroup::Extension,
         compared: false,
+        schema: || crate::schema::schema(Algorithm::CannonTorus),
     },
     AlgoDescriptor {
         algo: Algorithm::Fox,
@@ -217,6 +234,7 @@ pub const DESCRIPTORS: [AlgoDescriptor; 14] = [
         multiply: crate::fox::multiply,
         group: AlgoGroup::Extension,
         compared: false,
+        schema: || crate::schema::schema(Algorithm::Fox),
     },
 ];
 

@@ -198,6 +198,7 @@ fn execute_abft(
                     req,
                     JobStatus::Ok {
                         algo: algo.name(),
+                        engine: cfg.engine,
                         elapsed: res.stats.elapsed,
                         backoff: report.backoff_spent,
                         attempts: report.attempts,
@@ -261,6 +262,7 @@ fn execute_plain(
                     req,
                     JobStatus::Ok {
                         algo: algo.name(),
+                        engine: cfg.engine,
                         elapsed: res.stats.elapsed,
                         backoff: 0.0,
                         attempts: 1,
@@ -307,6 +309,29 @@ mod tests {
             }
             ref other => panic!("expected ok, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn responses_echo_the_engine_that_ran_the_job() {
+        use cubemm_simnet::Engine;
+        let engine_of = |line: &str| match execute(&req(line)).response.status {
+            JobStatus::Ok { engine, .. } => engine,
+            ref other => panic!("expected ok, got {other:?}"),
+        };
+        assert_eq!(
+            engine_of(r#"{"id":"d","n":24,"p":16,"algo":"cannon"}"#),
+            Engine::Event,
+            "default engine must be reported from the machine"
+        );
+        assert_eq!(
+            engine_of(r#"{"id":"t","n":24,"p":16,"algo":"cannon","engine":"threaded"}"#),
+            Engine::Threaded
+        );
+        assert_eq!(
+            engine_of(r#"{"id":"p","n":24,"p":16,"algo":"cannon","abft":false}"#),
+            Engine::Event,
+            "plain (non-ABFT) path must echo the engine too"
+        );
     }
 
     #[test]

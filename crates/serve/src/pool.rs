@@ -493,8 +493,10 @@ mod tests {
             ..ServeConfig::default()
         });
         let (responder, seen) = collector();
+        // Node-budget admission is a per-OS-thread bound, so only the
+        // threaded engine can exceed it.
         assert!(!pool.submit(
-            req(r#"{"id":"big","n":128,"p":128,"algo":"cannon"}"#),
+            req(r#"{"id":"big","n":128,"p":128,"algo":"cannon","engine":"threaded"}"#),
             Arc::clone(&responder)
         ));
         let stats = pool.drain();
@@ -718,13 +720,14 @@ mod tests {
         });
         let (responder, seen) = collector();
         // A threaded 256-node machine can never fit 64 threads; the
-        // same job under the event engine weighs one thread and runs.
+        // same job under the (default) event engine weighs one thread
+        // and runs.
         assert!(!pool.submit(
-            req(r#"{"id":"th","n":32,"p":256,"algo":"cannon","abft":false}"#),
+            req(r#"{"id":"th","n":32,"p":256,"algo":"cannon","abft":false,"engine":"threaded"}"#),
             Arc::clone(&responder)
         ));
         assert!(pool.submit(
-            req(r#"{"id":"ev","n":32,"p":256,"algo":"cannon","abft":false,"engine":"event"}"#),
+            req(r#"{"id":"ev","n":32,"p":256,"algo":"cannon","abft":false}"#),
             Arc::clone(&responder)
         ));
         let stats = pool.drain();

@@ -49,7 +49,7 @@ pub struct JobRequest {
     pub kernel: Kernel,
     /// `"one"` (default) or `"multi"` port model.
     pub port: PortModel,
-    /// `"threaded"` (default) or `"event"` execution engine. Results
+    /// `"event"` (default) or `"threaded"` execution engine. Results
     /// are bitwise identical; `event` jobs cost one pool thread
     /// regardless of `p`, so they admit machines far beyond the node
     /// budget.
@@ -84,6 +84,11 @@ pub enum JobStatus {
     Ok {
         /// The algorithm that ran (resolved, if the request said auto).
         algo: &'static str,
+        /// The execution engine of the machine that actually ran the
+        /// job — read back from the run's machine configuration, not
+        /// echoed from the request, so a client can audit which engine
+        /// produced the answer.
+        engine: Engine,
         /// Virtual communication time of the final attempt.
         elapsed: f64,
         /// Total virtual backoff charged by recovery retries.
@@ -164,6 +169,7 @@ impl JobResponse {
         match &self.status {
             JobStatus::Ok {
                 algo,
+                engine,
                 elapsed,
                 backoff,
                 attempts,
@@ -171,6 +177,7 @@ impl JobResponse {
                 fingerprint,
             } => {
                 fields.push(("algo".into(), Json::Str((*algo).into())));
+                fields.push(("engine".into(), Json::Str(engine.to_string())));
                 fields.push(("elapsed".into(), Json::Num(*elapsed)));
                 fields.push(("backoff".into(), Json::Num(*backoff)));
                 fields.push(("attempts".into(), Json::Num(*attempts as f64)));
@@ -389,7 +396,7 @@ mod tests {
         assert_eq!(req.algo, AlgoChoice::Auto);
         assert_eq!(req.kernel, Kernel::default());
         assert_eq!(req.port, PortModel::OnePort);
-        assert_eq!(req.engine, Engine::Threaded);
+        assert_eq!(req.engine, Engine::Event);
         assert_eq!((req.ts, req.tw), (150.0, 3.0));
         assert_eq!(req.seed, 1);
         assert!(req.abft);
@@ -447,6 +454,7 @@ mod tests {
             id: "a".into(),
             status: JobStatus::Ok {
                 algo: "cannon",
+                engine: Engine::Event,
                 elapsed: 1234.5,
                 backoff: 16.0,
                 attempts: 2,
@@ -458,6 +466,7 @@ mod tests {
         assert!(!line.contains('\n'));
         let doc = cubemm_simnet::json::parse(&line).expect("valid JSON");
         assert_eq!(doc.get("status").and_then(Json::as_str), Some("ok"));
+        assert_eq!(doc.get("engine").and_then(Json::as_str), Some("event"));
         assert_eq!(doc.get("attempts").and_then(Json::as_index), Some(2));
         let over = JobResponse {
             id: "b".into(),

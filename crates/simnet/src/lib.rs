@@ -81,12 +81,13 @@
 //! [`Proc`] (see the `machine` module docs for the resumable-step
 //! contract). Two engines drive the same programs:
 //!
-//! * [`Engine::Threaded`] (default): one OS thread per node, blocking
+//! * [`Engine::Event`] (default): a single-threaded discrete-event
+//!   executor resumes suspended node continuations in virtual-clock
+//!   order, removing the OS-thread cap — `p = 4096–65536` sweeps run on
+//!   a laptop core.
+//! * [`Engine::Threaded`] (opt-in): one OS thread per node, blocking
 //!   primitives park on per-node condvars. Real host concurrency, but
 //!   `p` is capped by the OS thread limit.
-//! * [`Engine::Event`]: a single-threaded discrete-event executor
-//!   resumes suspended node continuations in virtual-clock order,
-//!   removing the cap — `p = 4096–65536` sweeps run on a laptop core.
 //!
 //! Either way, scheduling decisions come from a central **progress
 //! ledger** (see `ledger.rs` and DESIGN.md §11/§14): per-node mailboxes

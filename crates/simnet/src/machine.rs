@@ -51,12 +51,16 @@ use crate::{ChargePolicy, CostParams, LinkTopology, PortModel, Proc};
 /// exercises real concurrency; `Event` runs any `p` on one thread.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Engine {
-    /// One OS thread per virtual node (the PR 4 engine; default).
-    #[default]
+    /// One OS thread per virtual node (the PR 4 engine). Opt-in via
+    /// `--engine threaded` / [`MachineBuilder::engine`]; still valuable
+    /// because it exercises real concurrency against the ledger.
     Threaded,
     /// Single-threaded discrete-event execution ordered by virtual
     /// clock: node programs suspend at blocking primitives and resume
-    /// from a work queue. Required for `p` beyond a few hundred.
+    /// from a work queue. The default — identical results to
+    /// `Threaded`, and the only engine that scales past a few hundred
+    /// nodes.
+    #[default]
     Event,
 }
 
@@ -102,13 +106,14 @@ pub struct MachineOptions {
     /// Deterministic fault injection (empty — a healthy machine — by
     /// default; an empty plan changes no clock arithmetic).
     pub faults: FaultPlan,
-    /// Execution engine (threaded by default; results are identical).
+    /// Execution engine (event-driven by default; results are
+    /// identical either way).
     pub engine: Engine,
 }
 
 impl MachineOptions {
     /// The paper's machine: given port model and costs, sender-charged,
-    /// full hypercube, untraced, fault-free, threaded engine.
+    /// full hypercube, untraced, fault-free, event engine.
     pub fn paper(port: PortModel, cost: CostParams) -> Self {
         MachineOptions {
             port,
@@ -117,7 +122,7 @@ impl MachineOptions {
             links: LinkTopology::Hypercube,
             traced: false,
             faults: FaultPlan::new(),
-            engine: Engine::Threaded,
+            engine: Engine::Event,
         }
     }
 }
@@ -385,7 +390,7 @@ impl MachineBuilder {
         self
     }
 
-    /// Execution engine (default [`Engine::Threaded`]; results are
+    /// Execution engine (default [`Engine::Event`]; results are
     /// identical either way — see [`Engine`]).
     pub fn engine(mut self, engine: Engine) -> Self {
         self.options.engine = engine;
@@ -1118,7 +1123,7 @@ mod tests {
         assert!("both".parse::<Engine>().is_err());
         assert_eq!(Engine::Threaded.to_string(), "threaded");
         assert_eq!(Engine::Event.to_string(), "event");
-        assert_eq!(Engine::default(), Engine::Threaded);
+        assert_eq!(Engine::default(), Engine::Event);
     }
 
     #[test]
