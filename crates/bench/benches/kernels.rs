@@ -2,28 +2,40 @@
 //! kernel choice is orthogonal to the communication comparison; these
 //! host-time numbers back that claim by showing all kernels are within a
 //! small constant factor at block sizes the algorithms actually use).
+//!
+//! The packed rows are split per microkernel implementation (forced
+//! scalar vs. the host's SIMD dispatch) so the ablation also records
+//! what the lane width is worth at simulator block sizes.
 
 use cubemm_bench::microbench::{black_box, BenchmarkId, Criterion};
 use cubemm_bench::{criterion_group, criterion_main};
-use cubemm_dense::gemm::{gemm_acc, Kernel};
+use cubemm_dense::gemm::{gemm_acc_with_microkernel, Kernel};
+use cubemm_dense::microkernel::MicrokernelImpl;
 use cubemm_dense::Matrix;
 
 fn bench_kernels(c: &mut Criterion) {
+    let scalar = MicrokernelImpl::Scalar;
+    let active = MicrokernelImpl::active();
+    let mut specs = vec![
+        ("naive", Kernel::Naive, scalar),
+        ("ikj", Kernel::Ikj, scalar),
+        ("blocked32", Kernel::Blocked(32), scalar),
+        ("packed-scalar", Kernel::packed(), scalar),
+        ("packed-scalar2t", Kernel::packed_mt(2), scalar),
+    ];
+    if active != scalar {
+        specs.push(("packed-simd", Kernel::packed(), active));
+        specs.push(("packed-simd2t", Kernel::packed_mt(2), active));
+    }
     let mut group = c.benchmark_group("local_gemm");
     for n in [32usize, 64, 128] {
         let a = Matrix::random(n, n, 1);
         let b = Matrix::random(n, n, 2);
-        for (name, kernel) in [
-            ("naive", Kernel::Naive),
-            ("ikj", Kernel::Ikj),
-            ("blocked32", Kernel::Blocked(32)),
-            ("packed", Kernel::packed()),
-            ("packed2t", Kernel::packed_mt(2)),
-        ] {
+        for &(name, kernel, mk) in &specs {
             group.bench_with_input(BenchmarkId::new(name, n), &n, |bench, _| {
                 bench.iter(|| {
                     let mut out = Matrix::zeros(n, n);
-                    gemm_acc(&mut out, black_box(&a), black_box(&b), kernel);
+                    gemm_acc_with_microkernel(&mut out, black_box(&a), black_box(&b), kernel, mk);
                     out
                 })
             });

@@ -56,6 +56,17 @@ USAGE:
                                  requests on stdin (or a Unix socket),
                                  one typed JSON response per job; see
                                  DESIGN.md §13 for the protocol
+  cubemm tune-kernel [--n 512] [--reps 3] [--threads 1] [--full]
+                     [--out FILE] [--dry-run]
+                                 sweep the packed kernel's mc/kc/nc blocking
+                                 grid (pruned against this host's detected
+                                 cache sizes) on an n×n×n product and write
+                                 the winner to FILE (default
+                                 $CUBEMM_TUNE_FILE or ./cubemm-tune.json);
+                                 untuned packed runs load it automatically
+                                 when its microkernel matches. --full widens
+                                 the grid ~4x; --dry-run prints the table
+                                 without writing
   cubemm help                    this text
 
 Defaults: n=64, p=64, port=one, ts=150, tw=3, charge=sender (the paper's
@@ -984,6 +995,84 @@ pub fn serve(argv: &[String]) -> i32 {
     }
 }
 
+/// `cubemm tune-kernel` — sweep the packed kernel's mc/kc/nc blocking
+/// grid on this host and persist the winner so untuned
+/// `Kernel::Packed` runs pick it up (see `cubemm_dense::tune`).
+pub fn tune_kernel(argv: &[String]) -> i32 {
+    use cubemm_dense::microkernel::MicrokernelImpl;
+    use cubemm_dense::tune;
+
+    let args = match Args::parse_with_bools(argv, &["full", "dry-run"]) {
+        Ok(a) => a,
+        Err(e) => return fail(&e),
+    };
+    let n: usize = match args.get_or("n", 512) {
+        Ok(v) => v,
+        Err(e) => return fail(&e),
+    };
+    let reps: usize = match args.get_or("reps", 3) {
+        Ok(v) => v,
+        Err(e) => return fail(&e),
+    };
+    let threads: usize = match args.get_or("threads", 1) {
+        Ok(v) => v,
+        Err(e) => return fail(&e),
+    };
+    if n == 0 || reps == 0 {
+        return fail("--n and --reps must be at least 1");
+    }
+    let out = args
+        .raw("out")
+        .map(str::to_string)
+        .or_else(|| {
+            std::env::var(tune::TUNE_FILE_ENV)
+                .ok()
+                .filter(|p| !p.is_empty())
+        })
+        .unwrap_or_else(|| tune::DEFAULT_TUNE_FILE.to_string());
+    let mk = MicrokernelImpl::active();
+    let cache = tune::detect_caches();
+    eprintln!(
+        "tune-kernel: microkernel {} — L1d {} KiB, L2 {} KiB — sweeping n={n} reps={reps} threads={threads}",
+        mk.name(),
+        cache.l1d / 1024,
+        cache.l2 / 1024,
+    );
+    let (best, entries) = tune::tune(mk, n, reps, threads, args.has("full"));
+    println!("{:>5} {:>5} {:>5} {:>9}", "mc", "kc", "nc", "GFLOPS");
+    for e in &entries {
+        println!(
+            "{:>5} {:>5} {:>5} {:>9.3}",
+            e.blocking.mc, e.blocking.kc, e.blocking.nc, e.gflops
+        );
+    }
+    eprintln!(
+        "tune-kernel: winner mc={} kc={} nc={} at {:.3} GFLOPS{}",
+        best.mc,
+        best.kc,
+        best.nc,
+        best.gflops,
+        if best.kc != cubemm_dense::gemm::DEFAULT_KC {
+            " (kc differs from the untuned default — tuned runs will not be \
+             bitwise comparable to untuned hosts; pin kc explicitly if you \
+             need that)"
+        } else {
+            ""
+        },
+    );
+    if args.has("dry-run") {
+        eprintln!("tune-kernel: --dry-run, not writing {out}");
+        return 0;
+    }
+    match best.save(std::path::Path::new(&out)) {
+        Ok(()) => {
+            eprintln!("tune-kernel: wrote {out} (picked up by the next untuned packed run)");
+            0
+        }
+        Err(e) => fail(&format!("writing {out}: {e}")),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -996,6 +1085,15 @@ mod tests {
     fn list_runs_clean() {
         assert_eq!(list(&argv("64 64")), 0);
         assert_eq!(list(&argv("")), 0);
+    }
+
+    #[test]
+    fn tune_kernel_dry_run_and_bad_args() {
+        // Tiny n: pins the plumbing (sweep, table, flag parsing), not perf.
+        assert_eq!(tune_kernel(&argv("--n 48 --reps 1 --dry-run")), 0);
+        assert_ne!(tune_kernel(&argv("--n 0 --dry-run")), 0);
+        assert_ne!(tune_kernel(&argv("--reps 0 --dry-run")), 0);
+        assert_ne!(tune_kernel(&argv("--n nope")), 0);
     }
 
     #[test]

@@ -12,6 +12,10 @@
 //! cubemm serve [--workers N] [--queue N] [--node-budget N] [--socket PATH]
 //!                                          long-lived JSON-lines multiply
 //!                                          service with admission control
+//! cubemm tune-kernel [--n N] [--reps R] [--threads T] [--full]
+//!                    [--out FILE] [--dry-run]
+//!                                          sweep packed-GEMM blocking
+//!                                          params, persist the winner
 //! ```
 
 mod args;
@@ -26,6 +30,7 @@ fn main() {
         Some("regions") => commands::regions(&argv[1..]),
         Some("analyze") => commands::analyze(&argv[1..]),
         Some("serve") => commands::serve(&argv[1..]),
+        Some("tune-kernel") => commands::tune_kernel(&argv[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
             print!("{}", commands::USAGE);
             0

@@ -28,6 +28,14 @@
 //! the product, so the checksum identities are undisturbed and the
 //! top-left `n × n` block of the augmented product is exactly `C`
 //! ([`strip`] recovers it).
+//!
+//! The augmented multiply itself is an ordinary [`crate::gemm`] call,
+//! so it rides whatever microkernel the host dispatches to — and the
+//! packed kernel's determinism contract (bitwise-identical products
+//! across thread counts and across the SIMD/scalar microkernels, see
+//! `gemm.rs`) extends to the residual checks: an ABFT verdict never
+//! depends on which CPU or thread count computed the frame
+//! (pinned by `tests/determinism.rs`).
 
 use crate::Matrix;
 

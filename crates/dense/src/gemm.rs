@@ -7,21 +7,48 @@
 //! (c) — since the simulator's wall-clock really computes every block —
 //! to make end-to-end runs as fast as the host allows. The fast path is
 //! [`Kernel::Packed`]: a cache-blocked GEMM with panel packing
-//! ([`crate::pack`]), a 4×8 register-tiled microkernel
-//! ([`crate::microkernel`]), and an optional in-tree thread pool
-//! ([`crate::pool`]) over the column-panel macro-loop.
+//! ([`crate::pack`]), a runtime-dispatched register-tiled microkernel
+//! ([`crate::microkernel`] — AVX2+FMA `6×8` where the host has it,
+//! portable `4×8` otherwise), blocking parameters resolved through the
+//! tuning layer ([`crate::tune`]), and 2-D tiled parallelism over the
+//! in-tree work-stealing pool ([`crate::pool`]).
+//!
+//! # Determinism contract
+//!
+//! The packed product is **bitwise identical across thread counts**:
+//! every `C` element is accumulated by exactly one compute job, as one
+//! FMA chain per `kc` block in ascending `k`, and `kc` blocks are
+//! barrier-ordered — the schedule decides *who* computes a tile, never
+//! *what* is computed. It is also bitwise identical across the
+//! SIMD/scalar microkernels for a fixed `kc` split (both are
+//! correctly-rounded FMA; see `microkernel.rs`). Changing `kc` changes
+//! where the per-block accumulator is folded into `C` and therefore the
+//! rounding — so reproducible deployments pin `kc` (or rely on the
+//! shared untuned default). See DESIGN.md §9.
 
-use crate::microkernel::{microkernel, MR, NR};
-use crate::pack::{pack_a, pack_b, packed_a_len, packed_b_len};
+use crate::microkernel::MicrokernelImpl;
+use crate::pack::{pack_a, pack_a_panel, pack_b, pack_b_panel, packed_a_len, packed_b_len};
 use crate::pool::{take_scratch, ThreadPool};
+use crate::tune::{self, Blocking};
 use crate::Matrix;
 
-/// Default cache-block height of `A` (`mc` rows per packed A block).
+/// Untuned cache-block height of `A` for the scalar microkernel
+/// (`mc` rows per packed A block). Tuned hosts override via
+/// `cubemm tune-kernel` (see [`crate::tune`]).
 pub const DEFAULT_MC: usize = 64;
-/// Default shared-dimension depth (`kc` steps per packed panel pair).
+/// Untuned shared-dimension depth (`kc` steps per packed panel pair).
+/// Shared by every microkernel so untuned runs are bitwise comparable
+/// across hosts (`kc` is the one blocking parameter that affects bits).
 pub const DEFAULT_KC: usize = 256;
-/// Default cache-block width of `B`/`C` (`nc` columns per column panel).
+/// Untuned cache-block width of `B`/`C` for the scalar microkernel.
 pub const DEFAULT_NC: usize = 512;
+
+/// Products with at most this many `m·k·n` flops-elements run the packed
+/// path single-threaded even when more threads were requested: below
+/// roughly `256³` the pool's dispatch + barrier costs more than the
+/// parallelism recovers (BENCH_kernels.json showed 2 threads *losing*
+/// to 1 at `n = 128` under the old always-dispatch driver).
+pub const PAR_MIN_ELEMS: usize = 1 << 24;
 
 /// Which local kernel to use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -34,21 +61,23 @@ pub enum Kernel {
     Blocked(usize),
     /// Panel-packed, register-tiled GEMM (the fast path; the default).
     ///
-    /// `mc`/`kc`/`nc` are the cache-block sizes (`0` picks the tuned
-    /// defaults [`DEFAULT_MC`]/[`DEFAULT_KC`]/[`DEFAULT_NC`]); `threads`
-    /// is the macro-loop parallelism over column panels (`0` uses every
-    /// hardware thread, `1` stays sequential). The product is
-    /// bit-for-bit identical across `threads` values: each `C` element
-    /// is accumulated by exactly one panel job in a fixed `kc`-block
-    /// order.
+    /// `mc`/`kc`/`nc` are the cache-block sizes (`0` resolves through
+    /// the tuning layer: a host-tuned file written by
+    /// `cubemm tune-kernel` when present, per-microkernel static
+    /// defaults otherwise); `threads` caps the 2-D tile parallelism
+    /// (`0` uses every hardware thread, `1` stays sequential; products
+    /// at or below [`PAR_MIN_ELEMS`] run sequentially regardless). The
+    /// product is bit-for-bit identical across `threads` values: each
+    /// `C` element is accumulated by exactly one tile job in a fixed
+    /// `kc`-block order.
     Packed {
-        /// Rows of `A` per packed block (`0` = default).
+        /// Rows of `A` per packed block (`0` = tuned/default).
         mc: usize,
-        /// Depth of each packed panel pair (`0` = default).
+        /// Depth of each packed panel pair (`0` = tuned/default).
         kc: usize,
-        /// Columns of `B` per macro panel (`0` = default).
+        /// Columns of `B` per macro panel (`0` = tuned/default).
         nc: usize,
-        /// Worker threads for the macro-loop (`0` = all cores).
+        /// Worker threads for the tile loop (`0` = all cores).
         threads: usize,
     },
 }
@@ -90,9 +119,35 @@ impl Default for Kernel {
 /// # Panics
 /// Panics on dimension mismatch.
 pub fn gemm_acc(c: &mut Matrix, a: &Matrix, b: &Matrix, kernel: Kernel) {
+    gemm_acc_with_microkernel(c, a, b, kernel, MicrokernelImpl::active());
+}
+
+/// [`gemm_acc`] with an explicit microkernel implementation for the
+/// packed path (other kernels ignore it). This is how the forced-scalar
+/// determinism suite and the `packed-scalar`/`packed-simd` bench rows
+/// pin a specific impl; ordinary callers use [`gemm_acc`], which runs
+/// the host-detected best kernel.
+///
+/// # Panics
+/// Panics on dimension mismatch, and if an `Avx2` impl is passed on a
+/// host without AVX2+FMA.
+pub fn gemm_acc_with_microkernel(
+    c: &mut Matrix,
+    a: &Matrix,
+    b: &Matrix,
+    kernel: Kernel,
+    mk: MicrokernelImpl,
+) {
     assert_eq!(a.cols(), b.rows(), "inner dimension mismatch");
     assert_eq!(c.rows(), a.rows(), "C row mismatch");
     assert_eq!(c.cols(), b.cols(), "C col mismatch");
+    if mk == MicrokernelImpl::Avx2 {
+        assert_eq!(
+            MicrokernelImpl::detect(),
+            MicrokernelImpl::Avx2,
+            "AVX2 microkernel requested on a host without AVX2+FMA"
+        );
+    }
     match kernel {
         Kernel::Naive => naive(c, a, b),
         Kernel::Ikj => ikj(c, a, b),
@@ -102,7 +157,7 @@ pub fn gemm_acc(c: &mut Matrix, a: &Matrix, b: &Matrix, kernel: Kernel) {
             kc,
             nc,
             threads,
-        } => packed(c, a, b, mc, kc, nc, threads),
+        } => packed(c, a, b, mc, kc, nc, threads, mk),
     }
 }
 
@@ -176,86 +231,211 @@ fn blocked(c: &mut Matrix, a: &Matrix, b: &Matrix, tile: usize) {
     }
 }
 
-/// Shared `*mut f64` into `C` for the column-panel jobs. Each job's
-/// writes stay inside its own disjoint set of columns, so concurrent
-/// tile updates never touch the same element.
+/// Shared `*mut f64` for the tile/pack jobs. Each job's writes stay
+/// inside its own disjoint region (microtiles of `C`, or panels of a
+/// packing buffer), so concurrent jobs never touch the same element.
 #[derive(Clone, Copy)]
 struct SendPtr(*mut f64);
-// SAFETY: jobs write disjoint column ranges of `C` (asserted by the
-// driver's panel arithmetic); the pointer itself is plain data.
+// SAFETY: jobs write disjoint regions (guaranteed by the drivers' tile/
+// panel arithmetic); the pointer itself is plain data.
 unsafe impl Send for SendPtr {}
 unsafe impl Sync for SendPtr {}
+
+impl SendPtr {
+    /// Accessor (rather than field access) so closures capture the
+    /// `Sync` wrapper, not the bare `*mut f64` — edition-2021 disjoint
+    /// capture would otherwise grab the non-`Sync` field itself.
+    #[inline]
+    fn get(self) -> *mut f64 {
+        self.0
+    }
+}
 
 /// The packed driver: BLIS-style five-loop blocking.
 ///
 /// ```text
-/// for jc in 0..n step nc        // column panels — parallelized
-///   for pc in 0..k step kc      //   pack B[pc.., jc..] → Bp
-///     for ic in 0..m step mc    //     pack A[ic.., pc..] → Ap
-///       for jr, ir (register tiles)
+/// for jc in 0..n step nc        // column panels
+///   for pc in 0..k step kc      //   pack B[pc.., jc..] → Bp (parallel: per NR panel)
+///     (parallel: pack A[0..m, pc..] → Ap, per MR panel)
+///     for (ic, jr) 2-D tile jobs // work-stolen across threads
+///       for ir (register tiles)
 ///         microkernel: C[ic+ir·MR.., jc+jr·NR..] += Ap·Bp
 /// ```
-fn packed(c: &mut Matrix, a: &Matrix, b: &Matrix, mc: usize, kc: usize, nc: usize, threads: usize) {
+///
+/// Serial (`threads <= 1` or small products) takes the classic
+/// `ic`-blocked path instead, which packs each `mc × kc` block of `A`
+/// just before using it. Both orders accumulate every `C` element
+/// identically (see the module docs), so the choice is invisible in
+/// the bits.
+#[allow(clippy::too_many_arguments, reason = "internal driver fan-in")]
+fn packed(
+    c: &mut Matrix,
+    a: &Matrix,
+    b: &Matrix,
+    mc: usize,
+    kc: usize,
+    nc: usize,
+    threads: usize,
+    mk: MicrokernelImpl,
+) {
     let (m, k, n) = (a.rows(), a.cols(), b.cols());
     if m == 0 || k == 0 || n == 0 {
         return;
     }
-    let mc = if mc == 0 { DEFAULT_MC } else { mc }
-        .next_multiple_of(MR)
-        .max(MR);
-    let kc = if kc == 0 { DEFAULT_KC } else { kc }.max(1);
-    let nc = if nc == 0 { DEFAULT_NC } else { nc }
-        .next_multiple_of(NR)
-        .max(NR);
+    let bl = tune::resolve(mc, kc, nc, mk);
     let threads = if threads == 0 {
         ThreadPool::global().parallelism()
     } else {
         threads
     };
-    let npanels = n.div_ceil(nc);
-    let cp = SendPtr(c.as_mut_slice().as_mut_ptr());
-    let body = |jp: usize| {
-        let jc = jp * nc;
-        let ncw = nc.min(n - jc);
-        packed_panel(cp, a, b, jc, ncw, mc, kc);
-    };
-    if threads <= 1 || npanels <= 1 {
-        for jp in 0..npanels {
-            body(jp);
-        }
+    let work = m.saturating_mul(k).saturating_mul(n);
+    if threads <= 1 || work <= PAR_MIN_ELEMS {
+        packed_serial(c, a, b, &bl, mk);
     } else {
-        ThreadPool::global().run(threads, npanels, &body);
+        packed_parallel(c, a, b, &bl, threads, mk);
     }
 }
 
-/// Computes columns `[jc, jc + ncw)` of `C += A·B` (one macro panel).
-fn packed_panel(cp: SendPtr, a: &Matrix, b: &Matrix, jc: usize, ncw: usize, mc: usize, kc: usize) {
-    let (m, k, ldc) = (a.rows(), a.cols(), b.cols());
-    let npan = ncw.div_ceil(NR);
-    for pc in (0..k).step_by(kc) {
-        let kcw = kc.min(k - pc);
-        let mut bbuf = take_scratch(packed_b_len(kcw, ncw));
-        pack_b(b, pc, jc, kcw, ncw, bbuf.as_mut_slice());
-        for ic in (0..m).step_by(mc) {
-            let mcw = mc.min(m - ic);
-            let mpan = mcw.div_ceil(MR);
-            let mut abuf = take_scratch(packed_a_len(mcw, kcw));
-            pack_a(a, ic, pc, mcw, kcw, abuf.as_mut_slice());
-            for jr in 0..npan {
-                let nr = NR.min(ncw - jr * NR);
-                let bp = &bbuf.as_slice()[jr * NR * kcw..(jr + 1) * NR * kcw];
-                for ir in 0..mpan {
-                    let mr = MR.min(mcw - ir * MR);
-                    let ap = &abuf.as_slice()[ir * MR * kcw..(ir + 1) * MR * kcw];
-                    // SAFETY: the tile spans rows ic+ir·MR .. +mr and
-                    // columns jc+jr·NR .. +nr, all inside the m × ldc
-                    // bounds of `C` and inside this job's column range.
-                    unsafe {
-                        let tile = cp.0.add((ic + ir * MR) * ldc + jc + jr * NR);
-                        microkernel(ap, bp, tile, ldc, mr, nr);
+/// Single-threaded packed path: no pool dispatch, no barriers, `A`
+/// blocks packed on first use so the working set is one `mc × kc` block
+/// plus one `B` panel.
+fn packed_serial(c: &mut Matrix, a: &Matrix, b: &Matrix, bl: &Blocking, mk: MicrokernelImpl) {
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    let (mr, nr) = (mk.mr(), mk.nr());
+    let ldc = n;
+    let cp = c.as_mut_slice().as_mut_ptr();
+    for jc in (0..n).step_by(bl.nc) {
+        let ncw = bl.nc.min(n - jc);
+        let npan = ncw.div_ceil(nr);
+        for pc in (0..k).step_by(bl.kc) {
+            let kcw = bl.kc.min(k - pc);
+            let mut bbuf = take_scratch(packed_b_len(kcw, ncw, nr));
+            pack_b(b, pc, jc, kcw, ncw, nr, bbuf.as_mut_slice());
+            for ic in (0..m).step_by(bl.mc) {
+                let mcw = bl.mc.min(m - ic);
+                let mpan = mcw.div_ceil(mr);
+                let mut abuf = take_scratch(packed_a_len(mcw, kcw, mr));
+                pack_a(a, ic, pc, mcw, kcw, mr, abuf.as_mut_slice());
+                for jr in 0..npan {
+                    let nrw = nr.min(ncw - jr * nr);
+                    let bp = &bbuf.as_slice()[jr * nr * kcw..(jr + 1) * nr * kcw];
+                    for ir in 0..mpan {
+                        let mrw = mr.min(mcw - ir * mr);
+                        let ap = &abuf.as_slice()[ir * mr * kcw..(ir + 1) * mr * kcw];
+                        // SAFETY: the tile spans rows ic+ir·mr .. +mrw
+                        // and columns jc+jr·nr .. +nrw, all inside the
+                        // m × ldc bounds of `C`; single-threaded, so no
+                        // concurrent writers at all.
+                        unsafe {
+                            let tile = cp.add((ic + ir * mr) * ldc + jc + jr * nr);
+                            mk.run(ap, bp, tile, ldc, mrw, nrw);
+                        }
                     }
                 }
             }
+        }
+    }
+}
+
+/// Parallel packed path. Per `(jc, pc)` macro-iteration the pool runs
+/// two phases:
+///
+/// 1. **Pack** — every `mr`-row panel of the `A` k-slab and every
+///    `nr`-column panel of the `B` block is one job writing one
+///    disjoint slice of the shared packing buffers.
+/// 2. **Compute** — jobs are `(mc-row-block × nr-column-panel)` 2-D
+///    tiles of `C`, claimed dynamically (work stealing); consecutive
+///    job indices share the same packed `A` block, so a thread's stolen
+///    neighborhood stays cache-warm. Each `mr × nr` microtile has
+///    exactly one writer, which is the whole determinism argument:
+///    scheduling decides who computes a tile, never what is computed.
+fn packed_parallel(
+    c: &mut Matrix,
+    a: &Matrix,
+    b: &Matrix,
+    bl: &Blocking,
+    threads: usize,
+    mk: MicrokernelImpl,
+) {
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    let (mr, nr) = (mk.mr(), mk.nr());
+    let ldc = n;
+    let pool = ThreadPool::global();
+    let cp = SendPtr(c.as_mut_slice().as_mut_ptr());
+    let apan = m.div_ceil(mr);
+    let nblocks = m.div_ceil(bl.mc);
+    for jc in (0..n).step_by(bl.nc) {
+        let ncw = bl.nc.min(n - jc);
+        let npan = ncw.div_ceil(nr);
+        for pc in (0..k).step_by(bl.kc) {
+            let kcw = bl.kc.min(k - pc);
+            let mut abuf = take_scratch(apan * mr * kcw);
+            let mut bbuf = take_scratch(npan * nr * kcw);
+            let ap = SendPtr(abuf.as_mut_slice().as_mut_ptr());
+            let bp = SendPtr(bbuf.as_mut_slice().as_mut_ptr());
+            // Phase 1: pack every panel of this k-slab (A) and block
+            // (B); jobs 0..apan are A panels, the rest B panels.
+            pool.run(threads, apan + npan, &move |job| {
+                if job < apan {
+                    let row0 = job * mr;
+                    let live = mr.min(m - row0);
+                    // SAFETY: job < apan owns exactly the A slice
+                    // [job·mr·kcw, (job+1)·mr·kcw) — in bounds of the
+                    // apan·mr·kcw buffer and disjoint from every other
+                    // job's slice; the buffer outlives the pool call.
+                    let dst = unsafe {
+                        std::slice::from_raw_parts_mut(ap.get().add(job * mr * kcw), mr * kcw)
+                    };
+                    pack_a_panel(a, row0, pc, live, kcw, mr, dst);
+                } else {
+                    let p = job - apan;
+                    let col0 = p * nr;
+                    let live = nr.min(ncw - col0);
+                    // SAFETY: as above for the B slice of panel p.
+                    let dst = unsafe {
+                        std::slice::from_raw_parts_mut(bp.get().add(p * nr * kcw), nr * kcw)
+                    };
+                    pack_b_panel(b, pc, jc + col0, live, kcw, nr, dst);
+                }
+            });
+            // Phase 2: 2-D tile jobs over (row block, column panel).
+            // pool.run's completion barrier orders every pack write
+            // before any compute read.
+            pool.run(threads, nblocks * npan, &move |job| {
+                let ic = (job / npan) * bl.mc;
+                let jr = job % npan;
+                let mcw = bl.mc.min(m - ic);
+                let nrw = nr.min(ncw - jr * nr);
+                // SAFETY: shared re-borrow of the fully packed,
+                // no-longer-written B panel jr (pack phase completed
+                // under the pool barrier above).
+                let bpan = unsafe {
+                    std::slice::from_raw_parts(bp.get().add(jr * nr * kcw).cast_const(), nr * kcw)
+                };
+                for ir in 0..mcw.div_ceil(mr) {
+                    // mc is a multiple of mr (tune::resolve), so block
+                    // boundaries align with packed A panel boundaries.
+                    let row0 = ic + ir * mr;
+                    let mrw = mr.min(m - row0);
+                    // SAFETY: shared re-borrow of packed A panel
+                    // row0/mr, same argument as the B panel.
+                    let apanel = unsafe {
+                        std::slice::from_raw_parts(
+                            ap.get().add((row0 / mr) * mr * kcw).cast_const(),
+                            mr * kcw,
+                        )
+                    };
+                    // SAFETY: the tile spans rows row0 .. +mrw and
+                    // columns jc+jr·nr .. +nrw, inside the m × ldc
+                    // bounds of `C`; this (job, ir) pair is the tile's
+                    // only writer (jobs partition the (block, panel)
+                    // grid and ir walks disjoint row panels).
+                    unsafe {
+                        let tile = cp.get().add(row0 * ldc + jc + jr * nr);
+                        mk.run(apanel, bpan, tile, ldc, mrw, nrw);
+                    }
+                }
+            });
         }
     }
 }
@@ -281,6 +461,14 @@ mod tests {
         ]
     }
 
+    fn impls() -> Vec<MicrokernelImpl> {
+        let mut v = vec![MicrokernelImpl::Scalar];
+        if MicrokernelImpl::detect() == MicrokernelImpl::Avx2 {
+            v.push(MicrokernelImpl::Avx2);
+        }
+        v
+    }
+
     #[test]
     fn identity_is_neutral() {
         let a = Matrix::random(9, 9, 3);
@@ -299,9 +487,11 @@ mod tests {
         let mut base = Matrix::zeros(7, 5);
         gemm_acc(&mut base, &a, &b, Kernel::Naive);
         for k in kernels() {
-            let mut c = Matrix::zeros(7, 5);
-            gemm_acc(&mut c, &a, &b, k);
-            assert!(c.max_abs_diff(&base) < 1e-10, "kernel {k:?}");
+            for mk in impls() {
+                let mut c = Matrix::zeros(7, 5);
+                gemm_acc_with_microkernel(&mut c, &a, &b, k, mk);
+                assert!(c.max_abs_diff(&base) < 1e-10, "kernel {k:?} impl {mk:?}");
+            }
         }
     }
 
@@ -327,9 +517,10 @@ mod tests {
 
     #[test]
     fn packed_is_bitwise_stable_across_thread_counts() {
-        // Spanning several column panels at a small nc forces real
-        // parallel splits; the per-element accumulation order must not
-        // depend on how panels are distributed over threads.
+        // Small products take the single-threaded fast path whatever
+        // `threads` says, so this exercises the *request* surface; the
+        // parallel driver itself is pinned by the direct tests below
+        // and the above-threshold suite in tests/determinism.rs.
         let a = Matrix::random(37, 23, 11);
         let b = Matrix::random(23, 61, 12);
         let mut base = Matrix::zeros(37, 61);
@@ -359,6 +550,72 @@ mod tests {
             );
             assert_eq!(c, base, "threads = {threads}");
         }
+    }
+
+    #[test]
+    fn parallel_driver_matches_serial_bitwise() {
+        // Call the parallel driver directly (bypassing the small-job
+        // fast path) on shapes that span several blocks and panels in
+        // both dimensions, including ragged edges. Runs under miri too
+        // — this is the cheapest full exercise of the SendPtr sharing.
+        for mk in impls() {
+            for (m, k, n) in [(37, 23, 61), (64, 16, 40), (13, 9, 90), (70, 70, 70)] {
+                let a = Matrix::random(m, k, 7 + m as u64);
+                let b = Matrix::random(k, n, 8 + n as u64);
+                let bl = Blocking {
+                    mc: 24usize.next_multiple_of(mk.mr()),
+                    kc: 16,
+                    nc: 32usize.next_multiple_of(mk.nr()),
+                };
+                let mut want = Matrix::zeros(m, n);
+                packed_serial(&mut want, &a, &b, &bl, mk);
+                for threads in [2usize, 4] {
+                    let mut got = Matrix::zeros(m, n);
+                    packed_parallel(&mut got, &a, &b, &bl, threads, mk);
+                    assert_eq!(got, want, "{mk:?} {m}x{k}x{n} threads={threads}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn microkernel_impls_agree_bitwise_at_shared_kc() {
+        // The cross-impl half of the determinism contract: same kc ⇒
+        // same bits, whatever the tile shape. mc/nc deliberately differ
+        // between the two runs to show they are bitwise-neutral.
+        if MicrokernelImpl::detect() != MicrokernelImpl::Avx2 {
+            return;
+        }
+        let (m, k, n) = (45, 33, 52);
+        let a = Matrix::random(m, k, 91);
+        let b = Matrix::random(k, n, 92);
+        let mut scalar = Matrix::zeros(m, n);
+        gemm_acc_with_microkernel(
+            &mut scalar,
+            &a,
+            &b,
+            Kernel::Packed {
+                mc: 16,
+                kc: 8,
+                nc: 24,
+                threads: 1,
+            },
+            MicrokernelImpl::Scalar,
+        );
+        let mut simd = Matrix::zeros(m, n);
+        gemm_acc_with_microkernel(
+            &mut simd,
+            &a,
+            &b,
+            Kernel::Packed {
+                mc: 30,
+                kc: 8,
+                nc: 40,
+                threads: 2,
+            },
+            MicrokernelImpl::Avx2,
+        );
+        assert_eq!(scalar, simd);
     }
 
     #[test]

@@ -10,7 +10,11 @@
 //!   `ikj`, tiled, and the packed register-tiled fast path), all with
 //!   accumulate (`C += A·B`) forms,
 //! * [`pack`] / [`microkernel`] / [`pool`] — the packed kernel's panel
-//!   layouts, 4×8 register tile, and in-tree thread/buffer pools,
+//!   layouts, runtime-dispatched register-tiled microkernels (AVX2+FMA
+//!   `6×8` with a portable `4×8` fallback), and in-tree thread/buffer
+//!   pools,
+//! * [`tune`] — cache detection, blocking-parameter sweeps, and the
+//!   persisted tuning file behind `cubemm tune-kernel`,
 //! * [`partition`] — the exact block/group layouts the paper's algorithms
 //!   assume initially (Figures 1, 8, 9) and their inverses for
 //!   reassembling distributed results.
@@ -24,5 +28,6 @@ pub mod microkernel;
 pub mod pack;
 pub mod partition;
 pub mod pool;
+pub mod tune;
 
 pub use matrix::Matrix;

@@ -5,15 +5,21 @@
 //! small fixed-size pool instead of `rayon`:
 //!
 //! * [`ThreadPool`] — persistent workers woken per call; a parallel-for
-//!   splits the job index range into one contiguous slice per
-//!   participating thread (no work stealing — GEMM column panels are
-//!   uniform, so static partitioning is both deterministic and
-//!   balanced).
+//!   self-schedules job indices through one shared atomic cursor, so
+//!   threads steal whatever work remains instead of being pinned to a
+//!   pre-cut slice. The 2-D tiled GEMM driver posts many more jobs than
+//!   threads and the tiles at ragged edges are cheaper than interior
+//!   ones — dynamic scheduling absorbs that imbalance (and any OS-level
+//!   preemption) with one `fetch_add` per job. Which thread runs a job
+//!   never affects results: every GEMM job writes a disjoint region of
+//!   `C`, so determinism is a property of the job decomposition, not
+//!   the schedule.
 //! * [`take_scratch`] — thread-local recycling of `Vec<f64>` packing
 //!   buffers, so steady-state `gemm_acc` calls allocate nothing.
 
 use std::cell::RefCell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex, MutexGuard, OnceLock};
 use std::thread;
 
@@ -49,6 +55,11 @@ struct Inner {
     state: Mutex<State>,
     work: Condvar,
     done: Condvar,
+    /// Next unclaimed job index of the in-flight parallel-for. Reset
+    /// under the state lock when a job is posted; participating threads
+    /// `fetch_add` it lock-free while they drain. Only one job is ever
+    /// in flight (the posting mutex), so epochs cannot interleave.
+    cursor: AtomicUsize,
 }
 
 /// A fixed set of persistent worker threads executing parallel-for
@@ -74,6 +85,7 @@ impl ThreadPool {
             }),
             work: Condvar::new(),
             done: Condvar::new(),
+            cursor: AtomicUsize::new(0),
         }));
         for i in 0..workers {
             #[allow(
@@ -109,10 +121,13 @@ impl ThreadPool {
 
     /// Runs `body(0..njobs)` across up to `threads` threads (capped by
     /// the pool size and by `njobs`), blocking until every index has
-    /// been executed. Indices are split into contiguous per-thread
-    /// ranges, so the assignment — and therefore any per-index work —
-    /// is identical from run to run. Panics (after completing the call)
-    /// if any body invocation panicked.
+    /// been executed exactly once. Indices are claimed dynamically from
+    /// a shared atomic cursor (work stealing), so a thread stalled on a
+    /// slow job never strands the rest of the range — which indices a
+    /// given thread executes is *not* deterministic, and callers must
+    /// make per-index work independent of the executing thread (GEMM
+    /// jobs write disjoint regions of `C`). Panics (after completing
+    /// the call) if any body invocation panicked.
     pub fn run(&self, threads: usize, njobs: usize, body: &(dyn Fn(usize) + Sync)) {
         let threads = threads.clamp(1, self.workers + 1).min(njobs.max(1));
         if threads <= 1 || njobs <= 1 {
@@ -129,6 +144,9 @@ impl ThreadPool {
         {
             let mut st = lock(&self.inner.state);
             debug_assert!(st.job.is_none(), "GEMM pool job posted reentrantly");
+            // Publish the fresh cursor before the epoch flips: workers
+            // only claim after observing the new epoch under this lock.
+            self.inner.cursor.store(0, Ordering::Relaxed);
             st.job = Some(Job {
                 body: body_static,
                 njobs,
@@ -141,7 +159,9 @@ impl ThreadPool {
             self.inner.work.notify_all();
         }
         // The caller owns slot 0 and works alongside the pool.
-        let res = catch_unwind(AssertUnwindSafe(|| run_slot(body, njobs, threads, 0)));
+        let res = catch_unwind(AssertUnwindSafe(|| {
+            drain(body, njobs, &self.inner.cursor);
+        }));
         let mut st = lock(&self.inner.state);
         {
             #[allow(
@@ -169,13 +189,15 @@ impl ThreadPool {
     }
 }
 
-/// Executes slot `slot`'s contiguous share of `0..njobs`.
-fn run_slot(body: &(dyn Fn(usize) + Sync), njobs: usize, slots: usize, slot: usize) {
-    let base = njobs / slots;
-    let extra = njobs % slots;
-    let start = slot * base + slot.min(extra);
-    let len = base + usize::from(slot < extra);
-    for j in start..start + len {
+/// Claims and executes job indices from the shared cursor until the
+/// range `0..njobs` is exhausted. One `fetch_add` per job — cheap
+/// against even the smallest GEMM jobs (a single packed panel copy).
+fn drain(body: &(dyn Fn(usize) + Sync), njobs: usize, cursor: &AtomicUsize) {
+    loop {
+        let j = cursor.fetch_add(1, Ordering::Relaxed);
+        if j >= njobs {
+            return;
+        }
         body(j);
     }
 }
@@ -183,7 +205,7 @@ fn run_slot(body: &(dyn Fn(usize) + Sync), njobs: usize, slots: usize, slot: usi
 fn worker_loop(inner: &'static Inner) {
     let mut seen = 0u64;
     loop {
-        let (body, njobs, slots, slot);
+        let (body, njobs);
         {
             let mut st = lock(&inner.state);
             loop {
@@ -194,11 +216,9 @@ fn worker_loop(inner: &'static Inner) {
                     seen = st.epoch;
                     if let Some(job) = st.job.as_mut() {
                         if job.next_slot < job.slots {
-                            slot = job.next_slot;
                             job.next_slot += 1;
                             body = job.body;
                             njobs = job.njobs;
-                            slots = job.slots;
                             break;
                         }
                     }
@@ -207,7 +227,7 @@ fn worker_loop(inner: &'static Inner) {
                 st = inner.work.wait(st).unwrap_or_else(|e| e.into_inner());
             }
         }
-        let res = catch_unwind(AssertUnwindSafe(|| run_slot(body, njobs, slots, slot)));
+        let res = catch_unwind(AssertUnwindSafe(|| drain(body, njobs, &inner.cursor)));
         let mut st = lock(&inner.state);
         #[allow(
             clippy::expect_used,
@@ -368,6 +388,32 @@ mod tests {
             });
             assert_eq!(count.load(Ordering::Relaxed), 16, "round {round}");
         }
+    }
+
+    #[test]
+    fn skewed_jobs_are_stolen_not_stranded() {
+        // Job 0 spins until every other index has executed. Under the
+        // old static partitioning the thread owning job 0 also owned a
+        // contiguous share of the range, which could then never run —
+        // dynamic self-scheduling lets the other thread steal it all.
+        let pool = ThreadPool::new(1); // two participants: worker + caller
+        let done = AtomicUsize::new(0);
+        const NJOBS: usize = 64;
+        pool.run(2, NJOBS, &|j| {
+            if j == 0 {
+                let mut spins = 0u64;
+                while done.load(Ordering::Acquire) < NJOBS - 1 {
+                    thread::yield_now();
+                    spins += 1;
+                    assert!(
+                        spins < 1_000_000_000,
+                        "remaining jobs were never stolen by the other thread"
+                    );
+                }
+            }
+            done.fetch_add(1, Ordering::Release);
+        });
+        assert_eq!(done.load(Ordering::Relaxed), NJOBS);
     }
 
     #[test]

@@ -9,8 +9,8 @@ fn kernels() -> Vec<Kernel> {
     let mut ks = vec![Kernel::Naive, Kernel::Ikj];
     ks.extend([1usize, 2, 3, 5, 8, 15].map(Kernel::Blocked));
     // The packed path at every threading level the property sweeps use,
-    // plus deliberately awkward tile sizes (not multiples of MR/NR, kc
-    // smaller than k, nc smaller than n).
+    // plus deliberately awkward tile sizes (not multiples of either
+    // register tile's mr/nr, kc smaller than k, nc smaller than n).
     ks.push(Kernel::packed());
     ks.extend([2usize, 4].map(Kernel::packed_mt));
     ks.push(Kernel::Packed {
@@ -22,16 +22,20 @@ fn kernels() -> Vec<Kernel> {
     ks
 }
 
-/// Ragged shapes: nothing divides the register tile (4x8) or the default
-/// cache blocks, plus empty and degenerate extents.
-const SHAPES: [(usize, usize, usize); 10] = [
+/// Ragged shapes: nothing divides the register tiles (scalar 4×8 or
+/// AVX2 6×8) or the default cache blocks, plus exact-tile shapes for
+/// both `mr` values and empty/degenerate extents.
+const SHAPES: [(usize, usize, usize); 13] = [
     (1, 1, 1),
     (2, 3, 4),
     (5, 5, 5),
     (7, 11, 3),
     (11, 8, 11),
     (4, 8, 8),
+    (6, 8, 8),
+    (12, 5, 16),
     (13, 17, 9),
+    (19, 23, 25),
     (1, 19, 1),
     (0, 5, 3),
     (3, 0, 0),
@@ -78,8 +82,9 @@ fn kernels_accumulate_into_nonzero_c() {
 #[test]
 fn packed_kernel_is_deterministic_across_thread_counts() {
     // The packed path owes bitwise-identical results regardless of the
-    // thread count: each C element is accumulated by exactly one
-    // column-panel job in a fixed kc-block order.
+    // thread count: each C element is accumulated by exactly one 2-D
+    // tile job in a fixed kc-block order (see tests/determinism.rs for
+    // the cross-microkernel half of the contract).
     for (case, (m, k, n)) in SHAPES.into_iter().enumerate() {
         let seed = 900 + case as u64;
         let a = Matrix::random(m, k, seed);
