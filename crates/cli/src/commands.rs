@@ -56,6 +56,23 @@ USAGE:
                                  requests on stdin (or a Unix socket),
                                  one typed JSON response per job; see
                                  DESIGN.md §13 for the protocol
+  cubemm chaos <algo|all> [--seed S] [--runs N] [--n N] [--max-entries K]
+               [--budget-factor F] [--recover-attempts N]
+               [--fail-on corrected] [--repro-dir DIR]
+                                 seeded coverage-guided chaos campaign:
+                                 randomized fault plans spanning every
+                                 fault family run under ABFT + recovery
+                                 against invariant oracles (bitwise
+                                 product, report sanity, typed-failure
+                                 taxonomy, virtual-time budget); any
+                                 oracle failure is delta-debugged to a
+                                 minimal repro plan, written to
+                                 --repro-dir as --fault-plan JSON.
+                                 Byte-identical output for a fixed
+                                 --seed; `all` also prints aggregate
+                                 fault-space coverage. Exit 0 = every
+                                 oracle held, 2 = violations (repros
+                                 written)
   cubemm tune-kernel [--n 512] [--reps 3] [--threads 1] [--full]
                      [--out FILE] [--dry-run]
                                  sweep the packed kernel's mc/kc/nc blocking
@@ -1073,6 +1090,119 @@ pub fn tune_kernel(argv: &[String]) -> i32 {
     }
 }
 
+/// `cubemm chaos <algo|all>`: the seeded, coverage-guided fault
+/// campaign (DESIGN.md §16). Every run is reproducible from `--seed`;
+/// oracle failures are delta-debugged down to a minimal fault plan and
+/// (with `--repro-dir`) written as `--fault-plan`-ready JSON.
+pub fn chaos(argv: &[String]) -> i32 {
+    use cubemm_harness::chaos::{run_campaign, ChaosOptions, Coverage};
+
+    let args = match Args::parse(argv) {
+        Ok(a) => a,
+        Err(e) => return fail(&e),
+    };
+    let selector = match args
+        .positional::<String>(0)
+        .or_else(|| args.raw("algo").map(str::to_string))
+    {
+        Some(s) => s,
+        None => return fail("chaos needs an algorithm name or `all`"),
+    };
+    let seed: u64 = match args.get_or("seed", 0) {
+        Ok(v) => v,
+        Err(e) => return fail(&e),
+    };
+    let defaults = ChaosOptions::default();
+    let parsed = (|| -> Result<ChaosOptions, String> {
+        let fail_on_corrected = match args.raw("fail-on") {
+            None => false,
+            Some("corrected") => true,
+            Some(other) => {
+                return Err(format!(
+                    "unknown --fail-on value {other:?} (only `corrected`)"
+                ))
+            }
+        };
+        Ok(ChaosOptions {
+            runs: args.get_or("runs", defaults.runs)?,
+            n: args.get_or("n", defaults.n)?,
+            max_entries: args.get_or("max-entries", defaults.max_entries)?,
+            budget_factor: args.get_or("budget-factor", defaults.budget_factor)?,
+            fail_on_corrected,
+            policy: RecoveryPolicy {
+                max_attempts: args.get_or("recover-attempts", defaults.policy.max_attempts)?,
+                ..defaults.policy
+            },
+        })
+    })();
+    let opts = match parsed {
+        Ok(o) => o,
+        Err(e) => return fail(&e),
+    };
+    if opts.runs == 0 || opts.n == 0 || opts.max_entries == 0 {
+        return fail("--runs, --n and --max-entries must be at least 1");
+    }
+
+    let algos: Vec<Algorithm> = if selector == "all" {
+        Algorithm::ALL
+            .into_iter()
+            .chain(Algorithm::EXTENSIONS)
+            .collect()
+    } else {
+        match selector
+            .parse::<Algorithm>()
+            .map_err(|e| format!("{e} (see `cubemm help` for the list)"))
+        {
+            Ok(a) => vec![a],
+            Err(e) => return fail(&e),
+        }
+    };
+
+    let mut aggregate = Coverage::new();
+    let mut total_violations = 0usize;
+    for algo in &algos {
+        let report = match run_campaign(*algo, seed, &opts) {
+            Ok(r) => r,
+            Err(e) => return fail(&format!("chaos {}: {e}", algo.name())),
+        };
+        print!("{}", report.render());
+        aggregate.merge(&report.coverage);
+        total_violations += report.violations.len();
+        if let Some(dir) = args.raw("repro-dir") {
+            if !report.violations.is_empty() {
+                if let Err(e) = std::fs::create_dir_all(dir) {
+                    return fail(&format!("--repro-dir {dir:?}: {e}"));
+                }
+                for v in &report.violations {
+                    let path = format!("{dir}/chaos-{}-run{}.json", algo.name(), v.run);
+                    if let Err(e) = std::fs::write(&path, &v.shrunk_json) {
+                        return fail(&format!("writing {path:?}: {e}"));
+                    }
+                    eprintln!(
+                        "chaos {}: run {} repro ({} entr{}) -> {path}",
+                        algo.name(),
+                        v.run,
+                        v.shrunk_entries,
+                        if v.shrunk_entries == 1 { "y" } else { "ies" }
+                    );
+                }
+            }
+        }
+    }
+    if algos.len() > 1 {
+        println!("aggregate coverage: {}", aggregate.summary());
+    }
+    if total_violations > 0 {
+        eprintln!(
+            "chaos: {total_violations} oracle violation(s); replay a repro with \
+             `cubemm run --abft --fault-plan FILE`"
+        );
+        return 2;
+    }
+    println!("chaos: every oracle held over {} campaign(s)", algos.len());
+    0
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1085,6 +1215,55 @@ mod tests {
     fn list_runs_clean() {
         assert_eq!(list(&argv("64 64")), 0);
         assert_eq!(list(&argv("")), 0);
+    }
+
+    #[test]
+    fn chaos_campaign_runs_clean_on_a_healthy_stack() {
+        assert_eq!(chaos(&argv("cannon --seed 7 --runs 6")), 0);
+    }
+
+    #[test]
+    fn chaos_rejects_bad_arguments() {
+        assert_ne!(chaos(&argv("")), 0);
+        assert_ne!(chaos(&argv("nope --runs 1")), 0);
+        assert_ne!(chaos(&argv("cannon --runs 0")), 0);
+        assert_ne!(chaos(&argv("cannon --runs 1 --fail-on everything")), 0);
+        assert_ne!(chaos(&argv("cannon --runs 1 --seed many")), 0);
+    }
+
+    #[test]
+    fn chaos_fail_on_corrected_writes_replayable_repros() {
+        // `--fail-on corrected` turns every in-place correction into a
+        // "violation", exercising the shrinker and the repro files end
+        // to end: the campaign must exit 2 and each written plan must
+        // replay through `run --abft --fault-plan` (exit 0 — the
+        // corruption is corrected or recovered, which is the point).
+        let dir = std::env::temp_dir().join(format!("cubemm-chaos-cli-{}", std::process::id()));
+        let dirs = dir.display().to_string();
+        assert_eq!(
+            chaos(&argv(&format!(
+                "cannon --seed 11 --runs 40 --fail-on corrected --repro-dir {dirs}"
+            ))),
+            2
+        );
+        let mut repros = 0usize;
+        for entry in std::fs::read_dir(&dir).unwrap() {
+            let path = entry.unwrap().path();
+            let text = std::fs::read_to_string(&path).unwrap();
+            let plan = FaultPlan::from_json(&text).unwrap();
+            assert!(plan.fault_count() >= 1, "{path:?} shrunk to nothing");
+            assert_eq!(
+                run(&argv(&format!(
+                    "--abft --algo cannon --n 6 --p 64 --fault-plan {}",
+                    path.display()
+                ))),
+                0,
+                "repro {path:?} must replay"
+            );
+            repros += 1;
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+        assert!(repros > 0, "no repro files were written");
     }
 
     #[test]

@@ -12,6 +12,9 @@
 //! cubemm serve [--workers N] [--queue N] [--node-budget N] [--socket PATH]
 //!                                          long-lived JSON-lines multiply
 //!                                          service with admission control
+//! cubemm chaos <algo|all> [--seed S] [--runs N] [--repro-dir DIR]
+//!                                          seeded coverage-guided fault
+//!                                          campaign with shrunk repros
 //! cubemm tune-kernel [--n N] [--reps R] [--threads T] [--full]
 //!                    [--out FILE] [--dry-run]
 //!                                          sweep packed-GEMM blocking
@@ -30,6 +33,7 @@ fn main() {
         Some("regions") => commands::regions(&argv[1..]),
         Some("analyze") => commands::analyze(&argv[1..]),
         Some("serve") => commands::serve(&argv[1..]),
+        Some("chaos") => commands::chaos(&argv[1..]),
         Some("tune-kernel") => commands::tune_kernel(&argv[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
             print!("{}", commands::USAGE);

@@ -196,8 +196,23 @@ pub fn default_tolerance(cf: &Matrix) -> f64 {
 /// caller's rerun path. Likewise anything implicating two rows *and*
 /// two columns (multi-fault). The matrix is left with whatever partial
 /// fixes were applied; callers re-run rather than trust it.
+///
+/// Every verdict additionally requires the checksum row and column to
+/// be *internally* consistent — their sums over data entries must
+/// reproduce the grand-total entry at `(n, n)`. A propagated
+/// corruption that reaches a checksum-row product entry can otherwise
+/// forge a correctable-looking one-row/one-column signature and pull
+/// the "correction" toward the damaged reference. Inconsistent
+/// checksums always defer to the rerun path, including damage confined
+/// to the (stripped, otherwise harmless) checksum corner.
 pub fn verify_and_correct(cf: &mut Matrix, n: usize, tol: f64) -> Verdict {
     const MAX_PASSES: usize = 4;
+    // A residual poisoned to NaN (e.g. a bit flip in an exponent field
+    // turning a payload word non-finite) fails every ordered comparison,
+    // so `abs() > tol` alone would wave it through as consistent:
+    // anything not provably within tolerance — including NaN — is
+    // suspect.
+    let suspect = |r: f64| r.abs() > tol || r.is_nan();
     let mut fixes: Vec<(usize, usize)> = Vec::new();
     // Data row/column a previous pass attributed the fault to; unlocks
     // the checksum-entry follow-up fix for that row/column only.
@@ -206,13 +221,40 @@ pub fn verify_and_correct(cf: &mut Matrix, n: usize, tol: f64) -> Verdict {
     for _ in 0..MAX_PASSES {
         let (rowres, colres) = residuals(cf, n);
         let bad_rows: Vec<usize> = (0..cf.rows())
-            .filter(|&i| i != n && rowres[i].abs() > tol)
+            .filter(|&i| i != n && suspect(rowres[i]))
             .collect();
         let bad_cols: Vec<usize> = (0..cf.cols())
-            .filter(|&j| j != n && colres[j].abs() > tol)
+            .filter(|&j| j != n && suspect(colres[j]))
             .collect();
         match (bad_rows.as_slice(), bad_cols.as_slice()) {
             ([], []) => {
+                // The data residuals are consistent — but a propagated
+                // corruption that reached a *checksum-row* product entry
+                // forges this state: correcting a data column against
+                // its damaged checksum reference zeroes the residuals
+                // while leaving the data wrong (a chaos-campaign find,
+                // shrunk to a single in-flight bit flip on a broadcast
+                // edge). The checksum row and column must therefore be
+                // internally consistent themselves — their sums over
+                // data entries must reproduce the grand total at
+                // `(n, n)` — before any verdict is trusted. Damage
+                // confined to the (stripped) checksum corner also lands
+                // here and defers to a rerun rather than guessing.
+                let total = cf.rows();
+                let mut rown = -cf[(n, n)];
+                let mut coln = -cf[(n, n)];
+                for k in 0..total {
+                    if k != n {
+                        rown += cf[(n, k)];
+                        coln += cf[(k, n)];
+                    }
+                }
+                if suspect(rown) || suspect(coln) {
+                    return Verdict::Uncorrectable {
+                        rows: vec![n],
+                        cols: vec![n],
+                    };
+                }
                 return if fixes.is_empty() {
                     Verdict::Clean
                 } else {
@@ -263,10 +305,10 @@ pub fn verify_and_correct(cf: &mut Matrix, n: usize, tol: f64) -> Verdict {
     let (rowres, colres) = residuals(cf, n);
     Verdict::Uncorrectable {
         rows: (0..cf.rows())
-            .filter(|&i| i != n && rowres[i].abs() > tol)
+            .filter(|&i| i != n && suspect(rowres[i]))
             .collect(),
         cols: (0..cf.cols())
-            .filter(|&j| j != n && colres[j].abs() > tol)
+            .filter(|&j| j != n && suspect(colres[j]))
             .collect(),
     }
 }
@@ -309,6 +351,60 @@ mod tests {
             }
         );
         assert_eq!(strip(&cf, 6), c, "bitwise equality after correction");
+    }
+
+    #[test]
+    fn forged_correction_against_damaged_checksum_row_is_refused() {
+        // One propagated corruption can damage a data entry AND the
+        // same column's checksum-row entry (a broadcast subtree covers
+        // both consumers). The column residual then mixes the two
+        // errors, the signature looks like a plain single-entry fix,
+        // and "correcting" against the damaged reference would certify
+        // a wrong product. The checksum row's internal inconsistency is
+        // the tell.
+        let (mut cf, _) = augmented_product(6, 8);
+        cf[(2, 2)] += 2.0; // data damage
+        cf[(6, 2)] += 5.0; // its column's checksum-row entry, damaged too
+        assert!(matches!(
+            verify_and_correct(&mut cf, 6, 1e-9),
+            Verdict::Uncorrectable { .. }
+        ));
+    }
+
+    #[test]
+    fn checksum_corner_damage_defers_instead_of_certifying() {
+        // Damage confined to the grand-total corner never touches the
+        // stripped product, but a Clean verdict would rest on a
+        // reference known to be damaged; verification defers.
+        let (mut cf, _) = augmented_product(6, 8);
+        cf[(6, 6)] -= 3.0;
+        assert_eq!(
+            verify_and_correct(&mut cf, 6, 1e-9),
+            Verdict::Uncorrectable {
+                rows: vec![6],
+                cols: vec![6]
+            }
+        );
+    }
+
+    #[test]
+    fn non_finite_damage_is_flagged_never_certified_clean() {
+        // NaN fails every ordered comparison, so a `residual > tol`
+        // suspect filter would wave NaN damage through as consistent.
+        // The chaos campaign's bit-flip corruptions can land in an
+        // exponent field and produce exactly this.
+        let (mut cf, _) = augmented_product(6, 8);
+        cf[(2, 3)] = f64::NAN;
+        match verify_and_correct(&mut cf, 6, 1e-9) {
+            Verdict::Clean => panic!("NaN damage certified clean"),
+            Verdict::Corrected { .. } => {
+                panic!("NaN damage cannot be corrected by subtracting NaN residuals")
+            }
+            Verdict::Uncorrectable { rows, cols } => {
+                assert_eq!(rows, vec![2]);
+                assert_eq!(cols, vec![3]);
+            }
+        }
     }
 
     #[test]

@@ -17,6 +17,7 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex, MutexGuard};
 
+pub mod chaos;
 pub mod recovery;
 
 /// Default cap on simulated node threads alive at once across a grid

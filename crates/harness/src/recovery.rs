@@ -385,6 +385,66 @@ mod tests {
     }
 
     #[test]
+    fn delay_landing_exactly_on_the_cap_is_not_disturbed() {
+        let (a, b) = (ints(6, 13), ints(6, 14));
+        // Three crashes burn three retries. The second delay is 1000
+        // uncapped and the cap is 1000 — the boundary case must pass
+        // through unchanged, and only the third (10000) gets clamped.
+        let cfg = MachineConfig::default().with_faults(
+            FaultPlan::new()
+                .with_crash(1, 0)
+                .with_crash(2, 0)
+                .with_crash(3, 0),
+        );
+        let policy = RecoveryPolicy {
+            max_attempts: 4,
+            backoff: 100.0,
+            backoff_factor: 10.0,
+            max_backoff: 1000.0,
+        };
+        let (res, report) =
+            multiply_with_recovery_tol(Algorithm::Cannon, &a, &b, 4, &cfg, &policy, Some(1e-9))
+                .expect("three reboots fit a budget of four");
+        assert_eq!(report.attempts, 4);
+        assert_eq!(report.backoff_delays, vec![100.0, 1000.0, 1000.0]);
+        assert_eq!(report.backoff_spent, 2100.0);
+        assert_eq!(report.backoff_delays.len(), report.attempts - 1);
+        assert_eq!(report.actions.len(), 3);
+        assert_eq!(res.c.as_slice(), gemm::reference(&a, &b).as_slice());
+    }
+
+    #[test]
+    fn no_mutation_avenue_exhausts_immediately_without_burning_budget() {
+        let (a, b) = (ints(6, 15), ints(6, 16));
+        // A negative tolerance makes every residual suspect, so
+        // verification reports uncorrectable damage on a healthy
+        // machine — and with no scheduled corruptor to quarantine, a
+        // rerun would reproduce the verdict bit-for-bit. The loop must
+        // give up on attempt 1 instead of spending the other three.
+        let policy = RecoveryPolicy::default();
+        let err = multiply_with_recovery_tol(
+            Algorithm::Cannon,
+            &a,
+            &b,
+            4,
+            &MachineConfig::default(),
+            &policy,
+            Some(-1.0),
+        )
+        .expect_err("nothing to mutate, so retrying is pointless");
+        match err {
+            RecoveryError::Exhausted { attempts, last } => {
+                assert_eq!(attempts, 1, "must not retry an unchanged plan");
+                assert!(
+                    last.contains("no scheduled corruptor left to quarantine"),
+                    "{last}"
+                );
+            }
+            other => panic!("expected Exhausted, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn propagated_corruption_is_survived_by_quarantining_the_link() {
         let (a, b) = (ints(6, 5), ints(6, 6));
         let want = gemm::reference(&a, &b);

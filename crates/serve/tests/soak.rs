@@ -20,45 +20,48 @@
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
+use cubemm_harness::chaos::{random_soak_plan, ChaosRng};
 use cubemm_serve::{
     execute, parse_request, JobRequest, JobResponse, JobStatus, Responder, ServeConfig, ServePool,
 };
+use cubemm_simnet::FaultPlan;
 
 const JOBS: usize = 1200;
 
+/// One fixed seed reproduces the whole soak, fault plans included.
+const SOAK_SEED: u64 = 0x5EED_50AC;
+
 /// Deterministic job mix. Index `i` decides shape, seed, priority, and
-/// fault plan; every 3rd job crashes a node mid-run, every 5th corrupts
-/// a payload, and every 151st is unrecoverable by construction
-/// (a crash with a one-attempt budget).
+/// algorithm; every 151st job is unrecoverable by construction (a
+/// scheduled crash under a one-attempt budget). All other fault plans
+/// come from the chaos module's seeded soak stream
+/// ([`random_soak_plan`]): about a third of jobs crash a node early, a
+/// fifth corrupt a payload word on a random hypercube edge, the rest
+/// run healthy — the ratios the quarantine assertions below expect.
 fn job_line(i: usize) -> String {
     let n = [8usize, 12, 16][i % 3];
     let p = if i % 7 == 0 { 16 } else { 4 };
     let seed = i % 11;
     let priority = i % 10;
     let algo = if i % 13 == 0 { "auto" } else { "cannon" };
-    let mut faults = String::new();
-    let unrecoverable = i % 151 == 150;
-    if unrecoverable {
+    format!(
+        r#"{{"id":"soak-{i}","n":{n},"p":{p},"algo":"{algo}","seed":{seed},"priority":{priority}}}"#
+    )
+}
+
+/// Attaches the i-th job's fault plan, drawn from the seeded chaos
+/// stream (the unrecoverable jobs keep their hand-built plan so the
+/// typed-failure assertion stays exact).
+fn with_faults(mut req: JobRequest, i: usize, rng: &mut ChaosRng) -> JobRequest {
+    if i % 151 == 150 {
         // One attempt + a scheduled crash: recovery cannot retry, the
         // job must come back as a typed failure.
-        faults = r#","attempts":1,"faults":{"crashes":[{"node":1,"step":0}]}"#.to_string();
-    } else if i % 3 == 0 {
-        // Steps 0/1 always land inside even the shortest run's
-        // communication schedule, so every scheduled crash really fires.
-        let node = i % p;
-        let step = i % 2;
-        faults = format!(r#","faults":{{"crashes":[{{"node":{node},"step":{step}}}]}}"#);
-    } else if i % 5 == 0 {
-        // A hypercube edge of every machine size used here: 0 -> 1.
-        let word = i % 8;
-        let seq = i % 3;
-        faults = format!(
-            r#","faults":{{"corruptions":[{{"from":0,"to":1,"seq":{seq},"word":{word},"perturb":64.0}}]}}"#
-        );
+        req.attempts = 1;
+        req.faults = FaultPlan::new().with_crash(1, 0);
+    } else {
+        req.faults = random_soak_plan(rng, req.p);
     }
-    format!(
-        r#"{{"id":"soak-{i}","n":{n},"p":{p},"algo":"{algo}","seed":{seed},"priority":{priority}{faults}}}"#
-    )
+    req
 }
 
 /// The healthy twin of a job: same shape, algorithm, and seed, no
@@ -91,11 +94,13 @@ fn chaos_soak_never_drops_or_lies() {
         sink.lock().unwrap_or_else(|e| e.into_inner()).push(resp);
     });
 
+    let mut rng = ChaosRng::new(SOAK_SEED);
     let mut requests: HashMap<String, JobRequest> = HashMap::new();
     for i in 0..JOBS {
         let req = parse_request(&job_line(i)).unwrap_or_else(|e| {
             panic!("soak generator produced a malformed line at {i}: {e:?}");
         });
+        let req = with_faults(req, i, &mut rng);
         requests.insert(req.id.clone(), req.clone());
         assert!(
             pool.submit(req, Arc::clone(&responder)),

@@ -117,6 +117,80 @@ impl std::fmt::Display for SendError {
 
 impl std::error::Error for SendError {}
 
+/// Why a fault plan can never run as written: a typed rejection raised
+/// when a plan is loaded from JSON ([`FaultPlan::from_json`]) or checked
+/// against a concrete machine ([`FaultPlan::validate`]).
+///
+/// Plans are user input (files, service requests), so every way an entry
+/// could *silently never fire* — a node outside the machine, a step no
+/// counter will ever reach, an empty degradation window — is rejected
+/// up front instead of being carried along as a no-op.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultPlanError {
+    /// Structurally invalid input: not a JSON object, a missing or
+    /// mistyped field, a non-edge, an out-of-range factor.
+    Malformed(String),
+    /// An entry references a node outside the machine the plan is
+    /// validated against.
+    NodeOutOfRange {
+        /// Which fault family the entry belongs to.
+        what: &'static str,
+        /// The offending node label.
+        node: usize,
+        /// The machine size the plan was checked against.
+        p: usize,
+    },
+    /// A step/sequence field is negative, fractional, or beyond 2^53
+    /// (the largest integer a JSON number keeps exact) — no program
+    /// counter would ever reach it, so the entry could never fire.
+    StepOutOfRange {
+        /// Which field was rejected (e.g. `"crash step"`).
+        what: String,
+        /// The offending numeric value as parsed.
+        value: f64,
+    },
+    /// A degradation window `[from_step, until_step)` that contains no
+    /// steps — the degradation would silently never apply.
+    EmptyDegradationWindow {
+        /// Lower edge endpoint.
+        a: usize,
+        /// Higher edge endpoint.
+        b: usize,
+        /// Window start (inclusive).
+        from_step: u64,
+        /// Window end (exclusive).
+        until_step: u64,
+    },
+}
+
+impl std::fmt::Display for FaultPlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultPlanError::Malformed(msg) => f.write_str(msg),
+            FaultPlanError::NodeOutOfRange { what, node, p } => write!(
+                f,
+                "fault plan references {what} node {node} outside the {p}-node machine"
+            ),
+            FaultPlanError::StepOutOfRange { what, value } => write!(
+                f,
+                "{what} must be a non-negative integer within 2^53 (got {value})"
+            ),
+            FaultPlanError::EmptyDegradationWindow {
+                a,
+                b,
+                from_step,
+                until_step,
+            } => write!(
+                f,
+                "degradation window [{from_step}, {until_step}) on link {a} <-> {b} \
+                 contains no steps and would never fire"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FaultPlanError {}
+
 /// How a scheduled corruption mangles the targeted payload word.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum CorruptKind {
@@ -192,6 +266,66 @@ impl Default for RetryPolicy {
     }
 }
 
+/// One atomic fault of a [`FaultPlan`], as enumerated by
+/// [`FaultPlan::entries`] — the unit a delta-debugging shrinker removes
+/// and re-adds while minimizing a failing plan.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultEntry {
+    /// A dead undirected edge (normalized `a < b`).
+    Dead {
+        /// Lower endpoint.
+        a: usize,
+        /// Higher endpoint.
+        b: usize,
+    },
+    /// A degraded undirected edge with its optional firing window.
+    Degraded {
+        /// Lower endpoint.
+        a: usize,
+        /// Higher endpoint.
+        b: usize,
+        /// The cost multipliers.
+        quality: LinkQuality,
+        /// `[from_step, until_step)` sender-step window, or `None` when
+        /// the degradation is permanent.
+        window: Option<(u64, u64)>,
+    },
+    /// A straggler node.
+    Straggler {
+        /// The slow node.
+        node: usize,
+        /// Its clock-rate multiplier (≥ 1).
+        slowdown: f64,
+    },
+    /// One scheduled message drop.
+    Drop {
+        /// Sending node.
+        from: usize,
+        /// Destination node.
+        to: usize,
+        /// 0-based per-sender injection sequence number.
+        seq: u64,
+    },
+    /// One scheduled silent corruption.
+    Corrupt {
+        /// Sending endpoint of the directed edge.
+        from: usize,
+        /// Receiving endpoint of the directed edge.
+        to: usize,
+        /// 0-based per-sender crossing number of the edge.
+        seq: u64,
+        /// What happens to the payload.
+        corruption: Corruption,
+    },
+    /// One scheduled node crash.
+    Crash {
+        /// The doomed node.
+        node: usize,
+        /// 0-based communication-call index at which it dies.
+        step: u64,
+    },
+}
+
 /// A deterministic fault-injection plan for one simulated run.
 ///
 /// Plans are built with the `with_*` methods and handed to the machine
@@ -215,6 +349,11 @@ pub struct FaultPlan {
     dead: BTreeSet<(usize, usize)>,
     /// Degraded undirected edges.
     degraded: BTreeMap<(usize, usize), LinkQuality>,
+    /// Optional `[from_step, until_step)` firing windows for degraded
+    /// edges, keyed like `degraded` (an edge without a window degrades
+    /// for the whole run). Steps are the *sender's* communication-call
+    /// indices.
+    degraded_windows: BTreeMap<(usize, usize), (u64, u64)>,
     /// Per-node clock-rate multipliers (> 1 runs slower).
     stragglers: BTreeMap<usize, f64>,
     /// Directed `(from, to)` → set of 0-based sequence numbers to drop.
@@ -281,6 +420,35 @@ impl FaultPlan {
             },
         );
         self
+    }
+
+    /// Like [`FaultPlan::with_degraded_link`], but the degradation only
+    /// applies while the *sender's* communication-call index lies in
+    /// `[from_step, until_step)`; outside the window the link charges
+    /// healthy costs. Windowed degradation lets a campaign place a
+    /// transient slowdown in a specific phase of a schedule.
+    ///
+    /// # Panics
+    /// Panics on the [`FaultPlan::with_degraded_link`] conditions, or if
+    /// the window is empty (`until_step <= from_step`) — an empty window
+    /// would silently never fire.
+    pub fn with_degraded_link_window(
+        self,
+        a: usize,
+        b: usize,
+        ts_factor: f64,
+        tw_factor: f64,
+        from_step: u64,
+        until_step: u64,
+    ) -> Self {
+        assert!(
+            until_step > from_step,
+            "degradation window [{from_step}, {until_step}) contains no steps"
+        );
+        let mut plan = self.with_degraded_link(a, b, ts_factor, tw_factor);
+        plan.degraded_windows
+            .insert(edge(a, b), (from_step, until_step));
+        plan
     }
 
     /// Marks `node` as a straggler: every charge to its clock (sends,
@@ -398,12 +566,34 @@ impl FaultPlan {
         self.dead.contains(&edge(a, b))
     }
 
-    /// The quality of the undirected edge `a <-> b`.
+    /// The quality of the undirected edge `a <-> b`, ignoring any firing
+    /// window (the worst the edge ever gets; used for reporting).
     pub fn link_quality(&self, a: usize, b: usize) -> LinkQuality {
         self.degraded
             .get(&edge(a, b))
             .copied()
             .unwrap_or(LinkQuality::HEALTHY)
+    }
+
+    /// The quality of the undirected edge `a <-> b` as observed by the
+    /// sender's `step`-th communication call: honors degradation
+    /// windows, so a windowed edge is healthy outside `[from, until)`.
+    pub fn link_quality_at(&self, a: usize, b: usize, step: u64) -> LinkQuality {
+        let e = edge(a, b);
+        match self.degraded.get(&e) {
+            None => LinkQuality::HEALTHY,
+            Some(&q) => match self.degraded_windows.get(&e) {
+                Some(&(from, until)) if step < from || step >= until => LinkQuality::HEALTHY,
+                _ => q,
+            },
+        }
+    }
+
+    /// The firing window of the degraded edge `a <-> b` (sender
+    /// communication-call steps, `[from, until)`), or `None` when the
+    /// degradation is permanent (or the edge is not degraded).
+    pub fn degraded_window(&self, a: usize, b: usize) -> Option<(u64, u64)> {
+        self.degraded_windows.get(&edge(a, b)).copied()
     }
 
     /// The clock-rate multiplier of `node` (1.0 when healthy).
@@ -479,13 +669,108 @@ impl FaultPlan {
         self.crashes.iter().map(|(&n, &s)| (n, s))
     }
 
+    /// Every atomic fault the plan schedules, one [`FaultEntry`] each,
+    /// in a stable (family-then-key) order. `strict` is a plan-wide mode
+    /// rather than an entry; carry it via [`FaultPlan::is_strict`]. The
+    /// inverse is [`FaultPlan::from_entries`].
+    pub fn entries(&self) -> Vec<FaultEntry> {
+        let mut out = Vec::new();
+        for &(a, b) in &self.dead {
+            out.push(FaultEntry::Dead { a, b });
+        }
+        for (&(a, b), &quality) in &self.degraded {
+            out.push(FaultEntry::Degraded {
+                a,
+                b,
+                quality,
+                window: self.degraded_windows.get(&(a, b)).copied(),
+            });
+        }
+        for (&node, &slowdown) in &self.stragglers {
+            out.push(FaultEntry::Straggler { node, slowdown });
+        }
+        for ((from, to), seq) in self.scheduled_drops() {
+            out.push(FaultEntry::Drop { from, to, seq });
+        }
+        for ((from, to), seq, corruption) in self.scheduled_corruptions() {
+            out.push(FaultEntry::Corrupt {
+                from,
+                to,
+                seq,
+                corruption,
+            });
+        }
+        for (node, step) in self.scheduled_crashes() {
+            out.push(FaultEntry::Crash { node, step });
+        }
+        out
+    }
+
+    /// The number of atomic faults the plan schedules
+    /// (`entries().len()`, without building the vector).
+    pub fn fault_count(&self) -> usize {
+        self.dead.len()
+            + self.degraded.len()
+            + self.stragglers.len()
+            + self.drops.values().map(BTreeSet::len).sum::<usize>()
+            + self.corruptions.values().map(BTreeMap::len).sum::<usize>()
+            + self.crashes.len()
+    }
+
+    /// Rebuilds a plan from a subset of another plan's entries, with the
+    /// given `strict` flag. Feeding a plan's full [`FaultPlan::entries`]
+    /// list back reproduces it exactly. Entries are inserted directly
+    /// (they originate from an already-constructed plan, so the builder
+    /// invariants hold by provenance).
+    pub fn from_entries(entries: &[FaultEntry], strict: bool) -> FaultPlan {
+        let mut plan = FaultPlan::new();
+        plan.strict = strict;
+        for entry in entries {
+            match *entry {
+                FaultEntry::Dead { a, b } => {
+                    plan.dead.insert(edge(a, b));
+                }
+                FaultEntry::Degraded {
+                    a,
+                    b,
+                    quality,
+                    window,
+                } => {
+                    plan.degraded.insert(edge(a, b), quality);
+                    if let Some(w) = window {
+                        plan.degraded_windows.insert(edge(a, b), w);
+                    }
+                }
+                FaultEntry::Straggler { node, slowdown } => {
+                    plan.stragglers.insert(node, slowdown);
+                }
+                FaultEntry::Drop { from, to, seq } => {
+                    plan.drops.entry((from, to)).or_default().insert(seq);
+                }
+                FaultEntry::Corrupt {
+                    from,
+                    to,
+                    seq,
+                    corruption,
+                } => {
+                    plan.corruptions
+                        .entry((from, to))
+                        .or_default()
+                        .insert(seq, corruption);
+                }
+                FaultEntry::Crash { node, step } => {
+                    plan.crashes.insert(node, step);
+                }
+            }
+        }
+        plan
+    }
+
     /// Checks that every referenced node fits a `p`-node machine.
-    pub fn validate(&self, p: usize) -> Result<(), String> {
-        let check = |n: usize, what: &str| {
+    pub fn validate(&self, p: usize) -> Result<(), FaultPlanError> {
+        let check = |n: usize, what: &'static str| {
             if n >= p {
-                Err(format!(
-                    "fault plan references {what} node {n} outside the {p}-node machine"
-                ))
+                Err(FaultPlanError::NodeOutOfRange { what, node: n, p })
             } else {
                 Ok(())
             }
@@ -539,12 +824,17 @@ impl FaultPlan {
                 self.degraded
                     .iter()
                     .map(|(&(a, b), q)| {
-                        Json::Obj(vec![
+                        let mut entry = vec![
                             ("a".to_string(), num(a)),
                             ("b".to_string(), num(b)),
                             ("ts_factor".to_string(), Json::Num(q.ts_factor)),
                             ("tw_factor".to_string(), Json::Num(q.tw_factor)),
-                        ])
+                        ];
+                        if let Some(&(from, until)) = self.degraded_windows.get(&(a, b)) {
+                            entry.push(("from_step".to_string(), seq_num(from)));
+                            entry.push(("until_step".to_string(), seq_num(until)));
+                        }
+                        Json::Obj(entry)
                     })
                     .collect(),
             ),
@@ -620,45 +910,68 @@ impl FaultPlan {
     /// Parses a plan from the JSON produced by [`FaultPlan::to_json`].
     ///
     /// The schema is one object with optional array fields `dead`
-    /// (`[a, b]` pairs), `degraded` (`{a, b, ts_factor, tw_factor}`),
-    /// `stragglers` (`{node, slowdown}`), `drops` (`{from, to, seq}`),
-    /// `corruptions` (`{from, to, seq, word}` plus either
-    /// `bitflip: <bit>` or `perturb: <delta>`), `crashes`
-    /// (`{node, step}`), and an optional boolean `strict`. Unlike the
-    /// panicking builders, malformed input comes back as `Err` — plan
-    /// files are user input.
-    pub fn from_json(text: &str) -> Result<FaultPlan, String> {
+    /// (`[a, b]` pairs), `degraded` (`{a, b, ts_factor, tw_factor}` plus
+    /// an optional `{from_step, until_step}` firing window), `stragglers`
+    /// (`{node, slowdown}`), `drops` (`{from, to, seq}`), `corruptions`
+    /// (`{from, to, seq, word}` plus either `bitflip: <bit>` or
+    /// `perturb: <delta>`), `crashes` (`{node, step}`), and an optional
+    /// boolean `strict`. Unlike the panicking builders, malformed input
+    /// comes back as a typed [`FaultPlanError`] — plan files are user
+    /// input — and entries that could silently never fire (negative or
+    /// beyond-2^53 steps, empty degradation windows) are rejected rather
+    /// than carried as no-ops.
+    pub fn from_json(text: &str) -> Result<FaultPlan, FaultPlanError> {
         use crate::json::Json;
-        let doc = crate::json::parse(text)?;
+        let doc = crate::json::parse(text).map_err(FaultPlanError::Malformed)?;
         if !matches!(doc, Json::Obj(_)) {
-            return Err("fault plan must be a JSON object".to_string());
+            return Err(FaultPlanError::Malformed(
+                "fault plan must be a JSON object".to_string(),
+            ));
         }
-        let index = |v: Option<&Json>, what: &str| -> Result<u64, String> {
-            v.and_then(Json::as_index)
-                .ok_or_else(|| format!("{what} must be a non-negative integer"))
+        let index = |v: Option<&Json>, what: &str| -> Result<u64, FaultPlanError> {
+            let v = v.ok_or_else(|| {
+                FaultPlanError::Malformed(format!("{what} must be a non-negative integer"))
+            })?;
+            match v.as_index() {
+                Some(i) => Ok(i),
+                // A number that is not a valid index is a typed
+                // out-of-range step; anything else is malformed JSON.
+                None => match v.as_f64() {
+                    Some(value) => Err(FaultPlanError::StepOutOfRange {
+                        what: what.to_string(),
+                        value,
+                    }),
+                    None => Err(FaultPlanError::Malformed(format!(
+                        "{what} must be a non-negative integer"
+                    ))),
+                },
+            }
         };
-        let node = |v: Option<&Json>, what: &str| -> Result<usize, String> {
+        let node = |v: Option<&Json>, what: &str| -> Result<usize, FaultPlanError> {
             Ok(index(v, what)? as usize)
         };
         let items = |key: &str| -> &[Json] { doc.get(key).and_then(Json::as_arr).unwrap_or(&[]) };
-        let neighbors = |a: usize, b: usize, what: &str| -> Result<(), String> {
+        let neighbors = |a: usize, b: usize, what: &str| -> Result<(), FaultPlanError> {
             if hamming(a, b) == 1 {
                 Ok(())
             } else {
-                Err(format!("{what} {a} <-> {b} is not a hypercube edge"))
+                Err(FaultPlanError::Malformed(format!(
+                    "{what} {a} <-> {b} is not a hypercube edge"
+                )))
             }
         };
+        let malformed = |msg: &str| FaultPlanError::Malformed(msg.to_string());
 
         let mut plan = FaultPlan::new();
         if let Some(strict) = doc.get("strict") {
             plan.strict = strict
                 .as_bool()
-                .ok_or_else(|| "strict must be a boolean".to_string())?;
+                .ok_or_else(|| FaultPlanError::Malformed("strict must be a boolean".to_string()))?;
         }
         for entry in items("dead") {
             let pair = entry.as_arr().unwrap_or(&[]);
             if pair.len() != 2 {
-                return Err("each dead entry must be an [a, b] pair".to_string());
+                return Err(malformed("each dead entry must be an [a, b] pair"));
             }
             let (a, b) = (
                 node(pair.first(), "dead node")?,
@@ -674,13 +987,35 @@ impl FaultPlan {
             let ts = entry
                 .get("ts_factor")
                 .and_then(Json::as_f64)
-                .ok_or("degraded entry needs ts_factor")?;
+                .ok_or_else(|| malformed("degraded entry needs ts_factor"))?;
             let tw = entry
                 .get("tw_factor")
                 .and_then(Json::as_f64)
-                .ok_or("degraded entry needs tw_factor")?;
+                .ok_or_else(|| malformed("degraded entry needs tw_factor"))?;
             if !(ts.is_finite() && ts > 0.0 && tw.is_finite() && tw > 0.0) {
-                return Err("degradation factors must be positive and finite".to_string());
+                return Err(malformed("degradation factors must be positive and finite"));
+            }
+            match (entry.get("from_step"), entry.get("until_step")) {
+                (None, None) => {}
+                (Some(from), Some(until)) => {
+                    let from = index(Some(from), "degraded from_step")?;
+                    let until = index(Some(until), "degraded until_step")?;
+                    if until <= from {
+                        let (a, b) = edge(a, b);
+                        return Err(FaultPlanError::EmptyDegradationWindow {
+                            a,
+                            b,
+                            from_step: from,
+                            until_step: until,
+                        });
+                    }
+                    plan.degraded_windows.insert(edge(a, b), (from, until));
+                }
+                _ => {
+                    return Err(malformed(
+                        "degraded window needs both from_step and until_step",
+                    ))
+                }
             }
             plan.degraded.insert(
                 edge(a, b),
@@ -695,9 +1030,9 @@ impl FaultPlan {
             let s = entry
                 .get("slowdown")
                 .and_then(Json::as_f64)
-                .ok_or("straggler entry needs slowdown")?;
+                .ok_or_else(|| malformed("straggler entry needs slowdown"))?;
             if !(s.is_finite() && s >= 1.0) {
-                return Err("straggler slowdown must be finite and >= 1".to_string());
+                return Err(malformed("straggler slowdown must be finite and >= 1"));
             }
             plan.stragglers.insert(n, s);
         }
@@ -718,14 +1053,18 @@ impl FaultPlan {
                     bit: index(Some(bit), "bitflip bit")? as u32,
                 },
                 (None, Some(delta)) => {
-                    let delta = delta.as_f64().ok_or("perturb delta must be a number")?;
+                    let delta = delta
+                        .as_f64()
+                        .ok_or_else(|| malformed("perturb delta must be a number"))?;
                     if !delta.is_finite() {
-                        return Err("corruption delta must be finite".to_string());
+                        return Err(malformed("corruption delta must be finite"));
                     }
                     CorruptKind::Perturb { delta }
                 }
                 _ => {
-                    return Err("corruption entry needs exactly one of bitflip/perturb".to_string())
+                    return Err(malformed(
+                        "corruption entry needs exactly one of bitflip/perturb",
+                    ))
                 }
             };
             plan.corruptions
@@ -1034,5 +1373,141 @@ mod tests {
         );
         // An empty object is a valid empty plan.
         assert!(FaultPlan::from_json("{}").unwrap().is_empty());
+    }
+
+    #[test]
+    fn validate_reports_the_offending_node_typed() {
+        let err = FaultPlan::new()
+            .with_straggler(8, 2.0)
+            .validate(8)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            FaultPlanError::NodeOutOfRange {
+                what: "straggler",
+                node: 8,
+                p: 8
+            }
+        );
+        assert!(err.to_string().contains("outside the 8-node machine"));
+    }
+
+    #[test]
+    fn out_of_range_steps_are_typed_rejections() {
+        let err = FaultPlan::from_json(r#"{"crashes": [{"node": 1, "step": -3}]}"#).unwrap_err();
+        assert_eq!(
+            err,
+            FaultPlanError::StepOutOfRange {
+                what: "crash step".to_string(),
+                value: -3.0
+            }
+        );
+        // Beyond 2^53 a JSON number can no longer represent the integer
+        // exactly: no counter would ever equal it.
+        let big = format!(r#"{{"drops": [{{"from": 0, "to": 1, "seq": {}}}]}}"#, 1e16);
+        assert!(matches!(
+            FaultPlan::from_json(&big).unwrap_err(),
+            FaultPlanError::StepOutOfRange { .. }
+        ));
+        // Fractional steps are equally unreachable.
+        assert!(matches!(
+            FaultPlan::from_json(r#"{"crashes": [{"node": 1, "step": 1.5}]}"#).unwrap_err(),
+            FaultPlanError::StepOutOfRange { .. }
+        ));
+        // A non-number stays a malformed-input error.
+        assert!(matches!(
+            FaultPlan::from_json(r#"{"crashes": [{"node": 1, "step": "soon"}]}"#).unwrap_err(),
+            FaultPlanError::Malformed(_)
+        ));
+    }
+
+    #[test]
+    fn empty_degradation_windows_are_rejected_typed() {
+        let err = FaultPlan::from_json(
+            r#"{"degraded": [{"a": 0, "b": 1, "ts_factor": 2.0, "tw_factor": 2.0,
+                "from_step": 5, "until_step": 5}]}"#,
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            FaultPlanError::EmptyDegradationWindow {
+                a: 0,
+                b: 1,
+                from_step: 5,
+                until_step: 5
+            }
+        );
+        assert!(err.to_string().contains("would never fire"));
+        // Half a window is malformed, not silently permanent.
+        assert!(matches!(
+            FaultPlan::from_json(
+                r#"{"degraded": [{"a": 0, "b": 1, "ts_factor": 2.0, "tw_factor": 2.0,
+                    "from_step": 5}]}"#,
+            )
+            .unwrap_err(),
+            FaultPlanError::Malformed(_)
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "contains no steps")]
+    fn window_builder_rejects_empty_windows() {
+        let _ = FaultPlan::new().with_degraded_link_window(0, 1, 2.0, 2.0, 3, 3);
+    }
+
+    #[test]
+    fn degradation_windows_gate_link_quality_and_round_trip() {
+        let plan = FaultPlan::new().with_degraded_link_window(0, 1, 2.0, 4.0, 3, 7);
+        assert_eq!(plan.degraded_window(1, 0), Some((3, 7)));
+        // Inside the window the multipliers apply; outside the link is
+        // healthy. The window-blind query reports the worst case.
+        assert_eq!(plan.link_quality_at(0, 1, 2), LinkQuality::HEALTHY);
+        assert_eq!(plan.link_quality_at(0, 1, 3).tw_factor, 4.0);
+        assert_eq!(plan.link_quality_at(1, 0, 6).ts_factor, 2.0);
+        assert_eq!(plan.link_quality_at(0, 1, 7), LinkQuality::HEALTHY);
+        assert_eq!(plan.link_quality(0, 1).tw_factor, 4.0);
+        // Permanent degradation is unaffected by the step.
+        let always = FaultPlan::new().with_degraded_link(2, 3, 3.0, 3.0);
+        assert_eq!(always.link_quality_at(2, 3, 999).ts_factor, 3.0);
+        // And the window survives the JSON round trip.
+        let back = FaultPlan::from_json(&plan.to_json()).unwrap();
+        assert_eq!(back, plan);
+        assert_eq!(back.to_json(), plan.to_json());
+    }
+
+    #[test]
+    fn entries_round_trip_through_from_entries() {
+        let plan = FaultPlan::new()
+            .with_dead_link(0, 1)
+            .with_degraded_link_window(2, 3, 2.0, 4.5, 1, 9)
+            .with_straggler(5, 3.0)
+            .with_drop(0, 2, 1)
+            .with_drop(0, 2, 4)
+            .with_corruption(
+                4,
+                5,
+                2,
+                Corruption {
+                    word: 7,
+                    kind: CorruptKind::BitFlip { bit: 63 },
+                },
+            )
+            .with_crash(6, 9)
+            .strict();
+        let entries = plan.entries();
+        assert_eq!(entries.len(), 7);
+        assert_eq!(plan.fault_count(), entries.len());
+        let back = FaultPlan::from_entries(&entries, plan.is_strict());
+        assert_eq!(back, plan);
+        // A subset drops exactly the omitted faults.
+        let keep: Vec<FaultEntry> = entries
+            .iter()
+            .filter(|e| matches!(e, FaultEntry::Crash { .. }))
+            .cloned()
+            .collect();
+        let reduced = FaultPlan::from_entries(&keep, plan.is_strict());
+        assert_eq!(reduced.fault_count(), 1);
+        assert_eq!(reduced.crash_step(6), Some(9));
+        assert!(reduced.is_strict());
     }
 }

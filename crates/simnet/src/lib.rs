@@ -110,10 +110,13 @@ mod proc;
 mod stats;
 pub mod trace;
 
-pub use faults::{CorruptKind, Corruption, FaultPlan, LinkQuality, RetryPolicy, SendError};
+pub use faults::{
+    CorruptKind, Corruption, FaultEntry, FaultPlan, FaultPlanError, LinkQuality, RetryPolicy,
+    SendError,
+};
 pub use machine::{Blocked, Engine, Machine, MachineBuilder, MachineOptions, RunError, RunOutcome};
 pub use proc::{Op, Proc};
-pub use stats::{NodeStats, RunStats};
+pub use stats::{FiredFault, FiredKind, NodeStats, RunStats};
 pub use trace::{TraceEvent, TraceKind};
 
 use std::sync::Arc;

@@ -429,7 +429,10 @@ impl Machine {
                 "machine size {p} is not a power of two"
             )));
         };
-        options.faults.validate(p).map_err(RunError::Config)?;
+        options
+            .faults
+            .validate(p)
+            .map_err(|e| RunError::Config(e.to_string()))?;
         Ok(Machine { p, dim, options })
     }
 

@@ -9,7 +9,7 @@ use cubemm_topology::bits::hamming;
 use crate::faults::{FaultPlan, LinkQuality, RetryPolicy, SendError};
 use crate::ledger::{lock, Delivery, Ledger};
 use crate::machine::{Engine, Failure, MachineOptions, NodeSlot};
-use crate::stats::NodeStats;
+use crate::stats::{FiredFault, FiredKind, NodeStats};
 use crate::trace::{TraceEvent, TraceKind};
 use crate::{ChargePolicy, CostParams, LinkTopology, Payload, PortModel};
 
@@ -139,15 +139,43 @@ impl Proc {
     fn begin_round(&mut self) {
         let step = self.round;
         self.round += 1;
-        if let Some(plan) = self.faults.as_deref() {
-            if plan.crash_step(self.id) == Some(step) {
-                self.ledger.trigger(Failure::Crashed {
-                    node: self.id,
-                    step,
-                });
-                self.quiet_abort();
-            }
+        if self.slow != 1.0 && step == 0 {
+            // A straggler fires (scales its first charge) the moment the
+            // node starts communicating.
+            self.note_fired(FiredKind::Straggler, self.id, self.id);
         }
+        let crashes = self
+            .faults
+            .as_deref()
+            .is_some_and(|plan| plan.crash_step(self.id) == Some(step));
+        if crashes {
+            self.note_fired(FiredKind::Crash, self.id, self.id);
+            self.ledger.trigger(Failure::Crashed {
+                node: self.id,
+                step,
+            });
+            self.quiet_abort();
+        }
+    }
+
+    /// Records a fault-plan entry observed firing at this node, once per
+    /// `(kind, endpoints)` pair, stamped with the current program step.
+    /// Only called on fault paths, so an empty plan records nothing.
+    fn note_fired(&mut self, kind: FiredKind, a: usize, b: usize) {
+        if self
+            .stats
+            .fired
+            .iter()
+            .any(|f| f.kind == kind && f.a == a && f.b == b)
+        {
+            return;
+        }
+        self.stats.fired.push(FiredFault {
+            kind,
+            a,
+            b,
+            step: self.round.saturating_sub(1),
+        });
     }
 
     /// Applies any scheduled in-flight corruption to `data` as it
@@ -170,6 +198,7 @@ impl Proc {
                 let mut words: Vec<f64> = data.to_vec();
                 corruption.apply(&mut words);
                 self.stats.corrupted += 1;
+                self.note_fired(FiredKind::Corruption, cur, next);
                 data = Payload::from(words);
             }
             cur = next;
@@ -265,12 +294,17 @@ impl Proc {
     }
 
     /// Cost of the direct link to `to` for `words` words, including any
-    /// degradation. With no fault plan this is exactly `CostParams::hop`.
-    fn link_cost(&self, to: usize, words: usize) -> f64 {
-        match &self.faults {
+    /// degradation in effect at the current program step. With no fault
+    /// plan this is exactly `CostParams::hop`.
+    fn link_cost(&mut self, to: usize, words: usize) -> f64 {
+        match self.faults.clone() {
             None => self.cost.hop(words),
             Some(plan) => {
-                let q = plan.link_quality(self.id, to);
+                let step = self.round.saturating_sub(1);
+                let q = plan.link_quality_at(self.id, to, step);
+                if q != LinkQuality::HEALTHY {
+                    self.note_fired(FiredKind::DegradedLink, self.id.min(to), self.id.max(to));
+                }
                 q.ts_factor * self.cost.ts + q.tw_factor * self.cost.tw * words as f64
             }
         }
@@ -280,16 +314,21 @@ impl Proc {
     /// `path` (successor labels): one-port store-and-forward sums the
     /// per-edge costs; multi-port pipelines the message, paying every
     /// edge's start-up but only the slowest edge's bandwidth.
-    fn path_cost(&self, path: &[usize], words: usize) -> f64 {
+    fn path_cost(&mut self, path: &[usize], words: usize) -> f64 {
         let mut ts_sum = 0.0;
         let mut tw_worst: f64 = 0.0;
         let mut store_forward = 0.0;
         let mut cur = self.id;
+        let step = self.round.saturating_sub(1);
+        let faults = self.faults.clone();
         for &next in path {
-            let q = match &self.faults {
-                Some(plan) => plan.link_quality(cur, next),
+            let q = match &faults {
+                Some(plan) => plan.link_quality_at(cur, next, step),
                 None => LinkQuality::HEALTHY,
             };
+            if q != LinkQuality::HEALTHY {
+                self.note_fired(FiredKind::DegradedLink, cur.min(next), cur.max(next));
+            }
             ts_sum += q.ts_factor * self.cost.ts;
             tw_worst = tw_worst.max(q.tw_factor);
             store_forward += q.ts_factor * self.cost.ts + q.tw_factor * self.cost.tw * words as f64;
@@ -401,7 +440,7 @@ impl Proc {
             to,
             self.links
         );
-        if let Some(plan) = self.faults.as_deref() {
+        if let Some(plan) = self.faults.clone() {
             if plan.is_dead(self.id, to) {
                 if plan.is_strict() {
                     return Err(SendError::LinkDead { from: self.id, to });
@@ -409,11 +448,13 @@ impl Proc {
                 let path = plan
                     .route(self.links, self.dim, self.id, to)
                     .ok_or(SendError::Unroutable { from: self.id, to })?;
+                self.note_fired(FiredKind::DeadLink, self.id.min(to), self.id.max(to));
                 return Ok(self.send_along(&path, to, tag, data));
             }
         }
         let start = self.clock;
-        let end = start + self.scaled(self.link_cost(to, data.len()));
+        let cost = self.link_cost(to, data.len());
+        let end = start + self.scaled(cost);
         self.clock = end;
         self.record(TraceKind::Send { to, hops: 1 }, tag, data.len(), start, end);
         let data = self.corrupt_along(&[to], data);
@@ -426,7 +467,8 @@ impl Proc {
     fn send_along(&mut self, path: &[usize], to: usize, tag: u64, data: Payload) -> bool {
         let h = path.len();
         let start = self.clock;
-        let end = start + self.scaled(self.path_cost(path, data.len()));
+        let cost = self.path_cost(path, data.len());
+        let end = start + self.scaled(cost);
         self.clock = end;
         self.record(
             TraceKind::Send { to, hops: h as u32 },
@@ -475,7 +517,7 @@ impl Proc {
     fn transmit_routed(&mut self, to: usize, tag: u64, data: Payload) -> Result<bool, SendError> {
         let h = hamming(self.id, to);
         assert!(h > 0, "send_routed: node {} sending to itself", self.id);
-        match self.faults.as_deref() {
+        match self.faults.clone() {
             // Healthy machine: the closed-form pricing, bit-for-bit.
             None => {
                 let cost = match self.port {
@@ -494,6 +536,25 @@ impl Proc {
                 let path = plan
                     .route(self.links, self.dim, self.id, to)
                     .ok_or(SendError::Unroutable { from: self.id, to })?;
+                // The zero-rotation route candidate is exactly the
+                // healthy dimension-ordered path; it is only rejected
+                // when a dead edge lies on it — so scanning that path
+                // pinpoints which dead link (if any) forced this send
+                // off the healthy route.
+                if plan.dead_links().next().is_some() {
+                    let mut cur = self.id;
+                    let diff = self.id ^ to;
+                    for d in 0..self.dim {
+                        if diff >> d & 1 == 1 {
+                            let next = cur ^ (1usize << d);
+                            if plan.is_dead(cur, next) {
+                                self.note_fired(FiredKind::DeadLink, cur.min(next), cur.max(next));
+                                break;
+                            }
+                            cur = next;
+                        }
+                    }
+                }
                 Ok(self.send_along(&path, to, tag, data))
             }
         }
@@ -564,7 +625,7 @@ impl Proc {
                     self.links
                 );
                 let mut detour: Option<Vec<usize>> = None;
-                if let Some(plan) = &self.faults {
+                if let Some(plan) = self.faults.clone() {
                     if plan.is_dead(self.id, *to) {
                         if plan.is_strict() {
                             let e = SendError::LinkDead {
@@ -574,7 +635,14 @@ impl Proc {
                             self.fail_link(e);
                         }
                         match plan.route(self.links, self.dim, self.id, *to) {
-                            Some(path) => detour = Some(path),
+                            Some(path) => {
+                                self.note_fired(
+                                    FiredKind::DeadLink,
+                                    self.id.min(*to),
+                                    self.id.max(*to),
+                                );
+                                detour = Some(path);
+                            }
                             None => {
                                 let e = SendError::Unroutable {
                                     from: self.id,
@@ -586,12 +654,14 @@ impl Proc {
                     }
                 }
                 let (cost, hops, first_hop) = match &detour {
-                    None => (self.scaled(self.link_cost(*to, data.len())), 1usize, *to),
-                    Some(path) => (
-                        self.scaled(self.path_cost(path, data.len())),
-                        path.len(),
-                        path[0],
-                    ),
+                    None => {
+                        let cost = self.link_cost(*to, data.len());
+                        (self.scaled(cost), 1usize, *to)
+                    }
+                    Some(path) => {
+                        let cost = self.path_cost(path, data.len());
+                        (self.scaled(cost), path.len(), path[0])
+                    }
                 };
                 let start = match self.port {
                     // One-port: the single port serializes every send.
@@ -720,12 +790,13 @@ impl Proc {
     fn inject(&mut self, to: usize, tag: u64, arrive: f64, data: Payload, hops: usize) -> bool {
         self.stats.messages += hops;
         self.stats.word_hops += hops * data.len();
-        if let Some(plan) = self.faults.as_deref() {
+        if let Some(plan) = self.faults.clone() {
             let seq = self.seq.entry(to).or_insert(0);
             let s = *seq;
             *seq += 1;
             if plan.drops_nth(self.id, to, s) {
                 self.stats.dropped += 1;
+                self.note_fired(FiredKind::Drop, self.id, to);
                 self.record(TraceKind::Dropped { to }, tag, data.len(), arrive, arrive);
                 return false;
             }
@@ -786,6 +857,7 @@ impl Drop for Proc {
     /// *used* when the run succeeds).
     fn drop(&mut self) {
         self.stats.clock = self.clock;
+        self.stats.rounds = self.round;
         let stats = std::mem::take(&mut self.stats);
         let trace = self.trace.take().unwrap_or_default();
         *lock(&self.slot.parts) = Some((stats, trace));

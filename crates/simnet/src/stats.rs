@@ -1,5 +1,43 @@
 //! Per-node and per-run statistics gathered by the simulator.
 
+/// Which fault-plan family a [`FiredFault`] record belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FiredKind {
+    /// A send had to detour around (or failed on) a dead link.
+    DeadLink,
+    /// A transfer paid a degraded link's cost multipliers.
+    DegradedLink,
+    /// The node's clock runs at a straggler multiplier.
+    Straggler,
+    /// A scheduled drop lost a message this node injected.
+    Drop,
+    /// A scheduled corruption mangled a payload this node pushed.
+    Corruption,
+    /// The node's scheduled crash fired (only observable in stats when
+    /// another node's counters survive the aborted run).
+    Crash,
+}
+
+/// One fault-plan entry observed actually firing at a node, recorded
+/// once per `(kind, endpoints)` pair with the program step (the node's
+/// 0-based communication-call index) of its *first* firing. Campaign
+/// drivers use these records as ground truth for fault-space coverage:
+/// a scheduled fault that never fires leaves no record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FiredFault {
+    /// The fault family.
+    pub kind: FiredKind,
+    /// Link endpoint (normalized `lo` for undirected families, the
+    /// sender for directed drops/corruptions, the node itself for node
+    /// faults).
+    pub a: usize,
+    /// The other endpoint (`hi`, the destination, or `a` again for node
+    /// faults).
+    pub b: usize,
+    /// The recording node's communication-call index at first firing.
+    pub step: u64,
+}
+
 /// Counters for a single virtual processor.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct NodeStats {
@@ -24,6 +62,14 @@ pub struct NodeStats {
     /// Payloads this node pushed that a fault plan silently corrupted in
     /// flight (the receiver saw wrong data, not an error).
     pub corrupted: usize,
+    /// Communication calls this node issued (its schedule length): every
+    /// public send/receive/batch primitive counts one. Chaos campaigns
+    /// bucket fault steps into schedule phases with this.
+    pub rounds: u64,
+    /// Fault-plan entries observed firing at this node (deduplicated per
+    /// `(kind, endpoints)`, stamped with the step of first firing). Empty
+    /// under an empty plan.
+    pub fired: Vec<FiredFault>,
 }
 
 /// Aggregated result of one simulated run.
@@ -75,5 +121,19 @@ impl RunStats {
     /// Total payloads silently corrupted in flight across all nodes.
     pub fn total_corrupted(&self) -> usize {
         self.nodes.iter().map(|n| n.corrupted).sum()
+    }
+
+    /// Every fault-plan entry observed firing anywhere in the run, in
+    /// node order (see [`NodeStats::fired`]).
+    pub fn fired_faults(&self) -> impl Iterator<Item = FiredFault> + '_ {
+        self.nodes.iter().flat_map(|n| n.fired.iter().copied())
+    }
+
+    /// The shortest per-node schedule length of the run (communication
+    /// calls of the least-talkative node) — the denominator chaos
+    /// campaigns use to place faults in early/mid/late phases so that a
+    /// scheduled step is guaranteed to be reached by every node.
+    pub fn min_rounds(&self) -> u64 {
+        self.nodes.iter().map(|n| n.rounds).min().unwrap_or(0)
     }
 }
